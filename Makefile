@@ -1,0 +1,23 @@
+.PHONY: install test bench tables clean lint
+
+install:
+	pip install -e .
+
+test:
+	pytest tests/
+
+test-report:
+	pytest tests/ 2>&1 | tee test_output.txt
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+bench-report:
+	pytest benchmarks/ --benchmark-only 2>&1 | tee bench_output.txt
+
+tables:
+	@ls benchmarks/results/*.txt 2>/dev/null | xargs -I{} sh -c 'echo; cat {}'
+
+clean:
+	rm -rf build dist *.egg-info src/*.egg-info .pytest_cache
+	find . -name __pycache__ -type d -exec rm -rf {} +

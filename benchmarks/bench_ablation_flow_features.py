@@ -1,0 +1,123 @@
+"""Ablation of the flow's individual design choices (DESIGN.md §5).
+
+Toggles, one at a time, on jpeg with the OpenROAD-mode flow:
+
+* the 4x IO-net weighting of the clustered netlist (line 22, [9]),
+* the timing cost term (beta = 0),
+* the switching cost term (gamma = 0),
+* the hierarchy grouping guides (Algorithm 2 off),
+* soft vs hard grouping semantics,
+* criticality-weighted placement nets (the timing-driven-placement
+  stand-in documented in DESIGN.md).
+
+Reports post-route rWL / WNS / TNS / Power against the full flow.
+"""
+
+import dataclasses
+
+import pytest
+
+from benchmarks._tables import format_table, publish
+from repro.core import ClusteredPlacementFlow, FlowConfig
+from repro.core.costs import CostConfig
+from repro.core.ppa_clustering import PPAClusteringConfig
+from repro.core.seeded import IO_NET_WEIGHT
+from repro.designs import load_benchmark
+
+DESIGN = "jpeg"
+_RESULTS = {}
+
+
+def _run(label, config, io_weight_override=None):
+    import repro.core.seeded as seeded_mod
+
+    design = load_benchmark(DESIGN, use_cache=False)
+    if io_weight_override is not None:
+        original = seeded_mod.IO_NET_WEIGHT
+        seeded_mod.IO_NET_WEIGHT = io_weight_override
+        # flow.py imported the constant by value; patch there too.
+        import repro.core.flow as flow_mod
+
+        flow_original = flow_mod.IO_NET_WEIGHT
+        flow_mod.IO_NET_WEIGHT = io_weight_override
+        try:
+            metrics = ClusteredPlacementFlow(config).run(design).metrics
+        finally:
+            seeded_mod.IO_NET_WEIGHT = original
+            flow_mod.IO_NET_WEIGHT = flow_original
+    else:
+        metrics = ClusteredPlacementFlow(config).run(design).metrics
+    return metrics
+
+
+VARIANTS = [
+    ("full flow", FlowConfig(tool="openroad"), None),
+    ("no IO x4", FlowConfig(tool="openroad"), 1.0),
+    (
+        "no timing cost",
+        FlowConfig(
+            tool="openroad",
+            clustering_config=PPAClusteringConfig(use_timing=False),
+        ),
+        None,
+    ),
+    (
+        "no switching cost",
+        FlowConfig(
+            tool="openroad",
+            clustering_config=PPAClusteringConfig(use_switching=False),
+        ),
+        None,
+    ),
+    (
+        "no hierarchy guides",
+        FlowConfig(
+            tool="openroad",
+            clustering_config=PPAClusteringConfig(use_hierarchy=False),
+        ),
+        None,
+    ),
+    (
+        "no criticality weights",
+        FlowConfig(tool="openroad", timing_weighted_cluster_nets=False),
+        None,
+    ),
+]
+
+
+@pytest.mark.parametrize("label,config,io_weight", VARIANTS)
+def test_ablation_variant(benchmark, label, config, io_weight):
+    metrics = benchmark.pedantic(
+        _run, args=(label, config, io_weight), rounds=1, iterations=1
+    )
+    _RESULTS[label] = metrics
+
+
+def test_ablation_report(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    full = _RESULTS.get("full flow")
+    if full is None:
+        pytest.skip("variant stage did not run")
+    rows = []
+    for label, _cfg, _io in VARIANTS:
+        m = _RESULTS.get(label)
+        if m is None:
+            continue
+        rows.append(
+            [
+                label,
+                f"{m.rwl / full.rwl:.3f}",
+                f"{m.wns * 1e3:.0f}",
+                f"{m.tns:.2f}",
+                f"{m.power:.3f}",
+            ]
+        )
+    text = format_table(
+        f"Flow-feature ablation on {DESIGN} "
+        "(rWL normalised to the full flow)",
+        ["Variant", "rWL", "WNS", "TNS", "Power"],
+        rows,
+        note="Each row disables exactly one design choice of Algorithm 1.",
+    )
+    publish("ablation_flow_features", text)
+    assert rows

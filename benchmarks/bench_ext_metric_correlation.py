@@ -1,0 +1,99 @@
+"""Extension: do structural clustering metrics predict PPA?
+
+Section 2 of the paper argues that "previous clustering criteria based
+on cutsize and/or modularity are not well-correlated with PPA
+outcomes" — the motivation for PPA-aware clustering.  This bench makes
+that claim quantitative: it produces a spread of clusterings (different
+algorithms and seeds), runs each through the same seeded-placement
+flow on jpeg, and reports the Spearman rank correlation between each
+structural metric (cut fraction, conductance, modularity, Rent
+exponent) and the post-route TNS.
+"""
+
+import numpy as np
+import pytest
+from scipy import stats
+
+from benchmarks._tables import format_table, publish
+from repro.cluster import AdjacencyGraph, evaluate_clustering, modularity
+from repro.core import ClusteredPlacementFlow, FlowConfig
+from repro.core.ppa_clustering import PPAClusteringConfig
+from repro.core.rent import weighted_average_rent
+from repro.db import DesignDatabase
+from repro.designs import load_benchmark
+
+DESIGN = "jpeg"
+
+#: (label, clusterer, seed) arms producing a spread of clusterings.
+ARMS = [
+    ("ppa-s0", "ppa", 0),
+    ("ppa-s1", "ppa", 1),
+    ("mfc-s0", "mfc", 0),
+    ("mfc-s1", "mfc", 1),
+    ("leiden", "leiden", 0),
+    ("louvain", "louvain", 0),
+    ("bc", "bc", 0),
+    ("ec", "ec", 0),
+]
+
+
+def _run():
+    records = []
+    for label, method, seed in ARMS:
+        design = load_benchmark(DESIGN, use_cache=False)
+        db = DesignDatabase(design)
+        flow = ClusteredPlacementFlow(
+            FlowConfig(tool="openroad", clustering=method, seed=seed)
+        )
+        result = flow.run(design)
+        cluster_of = result.clustering.cluster_of
+        hgraph = db.hypergraph
+        graph = AdjacencyGraph.from_hypergraph(hgraph)
+        quality = evaluate_clustering(hgraph, cluster_of)
+        records.append(
+            {
+                "label": label,
+                "cut": quality.cut_fraction,
+                "conductance": quality.mean_conductance,
+                "modularity": modularity(graph, cluster_of),
+                "rent": weighted_average_rent(hgraph, cluster_of),
+                "tns": result.metrics.tns,
+                "rwl": result.metrics.rwl,
+            }
+        )
+    return records
+
+
+def test_metric_correlation(benchmark):
+    records = benchmark.pedantic(_run, rounds=1, iterations=1)
+    rows = [
+        [
+            r["label"],
+            f"{r['cut']:.3f}",
+            f"{r['conductance']:.3f}",
+            f"{r['modularity']:.3f}",
+            f"{r['rent']:.3f}",
+            f"{r['tns']:.2f}",
+            f"{r['rwl']:.0f}",
+        ]
+        for r in records
+    ]
+    tns = [r["tns"] for r in records]
+    correlations = []
+    for metric in ("cut", "conductance", "modularity", "rent"):
+        values = [r[metric] for r in records]
+        rho, _p = stats.spearmanr(values, tns)
+        correlations.append(f"{metric}: rho={rho:+.2f}")
+    text = format_table(
+        f"Extension: structural metrics vs post-route TNS ({DESIGN})",
+        ["Clustering", "Cut", "Conduct", "Q", "Rent", "TNS", "rWL"],
+        rows,
+        note=(
+            "Spearman rank correlation with TNS (|rho| near 1 would mean "
+            "the metric predicts PPA): " + "; ".join(correlations) + ". "
+            "The paper's Section 2 claim is that these correlations are "
+            "weak — PPA-aware clustering is needed."
+        ),
+    )
+    publish("ext_metric_correlation", text)
+    assert len(records) == len(ARMS)

@@ -1,0 +1,82 @@
+"""Extension: enhanced power-awareness (the paper's future work).
+
+The paper's conclusion plans to enhance the clustering's
+power-awareness "to further improve the post-route power metric".
+Two knobs implement that here:
+
+* the switching-cost weight gamma of Eq. 3 (clustering-side), and
+* activity-directed placement net weights (``FlowConfig.power_emphasis``,
+  placement-side).
+
+This bench sweeps both on jpeg and reports the power / TNS / rWL
+trade-off.
+"""
+
+import pytest
+
+from benchmarks._tables import format_table, publish
+from repro.core import ClusteredPlacementFlow, FlowConfig
+from repro.core.costs import CostConfig
+from repro.core.ppa_clustering import PPAClusteringConfig
+from repro.designs import load_benchmark
+
+DESIGN = "jpeg"
+
+ARMS = [
+    ("baseline (gamma=1, emph=0)", 1.0, 0.0),
+    ("gamma=4", 4.0, 0.0),
+    ("emphasis=2", 1.0, 2.0),
+    ("gamma=4 + emphasis=2", 4.0, 2.0),
+]
+_RESULTS = {}
+
+
+def _run(label, gamma, emphasis):
+    design = load_benchmark(DESIGN, use_cache=False)
+    config = FlowConfig(
+        tool="openroad",
+        clustering_config=PPAClusteringConfig(cost=CostConfig(gamma=gamma)),
+        power_emphasis=emphasis,
+    )
+    return ClusteredPlacementFlow(config).run(design).metrics
+
+
+@pytest.mark.parametrize("label,gamma,emphasis", ARMS)
+def test_power_arm(benchmark, label, gamma, emphasis):
+    metrics = benchmark.pedantic(
+        _run, args=(label, gamma, emphasis), rounds=1, iterations=1
+    )
+    _RESULTS[label] = metrics
+
+
+def test_power_report(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    base = _RESULTS.get(ARMS[0][0])
+    if base is None:
+        pytest.skip("arm stage did not run")
+    rows = []
+    for label, _g, _e in ARMS:
+        m = _RESULTS.get(label)
+        if m is None:
+            continue
+        rows.append(
+            [
+                label,
+                f"{m.power:.3f}",
+                f"{m.power / base.power:.4f}",
+                f"{m.tns:.2f}",
+                f"{m.rwl / base.rwl:.3f}",
+            ]
+        )
+    text = format_table(
+        f"Extension: power-awareness knobs on {DESIGN}",
+        ["Arm", "Power (mW)", "vs base", "TNS", "rWL"],
+        rows,
+        note=(
+            "gamma is Eq. 3's switching-cost weight (clustering); "
+            "emphasis is the activity-directed placement weighting "
+            "(the paper's stated power future work)."
+        ),
+    )
+    publish("ext_power_aware", text)
+    assert rows

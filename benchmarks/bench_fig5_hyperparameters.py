@@ -1,0 +1,89 @@
+"""Figure 5: hyperparameter validation.
+
+Sweeps multipliers (1..6, step 1) on each of alpha, beta, gamma, mu —
+one at a time, others at their defaults — over aes / jpeg / ariane,
+recording post-place HPWL normalised to the default hyperparameter
+setting (the paper's score).  The expected outcome (Figure 5) is that
+the default setting is a reasonable choice: normalised scores stay
+near 1.0 with no multiplier dominating.
+"""
+
+import pytest
+
+from benchmarks._tables import format_table, publish
+from repro.core import ClusteredPlacementFlow, FlowConfig
+from repro.core.costs import CostConfig
+from repro.core.ppa_clustering import PPAClusteringConfig
+from repro.designs import load_benchmark
+
+DESIGNS = ["aes", "jpeg", "ariane"]
+PARAMS = ["alpha", "beta", "gamma", "mu"]
+MULTIPLIERS = [1, 2, 3, 4, 5, 6]
+_RESULTS = {}
+
+
+def _run_flow(name, cost):
+    design = load_benchmark(name, use_cache=False)
+    flow = ClusteredPlacementFlow(
+        FlowConfig(
+            tool="openroad",
+            run_routing=False,
+            clustering_config=PPAClusteringConfig(cost=cost),
+        )
+    )
+    return flow.run(design).metrics.hpwl
+
+
+def _sweep_param(param):
+    defaults = CostConfig()
+    out = {}
+    for name in DESIGNS:
+        baseline = _run_flow(name, CostConfig())
+        series = []
+        for multiplier in MULTIPLIERS:
+            kwargs = {
+                "alpha": defaults.alpha,
+                "beta": defaults.beta,
+                "gamma": defaults.gamma,
+                "mu": defaults.mu,
+            }
+            kwargs[param] = kwargs[param] * multiplier
+            hpwl = _run_flow(name, CostConfig(**kwargs))
+            series.append(hpwl / baseline)
+        out[name] = series
+    return out
+
+
+@pytest.mark.parametrize("param", PARAMS)
+def test_fig5_param(benchmark, param):
+    result = benchmark.pedantic(_sweep_param, args=(param,), rounds=1, iterations=1)
+    _RESULTS[param] = result
+    # The default setting is a reasonable choice: no multiplier wins
+    # by a large margin on average.
+    for series in result.values():
+        assert min(series) > 0.85
+
+
+def test_fig5_report(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    rows = []
+    for param in PARAMS:
+        result = _RESULTS.get(param)
+        if result is None:
+            continue
+        for name in DESIGNS:
+            series = result[name]
+            rows.append(
+                [param if name == DESIGNS[0] else "", name]
+                + [f"{v:.3f}" for v in series]
+            )
+    text = format_table(
+        "Figure 5: hyperparameter sweep "
+        "(post-place HPWL normalised to default setting)",
+        ["Param", "Design"] + [f"x{m}" for m in MULTIPLIERS],
+        rows,
+        note="Values near 1.0 across multipliers: the default "
+        "(alpha=beta=gamma=1, mu=2) is a reasonable choice (paper Fig. 5).",
+    )
+    publish("fig5_hyperparameters", text)
+    assert rows

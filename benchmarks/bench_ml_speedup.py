@@ -1,0 +1,111 @@
+"""Section 3.2: ML acceleration of the V-P&R framework.
+
+Measures, per eligible cluster, the wall-clock of (i) the exact 20-shape
+V-P&R sweep and (ii) the GNN predictor (feature extraction + 20
+batched forward passes), and reports the speedup plus the agreement of
+the selected shapes.  The paper reports ~30x; the achievable factor
+here depends on the Python feature-extraction cost, so the *shape*
+(order-of-magnitude acceleration with near-equivalent selections) is
+the reproduction target.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from benchmarks._tables import format_table, publish
+from repro.core.ppa_clustering import PPAClusteringConfig, ppa_aware_clustering
+from repro.core.shapes import default_candidate_grid
+from repro.core.vpr import VPRConfig, VPRFramework, extract_subnetlist
+from repro.db.database import DesignDatabase
+from repro.designs import load_benchmark
+from repro.ml import FeatureExtractor, TotalCostGNN, TotalCostPredictor
+
+MODEL_PATH = "benchmarks/results/total_cost_gnn.npz"
+
+
+def _load_or_train_model():
+    import os
+
+    if os.path.exists(MODEL_PATH):
+        return TotalCostGNN.load(MODEL_PATH)
+    # Minimal fallback training (bench_gnn_accuracy normally ran first).
+    from repro.ml import DatasetConfig, TrainingConfig, build_dataset, train_model
+
+    samples = build_dataset(
+        [load_benchmark("aes", use_cache=False)],
+        DatasetConfig(
+            max_clusters_per_design=5,
+            min_cluster_instances=40,
+            max_cluster_instances=400,
+            perturbation_seeds=(0,),
+            cluster_sizes=(80,),
+            vpr=VPRConfig(placer_iterations=3),
+        ),
+    )
+    result = train_model(samples, config=TrainingConfig(epochs=10, seed=0))
+    return result.model
+
+
+def test_ml_speedup(benchmark):
+    design = load_benchmark("ariane", use_cache=False)
+    db = DesignDatabase(design)
+    clustering = ppa_aware_clustering(
+        db, PPAClusteringConfig(target_cluster_size=150)
+    )
+    members = clustering.members()
+    config = VPRConfig(min_cluster_instances=100, placer_iterations=4)
+    framework = VPRFramework(config)
+    eligible = framework.eligible_clusters(members)[:4]
+    assert eligible, "need at least one V-P&R-eligible cluster"
+
+    model = _load_or_train_model()
+    predictor = TotalCostPredictor(model, FeatureExtractor())
+    candidates = default_candidate_grid()
+
+    exact_times = []
+    ml_times = []
+    agreements = []
+    for c in eligible:
+        t0 = time.perf_counter()
+        sweep = framework.sweep_cluster(design, members[c], cluster_id=c)
+        exact_times.append(time.perf_counter() - t0)
+
+        t0 = time.perf_counter()
+        sub = extract_subnetlist(design, members[c])
+        costs = predictor(sub, candidates)
+        ml_times.append(time.perf_counter() - t0)
+        ml_choice = candidates[int(np.argmin(costs))]
+        # Rank of the ML choice under the exact costs (1 = identical).
+        exact_costs = [e.total(config.delta) for e in sweep.evaluations]
+        order = np.argsort(exact_costs)
+        rank = [candidates[i] for i in order].index(ml_choice) + 1
+        agreements.append(rank)
+
+    def _measured():
+        return sum(exact_times) / max(sum(ml_times), 1e-9)
+
+    speedup = benchmark.pedantic(_measured, rounds=1, iterations=1)
+    rows = [
+        [
+            f"cluster {eligible[i]}",
+            f"{exact_times[i]:.3f}",
+            f"{ml_times[i]:.3f}",
+            f"{exact_times[i] / max(ml_times[i], 1e-9):.1f}x",
+            agreements[i],
+        ]
+        for i in range(len(eligible))
+    ]
+    text = format_table(
+        "Section 3.2: ML acceleration of V-P&R",
+        ["Cluster", "Exact (s)", "ML (s)", "Speedup", "ML-choice rank"],
+        rows,
+        note=(
+            f"Aggregate speedup: {speedup:.1f}x (paper: ~30x). "
+            "Rank = position of the ML-selected shape in the exact "
+            "cost ordering (1 = identical choice, 20 = worst)."
+        ),
+    )
+    publish("ml_speedup", text)
+    assert speedup > 2.0

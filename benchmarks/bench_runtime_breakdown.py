@@ -1,0 +1,69 @@
+"""Runtime breakdown of our flow per stage (the paper publishes this in
+its GitHub repository rather than in the six-page text).
+
+For each benchmark: hierarchy clustering, STA extraction, enhanced FC
+clustering, V-P&R, cluster placement, seeding and incremental flat
+placement — plus the default flow's monolithic placement for reference.
+"""
+
+import pytest
+
+from benchmarks._tables import format_table, publish
+from repro.core import ClusteredPlacementFlow, FlowConfig, default_flow
+from repro.designs import load_benchmark
+
+DESIGNS = ["aes", "jpeg", "ariane", "BlackParrot"]
+STAGES = [
+    "hier_clustering",
+    "sta",
+    "clustering",
+    "vpr",
+    "cluster_place",
+    "seed",
+    "incremental_place",
+]
+_RESULTS = {}
+
+
+def _run(name):
+    d_ours = load_benchmark(name, use_cache=False)
+    ours = ClusteredPlacementFlow(
+        FlowConfig(tool="openroad", run_routing=False)
+    ).run(d_ours)
+    d_def = load_benchmark(name, use_cache=False)
+    base = default_flow(d_def, run_routing=False)
+    return ours.metrics.runtimes, base.metrics.runtimes.get("place", 0.0)
+
+
+@pytest.mark.parametrize("name", DESIGNS)
+def test_breakdown_design(benchmark, name):
+    runtimes, default_place = benchmark.pedantic(
+        _run, args=(name,), rounds=1, iterations=1
+    )
+    _RESULTS[name] = (runtimes, default_place)
+
+
+def test_breakdown_report(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    rows = []
+    for name in DESIGNS:
+        entry = _RESULTS.get(name)
+        if entry is None:
+            continue
+        runtimes, default_place = entry
+        row = [name]
+        for stage in STAGES:
+            row.append(f"{runtimes.get(stage, 0.0):.2f}")
+        row.append(f"{default_place:.2f}")
+        rows.append(row)
+    text = format_table(
+        "Runtime breakdown of our flow (seconds)",
+        ["Design"] + STAGES + ["default place"],
+        rows,
+        note=(
+            "The Table 2 CPU column sums all stages except vpr "
+            "(ML-accelerated / reported separately in the paper)."
+        ),
+    )
+    publish("runtime_breakdown", text)
+    assert rows

@@ -1,0 +1,84 @@
+"""Table 2: post-place HPWL and CPU with OpenROAD-mode flows.
+
+For each of the six designs: the default flat flow, the blob placement
+[9] baseline (Louvain + 4x IO weights) and our PPA-aware clustered
+flow, all stopped after global placement.  HPWL and CPU are normalised
+to the default flow, exactly as in the paper.  The paper's "NA" for
+[9] on MegaBoom / MemPool Group (Louvain clustering costing ~2x the
+placement runtime) is reproduced by reporting those entries with their
+measured — clearly unfavourable — ratios instead of running forever.
+"""
+
+import pytest
+
+from benchmarks._tables import format_table, publish
+from repro.core import ClusteredPlacementFlow, FlowConfig, blob_placement_flow, default_flow
+from repro.designs import BENCHMARKS, load_benchmark
+
+DESIGNS = list(BENCHMARKS)
+_RESULTS = {}
+
+
+def _run_design(name):
+    d_default = load_benchmark(name, use_cache=False)
+    base = default_flow(d_default, run_routing=False)
+    base_hpwl = base.metrics.hpwl
+    base_cpu = base.metrics.placement_runtime
+
+    d_blob = load_benchmark(name, use_cache=False)
+    blob = blob_placement_flow(d_blob)
+
+    d_ours = load_benchmark(name, use_cache=False)
+    ours = ClusteredPlacementFlow(
+        FlowConfig(tool="openroad", run_routing=False)
+    ).run(d_ours)
+
+    return {
+        "blob_hpwl": blob.metrics.hpwl / base_hpwl,
+        "blob_cpu": blob.metrics.placement_runtime / base_cpu,
+        "ours_hpwl": ours.metrics.hpwl / base_hpwl,
+        "ours_cpu": ours.metrics.placement_runtime / base_cpu,
+    }
+
+
+@pytest.mark.parametrize("name", DESIGNS)
+def test_table2_design(benchmark, name):
+    result = benchmark.pedantic(_run_design, args=(name,), rounds=1, iterations=1)
+    _RESULTS[name] = result
+    # The paper's headline: similar HPWL (within ~12%).
+    assert result["ours_hpwl"] < 1.12
+
+
+def test_table2_report(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    rows = []
+    cpu_ratios = []
+    for name in DESIGNS:
+        r = _RESULTS.get(name)
+        if r is None:
+            continue
+        rows.append(
+            [
+                name,
+                f'{r["blob_hpwl"]:.3f}',
+                f'{r["blob_cpu"]:.3f}',
+                f'{r["ours_hpwl"]:.3f}',
+                f'{r["ours_cpu"]:.3f}',
+            ]
+        )
+        cpu_ratios.append(r["ours_cpu"])
+    text = format_table(
+        "Table 2: Post-place results, OpenROAD mode "
+        "(normalised to the default flow)",
+        ["Design", "[9] HPWL", "[9] CPU", "Ours HPWL", "Ours CPU"],
+        rows,
+        note=(
+            "CPU = clustering + seeded placement over default placement "
+            "(V-P&R reported separately; ML-accelerated in the paper). "
+            f"Mean ours CPU ratio: {sum(cpu_ratios)/len(cpu_ratios):.3f}"
+            if cpu_ratios
+            else ""
+        ),
+    )
+    publish("table2_openroad_place", text)
+    assert rows

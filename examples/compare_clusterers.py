@@ -1,0 +1,84 @@
+"""Compare clustering algorithms: structural quality vs. PPA outcome.
+
+The paper argues (Section 2) that cutsize/modularity objectives are not
+well correlated with PPA.  This example makes that argument measurable:
+for each clusterer (PPA-aware, plain FC, Best Choice, edge coarsening,
+Louvain, Leiden), print the structural quality metrics next to the
+post-route TNS the same clusters produce through the seeded-placement
+flow — the clusterer with the best cut is typically *not* the one with
+the best TNS.
+
+    python examples/compare_clusterers.py [benchmark-name]
+"""
+
+import sys
+
+from repro.cluster import (
+    AdjacencyGraph,
+    best_choice_clustering,
+    edge_coarsening,
+    first_choice_clustering,
+    leiden_communities,
+    louvain_communities,
+    modularity,
+)
+from repro.cluster.evaluation import evaluate_clustering
+from repro.cluster.fc import FirstChoiceConfig
+from repro.core import ClusteredPlacementFlow, FlowConfig
+from repro.core.ppa_clustering import ppa_aware_clustering
+from repro.core.rent import weighted_average_rent
+from repro.db import DesignDatabase
+from repro.designs import load_benchmark
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "jpeg"
+    base = load_benchmark(name)
+    db = DesignDatabase(base)
+    hgraph = db.hypergraph
+    graph = AdjacencyGraph.from_hypergraph(hgraph)
+    target = max(8, hgraph.num_vertices // 100)
+
+    clusterings = {
+        "ppa": ppa_aware_clustering(db).cluster_of,
+        "mfc": first_choice_clustering(
+            hgraph, FirstChoiceConfig(target_clusters=target)
+        ),
+        "bc": best_choice_clustering(hgraph, target_clusters=target),
+        "ec": edge_coarsening(hgraph, target_clusters=target),
+        "louvain": louvain_communities(graph, seed=0),
+        "leiden": leiden_communities(graph, seed=0),
+    }
+
+    print(f"=== {name}: structural quality ===")
+    header = (
+        f"{'method':>8} {'k':>5} {'cut':>7} {'conduct':>8} "
+        f"{'rent':>7} {'Q':>7}"
+    )
+    print(header)
+    for label, cluster_of in clusterings.items():
+        quality = evaluate_clustering(hgraph, cluster_of)
+        rent = weighted_average_rent(hgraph, cluster_of)
+        q = modularity(graph, cluster_of)
+        print(
+            f"{label:>8} {quality.num_clusters:>5} "
+            f"{quality.cut_fraction:>7.3f} {quality.mean_conductance:>8.3f} "
+            f"{rent:>7.3f} {q:>7.3f}"
+        )
+
+    print(f"\n=== {name}: PPA through the seeded flow (post-route) ===")
+    print(f"{'method':>8} {'rWL(um)':>10} {'WNS(ps)':>8} {'TNS(ns)':>8} {'P(mW)':>7}")
+    for method in ("ppa", "mfc", "leiden", "louvain", "bc", "ec"):
+        design = load_benchmark(name, use_cache=False)
+        flow = ClusteredPlacementFlow(
+            FlowConfig(tool="openroad", clustering=method)
+        )
+        metrics = flow.run(design).metrics
+        print(
+            f"{method:>8} {metrics.rwl:>10.0f} {metrics.wns * 1e3:>8.0f} "
+            f"{metrics.tns:>8.2f} {metrics.power:>7.3f}"
+        )
+
+
+if __name__ == "__main__":
+    main()

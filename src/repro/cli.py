@@ -1,0 +1,292 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``flow`` — run the clustered placement flow (or a baseline) on a
+  benchmark or on netlist files, printing the PPA metrics.
+* ``bench-table`` — print Table 1 (benchmark statistics).
+* ``cluster`` — run PPA-aware clustering only and report the summary.
+* ``sta`` — timing/power report on a placed benchmark.
+* ``viz`` — render placement / cluster / congestion SVGs.
+
+All commands accept ``--seed`` for determinism.  See ``--help`` of each
+subcommand.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro._version import __version__
+
+
+def _add_flow_parser(subparsers) -> None:
+    p = subparsers.add_parser("flow", help="run a placement flow")
+    p.add_argument("--benchmark", default="aes", help="benchmark name (Table 1)")
+    p.add_argument(
+        "--flow",
+        default="ours",
+        choices=["ours", "default", "blob"],
+        help="ours = Algorithm 1; default = flat placement; blob = [9]",
+    )
+    p.add_argument(
+        "--tool", default="openroad", choices=["openroad", "innovus"]
+    )
+    p.add_argument(
+        "--clustering",
+        default="ppa",
+        choices=["ppa", "mfc", "leiden", "louvain", "bc", "ec"],
+    )
+    p.add_argument(
+        "--shapes",
+        default="vpr",
+        choices=["vpr", "uniform", "random"],
+        help="cluster shape selector",
+    )
+    p.add_argument("--no-routing", action="store_true", help="stop post-place")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--report", help="write a QoR JSON report to this path")
+    p.add_argument("--verilog", help=".v netlist (overrides --benchmark)")
+    p.add_argument("--liberty", help=".lib library (with --verilog)")
+    p.add_argument("--def", dest="def_file", help=".def floorplan")
+    p.add_argument("--sdc", help=".sdc constraints")
+
+
+def _add_simple_parsers(subparsers) -> None:
+    subparsers.add_parser("bench-table", help="print Table 1 statistics")
+
+    p = subparsers.add_parser("cluster", help="run PPA-aware clustering only")
+    p.add_argument("--benchmark", default="aes")
+    p.add_argument("--target-size", type=int, default=100)
+    p.add_argument("--seed", type=int, default=0)
+
+    p = subparsers.add_parser("sta", help="place + timing/power report")
+    p.add_argument("--benchmark", default="aes")
+    p.add_argument("--paths", type=int, default=5, help="critical paths shown")
+    p.add_argument("--seed", type=int, default=0)
+
+    p = subparsers.add_parser(
+        "viz", help="render placement / cluster / congestion SVGs"
+    )
+    p.add_argument("--benchmark", default="aes")
+    p.add_argument("--out", default="/tmp/repro_viz", help="output directory")
+    p.add_argument("--seed", type=int, default=0)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="PPA-relevant clustering-driven placement (DAC 2024 reproduction)",
+    )
+    parser.add_argument("--version", action="version", version=__version__)
+    subparsers = parser.add_subparsers(dest="command", required=True)
+    _add_flow_parser(subparsers)
+    _add_simple_parsers(subparsers)
+    return parser
+
+
+def _load_design(args):
+    if getattr(args, "verilog", None):
+        from repro.db import load_design_files
+
+        if not args.liberty:
+            raise SystemExit("--verilog requires --liberty")
+        db = load_design_files(
+            args.verilog,
+            args.liberty,
+            def_path=args.def_file,
+            sdc_path=args.sdc,
+        )
+        return db.design
+    from repro.designs import load_benchmark
+
+    return load_benchmark(args.benchmark, use_cache=False)
+
+
+def _cmd_flow(args) -> int:
+    from repro.core import (
+        ClusteredPlacementFlow,
+        FlowConfig,
+        blob_placement_flow,
+        default_flow,
+    )
+    from repro.core.vpr import RandomShapeSelector, UniformShapeSelector
+
+    design = _load_design(args)
+    run_routing = not args.no_routing
+    if args.flow == "default":
+        result = default_flow(
+            design, tool=args.tool, run_routing=run_routing, seed=args.seed
+        )
+    elif args.flow == "blob":
+        result = blob_placement_flow(
+            design, run_routing=run_routing, seed=args.seed
+        )
+    else:
+        selector = None
+        if args.shapes == "uniform":
+            selector = UniformShapeSelector()
+        elif args.shapes == "random":
+            selector = RandomShapeSelector(seed=args.seed)
+        config = FlowConfig(
+            tool=args.tool,
+            clustering=args.clustering,
+            shape_selector=selector,
+            run_routing=run_routing,
+            seed=args.seed,
+        )
+        result = ClusteredPlacementFlow(config).run(design)
+
+    if getattr(args, "report", None):
+        from repro.core.reporting import write_qor_json
+
+        write_qor_json(args.report, result, design)
+        print(f"wrote QoR report to {args.report}")
+
+    m = result.metrics
+    print(f"design        : {design.name} ({design.num_instances} instances)")
+    if result.num_clusters:
+        print(f"clusters      : {result.num_clusters}")
+    print(f"HPWL          : {m.hpwl:.1f} um")
+    if m.rwl is not None:
+        print(f"routed WL     : {m.rwl:.1f} um")
+        print(f"WNS           : {m.wns * 1e3:.0f} ps")
+        print(f"TNS           : {m.tns:.3f} ns")
+        print(f"power         : {m.power:.3f} mW")
+    print(f"placement CPU : {m.placement_runtime:.2f} s")
+    for stage, seconds in sorted(m.runtimes.items()):
+        print(f"  {stage:<18}: {seconds:.3f} s")
+    return 0
+
+
+def _cmd_bench_table(_args) -> int:
+    from repro.designs import benchmark_table
+
+    print(f"{'design':<16}{'#insts':>9}{'#nets':>9}{'TCP':>7}{'macros':>8}")
+    for row in benchmark_table():
+        print(
+            f"{row['design']:<16}{row['instances']:>9}{row['nets']:>9}"
+            f"{row['tcp_or']:>7.2f}{row['macros']:>8}"
+        )
+    return 0
+
+
+def _cmd_cluster(args) -> int:
+    from repro.core.ppa_clustering import (
+        PPAClusteringConfig,
+        ppa_aware_clustering,
+    )
+    from repro.db import DesignDatabase
+
+    design = _load_design(args)
+    db = DesignDatabase(design)
+    result = ppa_aware_clustering(
+        db,
+        PPAClusteringConfig(target_cluster_size=args.target_size, seed=args.seed),
+    )
+    sizes = sorted((len(m) for m in result.members()), reverse=True)
+    print(f"design     : {design.name}")
+    print(f"clusters   : {result.num_clusters}")
+    print(f"singletons : {result.singleton_count()}")
+    print(f"largest    : {sizes[:5]}")
+    if result.hierarchy is not None:
+        print(f"hier level : {result.hierarchy.best_level}")
+        print(
+            "rent/level : "
+            + ", ".join(
+                f"{lvl}:{r:.3f}"
+                for lvl, r in sorted(result.hierarchy.rent_by_level.items())
+            )
+        )
+    cut = db.hypergraph.cut_size(result.cluster_of)
+    print(f"cut weight : {cut:.1f} / {db.hypergraph.edge_weights.sum():.1f}")
+    return 0
+
+
+def _cmd_sta(args) -> int:
+    from repro.place import GlobalPlacer, PlacementProblem, PlacerConfig
+    from repro.sta import (
+        PlacementWireModel,
+        TimingAnalyzer,
+        find_path_ends,
+        propagate_activity,
+        analyze_power,
+        timing_graph_for,
+    )
+
+    design = _load_design(args)
+    GlobalPlacer(PlacementProblem(design), PlacerConfig(seed=args.seed)).run()
+    graph = timing_graph_for(design)
+    analyzer = TimingAnalyzer(graph, PlacementWireModel(design))
+    report = analyzer.update()
+    print(f"WNS : {report.wns * 1e3:.0f} ps")
+    print(f"TNS : {report.tns:.3f} ns")
+    print(f"failing endpoints: {report.num_failing}/{len(report.endpoint_slacks)}")
+    for path in find_path_ends(analyzer, group_count=args.paths):
+        print(
+            f"  {path.slack * 1e3:>8.0f} ps  "
+            f"{graph.node_name(path.startpoint)} -> "
+            f"{graph.node_name(path.endpoint)} ({len(path) // 2} stages)"
+        )
+    activity = propagate_activity(graph)
+    power = analyze_power(design, PlacementWireModel(design), net_activity=activity)
+    print(
+        f"power: {power.total:.3f} mW (sw {power.switching:.3f}, "
+        f"int {power.internal:.3f}, leak {power.leakage:.4f})"
+    )
+    return 0
+
+
+def _cmd_viz(args) -> int:
+    from pathlib import Path
+
+    from repro.core.ppa_clustering import ppa_aware_clustering
+    from repro.db import DesignDatabase
+    from repro.place import GlobalPlacer, PlacementProblem, PlacerConfig
+    from repro.route import GlobalRouter
+    from repro.viz import (
+        render_clusters_svg,
+        render_congestion_svg,
+        render_placement_svg,
+    )
+
+    design = _load_design(args)
+    out_dir = Path(args.out)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    db = DesignDatabase(design)
+    clustering = ppa_aware_clustering(db)
+    GlobalPlacer(PlacementProblem(design), PlacerConfig(seed=args.seed)).run()
+    routing = GlobalRouter(design).run()
+    for kind, path in (
+        ("placement", out_dir / f"{design.name}_placement.svg"),
+        ("clusters", out_dir / f"{design.name}_clusters.svg"),
+        ("congestion", out_dir / f"{design.name}_congestion.svg"),
+    ):
+        if kind == "placement":
+            render_placement_svg(design, path=str(path))
+        elif kind == "clusters":
+            render_clusters_svg(design, clustering.cluster_of, path=str(path))
+        else:
+            render_congestion_svg(design, routing.grid, path=str(path))
+        print(f"wrote {path}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "flow": _cmd_flow,
+        "bench-table": _cmd_bench_table,
+        "cluster": _cmd_cluster,
+        "sta": _cmd_sta,
+        "viz": _cmd_viz,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

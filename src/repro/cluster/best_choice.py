@@ -1,0 +1,131 @@
+"""Best Choice (BC) clustering [Alpert et al., ISPD 2005].
+
+Globally greedy pairwise merging: a priority queue holds each
+cluster's best-rated neighbour; the overall best pair merges first.
+Lazy re-evaluation keeps it near O(n log n).  Included as a classic
+placement-clustering baseline (the paper's Section 2 discusses BC's
+scaling limits — visible here as its larger runtime vs FC).
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+from typing import Dict, List
+
+import numpy as np
+
+from repro.netlist.hypergraph import Hypergraph
+
+
+def best_choice_clustering(
+    hgraph: Hypergraph,
+    target_clusters: int = 200,
+    max_cluster_area_factor: float = 4.0,
+    seed: int = 0,
+) -> np.ndarray:
+    """Best Choice clustering down to ``target_clusters`` clusters.
+
+    Returns cluster id per vertex.
+    """
+    n = hgraph.num_vertices
+    if n == 0:
+        return np.zeros(0, dtype=np.int64)
+    rng = random.Random(seed)
+    del rng  # deterministic; kept for API symmetry
+
+    total_area = float(hgraph.vertex_areas.sum())
+    max_area = max_cluster_area_factor * total_area / max(1, target_clusters)
+
+    # Union-find over clusters.
+    parent = list(range(n))
+
+    def find(v: int) -> int:
+        while parent[v] != v:
+            parent[v] = parent[parent[v]]
+            v = parent[v]
+        return v
+
+    area = hgraph.vertex_areas.astype(float).copy()
+    # Pairwise connectivity (clique-expanded) adjacency as dicts.
+    adjacency: List[Dict[int, float]] = [dict() for _ in range(n)]
+    for ei, edge in enumerate(hgraph.edges):
+        k = len(edge)
+        if k < 2:
+            continue
+        w = float(hgraph.edge_weights[ei]) / (k - 1)
+        for a in range(k):
+            for b in range(a + 1, k):
+                u, v = edge[a], edge[b]
+                adjacency[u][v] = adjacency[u].get(v, 0.0) + w
+                adjacency[v][u] = adjacency[v].get(u, 0.0) + w
+
+    def best_neighbor(v: int):
+        """(score, neighbor) with the BC area-normalised rating."""
+        best = None
+        for u, w in adjacency[v].items():
+            score = w / (area[v] + area[u])
+            if best is None or score > best[0]:
+                best = (score, u)
+        return best
+
+    heap = []
+    stamp = [0] * n
+    for v in range(n):
+        best = best_neighbor(v)
+        if best is not None:
+            heapq.heappush(heap, (-best[0], v, best[1], 0))
+
+    num_clusters = n
+    while num_clusters > target_clusters and heap:
+        neg_score, v, u, v_stamp = heapq.heappop(heap)
+        if find(v) != v or v_stamp != stamp[v]:
+            continue  # stale entry
+        u = find(u)
+        if u == v:
+            continue
+        # Re-validate the pair is still v's best (lazy update).
+        best = best_neighbor(v)
+        if best is None:
+            continue
+        cur_u = find(best[1])
+        if cur_u != u or abs(-neg_score - best[0]) > 1e-12:
+            if cur_u != v:
+                stamp[v] += 1
+                heapq.heappush(heap, (-best[0], v, cur_u, stamp[v]))
+            continue
+        if area[v] + area[u] > max_area:
+            # Blocked by balance: drop this pair permanently.
+            adjacency[v].pop(u, None)
+            adjacency[u].pop(v, None)
+            best = best_neighbor(v)
+            if best is not None:
+                stamp[v] += 1
+                heapq.heappush(heap, (-best[0], v, find(best[1]), stamp[v]))
+            continue
+        # Merge u into v.
+        parent[u] = v
+        area[v] += area[u]
+        for w_vertex, w_weight in adjacency[u].items():
+            root_w = find(w_vertex)
+            if root_w == v:
+                continue
+            adjacency[v][root_w] = adjacency[v].get(root_w, 0.0) + w_weight
+            adjacency[root_w][v] = adjacency[root_w].get(v, 0.0) + w_weight
+            adjacency[root_w].pop(u, None)
+        adjacency[u] = {}
+        adjacency[v].pop(u, None)
+        num_clusters -= 1
+        best = best_neighbor(v)
+        if best is not None:
+            stamp[v] += 1
+            heapq.heappush(heap, (-best[0], v, find(best[1]), stamp[v]))
+
+    roots = {}
+    out = np.zeros(n, dtype=np.int64)
+    for v in range(n):
+        r = find(v)
+        if r not in roots:
+            roots[r] = len(roots)
+        out[v] = roots[r]
+    return out

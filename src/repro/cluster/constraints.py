@@ -1,0 +1,61 @@
+"""Grouping constraints for coarsening-based clustering.
+
+The paper (following TritonPart [5]) turns the hierarchy-based
+clustering of Algorithm 2 into *grouping constraints* (``Cmty`` in
+Algorithm 1, line 7): during multilevel coarsening, two vertices may
+merge only when their groups are compatible.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+#: Group id of unconstrained vertices.
+UNGROUPED = -1
+
+
+class GroupingConstraints:
+    """Vertex -> group map with merge-compatibility queries.
+
+    Vertices with group :data:`UNGROUPED` may merge with anything; two
+    grouped vertices may merge only within the same group.  When two
+    clusters merge, the surviving cluster inherits the more constrained
+    (non-UNGROUPED) group.
+    """
+
+    def __init__(self, group_of: Sequence[int]) -> None:
+        self.group_of = np.asarray(group_of, dtype=np.int64)
+
+    @classmethod
+    def none(cls, num_vertices: int) -> "GroupingConstraints":
+        """No constraints: everything is mergeable."""
+        return cls(np.full(num_vertices, UNGROUPED, dtype=np.int64))
+
+    @classmethod
+    def from_clusters(cls, cluster_of: Sequence[int]) -> "GroupingConstraints":
+        """Use an existing clustering as grouping constraints."""
+        return cls(np.asarray(cluster_of, dtype=np.int64))
+
+    @property
+    def num_vertices(self) -> int:
+        """Number of constrained vertices."""
+        return len(self.group_of)
+
+    def compatible(self, group_a: int, group_b: int) -> bool:
+        """Whether two groups may merge."""
+        if group_a == UNGROUPED or group_b == UNGROUPED:
+            return True
+        return group_a == group_b
+
+    def merged_group(self, group_a: int, group_b: int) -> int:
+        """Group of the merged cluster."""
+        if group_a == UNGROUPED:
+            return group_b
+        return group_a
+
+    def num_groups(self) -> int:
+        """Number of distinct non-trivial groups."""
+        grouped = self.group_of[self.group_of != UNGROUPED]
+        return len(np.unique(grouped))

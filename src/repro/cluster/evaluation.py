@@ -1,0 +1,105 @@
+"""Clustering quality metrics.
+
+The paper's thesis is that cutsize/modularity-style objectives are not
+well correlated with PPA outcomes (Section 2).  This module computes
+the classic structural metrics side by side — cut fraction, coverage,
+conductance, cluster-size statistics — so the correlation (or lack of
+it) with the post-route PPA of :mod:`repro.core.flow` can be measured
+directly (see examples/compare_clusterers.py).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence
+
+import numpy as np
+
+from repro.netlist.hypergraph import Hypergraph
+
+
+@dataclass
+class ClusteringQuality:
+    """Structural quality metrics of one clustering.
+
+    Attributes:
+        num_clusters: Cluster count.
+        cut_fraction: Cut hyperedge weight / total weight (lower =
+            fewer crossing nets).
+        coverage: 1 - cut_fraction (fraction of weight kept internal).
+        mean_conductance: Mean over clusters of (boundary weight) /
+            min(volume inside, volume outside); lower is better.
+        max_cluster_fraction: Largest cluster's share of all vertices.
+        size_cv: Coefficient of variation of cluster sizes (balance).
+        singleton_fraction: Fraction of clusters that are singletons.
+    """
+
+    num_clusters: int
+    cut_fraction: float
+    coverage: float
+    mean_conductance: float
+    max_cluster_fraction: float
+    size_cv: float
+    singleton_fraction: float
+
+    def as_dict(self) -> Dict[str, float]:
+        """Flat dict for table printing."""
+        return {
+            "clusters": self.num_clusters,
+            "cut": self.cut_fraction,
+            "coverage": self.coverage,
+            "conductance": self.mean_conductance,
+            "max_frac": self.max_cluster_fraction,
+            "size_cv": self.size_cv,
+            "singletons": self.singleton_fraction,
+        }
+
+
+def evaluate_clustering(
+    hgraph: Hypergraph, cluster_of: Sequence[int]
+) -> ClusteringQuality:
+    """Compute the structural metrics of a clustering."""
+    cluster_of = np.asarray(cluster_of, dtype=np.int64)
+    k = int(cluster_of.max()) + 1 if len(cluster_of) else 0
+    total_weight = float(hgraph.edge_weights.sum()) or 1.0
+
+    cut_weight = 0.0
+    # Volume = sum of incident edge weights per cluster; boundary =
+    # weight of crossing edges incident to the cluster.
+    volume = np.zeros(k)
+    boundary = np.zeros(k)
+    for ei, edge in enumerate(hgraph.edges):
+        w = float(hgraph.edge_weights[ei])
+        clusters = {int(cluster_of[v]) for v in edge}
+        for c in clusters:
+            volume[c] += w
+        if len(clusters) > 1:
+            cut_weight += w
+            for c in clusters:
+                boundary[c] += w
+
+    cut_fraction = cut_weight / total_weight
+    total_volume = volume.sum() or 1.0
+    conductances = []
+    for c in range(k):
+        denom = min(volume[c], total_volume - volume[c])
+        if denom > 0:
+            conductances.append(boundary[c] / denom)
+    mean_conductance = float(np.mean(conductances)) if conductances else 0.0
+
+    sizes = np.bincount(cluster_of, minlength=k).astype(float)
+    max_cluster_fraction = (
+        float(sizes.max() / hgraph.num_vertices) if hgraph.num_vertices else 0.0
+    )
+    size_cv = float(sizes.std() / sizes.mean()) if k and sizes.mean() > 0 else 0.0
+    singleton_fraction = float((sizes == 1).mean()) if k else 0.0
+
+    return ClusteringQuality(
+        num_clusters=k,
+        cut_fraction=cut_fraction,
+        coverage=1.0 - cut_fraction,
+        mean_conductance=mean_conductance,
+        max_cluster_fraction=max_cluster_fraction,
+        size_cv=size_cv,
+        singleton_fraction=singleton_fraction,
+    )

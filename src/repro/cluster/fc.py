@@ -1,0 +1,235 @@
+"""First Choice (FC) multilevel coarsening [Karypis-Kumar].
+
+The TritonPart default clusterer ("MFC" in the paper's Table 5): visit
+vertices in random order, merge each with its highest-rated neighbour
+(heavy-edge rating ``sum_e w_e / (|e| - 1)`` over shared hyperedges),
+repeat on the contracted hypergraph until the target cluster count.
+
+The rating is pluggable: the PPA-aware clustering of
+:mod:`repro.core.ppa_clustering` supplies per-hyperedge *scores*
+(connectivity + timing + switching, Eq. 3) and grouping constraints;
+the vanilla configuration reduces to classic FC.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.cluster.constraints import UNGROUPED, GroupingConstraints
+from repro.netlist.hypergraph import Hypergraph
+
+
+@dataclass
+class FirstChoiceConfig:
+    """FC coarsening knobs.
+
+    Attributes:
+        target_clusters: Stop once the coarse vertex count reaches this.
+        max_cluster_area_factor: A cluster may not exceed this multiple
+            of the perfectly-balanced cluster area.
+        max_passes: Safety bound on coarsening passes.
+        min_pass_reduction: Stop when a pass shrinks the vertex count by
+            less than this fraction (coarsening has converged).
+        group_bonus: Rating multiplier bonus for same-group candidate
+            pairs — hierarchy groups act as *clustering guides* (the
+            paper's wording), attracting same-module merges while still
+            allowing a strongly-rated cross-module merge (e.g. a
+            timing-critical path spanning modules).
+        hard_groups: Forbid cross-group merges outright (TritonPart's
+            hard grouping semantics) instead of the soft bonus.
+        seed: RNG seed for visit order.
+    """
+
+    target_clusters: int = 200
+    max_cluster_area_factor: float = 4.0
+    max_passes: int = 12
+    min_pass_reduction: float = 0.02
+    group_bonus: float = 1.0
+    hard_groups: bool = False
+    seed: int = 0
+
+
+def _fc_pass(
+    hgraph: Hypergraph,
+    edge_scores: np.ndarray,
+    areas: np.ndarray,
+    groups: np.ndarray,
+    max_area: float,
+    rng: random.Random,
+    group_bonus: float = 1.0,
+    hard_groups: bool = False,
+) -> np.ndarray:
+    """One FC pass; returns a (renumbered) cluster id per vertex."""
+    n = hgraph.num_vertices
+    cluster_of = np.full(n, -1, dtype=np.int64)
+    cluster_area = {}
+    cluster_group = {}
+    incidence = hgraph.incidence()
+    edges = hgraph.edges
+    next_cluster = 0
+
+    order = list(range(n))
+    rng.shuffle(order)
+    for v in order:
+        if cluster_of[v] != -1:
+            continue
+        # Rate all neighbours through shared hyperedges.
+        rating: Dict[int, float] = {}
+        for ei in incidence[v]:
+            edge = edges[ei]
+            k = len(edge)
+            if k < 2:
+                continue
+            score = edge_scores[ei] / (k - 1)
+            for u in edge:
+                if u != v:
+                    rating[u] = rating.get(u, 0.0) + score
+        group_v = int(groups[v])
+        area_v = float(areas[v])
+
+        best_u = -1
+        best_rating = 0.0
+        for u, r in rating.items():
+            cu = cluster_of[u]
+            if cu == -1:
+                group_u = int(groups[u])
+                combined = area_v + float(areas[u])
+            else:
+                group_u = cluster_group[cu]
+                combined = area_v + cluster_area[cu]
+            if combined > max_area:
+                continue
+            same_group = (
+                group_v != UNGROUPED and group_u != UNGROUPED and group_v == group_u
+            )
+            cross_group = (
+                group_v != UNGROUPED and group_u != UNGROUPED and group_v != group_u
+            )
+            if hard_groups and cross_group:
+                continue
+            effective = r * (1.0 + group_bonus) if same_group else r
+            if effective <= best_rating:
+                continue
+            best_rating = effective
+            best_u = u
+
+        if best_u == -1:
+            cluster_of[v] = next_cluster
+            cluster_area[next_cluster] = area_v
+            cluster_group[next_cluster] = group_v
+            next_cluster += 1
+            continue
+        cu = cluster_of[best_u]
+        if cu == -1:
+            cu = next_cluster
+            next_cluster += 1
+            cluster_of[best_u] = cu
+            cluster_area[cu] = float(areas[best_u])
+            cluster_group[cu] = int(groups[best_u])
+        cluster_of[v] = cu
+        cluster_area[cu] += area_v
+        if cluster_group[cu] == UNGROUPED:
+            cluster_group[cu] = group_v
+    return cluster_of
+
+
+def first_choice_clustering(
+    hgraph: Hypergraph,
+    config: Optional[FirstChoiceConfig] = None,
+    edge_scores: Optional[Sequence[float]] = None,
+    constraints: Optional[GroupingConstraints] = None,
+) -> np.ndarray:
+    """Multilevel FC clustering.
+
+    Args:
+        hgraph: The netlist hypergraph.
+        config: Coarsening knobs.
+        edge_scores: Per-hyperedge score replacing the plain weight in
+            the heavy-edge rating (the paper's Eq. 3 numerator).  None
+            uses ``hgraph.edge_weights``.
+        constraints: Grouping constraints (hierarchy-derived ``Cmty``).
+
+    Returns:
+        Cluster id per vertex (0..k-1).
+    """
+    config = config or FirstChoiceConfig()
+    rng = random.Random(config.seed)
+    n = hgraph.num_vertices
+    if n == 0:
+        return np.zeros(0, dtype=np.int64)
+    if edge_scores is None:
+        scores = hgraph.edge_weights.copy()
+    else:
+        scores = np.asarray(edge_scores, dtype=float)
+        if len(scores) != hgraph.num_edges:
+            raise ValueError("edge_scores length mismatch")
+    if constraints is None:
+        constraints = GroupingConstraints.none(n)
+
+    total_area = float(hgraph.vertex_areas.sum())
+    target = max(1, config.target_clusters)
+    max_area = config.max_cluster_area_factor * total_area / target
+
+    assignment = np.arange(n, dtype=np.int64)
+    working = hgraph
+    working_scores = scores
+    working_groups = constraints.group_of.copy()
+
+    for _pass in range(config.max_passes):
+        if working.num_vertices <= target:
+            break
+        cluster_of = _fc_pass(
+            working,
+            working_scores,
+            working.vertex_areas,
+            working_groups,
+            max_area,
+            rng,
+            group_bonus=config.group_bonus,
+            hard_groups=config.hard_groups,
+        )
+        num_clusters = int(cluster_of.max()) + 1
+        reduction = 1.0 - num_clusters / working.num_vertices
+        if reduction < config.min_pass_reduction:
+            break
+        assignment = cluster_of[assignment]
+        coarse, members = working.contract(cluster_of)
+        # Carry scores: contracted edges merge by summed *score*, which
+        # we rebuild by re-aggregating fine scores over coarse edges.
+        working_scores = _contract_scores(
+            working, cluster_of, working_scores, coarse
+        )
+        new_groups = np.full(coarse.num_vertices, UNGROUPED, dtype=np.int64)
+        for c, member_list in enumerate(members):
+            for v in member_list:
+                if working_groups[v] != UNGROUPED:
+                    new_groups[c] = working_groups[v]
+                    break
+        working_groups = new_groups
+        working = coarse
+        if num_clusters <= target:
+            break
+    return assignment
+
+
+def _contract_scores(
+    fine: Hypergraph,
+    cluster_of: np.ndarray,
+    fine_scores: np.ndarray,
+    coarse: Hypergraph,
+) -> np.ndarray:
+    """Aggregate per-edge scores onto the contracted hypergraph."""
+    merged: Dict[Tuple[int, ...], float] = {}
+    for ei, edge in enumerate(fine.edges):
+        coarse_edge = tuple(sorted({int(cluster_of[v]) for v in edge}))
+        if len(coarse_edge) < 2:
+            continue
+        merged[coarse_edge] = merged.get(coarse_edge, 0.0) + float(fine_scores[ei])
+    out = np.zeros(coarse.num_edges)
+    for ei, edge in enumerate(coarse.edges):
+        out[ei] = merged.get(tuple(edge), float(coarse.edge_weights[ei]))
+    return out

@@ -1,0 +1,142 @@
+"""Weighted undirected graph over clique-expanded hypergraphs.
+
+Louvain/Leiden and the GNN features work on ordinary graphs; this is
+the shared CSR-style adjacency built from a
+:class:`~repro.netlist.hypergraph.Hypergraph` clique expansion.
+Self-loops (needed by Louvain aggregation) are stored separately from
+the off-diagonal adjacency.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Optional, Tuple
+
+import numpy as np
+
+from repro.netlist.hypergraph import Hypergraph
+
+
+class AdjacencyGraph:
+    """Compressed adjacency with edge weights and self-loops.
+
+    Attributes:
+        num_vertices: Vertex count.
+        indptr, indices, weights: CSR arrays of the symmetric
+            off-diagonal adjacency.
+        self_loops: Per-vertex self-loop weight (intra-community weight
+            after aggregation).
+        total_weight: Total edge weight ``m`` of the modularity formula:
+            each undirected edge once plus all self-loops.
+    """
+
+    def __init__(
+        self,
+        num_vertices: int,
+        rows: np.ndarray,
+        cols: np.ndarray,
+        weights: np.ndarray,
+        self_loops: Optional[np.ndarray] = None,
+    ) -> None:
+        self.num_vertices = int(num_vertices)
+        rows = np.asarray(rows, dtype=np.int64)
+        cols = np.asarray(cols, dtype=np.int64)
+        weights = np.asarray(weights, dtype=float)
+        if self_loops is None:
+            self.self_loops = np.zeros(num_vertices)
+        else:
+            self.self_loops = np.asarray(self_loops, dtype=float).copy()
+        # Fold any diagonal entries into self_loops.
+        diag = rows == cols
+        if diag.any():
+            np.add.at(self.self_loops, rows[diag], weights[diag])
+            rows, cols, weights = rows[~diag], cols[~diag], weights[~diag]
+        # Symmetrise the off-diagonal part.
+        all_rows = np.concatenate([rows, cols])
+        all_cols = np.concatenate([cols, rows])
+        all_w = np.concatenate([weights, weights])
+        order = np.lexsort((all_cols, all_rows))
+        all_rows = all_rows[order]
+        all_cols = all_cols[order]
+        all_w = all_w[order]
+        counts = np.bincount(all_rows, minlength=num_vertices)
+        self.indptr = np.concatenate(([0], np.cumsum(counts))).astype(np.int64)
+        self.indices = all_cols
+        self.weights = all_w
+        self.total_weight = float(weights.sum() + self.self_loops.sum())
+        # Weighted degree: incident edges + 2x self-loop (standard
+        # Louvain convention).
+        self._degree = 2.0 * self.self_loops.copy()
+        np.add.at(self._degree, rows, weights)
+        np.add.at(self._degree, cols, weights)
+
+    @classmethod
+    def from_hypergraph(cls, hgraph: Hypergraph) -> "AdjacencyGraph":
+        """Clique-expand a hypergraph with 1/(|e|-1) weights."""
+        rows, cols, weights = hgraph.clique_expansion()
+        return cls(hgraph.num_vertices, rows, cols, weights)
+
+    # ------------------------------------------------------------------
+    def neighbors(self, v: int) -> Iterator[Tuple[int, float]]:
+        """(neighbor, weight) pairs of vertex ``v`` (no self-loop)."""
+        start, end = self.indptr[v], self.indptr[v + 1]
+        for i in range(start, end):
+            yield int(self.indices[i]), float(self.weights[i])
+
+    def neighbor_slice(self, v: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Array view of (neighbors, weights) for vertex ``v``."""
+        start, end = self.indptr[v], self.indptr[v + 1]
+        return self.indices[start:end], self.weights[start:end]
+
+    def degree_weight(self, v: int) -> float:
+        """Weighted degree (incident weights + 2x self-loop)."""
+        return float(self._degree[v])
+
+    def degree_weights(self) -> np.ndarray:
+        """All weighted degrees."""
+        return self._degree
+
+    @property
+    def num_edges(self) -> int:
+        """Number of off-diagonal undirected edges."""
+        return len(self.indices) // 2
+
+    def contract(self, community_of: np.ndarray) -> "AdjacencyGraph":
+        """Louvain aggregation: communities become vertices.
+
+        Intra-community weight (including member self-loops) becomes
+        the new vertex's self-loop, preserving total weight and
+        modularity.
+        """
+        community_of = np.asarray(community_of, dtype=np.int64)
+        k = int(community_of.max()) + 1 if len(community_of) else 0
+        loops = np.zeros(k)
+        for v in range(self.num_vertices):
+            loops[community_of[v]] += self.self_loops[v]
+        pair: Dict[Tuple[int, int], float] = {}
+        for v in range(self.num_vertices):
+            cv = int(community_of[v])
+            start, end = self.indptr[v], self.indptr[v + 1]
+            for i in range(start, end):
+                u = int(self.indices[i])
+                if u < v:
+                    continue  # each undirected edge once
+                cu = int(community_of[u])
+                w = float(self.weights[i])
+                if cu == cv:
+                    loops[cv] += w
+                else:
+                    key = (min(cu, cv), max(cu, cv))
+                    pair[key] = pair.get(key, 0.0) + w
+        if pair:
+            keys = list(pair.keys())
+            rows = np.array([key[0] for key in keys], dtype=np.int64)
+            cols = np.array([key[1] for key in keys], dtype=np.int64)
+            weights = np.array([pair[key] for key in keys])
+        else:
+            rows = np.zeros(0, dtype=np.int64)
+            cols = np.zeros(0, dtype=np.int64)
+            weights = np.zeros(0)
+        return AdjacencyGraph(k, rows, cols, weights, self_loops=loops)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"AdjacencyGraph(V={self.num_vertices}, E={self.num_edges})"

@@ -1,0 +1,454 @@
+"""End-to-end flows: Algorithm 1 plus the paper's baselines.
+
+* :class:`ClusteredPlacementFlow` — the paper's flow: PPA-aware
+  clustering (or an ablation clusterer), V-P&R shape selection,
+  seeded placement, then CTS + routing + post-route STA/power.
+* :func:`default_flow` — the "Default" arm of Tables 2-4: flat global
+  placement, same evaluation.
+* :func:`blob_placement_flow` — the [9] baseline of Table 2: Louvain
+  clusters, 4x IO weights, seeded placement, no V-P&R.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.cluster.best_choice import best_choice_clustering
+from repro.cluster.edge_coarsening import edge_coarsening
+from repro.cluster.fc import FirstChoiceConfig, first_choice_clustering
+from repro.cluster.graph import AdjacencyGraph
+from repro.cluster.leiden import leiden_communities
+from repro.cluster.louvain import louvain_communities
+from repro.core.clustered_netlist import build_clustered_netlist
+from repro.core.metrics import PPAMetrics
+from repro.core.ppa_clustering import (
+    ClusteringResult,
+    PPAClusteringConfig,
+    ppa_aware_clustering,
+)
+from repro.core.seeded import (
+    IO_NET_WEIGHT,
+    SeededPlacementConfig,
+    seeded_placement,
+)
+from repro.core.vpr import (
+    ShapeSelector,
+    UniformShapeSelector,
+    VPRConfig,
+    VPRFramework,
+    VPRSelection,
+    VPRShapeSelector,
+)
+from repro.db.database import DesignDatabase
+from repro.netlist.design import Design
+from repro.place.placer import GlobalPlacer, PlacerConfig
+from repro.place.problem import PlacementProblem
+from repro.place.hpwl import hpwl
+from repro.route.cts import synthesize_clock_tree
+from repro.route.global_route import GlobalRouter
+from repro.sta.activity import propagate_activity
+from repro.sta.analysis import TimingAnalyzer
+from repro.sta.delay import RoutedWireModel
+from repro.sta.graph import timing_graph_for
+from repro.sta.hold import analyze_hold
+from repro.sta.power import analyze_power
+
+
+@dataclass
+class FlowConfig:
+    """Configuration of the clustered placement flow.
+
+    Attributes:
+        tool: "openroad" or "innovus" (seeded-placement mode).
+        clustering: Clusterer: "ppa" (the paper), or an ablation arm:
+            "mfc" (plain multilevel FC), "leiden", "louvain", "bc",
+            "ec".
+        clustering_config: PPA-aware clustering knobs (also supplies
+            the target cluster count for the ablation clusterers).
+        shape_selector: Shape-selection strategy; None means exact
+            V-P&R (:class:`VPRShapeSelector` with ``vpr_config``).
+        vpr_config: V-P&R knobs for the default selector.
+        run_routing: Run CTS + routing + post-route STA (Tables 3-6);
+            False stops after post-place HPWL (Table 2).
+        power_emphasis: The paper's power-awareness future-work knob:
+            additionally scales placement net weights by
+            ``1 + power_emphasis * (activity * C_net) / mean`` so
+            high-switching-energy nets are pulled shorter, trading a
+            little wirelength/timing freedom for dynamic power
+            (ablated in benchmarks/bench_ext_power_aware.py).
+        artifacts_dir: When set, the flow writes its file artefacts
+            there: the cluster soft-macro .lef (Algorithm 1, line 13),
+            the clustered-netlist seed placement .def and the final
+            placed .def.
+        timing_weighted_cluster_nets: Carry the Eq. 3 edge criticality
+            onto net weights for the cluster placement and the flat
+            incremental refinement (capped at
+            ``max_cluster_net_weight``).  The paper's seeded placement
+            runs inside timing-driven commercial/OpenROAD placement;
+            our placer substrate is wirelength-driven, so the flow
+            stands in with the criticality weights its own clustering
+            stage already computed (DESIGN.md, substitutions).
+        max_cluster_net_weight: Cap on the criticality multiplier.
+        seed: Seed forwarded to clusterers / placers.
+    """
+
+    tool: str = "openroad"
+    clustering: str = "ppa"
+    clustering_config: PPAClusteringConfig = field(
+        default_factory=PPAClusteringConfig
+    )
+    shape_selector: Optional[ShapeSelector] = None
+    vpr_config: VPRConfig = field(default_factory=VPRConfig)
+    run_routing: bool = True
+    timing_weighted_cluster_nets: bool = True
+    max_cluster_net_weight: float = 4.0
+    power_emphasis: float = 0.0
+    artifacts_dir: Optional[str] = None
+    seed: int = 0
+
+
+@dataclass
+class FlowResult:
+    """Outcome of a flow run.
+
+    Attributes:
+        metrics: The PPA metric record.
+        num_clusters: Cluster count (0 for flat flows).
+        singleton_clusters: Singleton count (footnote 2).
+        selection: V-P&R shape selection details (None for flat flows).
+        clustering: Full clustering result (None for flat flows).
+    """
+
+    metrics: PPAMetrics
+    num_clusters: int = 0
+    singleton_clusters: int = 0
+    selection: Optional[VPRSelection] = None
+    clustering: Optional[ClusteringResult] = None
+
+
+# ----------------------------------------------------------------------
+# Shared evaluation (Algorithm 1, lines 27-30)
+# ----------------------------------------------------------------------
+def evaluate_placed_design(
+    design: Design, runtimes: Optional[Dict[str, float]] = None
+) -> PPAMetrics:
+    """CTS + global routing + post-route STA and power on a placed
+    design; returns the full PPA metric record."""
+    runtimes = dict(runtimes or {})
+    post_place_hpwl = hpwl(design)
+
+    t0 = time.perf_counter()
+    cts = synthesize_clock_tree(design)
+    runtimes["cts"] = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    routing = GlobalRouter(design).run()
+    runtimes["route"] = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    graph = timing_graph_for(design)
+    wire_model = RoutedWireModel(design, routing.net_lengths)
+    analyzer = TimingAnalyzer(graph, wire_model, clock_uncertainty=cts.skew)
+    report = analyzer.update()
+    hold = analyze_hold(analyzer)
+    net_activity = propagate_activity(graph)
+    power = analyze_power(
+        design,
+        wire_model,
+        net_activity=net_activity,
+        clock_wirelength=cts.wirelength,
+        clock_buffers=cts.num_buffers,
+    )
+    runtimes["sta_eval"] = time.perf_counter() - t0
+
+    return PPAMetrics(
+        hpwl=post_place_hpwl,
+        rwl=routing.routed_wirelength + cts.wirelength,
+        wns=report.wns,
+        tns=report.tns,
+        power=power.total,
+        hold_wns=hold.wns,
+        hold_tns=hold.tns,
+        runtimes=runtimes,
+    )
+
+
+def _post_place_metrics(
+    design: Design, runtimes: Dict[str, float]
+) -> PPAMetrics:
+    """Post-place-only metric record (Table 2 mode)."""
+    return PPAMetrics(hpwl=hpwl(design), runtimes=dict(runtimes))
+
+
+# ----------------------------------------------------------------------
+# The paper's flow
+# ----------------------------------------------------------------------
+class ClusteredPlacementFlow:
+    """Algorithm 1 end to end."""
+
+    def __init__(self, config: Optional[FlowConfig] = None) -> None:
+        self.config = config or FlowConfig()
+
+    # -- clustering dispatch ---------------------------------------------
+    def _run_clustering(self, db: DesignDatabase) -> ClusteringResult:
+        config = self.config
+        method = config.clustering
+        if method == "ppa":
+            cc = config.clustering_config
+            cc.seed = config.seed
+            return ppa_aware_clustering(db, cc)
+
+        hgraph = db.hypergraph
+        target = max(
+            config.clustering_config.min_target_clusters,
+            hgraph.num_vertices
+            // max(1, config.clustering_config.target_cluster_size),
+        )
+        t0 = time.perf_counter()
+        if method == "mfc":
+            cluster_of = first_choice_clustering(
+                hgraph,
+                FirstChoiceConfig(target_clusters=target, seed=config.seed),
+            )
+        elif method in ("leiden", "louvain"):
+            graph = AdjacencyGraph.from_hypergraph(hgraph)
+            if method == "leiden":
+                cluster_of = leiden_communities(graph, seed=config.seed)
+            else:
+                cluster_of = louvain_communities(graph, seed=config.seed)
+        elif method == "bc":
+            cluster_of = best_choice_clustering(
+                hgraph, target_clusters=target, seed=config.seed
+            )
+        elif method == "ec":
+            cluster_of = edge_coarsening(
+                hgraph, target_clusters=target, seed=config.seed
+            )
+        else:
+            raise ValueError(f"unknown clustering method {method!r}")
+        return ClusteringResult(
+            cluster_of=np.asarray(cluster_of, dtype=np.int64),
+            runtimes={"clustering": time.perf_counter() - t0},
+        )
+
+    # -- the flow ----------------------------------------------------------
+    def run(self, design: Design) -> FlowResult:
+        """Run Algorithm 1 on a design; placement is committed to it."""
+        config = self.config
+        db = DesignDatabase(design)
+        runtimes: Dict[str, float] = {}
+
+        # Lines 2-10: PPA-aware clustering.
+        clustering = self._run_clustering(db)
+        runtimes.update(clustering.runtimes)
+        members = clustering.members()
+
+        # Lines 12-13: V-P&R shapes for clusters > 200 instances.
+        selector = config.shape_selector or VPRShapeSelector(config.vpr_config)
+        t0 = time.perf_counter()
+        selection = selector.select(design, members)
+        runtimes["vpr"] = time.perf_counter() - t0
+
+        # Line 10/13: clustered netlist with the chosen shapes.
+        io_weight = IO_NET_WEIGHT if config.tool == "openroad" else 1.0
+        multipliers = None
+        if config.timing_weighted_cluster_nets and clustering.edge_scores is not None:
+            multipliers = _criticality_multipliers(
+                db, clustering.edge_scores, config.max_cluster_net_weight
+            )
+        if config.power_emphasis > 0:
+            power_mult = _power_multipliers(design, config.power_emphasis)
+            if multipliers is None:
+                multipliers = power_mult
+            else:
+                for net_index, value in power_mult.items():
+                    multipliers[net_index] = (
+                        multipliers.get(net_index, 1.0) * value
+                    )
+        clustered = build_clustered_netlist(
+            design,
+            clustering.cluster_of,
+            shapes=selection.shapes,
+            io_net_weight=io_weight,
+            net_weight_multipliers=multipliers,
+        )
+
+        # Lines 15-25: seeded placement.  The flat refinement also
+        # sees the criticality weights (standing in for the tools'
+        # timing-driven placement mode; restored afterwards so later
+        # stages see clean weights).  Region constraints (Innovus mode)
+        # cover the V-P&R-eligible clusters regardless of which shape
+        # selector ran, so ablation arms differ only in the shapes.
+        vpr_ids = VPRFramework(config.vpr_config).eligible_clusters(members)
+        cap = config.vpr_config.max_vpr_clusters
+        if cap is not None:
+            vpr_ids = vpr_ids[:cap]
+        seeded_config = SeededPlacementConfig(tool=config.tool)
+        saved_weights = None
+        if multipliers:
+            saved_weights = [net.weight for net in design.nets]
+            for net in design.nets:
+                net.weight *= multipliers.get(net.index, 1.0)
+        try:
+            seeded_result = seeded_placement(
+                clustered, seeded_config, vpr_cluster_ids=vpr_ids
+            )
+        finally:
+            if saved_weights is not None:
+                for net, w in zip(design.nets, saved_weights):
+                    net.weight = w
+        runtimes.update(seeded_result.runtimes)
+
+        # Line 13 artefacts: cluster .lef + seed/final .def on request.
+        if config.artifacts_dir is not None:
+            _write_artifacts(config.artifacts_dir, design, clustered)
+
+        # Lines 27-30: evaluation.
+        if config.run_routing:
+            metrics = evaluate_placed_design(design, runtimes)
+        else:
+            metrics = _post_place_metrics(design, runtimes)
+
+        return FlowResult(
+            metrics=metrics,
+            num_clusters=clustering.num_clusters,
+            singleton_clusters=clustering.singleton_count(),
+            selection=selection,
+            clustering=clustering,
+        )
+
+
+# ----------------------------------------------------------------------
+# Baselines
+# ----------------------------------------------------------------------
+def default_flow(
+    design: Design,
+    tool: str = "openroad",
+    run_routing: bool = True,
+    seed: int = 0,
+) -> FlowResult:
+    """The "Default" arm: flat global placement, same evaluation.
+
+    ``tool`` only labels the run; both tools' default arms are the
+    same flat placer here (the substitution DESIGN.md documents).
+    """
+    del tool
+    runtimes: Dict[str, float] = {}
+    t0 = time.perf_counter()
+    problem = PlacementProblem(design)
+    GlobalPlacer(problem, PlacerConfig(seed=seed)).run()
+    runtimes["place"] = time.perf_counter() - t0
+    if run_routing:
+        metrics = evaluate_placed_design(design, runtimes)
+    else:
+        metrics = _post_place_metrics(design, runtimes)
+    return FlowResult(metrics=metrics)
+
+
+def blob_placement_flow(
+    design: Design, run_routing: bool = False, seed: int = 0
+) -> FlowResult:
+    """The blob placement [9] baseline of Table 2.
+
+    Louvain communities as clusters, 4x IO-net weights, seeded
+    placement in OpenROAD mode, uniform cluster shapes (no V-P&R).
+    """
+    db = DesignDatabase(design)
+    runtimes: Dict[str, float] = {}
+
+    t0 = time.perf_counter()
+    graph = AdjacencyGraph.from_hypergraph(db.hypergraph)
+    cluster_of = louvain_communities(graph, seed=seed)
+    runtimes["clustering"] = time.perf_counter() - t0
+
+    selection = UniformShapeSelector().select(
+        design, _members_of(cluster_of)
+    )
+    clustered = build_clustered_netlist(
+        design, cluster_of, shapes=selection.shapes, io_net_weight=IO_NET_WEIGHT
+    )
+    seeded_result = seeded_placement(
+        clustered, SeededPlacementConfig(tool="openroad")
+    )
+    runtimes.update(seeded_result.runtimes)
+
+    if run_routing:
+        metrics = evaluate_placed_design(design, runtimes)
+    else:
+        metrics = _post_place_metrics(design, runtimes)
+    num_clusters = int(cluster_of.max()) + 1 if len(cluster_of) else 0
+    return FlowResult(metrics=metrics, num_clusters=num_clusters)
+
+
+def _write_artifacts(directory: str, design: Design, clustered) -> None:
+    """Write the flow's file artefacts (cluster .lef, seed + placed .def)."""
+    from pathlib import Path
+
+    from repro.netlist.def_format import write_def
+    from repro.netlist.lef import write_lef
+
+    out = Path(directory)
+    out.mkdir(parents=True, exist_ok=True)
+    macros = {m.name: m for m in clustered.lef.macros.values()}
+    (out / f"{design.name}_clusters.lef").write_text(write_lef(macros))
+    (out / f"{design.name}_seed.def").write_text(write_def(clustered.design))
+    (out / f"{design.name}_placed.def").write_text(write_def(design))
+
+
+def _power_multipliers(design: Design, emphasis: float) -> Dict[int, float]:
+    """Net-index -> weight multiplier from switching energy.
+
+    Weight grows with the net's dynamic-power share: activity times the
+    capacitive load (pin caps + a fanout-based wire estimate), so the
+    placer shortens the nets that burn the most switching power.
+    """
+    from repro.sta.activity import propagate_activity
+    from repro.sta.delay import FanoutWireModel
+
+    graph = timing_graph_for(design)
+    activity = propagate_activity(graph)
+    model = FanoutWireModel(design)
+    energies: Dict[int, float] = {}
+    for net in design.nets:
+        if net.is_clock or net.degree < 2:
+            continue
+        energies[net.index] = activity.get(net.index, 0.0) * model.net_load(net)
+    mean = (sum(energies.values()) / len(energies)) if energies else 1.0
+    if mean <= 0:
+        return {}
+    return {
+        idx: 1.0 + emphasis * min(energy / mean, 4.0)
+        for idx, energy in energies.items()
+    }
+
+
+def _criticality_multipliers(
+    db: DesignDatabase, edge_scores: np.ndarray, cap: float
+) -> Dict[int, float]:
+    """Net-index -> weight multiplier from the Eq. 3 edge scores.
+
+    Scores are normalised by their mean, so an average net keeps
+    weight 1 and critical nets are pulled up to ``cap``.
+    """
+    hgraph = db.hypergraph
+    mean = float(edge_scores.mean()) or 1.0
+    out: Dict[int, float] = {}
+    for ei, net_idx in enumerate(hgraph.edge_net_indices):
+        if net_idx < 0:
+            continue
+        multiplier = float(edge_scores[ei]) / mean
+        out[int(net_idx)] = float(np.clip(multiplier, 1.0, cap))
+    return out
+
+
+def _members_of(cluster_of: np.ndarray) -> List[List[int]]:
+    """Per-cluster member lists from an assignment array."""
+    k = int(cluster_of.max()) + 1 if len(cluster_of) else 0
+    members: List[List[int]] = [[] for _ in range(k)]
+    for v, c in enumerate(cluster_of):
+        members[int(c)].append(v)
+    return members

@@ -1,0 +1,99 @@
+"""Weighted-average Rent exponent (Equation 1).
+
+The criterion Algorithm 2 uses to pick the best hierarchy level:
+
+    R_c = ln( E(c) / (Int(c) + Ext(c)) ) / ln(|c|) + 1
+    R_avg = sum_c R_c * |c| / |V|
+
+where, for cluster c: E(c) is the number of *external* hyperedges
+incident to c (edges also touching other clusters), Ext(c) the number
+of pins of c on external edges, Int(c) the number of pins of c on
+internal edges, and |c| the vertex count.  Lower is better: a good
+cluster exposes few external edges relative to its total pin count.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.netlist.hypergraph import Hypergraph
+
+
+def _cluster_pin_stats(
+    hgraph: Hypergraph, cluster_of: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Per-cluster (E, Ext, Int, size) over a cluster assignment.
+
+    Vectorized: pins are flattened into (edge id, cluster id) pairs;
+    unique pairs give per-edge cluster spans and pin counts, from which
+    internal/external classification follows.  Algorithm 2 evaluates
+    this once per dendrogram level, so it is on the flow's setup path.
+    """
+    k = int(cluster_of.max()) + 1 if len(cluster_of) else 0
+    external_edges = np.zeros(k)
+    ext_pins = np.zeros(k)
+    int_pins = np.zeros(k)
+    sizes = np.bincount(cluster_of, minlength=k).astype(float)
+    if hgraph.num_edges == 0:
+        return external_edges, ext_pins, int_pins, sizes
+
+    degrees = np.fromiter(
+        (len(e) for e in hgraph.edges), dtype=np.int64, count=hgraph.num_edges
+    )
+    pin_edge = np.repeat(np.arange(hgraph.num_edges, dtype=np.int64), degrees)
+    pin_vertex = np.fromiter(
+        (v for e in hgraph.edges for v in e), dtype=np.int64, count=int(degrees.sum())
+    )
+    pin_cluster = cluster_of[pin_vertex]
+    # Unique (edge, cluster) pairs + their pin counts.
+    keys = pin_edge * np.int64(k) + pin_cluster
+    unique_keys, pin_counts = np.unique(keys, return_counts=True)
+    pair_edge = unique_keys // k
+    pair_cluster = unique_keys % k
+    spans = np.bincount(pair_edge, minlength=hgraph.num_edges)
+    is_external = spans[pair_edge] > 1
+    np.add.at(external_edges, pair_cluster[is_external], 1.0)
+    np.add.at(ext_pins, pair_cluster[is_external], pin_counts[is_external])
+    np.add.at(int_pins, pair_cluster[~is_external], pin_counts[~is_external])
+    return external_edges, ext_pins, int_pins, sizes
+
+
+def cluster_rent_exponent(
+    external_edges: float, ext_pins: float, int_pins: float, size: float
+) -> float:
+    """Rent exponent of one cluster (Eq. 1, left).
+
+    Degenerate cases: singleton clusters (ln|c| = 0) and clusters with
+    no pins return 1.0 (neutral); clusters with no external edges get
+    the exponent computed with E clamped to 0.5, rewarding full
+    containment without producing -inf.
+    """
+    if size < 2:
+        return 1.0
+    total_pins = int_pins + ext_pins
+    if total_pins <= 0:
+        return 1.0
+    e_clamped = max(external_edges, 0.5)
+    return math.log(e_clamped / total_pins) / math.log(size) + 1.0
+
+
+def weighted_average_rent(
+    hgraph: Hypergraph, cluster_of: Sequence[int]
+) -> float:
+    """R_avg of a clustering (Eq. 1, right)."""
+    cluster_of = np.asarray(cluster_of, dtype=np.int64)
+    if hgraph.num_vertices == 0:
+        return 0.0
+    external_edges, ext_pins, int_pins, sizes = _cluster_pin_stats(
+        hgraph, cluster_of
+    )
+    total = 0.0
+    for c in range(len(sizes)):
+        r_c = cluster_rent_exponent(
+            external_edges[c], ext_pins[c], int_pins[c], sizes[c]
+        )
+        total += r_c * sizes[c]
+    return total / hgraph.num_vertices

@@ -1,0 +1,111 @@
+"""QoR reporting: serialise flow results to JSON / text.
+
+Real P&R tools end every run with a machine-readable QoR report; this
+module provides the equivalent for :class:`~repro.core.flow.FlowResult`
+so downstream scripts (regressions, dashboards) can consume flow
+outcomes without touching Python objects.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Optional
+
+from repro.core.flow import FlowResult
+from repro.netlist.design import Design
+
+
+def flow_result_to_dict(
+    result: FlowResult, design: Optional[Design] = None
+) -> Dict[str, Any]:
+    """Flatten a flow result into a JSON-serialisable dict."""
+    m = result.metrics
+    out: Dict[str, Any] = {
+        "metrics": {
+            "hpwl_um": m.hpwl,
+            "routed_wirelength_um": m.rwl,
+            "wns_ns": m.wns,
+            "tns_ns": m.tns,
+            "power_mw": m.power,
+            "hold_wns_ns": m.hold_wns,
+            "hold_tns_ns": m.hold_tns,
+        },
+        "runtimes_s": dict(m.runtimes),
+        "placement_runtime_s": m.placement_runtime,
+        "clustering": {
+            "num_clusters": result.num_clusters,
+            "singleton_clusters": result.singleton_clusters,
+        },
+    }
+    if design is not None:
+        out["design"] = {
+            "name": design.name,
+            "instances": design.num_instances,
+            "nets": design.num_nets,
+            "ports": len(design.ports),
+            "clock_period_ns": design.clock_period,
+            "die_width_um": design.floorplan.die_width,
+            "die_height_um": design.floorplan.die_height,
+        }
+    if result.selection is not None:
+        shapes = {
+            str(cluster): {
+                "aspect_ratio": shape.aspect_ratio,
+                "utilization": shape.utilization,
+            }
+            for cluster, shape in sorted(result.selection.shapes.items())
+        }
+        out["shape_selection"] = {
+            "swept_clusters": len(result.selection.sweeps),
+            "skipped_clusters": result.selection.skipped_clusters,
+            "runtime_s": result.selection.runtime,
+            "shapes": shapes,
+        }
+    if result.clustering is not None and result.clustering.hierarchy is not None:
+        hierarchy = result.clustering.hierarchy
+        out["hierarchy_clustering"] = {
+            "best_level": hierarchy.best_level,
+            "rent_by_level": {
+                str(level): rent
+                for level, rent in sorted(hierarchy.rent_by_level.items())
+            },
+        }
+    return out
+
+
+def write_qor_json(
+    path: str, result: FlowResult, design: Optional[Design] = None
+) -> None:
+    """Write the QoR report as JSON."""
+    with open(path, "w") as handle:
+        json.dump(flow_result_to_dict(result, design), handle, indent=2)
+        handle.write("\n")
+
+
+def qor_text(result: FlowResult, design: Optional[Design] = None) -> str:
+    """Human-readable QoR summary."""
+    data = flow_result_to_dict(result, design)
+    lines = []
+    if "design" in data:
+        d = data["design"]
+        lines.append(
+            f"design {d['name']}: {d['instances']} instances, "
+            f"{d['nets']} nets, TCP {d['clock_period_ns']} ns"
+        )
+    m = data["metrics"]
+    lines.append(f"HPWL      : {m['hpwl_um']:.1f} um")
+    if m["routed_wirelength_um"] is not None:
+        lines.append(f"routed WL : {m['routed_wirelength_um']:.1f} um")
+        lines.append(f"WNS       : {m['wns_ns'] * 1e3:.0f} ps")
+        lines.append(f"TNS       : {m['tns_ns']:.3f} ns")
+        if m["hold_wns_ns"] is not None:
+            lines.append(f"hold WNS  : {m['hold_wns_ns'] * 1e3:.0f} ps")
+        lines.append(f"power     : {m['power_mw']:.3f} mW")
+    c = data["clustering"]
+    if c["num_clusters"]:
+        lines.append(
+            f"clusters  : {c['num_clusters']} "
+            f"({c['singleton_clusters']} singletons)"
+        )
+    lines.append(f"CPU       : {data['placement_runtime_s']:.2f} s")
+    return "\n".join(lines)

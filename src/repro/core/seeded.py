@@ -1,0 +1,166 @@
+"""Seeded placement (Algorithm 1, lines 15-25).
+
+Two tool modes:
+
+* **openroad** (lines 22-25): scale IO-net weights by 4 on the
+  clustered netlist [9], place it, seed every flat instance at its
+  cluster centre, and run incremental global placement.
+* **innovus** (lines 16-20): place the clustered netlist, seed the
+  instances, build region constraints from the cluster placement and
+  the V-P&R shapes, run incremental placement under the regions, then
+  remove the regions.
+
+Since Cadence Innovus is not available in this reproduction, "innovus"
+mode is our own placer configured the way the paper configures Innovus
+(region constraints + incremental); see DESIGN.md's substitution table.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.clustered_netlist import ClusteredNetlist
+from repro.place.placer import GlobalPlacer, PlacerConfig, PlacementResult
+from repro.place.problem import PlacementProblem
+from repro.place.regions import RegionConstraint
+
+#: IO-net weight multiplier of the OpenROAD-mode flow (line 22, [9]).
+IO_NET_WEIGHT = 4.0
+
+
+@dataclass
+class SeededPlacementConfig:
+    """Seeded placement knobs.
+
+    Attributes:
+        tool: "openroad" or "innovus".
+        cluster_placer: Config for placing the clustered netlist.
+        incremental_placer: Config for the flat incremental refinement.
+        region_margin_factor: Innovus regions are the cluster-shape
+            rectangle inflated by this factor.
+    """
+
+    tool: str = "openroad"
+    cluster_placer: PlacerConfig = field(
+        default_factory=lambda: PlacerConfig(max_iterations=20, target_overflow=0.12)
+    )
+    incremental_placer: PlacerConfig = field(
+        default_factory=lambda: PlacerConfig(incremental=True, region_iterations=4)
+    )
+    region_margin_factor: float = 1.5
+
+
+@dataclass
+class SeededPlacementResult:
+    """Outcome of seeded placement.
+
+    Attributes:
+        hpwl: Final flat HPWL (microns).
+        cluster_result: Placer result of the clustered-netlist stage.
+        incremental_result: Placer result of the flat refinement.
+        runtimes: Stage -> seconds.
+    """
+
+    hpwl: float
+    cluster_result: PlacementResult
+    incremental_result: PlacementResult
+    runtimes: Dict[str, float] = field(default_factory=dict)
+
+
+def _cluster_regions(
+    clustered: ClusteredNetlist,
+    margin_factor: float,
+    vpr_cluster_ids: Sequence[int],
+) -> List[RegionConstraint]:
+    """Region constraints from cluster placements + V-P&R shapes.
+
+    Only clusters whose shapes were V-P&R-estimated get regions
+    (Algorithm 1, line 18).
+    """
+    source = clustered.source
+    fp = source.floorplan
+    regions = []
+    for c in vpr_cluster_ids:
+        inst = clustered.cluster_instance(c)
+        macro = clustered.lef.macro_for(c)
+        half_w = 0.5 * macro.width * margin_factor
+        half_h = 0.5 * macro.height * margin_factor
+        llx = max(fp.core_llx, inst.x - half_w)
+        urx = min(fp.core_urx, inst.x + half_w)
+        lly = max(fp.core_lly, inst.y - half_h)
+        ury = min(fp.core_ury, inst.y + half_h)
+        if urx <= llx or ury <= lly:
+            continue
+        vertex_ids = [
+            v for v in clustered.members[c] if not source.instances[v].fixed
+        ]
+        regions.append(
+            RegionConstraint(
+                name=f"region_cluster_{c}",
+                llx=llx,
+                lly=lly,
+                urx=urx,
+                ury=ury,
+                vertex_ids=vertex_ids,
+            )
+        )
+    return regions
+
+
+def seeded_placement(
+    clustered: ClusteredNetlist,
+    config: Optional[SeededPlacementConfig] = None,
+    vpr_cluster_ids: Optional[Sequence[int]] = None,
+) -> SeededPlacementResult:
+    """Run the seeded placement of Algorithm 1, lines 15-25.
+
+    Args:
+        clustered: The clustered netlist (IO weights must already carry
+            the OpenROAD-mode 4x scaling — build_clustered_netlist's
+            ``io_net_weight`` argument).
+        config: Tool mode and placer knobs.
+        vpr_cluster_ids: Clusters whose shapes came from V-P&R; only
+            these get Innovus-mode region constraints.
+
+    Returns:
+        Result with the final flat HPWL; coordinates are committed to
+        the source design.
+    """
+    config = config or SeededPlacementConfig()
+    if config.tool not in ("openroad", "innovus"):
+        raise ValueError(f"unknown tool {config.tool!r}")
+    runtimes: Dict[str, float] = {}
+
+    # --- Place the clustered netlist (line 16 / 23) ---------------------
+    t0 = time.perf_counter()
+    cluster_problem = PlacementProblem(clustered.design)
+    cluster_result = GlobalPlacer(cluster_problem, config.cluster_placer).run()
+    runtimes["cluster_place"] = time.perf_counter() - t0
+
+    # --- Seed flat instances at cluster centres (line 17 / 24) ----------
+    t0 = time.perf_counter()
+    clustered.seed_flat_positions()
+    runtimes["seed"] = time.perf_counter() - t0
+
+    # --- Incremental flat placement (line 19 / 25) ----------------------
+    t0 = time.perf_counter()
+    regions: List[RegionConstraint] = []
+    if config.tool == "innovus" and vpr_cluster_ids:
+        regions = _cluster_regions(
+            clustered, config.region_margin_factor, vpr_cluster_ids
+        )
+    flat_problem = PlacementProblem(clustered.source)
+    placer = GlobalPlacer(flat_problem, config.incremental_placer, regions=regions)
+    incremental_result = placer.run()
+    # Line 20: remove region constraints (they only steer the
+    # incremental run; later stages see an unconstrained placement).
+    runtimes["incremental_place"] = time.perf_counter() - t0
+
+    return SeededPlacementResult(
+        hpwl=incremental_result.hpwl,
+        cluster_result=cluster_result,
+        incremental_result=incremental_result,
+        runtimes=runtimes,
+    )

@@ -1,0 +1,62 @@
+"""Cluster shape candidates (Section 3.2).
+
+A shape is an (aspect ratio, utilization) pair.  Following [9], the
+paper sweeps aspect ratio in [0.75, 1.75] step 0.25 and utilization in
+[0.75, 0.90] step 0.05 — 20 candidates per cluster.  More extreme
+aspect ratios give poor PPA (footnote 5), hence the bounded grid.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.netlist.lef import cluster_shape_dimensions
+
+#: The paper's aspect-ratio sweep.
+ASPECT_RATIOS: Tuple[float, ...] = (0.75, 1.0, 1.25, 1.5, 1.75)
+
+#: The paper's utilization sweep.
+UTILIZATIONS: Tuple[float, ...] = (0.75, 0.80, 0.85, 0.90)
+
+#: The fixed shape of the "Uniform" ablation arm (Table 6).
+UNIFORM_ASPECT_RATIO = 1.0
+UNIFORM_UTILIZATION = 0.90
+
+
+@dataclass(frozen=True)
+class ShapeCandidate:
+    """One (aspect ratio, utilization) cluster shape.
+
+    Attributes:
+        aspect_ratio: Height / width of the cluster die.
+        utilization: Cell area / die area.
+    """
+
+    aspect_ratio: float
+    utilization: float
+
+    def dimensions(self, cell_area: float) -> Tuple[float, float]:
+        """(width, height) of a die realising this shape for an area."""
+        return cluster_shape_dimensions(
+            cell_area, self.aspect_ratio, self.utilization
+        )
+
+    def __str__(self) -> str:
+        return f"AR={self.aspect_ratio:.2f}/U={self.utilization:.2f}"
+
+
+def default_candidate_grid() -> List[ShapeCandidate]:
+    """The paper's 20-candidate grid (5 aspect ratios x 4 utilizations)."""
+    return [
+        ShapeCandidate(aspect_ratio=ar, utilization=u)
+        for ar in ASPECT_RATIOS
+        for u in UTILIZATIONS
+    ]
+
+
+def uniform_shape() -> ShapeCandidate:
+    """The Table 6 "Uniform" arm: AR = 1.0, utilization = 0.9."""
+    return ShapeCandidate(
+        aspect_ratio=UNIFORM_ASPECT_RATIO, utilization=UNIFORM_UTILIZATION
+    )

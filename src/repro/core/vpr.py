@@ -1,0 +1,420 @@
+"""Virtualized P&R (V-P&R) shape selection (Section 3.2, Figure 3).
+
+For each large cluster, induce the sub-netlist (inter-cluster nets
+become virtual IO ports), and for each of the 20 (aspect ratio,
+utilization) candidates: build a virtual die, run placement and global
+routing, and score
+
+    Total Cost = Cost_HPWL + delta * Cost_Congestion          (Eq. 4-5)
+
+with ``Cost_HPWL = HPWL_avg / (W_core + H_core)`` and
+``Cost_Congestion`` the mean congestion of the top-X% GCells.  The
+best-cost candidate becomes the cluster's shape in the cluster .lef.
+
+Four shape selectors mirror the paper's Table 6 arms:
+
+* :class:`VPRShapeSelector` — exact V-P&R (20 P&R runs per cluster),
+* :class:`MLShapeSelector` — GNN-predicted Total Cost (the paper's
+  ~30x acceleration),
+* :class:`RandomShapeSelector` / :class:`UniformShapeSelector` — the
+  ablation baselines.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.shapes import ShapeCandidate, default_candidate_grid, uniform_shape
+from repro.netlist.design import Design, Floorplan, PinDirection
+from repro.place.placer import GlobalPlacer, PlacerConfig
+from repro.place.problem import PlacementProblem
+from repro.place.hpwl import net_hpwl
+from repro.route.gcell import GCellGrid
+from repro.route.global_route import GlobalRouter
+
+
+@dataclass
+class VPRConfig:
+    """V-P&R knobs.
+
+    Attributes:
+        delta: Congestion weight in Total Cost (default 0.01, following
+            the paper / MAPLE [13]).
+        top_x_percent: X of the Congestion Cost (Eq. 5; default 10).
+        min_cluster_instances: Only clusters larger than this get
+            V-P&R (the paper's hyperparameter-tuned bound of 200).
+        max_vpr_clusters: Practical cap on the number of (largest)
+            clusters swept per design; None sweeps all eligible
+            clusters.  When the cap binds, the skipped clusters use the
+            uniform default shape and the count is recorded in
+            ``VPRSelection.skipped_clusters``.
+        candidates: The shape grid (defaults to the paper's 20).
+        placer_iterations: Global-placement rounds per candidate
+            (virtual dies are small; a short run suffices).
+        route_target_cells: GCell count of the virtual-die routing grid.
+        die_margin: Margin around the virtual core (microns).
+        seed: RNG seed (randomised selector arms).
+    """
+
+    delta: float = 0.01
+    top_x_percent: float = 10.0
+    min_cluster_instances: int = 200
+    max_vpr_clusters: Optional[int] = 12
+    candidates: List[ShapeCandidate] = field(default_factory=default_candidate_grid)
+    placer_iterations: int = 6
+    route_target_cells: int = 144
+    die_margin: float = 1.0
+    seed: int = 0
+
+
+@dataclass
+class CandidateEvaluation:
+    """Costs of one shape candidate on one cluster."""
+
+    candidate: ShapeCandidate
+    hpwl_cost: float
+    congestion_cost: float
+
+    @property
+    def total_cost(self) -> float:
+        """Total Cost = Cost_HPWL + delta * Cost_Congestion.
+
+        delta is applied by the framework; this property assumes the
+        default 0.01 for standalone use.
+        """
+        return self.hpwl_cost + 0.01 * self.congestion_cost
+
+    def total(self, delta: float) -> float:
+        """Total Cost with an explicit delta."""
+        return self.hpwl_cost + delta * self.congestion_cost
+
+
+@dataclass
+class VPRSweepResult:
+    """All candidate evaluations for one cluster."""
+
+    cluster_id: int
+    evaluations: List[CandidateEvaluation]
+    best: ShapeCandidate
+    runtime: float
+
+
+@dataclass
+class VPRSelection:
+    """Shapes chosen for a design's clusters.
+
+    Attributes:
+        shapes: cluster id -> chosen shape (every cluster present;
+            non-swept clusters get the uniform default).
+        sweeps: The per-cluster sweep details for swept clusters.
+        skipped_clusters: Eligible clusters not swept due to
+            ``max_vpr_clusters`` (0 when the cap did not bind).
+        runtime: Total wall-clock seconds.
+    """
+
+    shapes: Dict[int, ShapeCandidate]
+    sweeps: List[VPRSweepResult] = field(default_factory=list)
+    skipped_clusters: int = 0
+    runtime: float = 0.0
+
+
+# ----------------------------------------------------------------------
+# Sub-netlist extraction
+# ----------------------------------------------------------------------
+def extract_subnetlist(source: Design, member_indices: Sequence[int]) -> Design:
+    """Induce the sub-netlist over a cluster's instances.
+
+    Inter-cluster nets become virtual IO ports: an input port per
+    external driver, an output port per net with external sinks
+    (Figure 3's port creation rule).
+    """
+    members = set(int(i) for i in member_indices)
+    sub = Design(f"{source.name}_sub")
+    instance_map = {}
+    for idx in sorted(members):
+        inst = source.instances[idx]
+        if inst.master.name not in sub.masters:
+            sub.masters[inst.master.name] = inst.master
+        new_inst = sub.add_instance(inst.name, inst.master)
+        instance_map[idx] = new_inst
+
+    nets_seen = set()
+    port_counter = 0
+    for idx in sorted(members):
+        inst = source.instances[idx]
+        for net in inst.pin_nets.values():
+            if net.index in nets_seen or net.is_clock:
+                continue
+            nets_seen.add(net.index)
+            internal_refs = []
+            external_driver = False
+            external_sink = False
+            driver_internal = False
+            for ref in net.pins():
+                if ref.instance is not None and ref.instance.index in members:
+                    internal_refs.append(ref)
+                    if net.driver is ref:
+                        driver_internal = True
+                else:
+                    if net.driver is ref:
+                        external_driver = True
+                    else:
+                        external_sink = True
+            if not internal_refs:
+                continue
+            if len(internal_refs) < 2 and not (external_driver or external_sink):
+                continue
+            new_net = sub.add_net(net.name)
+            new_net.weight = net.weight
+            for ref in internal_refs:
+                sub.connect_instance_pin(
+                    new_net, instance_map[ref.instance.index], ref.pin_name
+                )
+            if external_driver and not driver_internal:
+                port_name = f"vin{port_counter}"
+                port_counter += 1
+                sub.add_port(port_name, PinDirection.INPUT)
+                sub.connect_port(new_net, port_name)
+            if external_sink and driver_internal:
+                port_name = f"vout{port_counter}"
+                port_counter += 1
+                sub.add_port(port_name, PinDirection.OUTPUT)
+                sub.connect_port(new_net, port_name)
+    return sub
+
+
+def _configure_virtual_die(
+    sub: Design, cell_area: float, candidate: ShapeCandidate, margin: float
+) -> None:
+    """Size the virtual die for a shape and place IO ports evenly
+    around the periphery (the OpenROAD pin-placer substitute)."""
+    width, height = candidate.dimensions(max(cell_area, 1e-6))
+    sub.floorplan = Floorplan(
+        die_width=width + 2 * margin,
+        die_height=height + 2 * margin,
+        core_margin=margin,
+        target_utilization=candidate.utilization,
+    )
+    fp = sub.floorplan
+    names = sorted(sub.ports)
+    if not names:
+        return
+    perimeter = 2 * (fp.die_width + fp.die_height)
+    for i, name in enumerate(names):
+        port = sub.ports[name]
+        t = (i + 0.5) / len(names) * perimeter
+        if t < fp.die_width:
+            port.x, port.y = t, 0.0
+        elif t < fp.die_width + fp.die_height:
+            port.x, port.y = fp.die_width, t - fp.die_width
+        elif t < 2 * fp.die_width + fp.die_height:
+            port.x, port.y = t - fp.die_width - fp.die_height, fp.die_height
+        else:
+            port.x, port.y = 0.0, t - 2 * fp.die_width - fp.die_height
+
+
+# ----------------------------------------------------------------------
+# The framework
+# ----------------------------------------------------------------------
+class VPRFramework:
+    """Runs the V-P&R sweep of Figure 3."""
+
+    def __init__(self, config: Optional[VPRConfig] = None) -> None:
+        self.config = config or VPRConfig()
+
+    def evaluate_candidate(
+        self, sub: Design, cell_area: float, candidate: ShapeCandidate
+    ) -> CandidateEvaluation:
+        """Place + route the sub-netlist on the candidate's virtual die
+        and compute Cost_HPWL / Cost_Congestion (Eqs. 4-5)."""
+        config = self.config
+        _configure_virtual_die(sub, cell_area, candidate, config.die_margin)
+        problem = PlacementProblem(sub)
+        placer = GlobalPlacer(
+            problem,
+            PlacerConfig(
+                max_iterations=config.placer_iterations,
+                min_iterations=2,
+                target_overflow=0.15,
+                seed=config.seed,
+            ),
+        )
+        placer.run()
+        grid = GCellGrid.for_floorplan(
+            sub.floorplan, target_cells=config.route_target_cells
+        )
+        routing = GlobalRouter(sub, grid=grid).run()
+
+        nets = [n for n in sub.nets if n.degree >= 2]
+        if nets:
+            hpwl_avg = sum(net_hpwl(sub, n) for n in nets) / len(nets)
+        else:
+            hpwl_avg = 0.0
+        fp = sub.floorplan
+        hpwl_cost = hpwl_avg / max(fp.core_width + fp.core_height, 1e-9)
+        congestion_cost = routing.top_percent_congestion(config.top_x_percent)
+        return CandidateEvaluation(
+            candidate=candidate,
+            hpwl_cost=hpwl_cost,
+            congestion_cost=congestion_cost,
+        )
+
+    def sweep_cluster(
+        self, source: Design, member_indices: Sequence[int], cluster_id: int = 0
+    ) -> VPRSweepResult:
+        """Evaluate all shape candidates for one cluster."""
+        start = time.perf_counter()
+        sub = extract_subnetlist(source, member_indices)
+        cell_area = sum(source.instances[i].area for i in member_indices)
+        evaluations = [
+            self.evaluate_candidate(sub, cell_area, candidate)
+            for candidate in self.config.candidates
+        ]
+        best = min(evaluations, key=lambda ev: ev.total(self.config.delta))
+        return VPRSweepResult(
+            cluster_id=cluster_id,
+            evaluations=evaluations,
+            best=best.candidate,
+            runtime=time.perf_counter() - start,
+        )
+
+    def eligible_clusters(self, members: Sequence[Sequence[int]]) -> List[int]:
+        """Cluster ids large enough for V-P&R, capped and largest-first."""
+        eligible = [
+            c
+            for c, member_list in enumerate(members)
+            if len(member_list) > self.config.min_cluster_instances
+        ]
+        eligible.sort(key=lambda c: -len(members[c]))
+        return eligible
+
+
+# ----------------------------------------------------------------------
+# Shape selectors (Table 6 arms)
+# ----------------------------------------------------------------------
+class ShapeSelector:
+    """Chooses a shape per cluster.  Subclasses implement select()."""
+
+    name = "base"
+
+    def select(
+        self, source: Design, members: Sequence[Sequence[int]]
+    ) -> VPRSelection:
+        """Return shapes for every cluster."""
+        raise NotImplementedError
+
+
+class UniformShapeSelector(ShapeSelector):
+    """Every cluster gets AR = 1.0, utilization = 0.9 (Table 6
+    "Uniform")."""
+
+    name = "uniform"
+
+    def select(
+        self, source: Design, members: Sequence[Sequence[int]]
+    ) -> VPRSelection:
+        shape = uniform_shape()
+        return VPRSelection(shapes={c: shape for c in range(len(members))})
+
+
+class RandomShapeSelector(ShapeSelector):
+    """Random candidate per cluster (Table 6 "Random")."""
+
+    name = "random"
+
+    def __init__(self, seed: int = 0, candidates: Optional[List[ShapeCandidate]] = None):
+        self.rng = random.Random(seed)
+        self.candidates = candidates or default_candidate_grid()
+
+    def select(
+        self, source: Design, members: Sequence[Sequence[int]]
+    ) -> VPRSelection:
+        shapes = {
+            c: self.rng.choice(self.candidates) for c in range(len(members))
+        }
+        return VPRSelection(shapes=shapes)
+
+
+class VPRShapeSelector(ShapeSelector):
+    """Exact V-P&R: 20 place-and-route runs per eligible cluster."""
+
+    name = "vpr"
+
+    def __init__(self, config: Optional[VPRConfig] = None) -> None:
+        self.framework = VPRFramework(config)
+
+    def select(
+        self, source: Design, members: Sequence[Sequence[int]]
+    ) -> VPRSelection:
+        start = time.perf_counter()
+        config = self.framework.config
+        eligible = self.framework.eligible_clusters(members)
+        skipped = 0
+        if config.max_vpr_clusters is not None and len(eligible) > config.max_vpr_clusters:
+            skipped = len(eligible) - config.max_vpr_clusters
+            eligible = eligible[: config.max_vpr_clusters]
+        shapes: Dict[int, ShapeCandidate] = {
+            c: uniform_shape() for c in range(len(members))
+        }
+        sweeps = []
+        for c in eligible:
+            sweep = self.framework.sweep_cluster(source, members[c], cluster_id=c)
+            shapes[c] = sweep.best
+            sweeps.append(sweep)
+        return VPRSelection(
+            shapes=shapes,
+            sweeps=sweeps,
+            skipped_clusters=skipped,
+            runtime=time.perf_counter() - start,
+        )
+
+
+class MLShapeSelector(ShapeSelector):
+    """ML-accelerated V-P&R: a trained predictor replaces the 20 P&R
+    runs (the right-hand branch of Figure 3).
+
+    Args:
+        predictor: ``f(sub_design, candidates) -> np.ndarray`` of
+            predicted Total Cost per candidate.  The GNN stack in
+            :mod:`repro.ml` provides :class:`~repro.ml.model.TotalCostPredictor`.
+        config: Eligibility / candidate grid (P&R knobs unused).
+    """
+
+    name = "vpr_ml"
+
+    def __init__(
+        self,
+        predictor: Callable[[Design, Sequence[ShapeCandidate]], np.ndarray],
+        config: Optional[VPRConfig] = None,
+    ) -> None:
+        self.predictor = predictor
+        self.config = config or VPRConfig()
+
+    def select(
+        self, source: Design, members: Sequence[Sequence[int]]
+    ) -> VPRSelection:
+        start = time.perf_counter()
+        framework = VPRFramework(self.config)
+        eligible = framework.eligible_clusters(members)
+        skipped = 0
+        cap = self.config.max_vpr_clusters
+        if cap is not None and len(eligible) > cap:
+            skipped = len(eligible) - cap
+            eligible = eligible[:cap]
+        shapes: Dict[int, ShapeCandidate] = {
+            c: uniform_shape() for c in range(len(members))
+        }
+        for c in eligible:
+            sub = extract_subnetlist(source, members[c])
+            costs = np.asarray(self.predictor(sub, self.config.candidates))
+            shapes[c] = self.config.candidates[int(np.argmin(costs))]
+        return VPRSelection(
+            shapes=shapes,
+            skipped_clusters=skipped,
+            runtime=time.perf_counter() - start,
+        )

@@ -1,0 +1,10 @@
+"""Design database facade (OpenDB substitute).
+
+:class:`DesignDatabase` bundles the artefacts Algorithm 1 reads at the
+start of the flow: the design, its hypergraph view and the logical
+hierarchy tree.
+"""
+
+from repro.db.database import DesignDatabase, load_design_files
+
+__all__ = ["DesignDatabase", "load_design_files"]

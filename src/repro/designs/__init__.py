@@ -1,0 +1,31 @@
+"""Synthetic benchmark substrate.
+
+The paper evaluates on six open testcases (aes, jpeg, ariane,
+BlackParrot, MegaBoom, MemPool Group) implemented in the NanGate45
+enablement.  Those netlists and the PDK are not available offline, so
+this package provides (i) a NanGate45-lite standard-cell library with
+the same functional mix, and (ii) a Rent's-rule netlist generator that
+reproduces each testcase's statistics at ~1/40 scale — instance/net
+counts, logical-hierarchy depth, sequential fraction, macro content and
+clock constraints — which is what the clustering and placement
+algorithms actually consume.
+"""
+
+from repro.designs.nangate45 import make_library
+from repro.designs.generator import DesignSpec, generate_design
+from repro.designs.benchmarks import (
+    BENCHMARKS,
+    benchmark_spec,
+    benchmark_table,
+    load_benchmark,
+)
+
+__all__ = [
+    "make_library",
+    "DesignSpec",
+    "generate_design",
+    "BENCHMARKS",
+    "benchmark_spec",
+    "benchmark_table",
+    "load_benchmark",
+]

@@ -1,0 +1,175 @@
+"""ASAP7-lite standard-cell library (second enablement).
+
+The paper's conclusion pursues "additional testcases, design
+enablements and P&R tools"; this module provides a second enablement
+so that claim is testable: a 7 nm-class predictive library with the
+same functional footprint as the NanGate45-lite library but scaled
+geometry and electrical characteristics —
+
+* row height 0.27 um (7.5-track) vs 1.4 um,
+* site width 0.054 um,
+* input capacitances ~5x smaller,
+* faster intrinsic delays, higher wire-resistance sensitivity,
+* lower per-toggle internal energy, higher leakage density.
+
+Cell names carry an ``ASAP7_`` prefix so a design's enablement is
+self-describing.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.netlist.design import CellPin, MasterCell, PinDirection
+
+#: Row height of the ASAP7-lite enablement in microns.
+ROW_HEIGHT = 0.27
+
+#: Site width in microns.
+SITE_WIDTH = 0.054
+
+#: Wire RC for this enablement (used by flows that parameterise it):
+#: thinner wires are more resistive but shorter.
+R_PER_UM = 0.010
+C_PER_UM = 0.12
+
+
+def _pin(name: str, direction: PinDirection, cap: float, clock: bool = False) -> CellPin:
+    return CellPin(name=name, direction=direction, capacitance=cap, is_clock=clock)
+
+
+def _comb_cell(
+    name: str,
+    inputs: List[str],
+    sites: int,
+    intrinsic: float,
+    resistance: float,
+    input_cap: float,
+    leakage: float,
+    internal_energy: float,
+    cell_class: str,
+) -> MasterCell:
+    master = MasterCell(
+        name=name,
+        width=sites * SITE_WIDTH,
+        height=ROW_HEIGHT,
+        intrinsic_delay=intrinsic,
+        drive_resistance=resistance,
+        leakage_power=leakage,
+        internal_energy=internal_energy,
+        cell_class=cell_class,
+    )
+    for pin_name in inputs:
+        master.pins[pin_name] = _pin(pin_name, PinDirection.INPUT, input_cap)
+    master.pins["Y"] = _pin("Y", PinDirection.OUTPUT, 0.0)
+    return master
+
+
+def make_library() -> Dict[str, MasterCell]:
+    """Create the ASAP7-lite master-cell library."""
+    masters: Dict[str, MasterCell] = {}
+
+    comb_templates: List[Tuple[str, List[str], int, float, str]] = [
+        ("INV", ["A"], 3, 0.004, "inv"),
+        ("BUF", ["A"], 4, 0.007, "buf"),
+        ("NAND2", ["A", "B"], 4, 0.006, "logic"),
+        ("NOR2", ["A", "B"], 4, 0.007, "logic"),
+        ("AND2", ["A", "B"], 5, 0.009, "logic"),
+        ("OR2", ["A", "B"], 5, 0.010, "logic"),
+        ("AOI21", ["A", "B", "C"], 6, 0.008, "logic"),
+        ("OAI21", ["A", "B", "C"], 6, 0.009, "logic"),
+        ("XOR2", ["A", "B"], 7, 0.014, "arith"),
+        ("XNOR2", ["A", "B"], 7, 0.014, "arith"),
+        ("FA", ["A", "B", "CI"], 12, 0.019, "arith"),
+        ("HA", ["A", "B"], 9, 0.016, "arith"),
+        ("MUX2", ["A", "B", "S"], 8, 0.012, "mux"),
+    ]
+    for base, inputs, sites, intrinsic, cell_class in comb_templates:
+        for strength in (1, 2, 4):
+            name = f"ASAP7_{base}_X{strength}"
+            masters[name] = _comb_cell(
+                name=name,
+                inputs=inputs,
+                sites=sites + (strength - 1) * 2,
+                intrinsic=intrinsic * (1.0 + 0.1 * (strength - 1)),
+                resistance=0.0080 / strength,
+                input_cap=0.20 + 0.12 * (strength - 1),
+                leakage=2.5e-5 * strength,
+                internal_energy=0.06 * strength,
+                cell_class=cell_class,
+            )
+
+    for strength in (1, 2):
+        name = f"ASAP7_DFF_X{strength}"
+        dff = MasterCell(
+            name=name,
+            width=(17 + 3 * (strength - 1)) * SITE_WIDTH,
+            height=ROW_HEIGHT,
+            is_sequential=True,
+            clk_to_q=0.030 / (0.5 + 0.5 * strength),
+            setup_time=0.013,
+            hold_time=0.004,
+            drive_resistance=0.0080 / strength,
+            leakage_power=9e-5 * strength,
+            internal_energy=0.30 * strength,
+            cell_class="seq",
+        )
+        dff.pins["D"] = _pin("D", PinDirection.INPUT, 0.22)
+        dff.pins["CK"] = _pin("CK", PinDirection.INPUT, 0.16, clock=True)
+        dff.pins["Q"] = _pin("Q", PinDirection.OUTPUT, 0.0)
+        masters[name] = dff
+
+    ram = MasterCell(
+        name="ASAP7_RAM256X32",
+        width=10.0,
+        height=8.0,
+        is_macro=True,
+        is_sequential=True,
+        clk_to_q=0.120,
+        setup_time=0.040,
+        drive_resistance=0.004,
+        leakage_power=4e-2,
+        internal_energy=8.0,
+        cell_class="macro",
+    )
+    for i in range(8):
+        ram.pins[f"A{i}"] = _pin(f"A{i}", PinDirection.INPUT, 0.32)
+    for i in range(8):
+        ram.pins[f"D{i}"] = _pin(f"D{i}", PinDirection.INPUT, 0.32)
+    ram.pins["WE"] = _pin("WE", PinDirection.INPUT, 0.32)
+    ram.pins["CK"] = _pin("CK", PinDirection.INPUT, 0.5, clock=True)
+    for i in range(8):
+        ram.pins[f"Q{i}"] = _pin(f"Q{i}", PinDirection.OUTPUT, 0.0)
+    masters["ASAP7_RAM256X32"] = ram
+
+    return masters
+
+
+#: Combinational mix (same shape as the NanGate45-lite mix).
+COMB_MIX: List[Tuple[str, float]] = [
+    (f"ASAP7_{base}", weight)
+    for base, weight in [
+        ("INV_X1", 0.14),
+        ("INV_X2", 0.04),
+        ("BUF_X1", 0.06),
+        ("BUF_X2", 0.03),
+        ("NAND2_X1", 0.16),
+        ("NAND2_X2", 0.04),
+        ("NOR2_X1", 0.09),
+        ("AND2_X1", 0.07),
+        ("OR2_X1", 0.05),
+        ("AOI21_X1", 0.07),
+        ("OAI21_X1", 0.06),
+        ("XOR2_X1", 0.06),
+        ("XNOR2_X1", 0.03),
+        ("FA_X1", 0.03),
+        ("HA_X1", 0.02),
+        ("MUX2_X1", 0.05),
+    ]
+]
+
+#: Flip-flop mix.
+SEQ_MIX: List[Tuple[str, float]] = [
+    ("ASAP7_DFF_X1", 0.85),
+    ("ASAP7_DFF_X2", 0.15),
+]

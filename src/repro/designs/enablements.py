@@ -1,0 +1,91 @@
+"""Enablement registry: standard-cell libraries the generator can target.
+
+The paper's conclusion pursues validation "on additional testcases,
+design enablements and P&R tools"; this registry makes the enablement a
+generator parameter.  Two enablements ship: the NanGate45-lite library
+the paper uses and an ASAP7-lite 7 nm-class library
+(benchmarks/bench_ext_enablement.py confirms the flow's benefits
+transfer).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Tuple
+
+from repro.netlist.design import MasterCell
+
+
+@dataclass(frozen=True)
+class Enablement:
+    """One standard-cell enablement.
+
+    Attributes:
+        name: Registry key.
+        make_library: Factory for the master-cell dict.
+        comb_mix: (cell name, sampling weight) combinational mix.
+        seq_mix: Flip-flop mix.
+        ram_cell: Name of the RAM hard macro.
+        row_height: Standard-cell row height (microns).
+        r_per_um, c_per_um: Representative wire RC for delay models.
+    """
+
+    name: str
+    make_library: Callable[[], Dict[str, MasterCell]]
+    comb_mix: List[Tuple[str, float]]
+    seq_mix: List[Tuple[str, float]]
+    ram_cell: str
+    row_height: float
+    r_per_um: float
+    c_per_um: float
+
+
+def _nangate45() -> Enablement:
+    from repro.designs import nangate45
+
+    return Enablement(
+        name="nangate45",
+        make_library=nangate45.make_library,
+        comb_mix=nangate45.COMB_MIX,
+        seq_mix=nangate45.SEQ_MIX,
+        ram_cell="RAM256X32",
+        row_height=nangate45.ROW_HEIGHT,
+        r_per_um=0.002,
+        c_per_um=0.2,
+    )
+
+
+def _asap7() -> Enablement:
+    from repro.designs import asap7
+
+    return Enablement(
+        name="asap7",
+        make_library=asap7.make_library,
+        comb_mix=asap7.COMB_MIX,
+        seq_mix=asap7.SEQ_MIX,
+        ram_cell="ASAP7_RAM256X32",
+        row_height=asap7.ROW_HEIGHT,
+        r_per_um=asap7.R_PER_UM,
+        c_per_um=asap7.C_PER_UM,
+    )
+
+
+_REGISTRY: Dict[str, Callable[[], Enablement]] = {
+    "nangate45": _nangate45,
+    "asap7": _asap7,
+}
+
+
+def get_enablement(name: str) -> Enablement:
+    """Look up an enablement by name."""
+    try:
+        return _REGISTRY[name]()
+    except KeyError:
+        raise KeyError(
+            f"unknown enablement {name!r}; have {sorted(_REGISTRY)}"
+        ) from None
+
+
+def available() -> List[str]:
+    """Registered enablement names."""
+    return sorted(_REGISTRY)

@@ -1,0 +1,166 @@
+"""NanGate45-lite standard-cell library.
+
+A reduced standard-cell library modelled on the NanGate45 open
+enablement used by the paper: the usual combinational gates at several
+drive strengths, a D flip-flop, and a RAM hard macro.  Geometry, pin
+capacitance, linear-delay coefficients and power numbers are
+representative of a 45 nm library (row height 1.4 um, gate caps of a
+few fF, FO4-ish delays of tens of ps).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.netlist.design import CellPin, MasterCell, PinDirection
+
+#: Row height of the NanGate45 enablement in microns.
+ROW_HEIGHT = 1.4
+
+#: Site width in microns; cell widths are multiples of this.
+SITE_WIDTH = 0.19
+
+
+def _pin(name: str, direction: PinDirection, cap: float, clock: bool = False) -> CellPin:
+    return CellPin(name=name, direction=direction, capacitance=cap, is_clock=clock)
+
+
+def _comb_cell(
+    name: str,
+    inputs: List[str],
+    sites: int,
+    intrinsic: float,
+    resistance: float,
+    input_cap: float,
+    leakage: float,
+    internal_energy: float,
+    cell_class: str,
+) -> MasterCell:
+    """Build a combinational cell with one output pin ``Y``."""
+    master = MasterCell(
+        name=name,
+        width=sites * SITE_WIDTH,
+        height=ROW_HEIGHT,
+        intrinsic_delay=intrinsic,
+        drive_resistance=resistance,
+        leakage_power=leakage,
+        internal_energy=internal_energy,
+        cell_class=cell_class,
+    )
+    for pin_name in inputs:
+        master.pins[pin_name] = _pin(pin_name, PinDirection.INPUT, input_cap)
+    master.pins["Y"] = _pin("Y", PinDirection.OUTPUT, 0.0)
+    return master
+
+
+def make_library() -> Dict[str, MasterCell]:
+    """Create the NanGate45-lite master-cell library.
+
+    Returns a dict keyed by cell name.  Drive strengths X1/X2/X4 scale
+    width up and drive resistance down, as in the real library.
+    """
+    masters: Dict[str, MasterCell] = {}
+
+    comb_templates: List[Tuple[str, List[str], int, float, str]] = [
+        # (base name, input pins, base sites, base intrinsic delay, class)
+        ("INV", ["A"], 3, 0.012, "inv"),
+        ("BUF", ["A"], 4, 0.020, "buf"),
+        ("NAND2", ["A", "B"], 4, 0.018, "logic"),
+        ("NOR2", ["A", "B"], 4, 0.020, "logic"),
+        ("AND2", ["A", "B"], 5, 0.026, "logic"),
+        ("OR2", ["A", "B"], 5, 0.028, "logic"),
+        ("AOI21", ["A", "B", "C"], 6, 0.024, "logic"),
+        ("OAI21", ["A", "B", "C"], 6, 0.025, "logic"),
+        ("XOR2", ["A", "B"], 7, 0.040, "arith"),
+        ("XNOR2", ["A", "B"], 7, 0.041, "arith"),
+        ("FA", ["A", "B", "CI"], 12, 0.055, "arith"),
+        ("HA", ["A", "B"], 9, 0.045, "arith"),
+        ("MUX2", ["A", "B", "S"], 8, 0.035, "mux"),
+    ]
+    for base, inputs, sites, intrinsic, cell_class in comb_templates:
+        for strength in (1, 2, 4):
+            name = f"{base}_X{strength}"
+            masters[name] = _comb_cell(
+                name=name,
+                inputs=inputs,
+                sites=sites + (strength - 1) * 2,
+                intrinsic=intrinsic * (1.0 + 0.1 * (strength - 1)),
+                resistance=0.0045 / strength,
+                input_cap=1.0 + 0.6 * (strength - 1),
+                leakage=8e-6 * strength,
+                internal_energy=0.35 * strength,
+                cell_class=cell_class,
+            )
+
+    for strength in (1, 2):
+        name = f"DFF_X{strength}"
+        dff = MasterCell(
+            name=name,
+            width=(17 + 3 * (strength - 1)) * SITE_WIDTH,
+            height=ROW_HEIGHT,
+            is_sequential=True,
+            clk_to_q=0.085 / (0.5 + 0.5 * strength),
+            setup_time=0.038,
+            hold_time=0.010,
+            drive_resistance=0.0045 / strength,
+            leakage_power=3.2e-5 * strength,
+            internal_energy=1.8 * strength,
+            cell_class="seq",
+        )
+        dff.pins["D"] = _pin("D", PinDirection.INPUT, 1.1)
+        dff.pins["CK"] = _pin("CK", PinDirection.INPUT, 0.8, clock=True)
+        dff.pins["Q"] = _pin("Q", PinDirection.OUTPUT, 0.0)
+        masters[name] = dff
+
+    ram = MasterCell(
+        name="RAM256X32",
+        width=48.0,
+        height=40.0,
+        is_macro=True,
+        is_sequential=True,
+        clk_to_q=0.35,
+        setup_time=0.12,
+        drive_resistance=0.002,
+        leakage_power=1.5e-2,
+        internal_energy=45.0,
+        cell_class="macro",
+    )
+    for i in range(8):
+        ram.pins[f"A{i}"] = _pin(f"A{i}", PinDirection.INPUT, 1.6)
+    for i in range(8):
+        ram.pins[f"D{i}"] = _pin(f"D{i}", PinDirection.INPUT, 1.6)
+    ram.pins["WE"] = _pin("WE", PinDirection.INPUT, 1.6)
+    ram.pins["CK"] = _pin("CK", PinDirection.INPUT, 2.5, clock=True)
+    for i in range(8):
+        ram.pins[f"Q{i}"] = _pin(f"Q{i}", PinDirection.OUTPUT, 0.0)
+    masters["RAM256X32"] = ram
+
+    return masters
+
+
+#: Sampling weights for the generator's combinational cell mix,
+#: loosely matching synthesised NanGate45 netlist composition.
+COMB_MIX: List[Tuple[str, float]] = [
+    ("INV_X1", 0.14),
+    ("INV_X2", 0.04),
+    ("BUF_X1", 0.06),
+    ("BUF_X2", 0.03),
+    ("NAND2_X1", 0.16),
+    ("NAND2_X2", 0.04),
+    ("NOR2_X1", 0.09),
+    ("AND2_X1", 0.07),
+    ("OR2_X1", 0.05),
+    ("AOI21_X1", 0.07),
+    ("OAI21_X1", 0.06),
+    ("XOR2_X1", 0.06),
+    ("XNOR2_X1", 0.03),
+    ("FA_X1", 0.03),
+    ("HA_X1", 0.02),
+    ("MUX2_X1", 0.05),
+]
+
+#: Flip-flop mix.
+SEQ_MIX: List[Tuple[str, float]] = [
+    ("DFF_X1", 0.85),
+    ("DFF_X2", 0.15),
+]

@@ -1,0 +1,230 @@
+"""Minimal reverse-mode autograd over NumPy arrays.
+
+Supports exactly the operations the Total-Cost GNN needs: dense
+matmul, sparse-dense matmul (fixed graph operator), broadcast add,
+ReLU, batch normalisation, segment mean pooling (graph readout over a
+batched block-diagonal graph), elementwise arithmetic and MSE loss.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+
+
+class Tensor:
+    """A NumPy array with gradient tracking.
+
+    Attributes:
+        data: The value (float64 ndarray).
+        grad: Accumulated gradient (same shape), populated by
+            :meth:`backward`.
+        requires_grad: Leaf tensors with True receive gradients.
+    """
+
+    def __init__(
+        self,
+        data,
+        requires_grad: bool = False,
+        parents: Tuple["Tensor", ...] = (),
+        backward_fn: Optional[Callable[[np.ndarray], None]] = None,
+    ) -> None:
+        self.data = np.asarray(data, dtype=float)
+        self.grad: Optional[np.ndarray] = None
+        self.requires_grad = requires_grad
+        self._parents = parents
+        self._backward_fn = backward_fn
+
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        """Shape of the underlying array."""
+        return self.data.shape
+
+    def _accumulate(self, grad: np.ndarray) -> None:
+        if self.grad is None:
+            self.grad = np.zeros_like(self.data)
+        self.grad += grad
+
+    def backward(self, grad: Optional[np.ndarray] = None) -> None:
+        """Backpropagate from this tensor (defaults to d(self)=1)."""
+        if grad is None:
+            grad = np.ones_like(self.data)
+        # Topological order over the computation graph.
+        topo: List[Tensor] = []
+        visited = set()
+
+        def visit(t: "Tensor") -> None:
+            if id(t) in visited:
+                return
+            visited.add(id(t))
+            for p in t._parents:
+                visit(p)
+            topo.append(t)
+
+        visit(self)
+        self._accumulate(np.asarray(grad, dtype=float))
+        for t in reversed(topo):
+            if t._backward_fn is not None and t.grad is not None:
+                t._backward_fn(t.grad)
+
+    def zero_grad(self) -> None:
+        """Clear the accumulated gradient."""
+        self.grad = None
+
+    def item(self) -> float:
+        """Scalar value of a 0-d / 1-element tensor."""
+        return float(self.data.reshape(-1)[0])
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Tensor(shape={self.shape}, grad={'set' if self.grad is not None else 'None'})"
+
+
+# ----------------------------------------------------------------------
+# Operations
+# ----------------------------------------------------------------------
+def matmul(a: Tensor, b: Tensor) -> Tensor:
+    """Dense matrix product ``a @ b``."""
+    out_data = a.data @ b.data
+
+    def backward(grad: np.ndarray) -> None:
+        a._accumulate(grad @ b.data.T)
+        b._accumulate(a.data.T @ grad)
+
+    return Tensor(out_data, parents=(a, b), backward_fn=backward)
+
+
+def spmm(operator: sp.spmatrix, x: Tensor) -> Tensor:
+    """Fixed sparse operator times dense tensor: ``S @ x``.
+
+    The operator (the normalised graph adjacency) carries no gradient.
+    """
+    op = operator.tocsr()
+    out_data = op @ x.data
+
+    def backward(grad: np.ndarray) -> None:
+        x._accumulate(op.T @ grad)
+
+    return Tensor(out_data, parents=(x,), backward_fn=backward)
+
+
+def add(a: Tensor, b: Tensor) -> Tensor:
+    """Broadcast addition (e.g. matrix + bias row)."""
+    out_data = a.data + b.data
+
+    def backward(grad: np.ndarray) -> None:
+        a._accumulate(_unbroadcast(grad, a.data.shape))
+        b._accumulate(_unbroadcast(grad, b.data.shape))
+
+    return Tensor(out_data, parents=(a, b), backward_fn=backward)
+
+
+def _unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
+    """Sum a broadcast gradient back to the original shape."""
+    while grad.ndim > len(shape):
+        grad = grad.sum(axis=0)
+    for axis, size in enumerate(shape):
+        if size == 1 and grad.shape[axis] != 1:
+            grad = grad.sum(axis=axis, keepdims=True)
+    return grad
+
+
+def relu(x: Tensor) -> Tensor:
+    """Rectified linear unit."""
+    mask = x.data > 0
+    out_data = x.data * mask
+
+    def backward(grad: np.ndarray) -> None:
+        x._accumulate(grad * mask)
+
+    return Tensor(out_data, parents=(x,), backward_fn=backward)
+
+
+def batchnorm(
+    x: Tensor,
+    gamma: Tensor,
+    beta: Tensor,
+    running: Optional[dict] = None,
+    momentum: float = 0.1,
+    eps: float = 1e-5,
+    training: bool = True,
+) -> Tensor:
+    """Batch normalisation over axis 0 with the standard backward.
+
+    ``running`` is a dict holding "mean"/"var" updated in training and
+    used verbatim in eval mode.
+    """
+    if training:
+        mean = x.data.mean(axis=0)
+        var = x.data.var(axis=0)
+        if running is not None:
+            running["mean"] = (1 - momentum) * running["mean"] + momentum * mean
+            running["var"] = (1 - momentum) * running["var"] + momentum * var
+    else:
+        mean = running["mean"] if running is not None else x.data.mean(axis=0)
+        var = running["var"] if running is not None else x.data.var(axis=0)
+
+    inv_std = 1.0 / np.sqrt(var + eps)
+    x_hat = (x.data - mean) * inv_std
+    out_data = gamma.data * x_hat + beta.data
+
+    def backward(grad: np.ndarray) -> None:
+        n = x.data.shape[0]
+        gamma._accumulate((grad * x_hat).sum(axis=0))
+        beta._accumulate(grad.sum(axis=0))
+        if training and n > 1:
+            dx_hat = grad * gamma.data
+            dvar_term = (dx_hat * x_hat).mean(axis=0)
+            dmean_term = dx_hat.mean(axis=0)
+            dx = inv_std * (dx_hat - dmean_term - x_hat * dvar_term)
+        else:
+            dx = grad * gamma.data * inv_std
+        x._accumulate(dx)
+
+    return Tensor(out_data, parents=(x, gamma, beta), backward_fn=backward)
+
+
+def segment_mean(x: Tensor, segments: np.ndarray, num_segments: int) -> Tensor:
+    """Mean of rows grouped by segment id (graph readout).
+
+    Args:
+        x: (n, d) node embeddings.
+        segments: (n,) graph id per node.
+        num_segments: Number of graphs in the batch.
+    """
+    segments = np.asarray(segments, dtype=np.int64)
+    counts = np.bincount(segments, minlength=num_segments).astype(float)
+    counts = np.maximum(counts, 1.0)
+    out_data = np.zeros((num_segments, x.data.shape[1]))
+    np.add.at(out_data, segments, x.data)
+    out_data /= counts[:, None]
+
+    def backward(grad: np.ndarray) -> None:
+        x._accumulate(grad[segments] / counts[segments][:, None])
+
+    return Tensor(out_data, parents=(x,), backward_fn=backward)
+
+
+def mse_loss(pred: Tensor, target: np.ndarray) -> Tensor:
+    """Mean squared error against a constant target."""
+    target = np.asarray(target, dtype=float).reshape(pred.data.shape)
+    diff = pred.data - target
+    out_data = np.array((diff**2).mean())
+
+    def backward(grad: np.ndarray) -> None:
+        scale = 2.0 / diff.size
+        pred._accumulate(grad * scale * diff)
+
+    return Tensor(out_data, parents=(pred,), backward_fn=backward)
+
+
+def add_tensors(tensors: Sequence[Tensor]) -> Tensor:
+    """Sum of same-shaped tensors (branch accumulation)."""
+    out_data = sum(t.data for t in tensors)
+
+    def backward(grad: np.ndarray) -> None:
+        for t in tensors:
+            t._accumulate(grad)
+
+    return Tensor(out_data, parents=tuple(tensors), backward_fn=backward)

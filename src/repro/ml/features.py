@@ -1,0 +1,348 @@
+"""Node feature extraction for the Total-Cost GNN (Section 3.2).
+
+Reproduces the paper's 28 features per node — 2 design parameters
+(floorplan utilization and aspect ratio), 17 cluster-level features
+(broadcast to every node) and 9 cell-level features — with the
+categorical "cell type" one-hot encoded over the 8 cell classes, which
+yields the model's 35-dimensional input (matching the paper's reported
+input layer width).
+
+Exact betweenness/closeness/eccentricity are O(nm) per graph; the
+paper computes them offline for its training corpus.  We use
+pivot-BFS approximations (documented per feature) so the ML-accelerated
+selector stays fast at flow time; the approximation pivots are
+deterministic.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.core.shapes import ShapeCandidate
+from repro.netlist.design import Design
+from repro.netlist.hypergraph import Hypergraph
+from repro.ml.layers import normalized_adjacency
+
+#: Input width of the convolution branches: 2 design params +
+#: 17 cluster-level + 8 numeric cell-level + 8 one-hot cell classes.
+NUM_NODE_FEATURES = 35
+
+#: BFS pivots used by the centrality / distance approximations.
+NUM_PIVOTS = 16
+
+
+@dataclass
+class GraphSample:
+    """One (cluster graph, shape candidate) model input.
+
+    Attributes:
+        features: (n, 35) node feature matrix.
+        operator: Normalised adjacency (GCN operator).
+        label: Total Cost label (NaN when unlabelled).
+        num_nodes: Node count.
+    """
+
+    features: np.ndarray
+    operator: sp.csr_matrix
+    label: float = float("nan")
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of nodes."""
+        return self.features.shape[0]
+
+    def with_shape(self, candidate: ShapeCandidate) -> "GraphSample":
+        """Copy with the design-parameter features replaced."""
+        features = self.features.copy()
+        features[:, 0] = candidate.utilization
+        features[:, 1] = candidate.aspect_ratio
+        return GraphSample(features=features, operator=self.operator, label=self.label)
+
+    def with_label(self, label: float) -> "GraphSample":
+        """Copy with the label set."""
+        return GraphSample(
+            features=self.features, operator=self.operator, label=float(label)
+        )
+
+
+class FeatureExtractor:
+    """Computes the 35-dim node features of a cluster sub-netlist."""
+
+    def __init__(self, num_pivots: int = NUM_PIVOTS, seed: int = 0) -> None:
+        self.num_pivots = num_pivots
+        self.seed = seed
+
+    # ------------------------------------------------------------------
+    def extract(
+        self,
+        sub: Design,
+        candidate: Optional[ShapeCandidate] = None,
+    ) -> GraphSample:
+        """Extract features for a sub-netlist (ports excluded).
+
+        Args:
+            sub: The cluster sub-netlist (from V-P&R extraction).
+            candidate: Shape filling the two design-parameter features;
+                None leaves them zero (set later via ``with_shape``).
+        """
+        hgraph = Hypergraph.from_design(sub)
+        n = hgraph.num_vertices
+        rows, cols, weights = hgraph.clique_expansion()
+        operator = normalized_adjacency(rows, cols, weights, n)
+
+        adjacency = _adjacency_lists(n, rows, cols)
+        degrees = np.array([len(a) for a in adjacency], dtype=float)
+
+        cluster_feats = self._cluster_features(sub, hgraph, adjacency, degrees)
+        cell_feats = self._cell_features(sub, adjacency, degrees)
+
+        features = np.zeros((n, NUM_NODE_FEATURES))
+        if candidate is not None:
+            features[:, 0] = candidate.utilization
+            features[:, 1] = candidate.aspect_ratio
+        features[:, 2:19] = cluster_feats[None, :]
+        features[:, 19:27] = cell_feats
+        # One-hot cell class (8 classes).
+        class_index = {name: i for i, name in enumerate(Design.CELL_CLASSES)}
+        for inst in sub.instances:
+            col = 27 + class_index.get(inst.master.cell_class, 0)
+            features[inst.index, col] = 1.0
+        return GraphSample(features=features, operator=operator)
+
+    # ------------------------------------------------------------------
+    def _cluster_features(
+        self,
+        sub: Design,
+        hgraph: Hypergraph,
+        adjacency: List[np.ndarray],
+        degrees: np.ndarray,
+    ) -> np.ndarray:
+        """The 17 cluster-level features."""
+        n = max(1, hgraph.num_vertices)
+        num_nets = len(sub.nets)
+        num_pins = hgraph.num_pins
+        fanouts = [net.fanout for net in sub.nets if net.degree >= 2]
+        nets_f5_10 = sum(1 for f in fanouts if 5 <= f <= 10)
+        nets_f10 = sum(1 for f in fanouts if f > 10)
+        border_nets = sum(1 for net in sub.nets if net.touches_port())
+        internal_nets = num_nets - border_nets
+        total_area = sub.total_cell_area()
+        avg_cell_degree = float(degrees.mean()) if len(degrees) else 0.0
+        net_degrees = [net.degree for net in sub.nets if net.degree >= 2]
+        avg_net_degree = float(np.mean(net_degrees)) if net_degrees else 0.0
+        clustering_coeffs = _clustering_coefficients(adjacency)
+        avg_clustering = float(clustering_coeffs.mean()) if n else 0.0
+        num_edges = sum(len(a) for a in adjacency) / 2
+        density = 2.0 * num_edges / (n * (n - 1)) if n > 1 else 0.0
+
+        ecc, efficiency = self._pivot_bfs_stats(adjacency)
+        diameter = float(ecc.max()) if len(ecc) else 0.0
+        radius = float(ecc[ecc > 0].min()) if (ecc > 0).any() else 0.0
+        edge_connectivity = float(degrees.min()) if len(degrees) else 0.0
+        colors = _greedy_coloring(adjacency, degrees)
+
+        return np.array(
+            [
+                n,
+                num_nets,
+                num_pins,
+                nets_f5_10,
+                nets_f10,
+                internal_nets,
+                border_nets,
+                total_area,
+                avg_cell_degree,
+                avg_net_degree,
+                avg_clustering,
+                density,
+                diameter,
+                radius,
+                edge_connectivity,
+                colors,
+                efficiency,
+            ],
+            dtype=float,
+        )
+
+    def _cell_features(
+        self,
+        sub: Design,
+        adjacency: List[np.ndarray],
+        degrees: np.ndarray,
+    ) -> np.ndarray:
+        """The 8 numeric cell-level features per node."""
+        n = len(adjacency)
+        areas = np.array([inst.area for inst in sub.instances])
+        avg_nbr_degree = np.zeros(n)
+        for v in range(n):
+            if len(adjacency[v]):
+                avg_nbr_degree[v] = degrees[adjacency[v]].mean()
+        betweenness, closeness, ecc = self._pivot_centralities(adjacency)
+        degree_centrality = degrees / max(1, n - 1)
+        clustering = _clustering_coefficients(adjacency)
+        out = np.zeros((n, 8))
+        out[:, 0] = areas
+        out[:, 1] = degrees
+        out[:, 2] = avg_nbr_degree
+        out[:, 3] = betweenness
+        out[:, 4] = closeness
+        out[:, 5] = degree_centrality
+        out[:, 6] = clustering
+        out[:, 7] = ecc
+        return out
+
+    # ------------------------------------------------------------------
+    def _pivots(self, n: int) -> np.ndarray:
+        rng = np.random.default_rng(self.seed)
+        k = min(self.num_pivots, n)
+        return rng.choice(n, size=k, replace=False) if n else np.zeros(0, dtype=int)
+
+    def _pivot_bfs_stats(
+        self, adjacency: List[np.ndarray]
+    ) -> Tuple[np.ndarray, float]:
+        """Eccentricity lower bounds + mean global efficiency estimate
+        from BFS at a deterministic pivot sample."""
+        n = len(adjacency)
+        ecc = np.zeros(n)
+        inv_dist_sum = 0.0
+        pairs = 0
+        for pivot in self._pivots(n):
+            dist = _bfs(adjacency, int(pivot))
+            reachable = dist >= 0
+            if reachable.any():
+                ecc = np.maximum(ecc, np.where(reachable, dist, 0))
+            finite = dist[(dist > 0)]
+            inv_dist_sum += float((1.0 / finite).sum())
+            pairs += max(0, n - 1)
+        efficiency = inv_dist_sum / pairs if pairs else 0.0
+        return ecc, efficiency
+
+    def _pivot_centralities(
+        self, adjacency: List[np.ndarray]
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Approximate betweenness / closeness / eccentricity.
+
+        Brandes-sampled betweenness over the pivot set; closeness as
+        (reachable count) / (distance sum) from the pivots; per-node
+        eccentricity as the max pivot distance.
+        """
+        n = len(adjacency)
+        betweenness = np.zeros(n)
+        dist_sums = np.zeros(n)
+        reach_counts = np.zeros(n)
+        ecc = np.zeros(n)
+        pivots = self._pivots(n)
+        for pivot in pivots:
+            dist, order, sigma, parents = _bfs_brandes(adjacency, int(pivot))
+            reachable = dist >= 0
+            dist_sums += np.where(reachable, dist, 0)
+            reach_counts += reachable
+            ecc = np.maximum(ecc, np.where(reachable, dist, 0))
+            delta = np.zeros(n)
+            for v in reversed(order):
+                for u in parents[v]:
+                    delta[u] += sigma[u] / sigma[v] * (1 + delta[v])
+                if v != pivot:
+                    betweenness[v] += delta[v]
+        if len(pivots):
+            betweenness /= len(pivots)
+            with np.errstate(divide="ignore", invalid="ignore"):
+                closeness = np.where(dist_sums > 0, reach_counts / dist_sums, 0.0)
+        else:
+            closeness = np.zeros(n)
+        return betweenness, closeness, ecc
+
+
+# ----------------------------------------------------------------------
+# Graph helpers
+# ----------------------------------------------------------------------
+def _adjacency_lists(
+    n: int, rows: np.ndarray, cols: np.ndarray
+) -> List[np.ndarray]:
+    """Unweighted adjacency lists from edge arrays."""
+    lists: List[List[int]] = [[] for _ in range(n)]
+    for u, v in zip(rows, cols):
+        lists[int(u)].append(int(v))
+        lists[int(v)].append(int(u))
+    return [np.array(sorted(set(a)), dtype=np.int64) for a in lists]
+
+
+def _bfs(adjacency: List[np.ndarray], source: int) -> np.ndarray:
+    """BFS distances (-1 unreachable)."""
+    n = len(adjacency)
+    dist = np.full(n, -1, dtype=np.int64)
+    dist[source] = 0
+    queue = deque([source])
+    while queue:
+        u = queue.popleft()
+        for v in adjacency[u]:
+            if dist[v] < 0:
+                dist[v] = dist[u] + 1
+                queue.append(int(v))
+    return dist
+
+
+def _bfs_brandes(
+    adjacency: List[np.ndarray], source: int
+) -> Tuple[np.ndarray, List[int], np.ndarray, List[List[int]]]:
+    """Brandes BFS stage: distances, visit order, path counts, preds."""
+    n = len(adjacency)
+    dist = np.full(n, -1, dtype=np.int64)
+    sigma = np.zeros(n)
+    parents: List[List[int]] = [[] for _ in range(n)]
+    dist[source] = 0
+    sigma[source] = 1.0
+    order: List[int] = []
+    queue = deque([source])
+    while queue:
+        u = queue.popleft()
+        order.append(u)
+        for v in adjacency[u]:
+            if dist[v] < 0:
+                dist[v] = dist[u] + 1
+                queue.append(int(v))
+            if dist[v] == dist[u] + 1:
+                sigma[v] += sigma[u]
+                parents[int(v)].append(u)
+    return dist, order, sigma, parents
+
+
+def _clustering_coefficients(adjacency: List[np.ndarray]) -> np.ndarray:
+    """Local clustering coefficient per node (exact)."""
+    n = len(adjacency)
+    out = np.zeros(n)
+    neighbor_sets = [set(a.tolist()) for a in adjacency]
+    for v in range(n):
+        neighbors = adjacency[v]
+        k = len(neighbors)
+        if k < 2:
+            continue
+        links = 0
+        for i in range(k):
+            set_i = neighbor_sets[neighbors[i]]
+            for j in range(i + 1, k):
+                if int(neighbors[j]) in set_i:
+                    links += 1
+        out[v] = 2.0 * links / (k * (k - 1))
+    return out
+
+
+def _greedy_coloring(adjacency: List[np.ndarray], degrees: np.ndarray) -> float:
+    """Number of colors used by largest-degree-first greedy coloring."""
+    n = len(adjacency)
+    order = np.argsort(-degrees)
+    color = np.full(n, -1, dtype=np.int64)
+    max_color = -1
+    for v in order:
+        used = {int(color[u]) for u in adjacency[v] if color[u] >= 0}
+        c = 0
+        while c in used:
+            c += 1
+        color[v] = c
+        max_color = max(max_color, c)
+    return float(max_color + 1) if n else 0.0

@@ -1,0 +1,107 @@
+"""Neural layers of the Total-Cost GNN (Figure 4)."""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.ml.autograd import (
+    Tensor,
+    add,
+    add_tensors,
+    batchnorm,
+    matmul,
+    relu,
+    spmm,
+)
+
+
+class Linear:
+    """Dense layer ``y = x W + b`` with Glorot initialisation."""
+
+    def __init__(self, in_dim: int, out_dim: int, rng: np.random.Generator) -> None:
+        scale = np.sqrt(6.0 / (in_dim + out_dim))
+        self.weight = Tensor(
+            rng.uniform(-scale, scale, (in_dim, out_dim)), requires_grad=True
+        )
+        self.bias = Tensor(np.zeros(out_dim), requires_grad=True)
+
+    def __call__(self, x: Tensor) -> Tensor:
+        return add(matmul(x, self.weight), self.bias)
+
+    def parameters(self) -> List[Tensor]:
+        """Trainable tensors."""
+        return [self.weight, self.bias]
+
+
+class BatchNorm:
+    """Batch normalisation with running statistics."""
+
+    def __init__(self, dim: int) -> None:
+        self.gamma = Tensor(np.ones(dim), requires_grad=True)
+        self.beta = Tensor(np.zeros(dim), requires_grad=True)
+        self.running = {"mean": np.zeros(dim), "var": np.ones(dim)}
+        self.training = True
+
+    def __call__(self, x: Tensor) -> Tensor:
+        return batchnorm(
+            x, self.gamma, self.beta, running=self.running, training=self.training
+        )
+
+    def parameters(self) -> List[Tensor]:
+        """Trainable tensors."""
+        return [self.gamma, self.beta]
+
+
+class GraphConvBlock:
+    """One convolution block of Figure 4.
+
+    Hypergraph convolution in the clique-expanded form of [3]/[16]:
+    ``X' = A_norm (X W)`` followed by batch norm, ReLU, and a skip
+    connection when input and output dimensions match.
+    """
+
+    def __init__(self, in_dim: int, out_dim: int, rng: np.random.Generator) -> None:
+        self.linear = Linear(in_dim, out_dim, rng)
+        self.bn = BatchNorm(out_dim)
+        self.use_skip = in_dim == out_dim
+
+    def __call__(self, x: Tensor, operator: sp.spmatrix) -> Tensor:
+        h = spmm(operator, self.linear(x))
+        h = self.bn(h)
+        h = relu(h)
+        if self.use_skip:
+            h = add_tensors([h, x])
+        return h
+
+    def parameters(self) -> List[Tensor]:
+        """Trainable tensors."""
+        return self.linear.parameters() + self.bn.parameters()
+
+    def set_training(self, training: bool) -> None:
+        """Toggle batch-norm mode."""
+        self.bn.training = training
+
+
+def normalized_adjacency(
+    rows: np.ndarray,
+    cols: np.ndarray,
+    weights: np.ndarray,
+    num_vertices: int,
+) -> sp.csr_matrix:
+    """Symmetric GCN operator ``D^-1/2 (A + I) D^-1/2``.
+
+    ``rows``/``cols``/``weights`` describe each undirected edge once.
+    """
+    all_rows = np.concatenate([rows, cols, np.arange(num_vertices)])
+    all_cols = np.concatenate([cols, rows, np.arange(num_vertices)])
+    all_w = np.concatenate([weights, weights, np.ones(num_vertices)])
+    adjacency = sp.coo_matrix(
+        (all_w, (all_rows, all_cols)), shape=(num_vertices, num_vertices)
+    ).tocsr()
+    degree = np.asarray(adjacency.sum(axis=1)).ravel()
+    inv_sqrt = 1.0 / np.sqrt(np.maximum(degree, 1e-12))
+    d_mat = sp.diags(inv_sqrt)
+    return (d_mat @ adjacency @ d_mat).tocsr()

@@ -1,0 +1,50 @@
+"""Adam optimiser."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.ml.autograd import Tensor
+
+
+class Adam:
+    """Adam [Kingma-Ba] over a list of parameter tensors."""
+
+    def __init__(
+        self,
+        parameters: Sequence[Tensor],
+        lr: float = 1e-3,
+        betas: tuple = (0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ) -> None:
+        self.parameters = list(parameters)
+        self.lr = lr
+        self.beta1, self.beta2 = betas
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self._m: List[np.ndarray] = [np.zeros_like(p.data) for p in self.parameters]
+        self._v: List[np.ndarray] = [np.zeros_like(p.data) for p in self.parameters]
+        self._t = 0
+
+    def step(self) -> None:
+        """Apply one update from the accumulated gradients."""
+        self._t += 1
+        for i, p in enumerate(self.parameters):
+            if p.grad is None:
+                continue
+            grad = p.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * p.data
+            self._m[i] = self.beta1 * self._m[i] + (1 - self.beta1) * grad
+            self._v[i] = self.beta2 * self._v[i] + (1 - self.beta2) * grad**2
+            m_hat = self._m[i] / (1 - self.beta1**self._t)
+            v_hat = self._v[i] / (1 - self.beta2**self._t)
+            p.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+    def zero_grad(self) -> None:
+        """Clear gradients of all parameters."""
+        for p in self.parameters:
+            p.zero_grad()

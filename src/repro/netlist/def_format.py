@@ -1,0 +1,161 @@
+"""DEF lite reader / writer.
+
+The paper's input .def provides the floorplan bounding box, pin
+placements and macro preplacements (footnote 1).  This module
+round-trips exactly that subset: DIEAREA, PINS with fixed locations, and
+COMPONENTS with optional FIXED/PLACED locations.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.netlist.design import Design, Floorplan, PinDirection
+
+#: DEF distance units per micron used by the writer.
+DEF_UNITS = 1000
+
+
+@dataclass
+class DefComponent:
+    """One COMPONENTS entry: instance name, master, optional location."""
+
+    name: str
+    master: str
+    location: Optional[Tuple[float, float]] = None
+    fixed: bool = False
+
+
+@dataclass
+class DefPin:
+    """One PINS entry: port name, direction and fixed location."""
+
+    name: str
+    direction: PinDirection
+    location: Tuple[float, float] = (0.0, 0.0)
+
+
+@dataclass
+class DefDesign:
+    """Parsed DEF contents."""
+
+    name: str
+    die: Tuple[float, float, float, float] = (0.0, 0.0, 100.0, 100.0)
+    components: List[DefComponent] = field(default_factory=list)
+    pins: List[DefPin] = field(default_factory=list)
+
+
+_DIEAREA_RE = re.compile(
+    r"DIEAREA\s*\(\s*([\d.-]+)\s+([\d.-]+)\s*\)\s*\(\s*([\d.-]+)\s+([\d.-]+)\s*\)"
+)
+_COMPONENT_RE = re.compile(
+    r"-\s+(\S+)\s+(\S+)"
+    r"(?:\s+\+\s+(FIXED|PLACED)\s+\(\s*([\d.-]+)\s+([\d.-]+)\s*\)\s*\w*)?"
+)
+_PIN_RE = re.compile(
+    r"-\s+(\S+)\s+\+\s+DIRECTION\s+(INPUT|OUTPUT|INOUT)"
+    r"(?:\s+\+\s+(?:FIXED|PLACED)\s+\(\s*([\d.-]+)\s+([\d.-]+)\s*\)\s*\w*)?"
+)
+_UNITS_RE = re.compile(r"UNITS\s+DISTANCE\s+MICRONS\s+(\d+)")
+
+
+def parse_def(text: str) -> DefDesign:
+    """Parse DEF-lite text."""
+    name_match = re.search(r"DESIGN\s+(\S+)\s*;", text)
+    if name_match is None:
+        raise ValueError("DEF missing DESIGN statement")
+    result = DefDesign(name=name_match.group(1))
+    units_match = _UNITS_RE.search(text)
+    units = float(units_match.group(1)) if units_match else float(DEF_UNITS)
+
+    die_match = _DIEAREA_RE.search(text)
+    if die_match:
+        vals = [float(v) / units for v in die_match.groups()]
+        result.die = (vals[0], vals[1], vals[2], vals[3])
+
+    comp_section = _section(text, "COMPONENTS")
+    if comp_section:
+        for match in _COMPONENT_RE.finditer(comp_section):
+            name, master, state, x, y = match.groups()
+            loc = (float(x) / units, float(y) / units) if x is not None else None
+            result.components.append(
+                DefComponent(name, master, location=loc, fixed=state == "FIXED")
+            )
+
+    pin_section = _section(text, "PINS")
+    if pin_section:
+        for match in _PIN_RE.finditer(pin_section):
+            name, direction, x, y = match.groups()
+            loc = (0.0, 0.0)
+            if x is not None:
+                loc = (float(x) / units, float(y) / units)
+            result.pins.append(
+                DefPin(name, PinDirection[direction], location=loc)
+            )
+    return result
+
+
+def _section(text: str, keyword: str) -> Optional[str]:
+    """Extract the body between ``KEYWORD n ;`` and ``END KEYWORD``."""
+    match = re.search(
+        rf"{keyword}\s+\d+\s*;(.*?)END\s+{keyword}", text, re.DOTALL
+    )
+    if match is None:
+        return None
+    return match.group(1)
+
+
+def write_def(design: Design) -> str:
+    """Serialise a design's floorplan/placement to DEF-lite text."""
+    fp = design.floorplan
+    u = DEF_UNITS
+    lines: List[str] = [
+        "VERSION 5.8 ;",
+        'DIVIDERCHAR "/" ;',
+        'BUSBITCHARS "[]" ;',
+        f"DESIGN {design.name} ;",
+        f"UNITS DISTANCE MICRONS {u} ;",
+        f"DIEAREA ( 0 0 ) ( {int(fp.die_width * u)} {int(fp.die_height * u)} ) ;",
+        "",
+        f"COMPONENTS {design.num_instances} ;",
+    ]
+    for inst in design.instances:
+        state = "FIXED" if inst.fixed else "PLACED"
+        lines.append(
+            f"- {inst.name} {inst.master.name} + {state} "
+            f"( {int(inst.x * u)} {int(inst.y * u)} ) N ;"
+        )
+    lines.append("END COMPONENTS")
+    lines.append("")
+    lines.append(f"PINS {len(design.ports)} ;")
+    for port in design.ports.values():
+        lines.append(
+            f"- {port.name} + DIRECTION {port.direction.name} "
+            f"+ FIXED ( {int(port.x * u)} {int(port.y * u)} ) N ;"
+        )
+    lines.append("END PINS")
+    lines.append("END DESIGN")
+    return "\n".join(lines) + "\n"
+
+
+def apply_def(design: Design, parsed: DefDesign) -> None:
+    """Apply a parsed DEF (floorplan, pin and macro locations) to a design."""
+    llx, lly, urx, ury = parsed.die
+    design.floorplan = Floorplan(
+        die_width=urx - llx,
+        die_height=ury - lly,
+        core_margin=design.floorplan.core_margin,
+        row_height=design.floorplan.row_height,
+        target_utilization=design.floorplan.target_utilization,
+    )
+    for pin in parsed.pins:
+        if pin.name in design.ports:
+            port = design.ports[pin.name]
+            port.x, port.y = pin.location
+    for comp in parsed.components:
+        if design.has_instance(comp.name) and comp.location is not None:
+            inst = design.instance(comp.name)
+            inst.x, inst.y = comp.location
+            inst.fixed = comp.fixed

@@ -1,0 +1,235 @@
+"""Immutable hypergraph view of a netlist.
+
+Every clustering algorithm in this package (the paper's PPA-aware
+multilevel FC as well as the Louvain/Leiden/Best-Choice baselines)
+operates on this flat, index-based view rather than on the object model,
+mirroring how TritonPart consumes an OpenDB design.
+
+Vertices are instance indices ``0..n-1``.  Hyperedges are tuples of
+distinct vertex indices; nets reduced to fewer than two distinct
+vertices (for example a net between one instance and a port) are kept
+only when they still connect two or more vertices, but the mapping back
+to net indices is preserved so timing and switching annotations can be
+attached.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.netlist.design import Design
+
+
+class Hypergraph:
+    """A weighted hypergraph with per-vertex areas.
+
+    Attributes:
+        num_vertices: Number of vertices.
+        edges: List of hyperedges; each is a tuple of distinct vertex ids.
+        edge_weights: ndarray of float weights, one per hyperedge.
+        vertex_areas: ndarray of float areas, one per vertex.
+        edge_net_indices: For hypergraphs built from a design, the index
+            of the originating net for each hyperedge (else -1).
+    """
+
+    def __init__(
+        self,
+        num_vertices: int,
+        edges: Sequence[Sequence[int]],
+        edge_weights: Optional[Sequence[float]] = None,
+        vertex_areas: Optional[Sequence[float]] = None,
+        edge_net_indices: Optional[Sequence[int]] = None,
+    ) -> None:
+        self.num_vertices = int(num_vertices)
+        self.edges: List[Tuple[int, ...]] = [tuple(e) for e in edges]
+        if edge_weights is None:
+            self.edge_weights = np.ones(len(self.edges))
+        else:
+            self.edge_weights = np.asarray(edge_weights, dtype=float)
+        if vertex_areas is None:
+            self.vertex_areas = np.ones(self.num_vertices)
+        else:
+            self.vertex_areas = np.asarray(vertex_areas, dtype=float)
+        if edge_net_indices is None:
+            self.edge_net_indices = np.full(len(self.edges), -1, dtype=np.int64)
+        else:
+            self.edge_net_indices = np.asarray(edge_net_indices, dtype=np.int64)
+        if len(self.edge_weights) != len(self.edges):
+            raise ValueError("edge_weights length mismatch")
+        if len(self.vertex_areas) != self.num_vertices:
+            raise ValueError("vertex_areas length mismatch")
+        self._incidence: Optional[List[List[int]]] = None
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_design(
+        cls,
+        design: Design,
+        include_clock_nets: bool = False,
+        max_edge_degree: Optional[int] = None,
+    ) -> "Hypergraph":
+        """Build the hypergraph over a design's instances.
+
+        Args:
+            design: Source design.
+            include_clock_nets: When False (the default, matching the
+                paper's flow) clock nets are dropped; they would
+                otherwise connect every flip-flop into one giant edge.
+            max_edge_degree: Nets with more distinct vertices than this
+                are skipped (a standard guard against degenerate
+                high-fanout nets); None keeps everything.
+        """
+        edges: List[Tuple[int, ...]] = []
+        weights: List[float] = []
+        net_indices: List[int] = []
+        for net in design.nets:
+            if net.is_clock and not include_clock_nets:
+                continue
+            vertex_ids = sorted({inst.index for inst in net.instances()})
+            if len(vertex_ids) < 2:
+                continue
+            if max_edge_degree is not None and len(vertex_ids) > max_edge_degree:
+                continue
+            edges.append(tuple(vertex_ids))
+            weights.append(net.weight)
+            net_indices.append(net.index)
+        areas = [inst.area for inst in design.instances]
+        return cls(
+            design.num_instances,
+            edges,
+            edge_weights=weights,
+            vertex_areas=areas,
+            edge_net_indices=net_indices,
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def num_edges(self) -> int:
+        """Number of hyperedges."""
+        return len(self.edges)
+
+    @property
+    def num_pins(self) -> int:
+        """Total pin count (sum of hyperedge degrees)."""
+        return sum(len(e) for e in self.edges)
+
+    def incidence(self) -> List[List[int]]:
+        """Per-vertex lists of incident hyperedge indices (cached)."""
+        if self._incidence is None:
+            inc: List[List[int]] = [[] for _ in range(self.num_vertices)]
+            for ei, edge in enumerate(self.edges):
+                for v in edge:
+                    inc[v].append(ei)
+            self._incidence = inc
+        return self._incidence
+
+    def vertex_degrees(self) -> np.ndarray:
+        """Number of incident hyperedges per vertex."""
+        deg = np.zeros(self.num_vertices, dtype=np.int64)
+        for edge in self.edges:
+            for v in edge:
+                deg[v] += 1
+        return deg
+
+    def neighbors(self, v: int) -> List[int]:
+        """Distinct vertices sharing at least one hyperedge with ``v``."""
+        seen = set()
+        for ei in self.incidence()[v]:
+            for u in self.edges[ei]:
+                if u != v:
+                    seen.add(u)
+        return sorted(seen)
+
+    # ------------------------------------------------------------------
+    def clique_expansion(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Standard clique expansion with weight ``w_e / (|e| - 1)``.
+
+        Returns COO-style arrays ``(rows, cols, weights)`` of the
+        resulting undirected graph with each pair emitted once
+        (row < col), merging parallel edges by weight summation.  This
+        is the graph representation fed to the GNN (Section 3.2) and to
+        the Louvain/Leiden baselines.
+        """
+        pair_weights: Dict[Tuple[int, int], float] = {}
+        for ei, edge in enumerate(self.edges):
+            k = len(edge)
+            if k < 2:
+                continue
+            w = self.edge_weights[ei] / (k - 1)
+            for a in range(k):
+                for b in range(a + 1, k):
+                    u, v = edge[a], edge[b]
+                    key = (u, v) if u < v else (v, u)
+                    pair_weights[key] = pair_weights.get(key, 0.0) + w
+        if not pair_weights:
+            empty = np.zeros(0)
+            return empty.astype(np.int64), empty.astype(np.int64), empty
+        keys = sorted(pair_weights)
+        rows = np.array([k[0] for k in keys], dtype=np.int64)
+        cols = np.array([k[1] for k in keys], dtype=np.int64)
+        weights = np.array([pair_weights[k] for k in keys])
+        return rows, cols, weights
+
+    # ------------------------------------------------------------------
+    def contract(
+        self, cluster_of: Sequence[int]
+    ) -> Tuple["Hypergraph", List[List[int]]]:
+        """Contract vertices into clusters, producing the coarse graph.
+
+        Args:
+            cluster_of: For each vertex, its cluster id in ``0..k-1``.
+
+        Returns:
+            A pair ``(coarse, members)`` where ``coarse`` is the
+            contracted hypergraph over ``k`` vertices (parallel edges
+            merged by weight summation; edges internal to one cluster
+            dropped) and ``members[c]`` lists the fine vertices of
+            cluster ``c``.
+        """
+        cluster_of = np.asarray(cluster_of, dtype=np.int64)
+        if len(cluster_of) != self.num_vertices:
+            raise ValueError("cluster_of length mismatch")
+        k = int(cluster_of.max()) + 1 if self.num_vertices else 0
+        members: List[List[int]] = [[] for _ in range(k)]
+        for v, c in enumerate(cluster_of):
+            members[int(c)].append(v)
+        areas = np.zeros(k)
+        np.add.at(areas, cluster_of, self.vertex_areas)
+        merged: Dict[Tuple[int, ...], float] = {}
+        for ei, edge in enumerate(self.edges):
+            coarse_edge = tuple(sorted({int(cluster_of[v]) for v in edge}))
+            if len(coarse_edge) < 2:
+                continue
+            merged[coarse_edge] = merged.get(coarse_edge, 0.0) + float(
+                self.edge_weights[ei]
+            )
+        edges = list(merged.keys())
+        weights = [merged[e] for e in edges]
+        coarse = Hypergraph(k, edges, edge_weights=weights, vertex_areas=areas)
+        return coarse, members
+
+    # ------------------------------------------------------------------
+    def external_edges(self, cluster_of: Sequence[int]) -> np.ndarray:
+        """Boolean mask of hyperedges that cross cluster boundaries."""
+        cluster_of = np.asarray(cluster_of, dtype=np.int64)
+        mask = np.zeros(self.num_edges, dtype=bool)
+        for ei, edge in enumerate(self.edges):
+            first = cluster_of[edge[0]]
+            for v in edge[1:]:
+                if cluster_of[v] != first:
+                    mask[ei] = True
+                    break
+        return mask
+
+    def cut_size(self, cluster_of: Sequence[int]) -> float:
+        """Total weight of hyperedges crossing cluster boundaries."""
+        mask = self.external_edges(cluster_of)
+        return float(self.edge_weights[mask].sum())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Hypergraph(V={self.num_vertices}, E={self.num_edges}, "
+            f"pins={self.num_pins})"
+        )

@@ -1,0 +1,120 @@
+"""LEF lite reader / writer.
+
+LEF carries physical abstracts.  The paper's flow writes a *cluster*
+LEF: after V-P&R picks a shape (aspect ratio, utilization) for each
+cluster, the cluster is modelled as a soft macro of the corresponding
+size (Algorithm 1, line 13).  :class:`ClusterLef` is that artefact; the
+plain ``parse_lef`` / ``write_lef`` pair round-trips macro geometry.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+
+@dataclass
+class LefMacro:
+    """One MACRO record: name and size in microns."""
+
+    name: str
+    width: float
+    height: float
+    macro_class: str = "BLOCK"
+    pins: List[str] = field(default_factory=list)
+
+
+@dataclass
+class ClusterLef:
+    """The cluster soft-macro LEF produced by the V-P&R stage.
+
+    Maps each cluster id to a :class:`LefMacro` whose size realises the
+    chosen (aspect ratio, utilization) at the cluster's cell area:
+
+    ``width * height = area / utilization`` and
+    ``height / width = aspect_ratio``.
+    """
+
+    macros: Dict[int, LefMacro] = field(default_factory=dict)
+
+    def add_cluster(
+        self,
+        cluster_id: int,
+        cell_area: float,
+        aspect_ratio: float,
+        utilization: float,
+    ) -> LefMacro:
+        """Create the macro for a cluster from its shape parameters."""
+        if utilization <= 0 or aspect_ratio <= 0:
+            raise ValueError("aspect_ratio and utilization must be positive")
+        footprint = cell_area / utilization
+        width = math.sqrt(footprint / aspect_ratio)
+        height = footprint / width
+        macro = LefMacro(name=f"cluster_{cluster_id}", width=width, height=height)
+        self.macros[cluster_id] = macro
+        return macro
+
+    def macro_for(self, cluster_id: int) -> LefMacro:
+        """Look up the macro of a cluster."""
+        return self.macros[cluster_id]
+
+
+_MACRO_RE = re.compile(
+    r"MACRO\s+(\S+)\s*(.*?)END\s+\1", re.DOTALL
+)
+_SIZE_RE = re.compile(r"SIZE\s+([\d.eE+-]+)\s+BY\s+([\d.eE+-]+)")
+_CLASS_RE = re.compile(r"CLASS\s+(\S+)")
+_PIN_RE = re.compile(r"PIN\s+(\S+)")
+
+
+def parse_lef(text: str) -> Dict[str, LefMacro]:
+    """Parse LEF-lite text into macros keyed by name."""
+    macros: Dict[str, LefMacro] = {}
+    for match in _MACRO_RE.finditer(text):
+        name, body = match.group(1), match.group(2)
+        size = _SIZE_RE.search(body)
+        if size is None:
+            raise ValueError(f"MACRO {name} missing SIZE")
+        cls = _CLASS_RE.search(body)
+        pins = _PIN_RE.findall(body)
+        macros[name] = LefMacro(
+            name=name,
+            width=float(size.group(1)),
+            height=float(size.group(2)),
+            macro_class=cls.group(1) if cls else "BLOCK",
+            pins=pins,
+        )
+    return macros
+
+
+def write_lef(macros: Dict[str, LefMacro]) -> str:
+    """Serialise macros to LEF-lite text."""
+    lines: List[str] = ["VERSION 5.8 ;", 'BUSBITCHARS "[]" ;', 'DIVIDERCHAR "/" ;']
+    for macro in macros.values():
+        lines.append(f"MACRO {macro.name}")
+        lines.append(f"  CLASS {macro.macro_class} ;")
+        lines.append(f"  SIZE {macro.width:.4f} BY {macro.height:.4f} ;")
+        for pin in macro.pins:
+            lines.append(f"  PIN {pin}")
+            lines.append(f"  END {pin}")
+        lines.append(f"END {macro.name}")
+    lines.append("END LIBRARY")
+    return "\n".join(lines) + "\n"
+
+
+def cluster_shape_dimensions(
+    cell_area: float, aspect_ratio: float, utilization: float
+) -> Tuple[float, float]:
+    """Width and height of a cluster die for a shape candidate.
+
+    The "virtual die" of the V-P&R framework (Figure 3) is sized the
+    same way as the cluster macro: footprint = area / utilization with
+    height / width = aspect_ratio.
+    """
+    if utilization <= 0 or aspect_ratio <= 0:
+        raise ValueError("aspect_ratio and utilization must be positive")
+    footprint = cell_area / utilization
+    width = math.sqrt(footprint / aspect_ratio)
+    return width, footprint / width

@@ -1,0 +1,190 @@
+"""Liberty (.lib) lite reader / writer.
+
+Supports the subset of Liberty the flow needs: cells with area, pins
+(direction, capacitance, clock flag), a linear timing model
+(``intrinsic_delay`` / ``drive_resistance`` expressed via our own
+attributes), sequential attributes and leakage power.  The writer emits
+files the reader round-trips, which the tests verify.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Tuple
+
+from repro.netlist.design import CellPin, MasterCell, PinDirection
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<comment>/\*.*?\*/)              # block comments
+  | (?P<string>"[^"]*")
+  | (?P<word>[A-Za-z_][\w\.\-]*)
+  | (?P<number>-?\d+\.?\d*(?:[eE][-+]?\d+)?)
+  | (?P<punct>[{}();:,])
+    """,
+    re.VERBOSE | re.DOTALL,
+)
+
+
+def _tokenize(text: str) -> List[str]:
+    """Split Liberty source into tokens, dropping comments."""
+    tokens: List[str] = []
+    for match in _TOKEN_RE.finditer(text):
+        if match.lastgroup == "comment":
+            continue
+        tokens.append(match.group(0))
+    return tokens
+
+
+class _Parser:
+    """Recursive-descent parser over the token stream."""
+
+    def __init__(self, tokens: List[str]) -> None:
+        self.tokens = tokens
+        self.pos = 0
+
+    def peek(self) -> Optional[str]:
+        if self.pos < len(self.tokens):
+            return self.tokens[self.pos]
+        return None
+
+    def next(self) -> str:
+        tok = self.peek()
+        if tok is None:
+            raise ValueError("unexpected end of liberty file")
+        self.pos += 1
+        return tok
+
+    def expect(self, tok: str) -> None:
+        got = self.next()
+        if got != tok:
+            raise ValueError(f"expected {tok!r}, got {got!r}")
+
+    def parse_group(self) -> Tuple[str, str, dict]:
+        """Parse ``name ( arg ) { ... }`` and return (name, arg, body).
+
+        The body dict maps attribute names to scalar values and group
+        names to lists of parsed sub-groups.
+        """
+        name = self.next()
+        self.expect("(")
+        arg_parts = []
+        while self.peek() != ")":
+            arg_parts.append(self.next())
+        self.expect(")")
+        arg = "".join(arg_parts).strip('"')
+        self.expect("{")
+        body: dict = {"_groups": []}
+        while self.peek() != "}":
+            tok = self.peek()
+            if tok is None:
+                raise ValueError("unterminated group")
+            # Lookahead: attribute (name : value ;) or nested group.
+            if self.pos + 1 < len(self.tokens) and self.tokens[self.pos + 1] == ":":
+                attr = self.next()
+                self.expect(":")
+                value_parts = []
+                while self.peek() not in (";", None):
+                    value_parts.append(self.next())
+                self.expect(";")
+                body[attr] = " ".join(value_parts).strip('"')
+            else:
+                body["_groups"].append(self.parse_group())
+        self.expect("}")
+        return name, arg, body
+
+
+def _parse_float(body: dict, key: str, default: float) -> float:
+    """Fetch a float attribute with a default."""
+    raw = body.get(key)
+    if raw is None:
+        return default
+    try:
+        return float(raw)
+    except ValueError:
+        return default
+
+
+def parse_liberty(text: str) -> Dict[str, MasterCell]:
+    """Parse a Liberty-lite library into master cells keyed by name."""
+    tokens = _tokenize(text)
+    parser = _Parser(tokens)
+    name, _arg, body = parser.parse_group()
+    if name != "library":
+        raise ValueError(f"expected library group, got {name!r}")
+    masters: Dict[str, MasterCell] = {}
+    for group_name, cell_name, cell_body in body["_groups"]:
+        if group_name != "cell":
+            continue
+        masters[cell_name] = _parse_cell(cell_name, cell_body)
+    return masters
+
+
+def _parse_cell(name: str, body: dict) -> MasterCell:
+    """Build a MasterCell from a parsed ``cell`` group."""
+    area = _parse_float(body, "area", 1.0)
+    height = _parse_float(body, "cell_height", 1.4)
+    width = area / height if height > 0 else area
+    master = MasterCell(
+        name=name,
+        width=width,
+        height=height,
+        is_sequential=any(g[0] == "ff" for g in body["_groups"]),
+        is_macro=body.get("is_macro", "false") == "true",
+        intrinsic_delay=_parse_float(body, "intrinsic_delay", 0.05),
+        drive_resistance=_parse_float(body, "drive_resistance", 0.004),
+        clk_to_q=_parse_float(body, "clk_to_q", 0.08),
+        setup_time=_parse_float(body, "setup_time", 0.04),
+        hold_time=_parse_float(body, "hold_time", 0.01),
+        leakage_power=_parse_float(body, "cell_leakage_power", 1e-5),
+        internal_energy=_parse_float(body, "internal_energy", 0.5),
+        cell_class=body.get("cell_class", "logic"),
+    )
+    for group_name, pin_name, pin_body in body["_groups"]:
+        if group_name != "pin":
+            continue
+        direction = {
+            "input": PinDirection.INPUT,
+            "output": PinDirection.OUTPUT,
+            "inout": PinDirection.INOUT,
+        }[pin_body.get("direction", "input")]
+        master.pins[pin_name] = CellPin(
+            name=pin_name,
+            direction=direction,
+            capacitance=_parse_float(pin_body, "capacitance", 1.0),
+            is_clock=pin_body.get("clock", "false") == "true",
+        )
+    return master
+
+
+def write_liberty(masters: Dict[str, MasterCell], library_name: str = "repro") -> str:
+    """Serialise master cells to Liberty-lite text."""
+    lines: List[str] = [f"library ({library_name}) {{"]
+    for master in masters.values():
+        lines.append(f"  cell ({master.name}) {{")
+        lines.append(f"    area : {master.area:.6f} ;")
+        lines.append(f"    cell_height : {master.height:.6f} ;")
+        lines.append(f"    cell_class : {master.cell_class} ;")
+        if master.is_macro:
+            lines.append("    is_macro : true ;")
+        lines.append(f"    intrinsic_delay : {master.intrinsic_delay:.6f} ;")
+        lines.append(f"    drive_resistance : {master.drive_resistance:.6f} ;")
+        lines.append(f"    cell_leakage_power : {master.leakage_power:.6e} ;")
+        lines.append(f"    internal_energy : {master.internal_energy:.6f} ;")
+        if master.is_sequential:
+            lines.append("    ff (IQ) {")
+            lines.append("      clocked_on : CK ;")
+            lines.append("    }")
+            lines.append(f"    clk_to_q : {master.clk_to_q:.6f} ;")
+            lines.append(f"    setup_time : {master.setup_time:.6f} ;")
+            lines.append(f"    hold_time : {master.hold_time:.6f} ;")
+        for pin in master.pins.values():
+            lines.append(f"    pin ({pin.name}) {{")
+            lines.append(f"      direction : {pin.direction.value} ;")
+            lines.append(f"      capacitance : {pin.capacitance:.6f} ;")
+            if pin.is_clock:
+                lines.append("      clock : true ;")
+            lines.append("    }")
+        lines.append("  }")
+    lines.append("}")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,183 @@
+"""Structural Verilog lite reader / writer.
+
+Handles gate-level structural netlists of the form::
+
+    module top (clk, in0, out0);
+      input clk;
+      input in0;
+      output out0;
+      wire n1;
+      NAND2_X1 U1 (.A(in0), .B(n1), .Y(out0));
+    endmodule
+
+Hierarchical instance names use escaped identifiers with ``/``
+separators (the flattened-hierarchy convention the rest of the package
+relies on).  The writer and reader round-trip, which the tests verify.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Tuple
+
+from repro.netlist.design import Design, MasterCell, PinDirection
+
+_MODULE_RE = re.compile(r"module\s+(\S+?)\s*\((.*?)\);(.*?)endmodule", re.DOTALL)
+_DECL_RE = re.compile(r"^\s*(input|output|inout|wire)\s+(.+?)\s*;\s*$", re.MULTILINE)
+_INSTANCE_RE = re.compile(
+    r"^\s*([A-Za-z_]\w*)\s+(\\\S+|\w+)\s*\((.*?)\)\s*;\s*$",
+    re.MULTILINE | re.DOTALL,
+)
+_CONNECTION_RE = re.compile(r"\.(\w+)\s*\(\s*(\\\S+|[\w\[\]]+)\s*\)")
+_ASSIGN_RE = re.compile(
+    r"^\s*assign\s+(\\\S+\s|\w+)\s*=\s*(\\\S+\s|\w+)\s*;", re.MULTILINE
+)
+
+
+def _unescape(name: str) -> str:
+    """Strip Verilog escaped-identifier backslash."""
+    if name.startswith("\\"):
+        return name[1:]
+    return name
+
+
+def _escape(name: str) -> str:
+    """Escape identifiers containing hierarchy separators."""
+    if re.fullmatch(r"\w+", name):
+        return name
+    return "\\" + name + " "
+
+
+def parse_verilog(
+    text: str,
+    masters: Dict[str, MasterCell],
+    design_name: Optional[str] = None,
+) -> Design:
+    """Parse a structural netlist against a master-cell library.
+
+    Args:
+        text: Verilog source with a single module definition.
+        masters: Library resolving instance master names.
+        design_name: Override for the design name (defaults to the
+            module name).
+    """
+    match = _MODULE_RE.search(text)
+    if match is None:
+        raise ValueError("no module definition found")
+    module_name, _portlist, body = match.groups()
+    design = Design(design_name or module_name)
+    for master in masters.values():
+        design.masters.setdefault(master.name, master)
+
+    directions = {
+        "input": PinDirection.INPUT,
+        "output": PinDirection.OUTPUT,
+        "inout": PinDirection.INOUT,
+    }
+    wires: List[str] = []
+    for decl_match in _DECL_RE.finditer(body):
+        kind, names = decl_match.groups()
+        for raw in names.split(","):
+            name = _unescape(raw.strip())
+            if not name:
+                continue
+            if kind == "wire":
+                wires.append(name)
+            else:
+                design.add_port(name, directions[kind])
+
+    # Nets are created lazily; ports imply same-named nets.
+    net_names = set(wires) | set(design.ports)
+    connections: List[Tuple[str, str, str, str]] = []  # master, inst, pin, net
+    for inst_match in _INSTANCE_RE.finditer(body):
+        master_name, inst_name, conn_text = inst_match.groups()
+        if master_name in ("module", "input", "output", "inout", "wire"):
+            continue
+        if master_name not in masters:
+            raise ValueError(f"unknown master cell {master_name!r}")
+        inst_name = _unescape(inst_name)
+        design.add_instance(inst_name, masters[master_name])
+        for conn in _CONNECTION_RE.finditer(conn_text):
+            pin, net = conn.groups()
+            net = _unescape(net)
+            net_names.add(net)
+            connections.append((master_name, inst_name, pin, net))
+
+    # Port aliases: "assign extra = primary;" joins a second port onto
+    # the primary net (the writer emits these for nets touching several
+    # ports).
+    aliases = []
+    for match in _ASSIGN_RE.finditer(body):
+        left = _unescape(match.group(1).strip())
+        right = _unescape(match.group(2).strip())
+        aliases.append((left, right))
+
+    referenced = {net_name for _m, _i, _p, net_name in connections}
+    referenced |= {right for _left, right in aliases}
+    for net_name in sorted(net_names):
+        # Ports with no instance connection get no net (matching how
+        # unused IOs look in the in-memory model).
+        if net_name in design.ports and net_name not in referenced:
+            continue
+        design.add_net(net_name)
+    # Ports connect to the same-named net.
+    alias_of = dict(aliases)
+    for port_name, port in design.ports.items():
+        if port_name in referenced:
+            design.connect_port(design.net(port_name), port_name)
+        elif port_name in alias_of and alias_of[port_name] in referenced:
+            design.connect_port(design.net(alias_of[port_name]), port_name)
+    for _master, inst_name, pin, net_name in connections:
+        design.connect_instance_pin(
+            design.net(net_name), design.instance(inst_name), pin
+        )
+    # Drop fully unconnected nets is unnecessary; keep indices dense.
+    return design
+
+
+def write_verilog(design: Design) -> str:
+    """Serialise a design to structural Verilog-lite text.
+
+    In structural Verilog a port *is* a net, so any net connected to a
+    port is emitted under the port's name (additional ports on the same
+    net get ``assign`` aliases).
+    """
+    port_names = list(design.ports)
+    # Net name -> emitted identifier (ports win), plus alias pairs.
+    emit_name: Dict[str, str] = {}
+    aliases: List[Tuple[str, str]] = []
+    for net in design.nets:
+        ports_on_net = [ref.pin_name for ref in net.pins() if ref.is_port]
+        if ports_on_net:
+            emit_name[net.name] = ports_on_net[0]
+            for extra in ports_on_net[1:]:
+                aliases.append((extra, ports_on_net[0]))
+        else:
+            emit_name[net.name] = net.name
+
+    lines: List[str] = [
+        f"module {design.name} (",
+        "  " + ",\n  ".join(_escape(p) for p in port_names),
+        ");",
+    ]
+    for name, port in design.ports.items():
+        kind = {
+            PinDirection.INPUT: "input",
+            PinDirection.OUTPUT: "output",
+            PinDirection.INOUT: "inout",
+        }[port.direction]
+        lines.append(f"  {kind} {_escape(name)};")
+    for net in design.nets:
+        ident = emit_name[net.name]
+        if ident not in design.ports:
+            lines.append(f"  wire {_escape(ident)};")
+    for extra, primary in aliases:
+        lines.append(f"  assign {_escape(extra)}= {_escape(primary)};")
+    for inst in design.instances:
+        conns = []
+        for pin_name, net in sorted(inst.pin_nets.items()):
+            conns.append(f".{pin_name}({_escape(emit_name[net.name])})")
+        conn_text = ", ".join(conns)
+        lines.append(f"  {inst.master.name} {_escape(inst.name)}({conn_text});")
+    lines.append("endmodule")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,18 @@
+"""Netlist optimisation substrate (OpenROAD resizer substitute).
+
+Post-placement optimisations the paper's flows run implicitly inside
+OpenROAD (`resizer`) / Innovus (`optDesign`): high-fanout buffering and
+gate sizing.  The STA delay model includes a *virtual* buffering term
+for unbuffered netlists; running these passes materialises the buffers
+so the virtual term vanishes.
+"""
+
+from repro.opt.buffering import BufferingResult, buffer_high_fanout_nets
+from repro.opt.sizing import SizingResult, resize_gates
+
+__all__ = [
+    "BufferingResult",
+    "buffer_high_fanout_nets",
+    "SizingResult",
+    "resize_gates",
+]

@@ -1,0 +1,199 @@
+"""Bound-to-bound (B2B) quadratic net model.
+
+Implements the Spindler-Schlichtmann-Johannes B2B model: for each net,
+the extreme pins on an axis connect to every other pin with weight
+``w_net * 2 / ((p - 1) * distance)``, which makes the quadratic
+objective equal HPWL at the linearisation point.  The resulting sparse
+SPD system is solved per axis with conjugate gradients.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+import scipy.sparse.linalg as spla
+
+#: Minimum pin separation (microns) used in B2B weights.  Clamping at
+#: roughly one cell pitch keeps coincident pins (e.g. seeded starts
+#: where a whole cluster sits at one point) from creating near-rigid
+#: springs that spreading cannot pull apart.
+MIN_SEPARATION = 1.0
+
+
+def b2b_edges(
+    pin_vertex: np.ndarray,
+    net_offsets: np.ndarray,
+    net_weights: np.ndarray,
+    coords: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Build B2B edges for one axis at the current linearisation point.
+
+    Returns ``(u, v, w)`` arrays of graph edges.  Vectorized: pins are
+    sorted per net by coordinate; the first/last pin of each net is the
+    boundary pin.
+    """
+    num_nets = len(net_offsets) - 1
+    if num_nets == 0:
+        empty = np.zeros(0)
+        return empty.astype(np.int64), empty.astype(np.int64), empty
+
+    pin_net = np.repeat(np.arange(num_nets, dtype=np.int64), np.diff(net_offsets))
+    pin_coord = coords[pin_vertex]
+    order = np.lexsort((pin_coord, pin_net))
+    sv = pin_vertex[order]  # vertices sorted by (net, coord)
+
+    starts = net_offsets[:-1]
+    ends = net_offsets[1:] - 1
+    degrees = np.diff(net_offsets)
+
+    min_vertex = sv[starts]
+    max_vertex = sv[ends]
+
+    # Edge set: (min, p) for p != min, and (max, p) for p != max, over
+    # the sorted pin order; plus the direct (min, max) edge counted once.
+    u_list = []
+    v_list = []
+    w_list = []
+
+    inv_deg = 2.0 / np.maximum(degrees - 1, 1)
+    pin_weight = (net_weights * inv_deg)[pin_net[order]]
+    pin_min = min_vertex[pin_net[order]]
+    pin_max = max_vertex[pin_net[order]]
+    coord_sorted = coords[sv]
+    min_coord = coord_sorted[starts][pin_net[order]]
+    max_coord = coord_sorted[ends][pin_net[order]]
+
+    # Connect every non-boundary pin to both boundary pins.
+    is_first = np.zeros(len(sv), dtype=bool)
+    is_first[starts] = True
+    is_last = np.zeros(len(sv), dtype=bool)
+    is_last[ends] = True
+    inner = ~(is_first | is_last)
+
+    # inner -> min
+    d = np.maximum(np.abs(coord_sorted - min_coord), MIN_SEPARATION)
+    u_list.append(sv[inner])
+    v_list.append(pin_min[inner])
+    w_list.append((pin_weight / d)[inner])
+    # inner -> max
+    d = np.maximum(np.abs(max_coord - coord_sorted), MIN_SEPARATION)
+    u_list.append(sv[inner])
+    v_list.append(pin_max[inner])
+    w_list.append((pin_weight / d)[inner])
+    # min -> max, once per net
+    span = np.maximum(np.abs(coord_sorted[ends] - coord_sorted[starts]), MIN_SEPARATION)
+    u_list.append(min_vertex)
+    v_list.append(max_vertex)
+    w_list.append(net_weights * inv_deg / span)
+
+    u = np.concatenate(u_list)
+    v = np.concatenate(v_list)
+    w = np.concatenate(w_list)
+    keep = u != v
+    return u[keep], v[keep], w[keep]
+
+
+def solve_axis(
+    u: np.ndarray,
+    v: np.ndarray,
+    w: np.ndarray,
+    coords: np.ndarray,
+    fixed: np.ndarray,
+    anchor_targets: Optional[np.ndarray] = None,
+    anchor_weights: Optional[np.ndarray] = None,
+    cg_tol: float = 1e-6,
+    cg_maxiter: int = 300,
+) -> np.ndarray:
+    """Solve the quadratic system for one axis.
+
+    Args:
+        u, v, w: B2B edges.
+        coords: Current coordinates (used as the CG starting point and
+            as the value of fixed vertices).
+        fixed: Fixed-vertex mask.
+        anchor_targets: Optional per-vertex pseudo-net anchor targets.
+        anchor_weights: Per-vertex anchor weights (0 disables).
+
+    Returns:
+        New coordinate array (fixed entries unchanged).
+    """
+    n = len(coords)
+    movable = ~fixed
+    m_index = np.full(n, -1, dtype=np.int64)
+    m_ids = np.nonzero(movable)[0]
+    m_index[m_ids] = np.arange(len(m_ids))
+    nm = len(m_ids)
+    if nm == 0:
+        return coords.copy()
+
+    diag = np.zeros(nm)
+    b = np.zeros(nm)
+    rows = []
+    cols = []
+    vals = []
+
+    mu = movable[u]
+    mv = movable[v]
+
+    # movable-movable edges
+    both = mu & mv
+    iu = m_index[u[both]]
+    iv = m_index[v[both]]
+    ww = w[both]
+    np.add.at(diag, iu, ww)
+    np.add.at(diag, iv, ww)
+    rows.append(iu)
+    cols.append(iv)
+    vals.append(-ww)
+    rows.append(iv)
+    cols.append(iu)
+    vals.append(-ww)
+
+    # movable-fixed edges: add to diagonal and RHS.
+    for uu, vv in ((u, v), (v, u)):
+        mask = movable[uu] & fixed[vv]
+        ii = m_index[uu[mask]]
+        ww = w[mask]
+        np.add.at(diag, ii, ww)
+        np.add.at(b, ii, ww * coords[vv[mask]])
+
+    # anchors (pseudo nets to spreading targets / seed positions)
+    if anchor_targets is not None and anchor_weights is not None:
+        aw = anchor_weights[m_ids]
+        diag += aw
+        b += aw * anchor_targets[m_ids]
+
+    # Guard isolated vertices (no edges, no anchors).
+    isolated = diag <= 0
+    if isolated.any():
+        diag = diag.copy()
+        diag[isolated] = 1.0
+        b[isolated] = coords[m_ids][isolated]
+
+    rows_arr = np.concatenate(rows) if rows else np.zeros(0, dtype=np.int64)
+    cols_arr = np.concatenate(cols) if cols else np.zeros(0, dtype=np.int64)
+    vals_arr = np.concatenate(vals) if vals else np.zeros(0)
+    laplacian = sp.coo_matrix(
+        (
+            np.concatenate([vals_arr, diag]),
+            (
+                np.concatenate([rows_arr, np.arange(nm)]),
+                np.concatenate([cols_arr, np.arange(nm)]),
+            ),
+        ),
+        shape=(nm, nm),
+    ).tocsr()
+
+    precond = sp.diags(1.0 / laplacian.diagonal())
+    x0 = coords[m_ids]
+    solution, info = spla.cg(
+        laplacian, b, x0=x0, rtol=cg_tol, maxiter=cg_maxiter, M=precond
+    )
+    if info > 0:  # pragma: no cover - CG rarely stalls on SPD systems
+        # Did not fully converge; the partial solution is still usable.
+        pass
+    out = coords.copy()
+    out[m_ids] = solution
+    return out

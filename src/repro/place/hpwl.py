@@ -1,0 +1,84 @@
+"""Half-perimeter wirelength metrics.
+
+HPWL is the paper's post-place quality metric (Table 2) and the
+denominator of the V-P&R HPWL cost (Eq. 4).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.netlist.design import Design, Net
+
+
+def net_hpwl(design: Design, net: Net) -> float:
+    """HPWL of one net over current instance/port locations (microns)."""
+    xs = []
+    ys = []
+    for ref in net.pins():
+        if ref.instance is not None:
+            xs.append(ref.instance.x)
+            ys.append(ref.instance.y)
+        else:
+            port = design.ports[ref.pin_name]
+            xs.append(port.x)
+            ys.append(port.y)
+    if len(xs) < 2:
+        return 0.0
+    return (max(xs) - min(xs)) + (max(ys) - min(ys))
+
+
+def hpwl(design: Design, weighted: bool = False, include_clock: bool = False) -> float:
+    """Total design HPWL (microns).
+
+    Args:
+        design: Design with a current placement.
+        weighted: Multiply each net by its placement weight (the
+            placer's objective); reporting uses unweighted HPWL.
+        include_clock: Include clock nets (excluded by default, as the
+            clock is routed by CTS, not signal routing).
+    """
+    total = 0.0
+    for net in design.nets:
+        if net.is_clock and not include_clock:
+            continue
+        value = net_hpwl(design, net)
+        if weighted:
+            value *= net.weight
+        total += value
+    return total
+
+
+def hpwl_arrays(
+    pin_vertex: np.ndarray,
+    net_offsets: np.ndarray,
+    x: np.ndarray,
+    y: np.ndarray,
+    weights: Optional[np.ndarray] = None,
+) -> float:
+    """HPWL over the flat array representation used by the placer.
+
+    Args:
+        pin_vertex: Concatenated per-net vertex ids.
+        net_offsets: Offsets into ``pin_vertex`` (len = num_nets + 1).
+        x, y: Vertex coordinates.
+        weights: Optional per-net weights.
+    """
+    if len(net_offsets) <= 1:
+        return 0.0
+    px = x[pin_vertex]
+    py = y[pin_vertex]
+    starts = net_offsets[:-1]
+    ends = net_offsets[1:] - 1
+    max_x = np.maximum.reduceat(px, starts)
+    min_x = np.minimum.reduceat(px, starts)
+    max_y = np.maximum.reduceat(py, starts)
+    min_y = np.minimum.reduceat(py, starts)
+    spans = (max_x - min_x) + (max_y - min_y)
+    # reduceat on empty slices can't occur: every net has >= 2 pins.
+    del ends
+    if weights is not None:
+        spans = spans * weights
+    return float(spans.sum())

@@ -1,0 +1,280 @@
+"""The global placer: B2B quadratic solves + density spreading.
+
+Supports the three modes Algorithm 1 needs:
+
+* full global placement (the "default flow" baseline),
+* seeded + incremental placement (instances pre-seeded at their cluster
+  centres, anchored to the seed, few refinement iterations),
+* region-constrained placement (Innovus mode).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.place.b2b import b2b_edges, solve_axis
+from repro.place.problem import PlacementProblem
+from repro.place.regions import RegionConstraint, clamp_regions
+from repro.place.spreading import DensityGrid, spreading_targets
+
+
+@dataclass
+class PlacerConfig:
+    """Placer knobs.
+
+    Attributes:
+        max_iterations: Upper bound on solve/spread rounds.
+        min_iterations: Rounds run before the overflow exit can fire.
+        target_overflow: Stop once bin overflow falls below this.
+        target_density: Bin density ceiling used by the overflow metric.
+        anchor_base: Initial pseudo-net anchor weight.
+        anchor_growth: Multiplicative anchor ramp per iteration.
+        spread_strength: Damping of the per-round spreading move.
+        incremental: Start from the problem's current coordinates and
+            anchor to them instead of running from scratch.
+        incremental_anchor: Seed anchor weight in incremental mode.
+        seed_decay: Per-iteration decay of the seed anchor.
+        region_iterations: Enforce region constraints only for this
+            many leading iterations (None = all iterations).  The
+            Innovus-mode flow steers the early incremental rounds with
+            the cluster regions, then releases them (Algorithm 1,
+            line 20) so density resolution is unconstrained.
+        soft_regions: Apply regions by clamping the anchor *targets*
+            into the region (a soft spring toward the region interior,
+            approximating how commercial placers treat region guides)
+            instead of hard-clamping positions after every solve.
+        seed: RNG seed for the initial jitter.
+    """
+
+    max_iterations: int = 44
+    min_iterations: int = 6
+    target_overflow: float = 0.08
+    target_density: float = 1.0
+    anchor_base: float = 2e-4
+    anchor_growth: float = 1.30
+    spread_strength: float = 0.8
+    incremental: bool = False
+    incremental_iterations: int = 18
+    incremental_anchor: float = 2e-3
+    incremental_growth: float = 1.5
+    seed_decay: float = 0.6
+    region_iterations: Optional[int] = None
+    soft_regions: bool = True
+    seed: int = 0
+
+
+@dataclass
+class PlacementResult:
+    """Outcome of one placement run.
+
+    Attributes:
+        hpwl: Final unweighted HPWL (microns).
+        iterations: Rounds executed.
+        overflow: Final bin overflow.
+        runtime: Wall-clock seconds.
+        hpwl_trace: HPWL after every round (for convergence tests).
+    """
+
+    hpwl: float
+    iterations: int
+    overflow: float
+    runtime: float
+    hpwl_trace: List[float] = field(default_factory=list)
+
+
+class GlobalPlacer:
+    """Analytical global placer over a :class:`PlacementProblem`."""
+
+    def __init__(
+        self,
+        problem: PlacementProblem,
+        config: Optional[PlacerConfig] = None,
+        regions: Optional[Sequence[RegionConstraint]] = None,
+    ) -> None:
+        self.problem = problem
+        self.config = config or PlacerConfig()
+        self.regions = list(regions or [])
+        self.grid = DensityGrid.for_problem(
+            problem.design.floorplan, int(problem.movable.sum())
+        )
+
+    # ------------------------------------------------------------------
+    def _initialize(self) -> None:
+        """Start all movables near the core centre with tiny jitter."""
+        problem = self.problem
+        fp = problem.design.floorplan
+        rng = np.random.default_rng(self.config.seed)
+        mask = problem.movable
+        n = int(mask.sum())
+        cx = 0.5 * (fp.core_llx + fp.core_urx)
+        cy = 0.5 * (fp.core_lly + fp.core_ury)
+        problem.x[mask] = cx + rng.normal(0.0, 0.02 * fp.core_width, n)
+        problem.y[mask] = cy + rng.normal(0.0, 0.02 * fp.core_height, n)
+        # Seed region members inside their regions.
+        for region in self.regions:
+            ids = np.asarray(region.vertex_ids, dtype=np.int64)
+            if len(ids) == 0:
+                continue
+            rcx, rcy = region.center
+            problem.x[ids] = rcx + rng.normal(0.0, 0.1 * max(region.width, 1e-3), len(ids))
+            problem.y[ids] = rcy + rng.normal(0.0, 0.1 * max(region.height, 1e-3), len(ids))
+        problem.clip_to_core()
+
+    def _solve_round(
+        self,
+        anchor_x: Optional[np.ndarray],
+        anchor_y: Optional[np.ndarray],
+        anchor_w: Optional[np.ndarray],
+        apply_regions: bool = True,
+    ) -> None:
+        """One x/y pair of B2B linearized quadratic solves."""
+        problem = self.problem
+        ux, vx, wx = b2b_edges(
+            problem.pin_vertex, problem.net_offsets, problem.net_weights, problem.x
+        )
+        problem.x = solve_axis(
+            ux, vx, wx, problem.x, problem.fixed, anchor_x, anchor_w
+        )
+        uy, vy, wy = b2b_edges(
+            problem.pin_vertex, problem.net_offsets, problem.net_weights, problem.y
+        )
+        problem.y = solve_axis(
+            uy, vy, wy, problem.y, problem.fixed, anchor_y, anchor_w
+        )
+        problem.clip_to_core()
+        if apply_regions:
+            clamp_regions(self.regions, problem.x, problem.y)
+
+    # ------------------------------------------------------------------
+    def run(self) -> PlacementResult:
+        """Run global placement; commits coordinates to the design."""
+        start = time.perf_counter()
+        problem = self.problem
+        config = self.config
+
+        if config.incremental:
+            result = self._run_incremental()
+        else:
+            result = self._run_full()
+
+        problem.commit()
+        result.runtime = time.perf_counter() - start
+        return result
+
+    def _run_full(self) -> PlacementResult:
+        problem = self.problem
+        config = self.config
+        self._initialize()
+
+        # Round 0: pure wirelength solve (no anchors).
+        self._solve_round(None, None, None)
+        trace = [problem.hpwl()]
+
+        anchor_w_scalar = config.anchor_base
+        overflow = 1.0
+        iteration = 0
+        for iteration in range(1, config.max_iterations + 1):
+            target_x, target_y = spreading_targets(
+                self.grid,
+                problem.x,
+                problem.y,
+                problem.areas,
+                problem.movable,
+                strength=config.spread_strength,
+            )
+            weights = np.full(problem.num_vertices, anchor_w_scalar)
+            self._solve_round(target_x, target_y, weights)
+            trace.append(problem.hpwl())
+            overflow = self.grid.overflow(
+                problem.x,
+                problem.y,
+                problem.areas,
+                problem.movable,
+                config.target_density,
+            )
+            if overflow < config.target_overflow and iteration >= config.min_iterations:
+                break
+            anchor_w_scalar *= config.anchor_growth
+
+        return PlacementResult(
+            hpwl=trace[-1],
+            iterations=iteration,
+            overflow=overflow,
+            runtime=0.0,
+            hpwl_trace=trace,
+        )
+
+    def _run_incremental(self) -> PlacementResult:
+        """Refine from the problem's current (seeded) coordinates.
+
+        Same solve/spread loop as the full run, but (i) the initial
+        free solve is skipped (the seed already encodes the global
+        structure), (ii) a decaying anchor to the seed positions keeps
+        that structure while density resolves, and (iii) the spreading
+        anchor starts strong so the run converges to the same overflow
+        target in fewer rounds than a from-scratch placement.
+        """
+        problem = self.problem
+        config = self.config
+        problem.clip_to_core()
+        clamp_regions(self.regions, problem.x, problem.y)
+        seed_x = problem.x.copy()
+        seed_y = problem.y.copy()
+        seed_w = config.incremental_anchor
+
+        trace = [problem.hpwl()]
+        anchor_w_scalar = config.anchor_base * 32
+        overflow = 1.0
+        iteration = 0
+        for iteration in range(1, config.incremental_iterations + 1):
+            target_x, target_y = spreading_targets(
+                self.grid,
+                problem.x,
+                problem.y,
+                problem.areas,
+                problem.movable,
+                strength=config.spread_strength,
+            )
+            # Blend the (decaying) seed anchor with the (growing)
+            # spreading anchor.
+            total_w = anchor_w_scalar + seed_w
+            blend = anchor_w_scalar / total_w
+            anchor_x = blend * target_x + (1 - blend) * seed_x
+            anchor_y = blend * target_y + (1 - blend) * seed_y
+            weights = np.full(problem.num_vertices, total_w)
+            regions_active = (
+                config.region_iterations is None
+                or iteration <= config.region_iterations
+            )
+            if regions_active and config.soft_regions:
+                clamp_regions(self.regions, anchor_x, anchor_y)
+            self._solve_round(
+                anchor_x,
+                anchor_y,
+                weights,
+                apply_regions=regions_active and not config.soft_regions,
+            )
+            trace.append(problem.hpwl())
+            overflow = self.grid.overflow(
+                problem.x,
+                problem.y,
+                problem.areas,
+                problem.movable,
+                config.target_density,
+            )
+            if overflow < config.target_overflow and iteration >= 2:
+                break
+            anchor_w_scalar *= config.incremental_growth
+            seed_w *= config.seed_decay
+
+        return PlacementResult(
+            hpwl=trace[-1],
+            iterations=iteration,
+            overflow=overflow,
+            runtime=0.0,
+            hpwl_trace=trace,
+        )

@@ -1,0 +1,146 @@
+"""Flat array representation of a placement problem.
+
+The placer works on dense arrays rather than the object model: vertex
+``i < design.num_instances`` is instance ``i``; ports are appended as
+fixed vertices.  Nets are flattened into ``pin_vertex`` /
+``net_offsets`` CSR-style arrays, which makes HPWL and the B2B model
+vectorizable.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.netlist.design import Design
+from repro.place.hpwl import hpwl_arrays
+
+
+class PlacementProblem:
+    """Array-form snapshot of a design for global placement.
+
+    Attributes:
+        design: Source design (written back to by :meth:`commit`).
+        num_movable_instances: Instances come first in vertex order.
+        x, y: Working coordinates (mutated by the placer).
+        areas: Vertex areas (ports get area 0).
+        fixed: Boolean mask of vertices the placer must not move.
+        pin_vertex, net_offsets: CSR-style net membership.
+        net_weights: Per-net placement weights.
+        net_indices: Original design net index per problem net.
+    """
+
+    def __init__(self, design: Design, include_clock: bool = False) -> None:
+        self.design = design
+        n_inst = design.num_instances
+        port_names = sorted(design.ports)
+        self._port_vertex: Dict[str, int] = {
+            name: n_inst + i for i, name in enumerate(port_names)
+        }
+        n_total = n_inst + len(port_names)
+
+        self.x = np.zeros(n_total)
+        self.y = np.zeros(n_total)
+        self.areas = np.zeros(n_total)
+        self.fixed = np.zeros(n_total, dtype=bool)
+        for inst in design.instances:
+            self.x[inst.index] = inst.x
+            self.y[inst.index] = inst.y
+            self.areas[inst.index] = inst.area
+            self.fixed[inst.index] = inst.fixed
+        for name, vid in self._port_vertex.items():
+            port = design.ports[name]
+            self.x[vid] = port.x
+            self.y[vid] = port.y
+            self.fixed[vid] = True
+
+        pins: List[int] = []
+        offsets: List[int] = [0]
+        weights: List[float] = []
+        net_indices: List[int] = []
+        for net in design.nets:
+            if net.is_clock and not include_clock:
+                continue
+            vertex_ids = set()
+            for ref in net.pins():
+                if ref.instance is not None:
+                    vertex_ids.add(ref.instance.index)
+                else:
+                    vertex_ids.add(self._port_vertex[ref.pin_name])
+            if len(vertex_ids) < 2:
+                continue
+            pins.extend(sorted(vertex_ids))
+            offsets.append(len(pins))
+            weights.append(net.weight)
+            net_indices.append(net.index)
+
+        self.pin_vertex = np.asarray(pins, dtype=np.int64)
+        self.net_offsets = np.asarray(offsets, dtype=np.int64)
+        self.net_weights = np.asarray(weights)
+        self.net_indices = np.asarray(net_indices, dtype=np.int64)
+        self.num_movable_instances = n_inst
+
+    # ------------------------------------------------------------------
+    @property
+    def num_vertices(self) -> int:
+        """Total vertices (instances + ports)."""
+        return len(self.x)
+
+    @property
+    def num_nets(self) -> int:
+        """Number of placeable nets."""
+        return len(self.net_weights)
+
+    @property
+    def movable(self) -> np.ndarray:
+        """Boolean mask of movable vertices."""
+        return ~self.fixed
+
+    def port_vertex(self, name: str) -> int:
+        """Vertex id of a port."""
+        return self._port_vertex[name]
+
+    def hpwl(self, weighted: bool = False) -> float:
+        """HPWL of the working coordinates (microns)."""
+        return hpwl_arrays(
+            self.pin_vertex,
+            self.net_offsets,
+            self.x,
+            self.y,
+            self.net_weights if weighted else None,
+        )
+
+    def set_positions(
+        self, x: Sequence[float], y: Sequence[float], only_movable: bool = True
+    ) -> None:
+        """Overwrite working coordinates (fixed vertices kept by default)."""
+        x = np.asarray(x, dtype=float)
+        y = np.asarray(y, dtype=float)
+        if only_movable:
+            mask = self.movable
+            self.x[mask] = x[mask]
+            self.y[mask] = y[mask]
+        else:
+            self.x[:] = x
+            self.y[:] = y
+
+    def commit(self) -> None:
+        """Write working coordinates back to the design's instances."""
+        for inst in self.design.instances:
+            if not inst.fixed:
+                inst.x = float(self.x[inst.index])
+                inst.y = float(self.y[inst.index])
+
+    def clip_to_core(self) -> None:
+        """Clamp movable vertices into the core box."""
+        fp = self.design.floorplan
+        mask = self.movable
+        self.x[mask] = np.clip(self.x[mask], fp.core_llx, fp.core_urx)
+        self.y[mask] = np.clip(self.y[mask], fp.core_lly, fp.core_ury)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"PlacementProblem(V={self.num_vertices}, nets={self.num_nets}, "
+            f"movable={int(self.movable.sum())})"
+        )

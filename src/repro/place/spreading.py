@@ -1,0 +1,155 @@
+"""Bin-based density spreading (FastPlace-style cell shifting).
+
+After each quadratic solve the placement is strongly clumped; the
+spreader computes per-bin utilization and produces per-cell *target*
+positions that equalise density along each axis.  The placer turns the
+targets into pseudo-net anchors whose weight grows over iterations,
+which is the classic quadratic-placement spreading loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.netlist.design import Floorplan
+
+
+@dataclass
+class DensityGrid:
+    """Regular bin grid over the core area."""
+
+    floorplan: Floorplan
+    bins_x: int
+    bins_y: int
+
+    @classmethod
+    def for_problem(cls, floorplan: Floorplan, num_movable: int) -> "DensityGrid":
+        """Grid sized so an average bin holds ~16 cells, within [8, 64]."""
+        bins = int(np.sqrt(max(1, num_movable) / 16.0))
+        bins = int(np.clip(bins, 8, 64))
+        return cls(floorplan=floorplan, bins_x=bins, bins_y=bins)
+
+    def bin_of(self, x: np.ndarray, y: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Bin indices of coordinates (clipped to the grid)."""
+        fp = self.floorplan
+        bx = ((x - fp.core_llx) / fp.core_width * self.bins_x).astype(np.int64)
+        by = ((y - fp.core_lly) / fp.core_height * self.bins_y).astype(np.int64)
+        return (
+            np.clip(bx, 0, self.bins_x - 1),
+            np.clip(by, 0, self.bins_y - 1),
+        )
+
+    def utilization(
+        self,
+        x: np.ndarray,
+        y: np.ndarray,
+        areas: np.ndarray,
+        movable: np.ndarray,
+    ) -> np.ndarray:
+        """Per-bin movable-area utilization (bins_y x bins_x)."""
+        fp = self.floorplan
+        bin_area = (fp.core_width / self.bins_x) * (fp.core_height / self.bins_y)
+        bx, by = self.bin_of(x[movable], y[movable])
+        usage = np.zeros((self.bins_y, self.bins_x))
+        np.add.at(usage, (by, bx), areas[movable])
+        return usage / bin_area
+
+    def overflow(
+        self,
+        x: np.ndarray,
+        y: np.ndarray,
+        areas: np.ndarray,
+        movable: np.ndarray,
+        target_density: float,
+    ) -> float:
+        """Total overflowing area fraction (0 = fully spread)."""
+        fp = self.floorplan
+        bin_area = (fp.core_width / self.bins_x) * (fp.core_height / self.bins_y)
+        util = self.utilization(x, y, areas, movable)
+        over = np.maximum(util - target_density, 0.0) * bin_area
+        total_area = float(areas[movable].sum())
+        if total_area <= 0:
+            return 0.0
+        return float(over.sum() / total_area)
+
+
+def spreading_targets(
+    grid: DensityGrid,
+    x: np.ndarray,
+    y: np.ndarray,
+    areas: np.ndarray,
+    movable: np.ndarray,
+    strength: float = 0.8,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Compute spread target positions via per-band 1-D equalization.
+
+    Within each horizontal band of bins, cells are re-mapped along x so
+    cumulative cell area tracks cumulative capacity (and symmetrically
+    along y within vertical bands).  ``strength`` in (0, 1] damps the
+    move toward the fully-equalized position.
+
+    Returns:
+        (target_x, target_y) arrays over all vertices (fixed vertices
+        keep their coordinates).
+    """
+    fp = grid.floorplan
+    target_x = x.copy()
+    target_y = y.copy()
+    ids = np.nonzero(movable)[0]
+    if len(ids) == 0:
+        return target_x, target_y
+
+    _equalize_axis(
+        ids, x, y, areas, target_x,
+        lo=fp.core_llx, span=fp.core_width,
+        band_lo=fp.core_lly, band_span=fp.core_height,
+        bands=grid.bins_y, strength=strength,
+    )
+    _equalize_axis(
+        ids, y, x, areas, target_y,
+        lo=fp.core_lly, span=fp.core_height,
+        band_lo=fp.core_llx, band_span=fp.core_width,
+        bands=grid.bins_x, strength=strength,
+    )
+    return target_x, target_y
+
+
+def _equalize_axis(
+    ids: np.ndarray,
+    primary: np.ndarray,
+    secondary: np.ndarray,
+    areas: np.ndarray,
+    out: np.ndarray,
+    lo: float,
+    span: float,
+    band_lo: float,
+    band_span: float,
+    bands: int,
+    strength: float,
+) -> None:
+    """Equalize cumulative area along ``primary`` within secondary bands."""
+    band = ((secondary[ids] - band_lo) / band_span * bands).astype(np.int64)
+    band = np.clip(band, 0, bands - 1)
+    order = np.lexsort((primary[ids], band))
+    sorted_ids = ids[order]
+    sorted_band = band[order]
+    sorted_area = areas[sorted_ids]
+
+    # Band boundaries in the sorted order.
+    boundaries = np.nonzero(np.diff(sorted_band))[0] + 1
+    starts = np.concatenate(([0], boundaries))
+    ends = np.concatenate((boundaries, [len(sorted_ids)]))
+
+    cum = np.cumsum(sorted_area)
+    for s, e in zip(starts, ends):
+        total = cum[e - 1] - (cum[s - 1] if s > 0 else 0.0)
+        if total <= 0:
+            continue
+        base = cum[s - 1] if s > 0 else 0.0
+        centred = (cum[s:e] - base) - sorted_area[s:e] * 0.5
+        equalized = lo + centred / total * span
+        segment = sorted_ids[s:e]
+        out[segment] = primary[segment] + strength * (equalized - primary[segment])

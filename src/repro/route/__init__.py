@@ -1,0 +1,27 @@
+"""Global routing / CTS substrate (FastRoute + TritonCTS substitute).
+
+Builds rectilinear Steiner topologies per net, routes them over a GCell
+grid with congestion-aware L-pattern selection, and reports routed
+wirelength plus the GCell congestion statistics the V-P&R Congestion
+Cost (Eq. 5) consumes.  A recursive-bisection clock tree provides the
+clock wirelength/buffers for post-route power.
+"""
+
+from repro.route.steiner import SteinerTree, rsmt
+from repro.route.gcell import GCellGrid
+from repro.route.global_route import GlobalRouter, RoutingResult
+from repro.route.cts import ClockTreeResult, synthesize_clock_tree
+from repro.route.layers import LayerAssignment, assign_layers, layer_report
+
+__all__ = [
+    "SteinerTree",
+    "rsmt",
+    "GCellGrid",
+    "GlobalRouter",
+    "RoutingResult",
+    "ClockTreeResult",
+    "synthesize_clock_tree",
+    "LayerAssignment",
+    "assign_layers",
+    "layer_report",
+]

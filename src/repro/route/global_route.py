@@ -1,0 +1,150 @@
+"""Congestion-aware pattern global routing.
+
+Each net's Steiner tree edges are routed as L-shapes; of the two L
+orientations the router keeps the one crossing less-congested GCells
+(sequential net ordering, long nets first, which approximates one
+rip-up-and-reroute pass).  Outputs per-net routed lengths — inflated by
+a congestion detour factor — plus the grid statistics the V-P&R
+Congestion Cost uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.netlist.design import Design, Net
+from repro.route.gcell import GCellGrid
+from repro.route.steiner import rsmt
+
+#: Wirelength penalty per unit of average overflow along a net's route.
+DETOUR_FACTOR = 0.3
+
+
+@dataclass
+class RoutingResult:
+    """Outcome of global routing.
+
+    Attributes:
+        routed_wirelength: Total routed wire length (microns).
+        net_lengths: Net index -> routed length (microns).
+        grid: The GCell grid with final usage.
+        overflow_fraction: Fraction of over-capacity GCells.
+        max_congestion: Peak GCell congestion ratio.
+    """
+
+    routed_wirelength: float
+    net_lengths: Dict[int, float] = field(default_factory=dict)
+    grid: Optional[GCellGrid] = None
+    overflow_fraction: float = 0.0
+    max_congestion: float = 0.0
+
+    def top_percent_congestion(self, percent: float = 10.0) -> float:
+        """Congestion Cost numerator (Eq. 5)."""
+        if self.grid is None:
+            return 0.0
+        return self.grid.top_percent_congestion(percent)
+
+
+class GlobalRouter:
+    """Routes a placed design over a GCell grid."""
+
+    def __init__(
+        self,
+        design: Design,
+        grid: Optional[GCellGrid] = None,
+        include_clock: bool = False,
+    ) -> None:
+        self.design = design
+        self.grid = grid or GCellGrid.for_floorplan(design.floorplan)
+        self.include_clock = include_clock
+
+    # ------------------------------------------------------------------
+    def _net_points(self, net: Net) -> List[Tuple[float, float]]:
+        """Distinct pin locations of a net, driver first."""
+        points: List[Tuple[float, float]] = []
+        seen = set()
+        for ref in net.pins():
+            if ref.instance is not None:
+                point = (ref.instance.x, ref.instance.y)
+            else:
+                port = self.design.ports[ref.pin_name]
+                point = (port.x, port.y)
+            key = (round(point[0], 3), round(point[1], 3))
+            if key not in seen:
+                seen.add(key)
+                points.append(point)
+        return points
+
+    def _route_edge(
+        self, a: Tuple[float, float], b: Tuple[float, float]
+    ) -> float:
+        """Route one tree edge as the less-congested L; returns max
+        congestion ratio encountered along the chosen pattern."""
+        grid = self.grid
+        ax, ay = grid.cell_of(*a)
+        bx, by = grid.cell_of(*b)
+        if ax == bx and ay == by:
+            return 0.0
+        if ax == bx:
+            congestion = grid.segment_congestion(False, ax, ay, by)
+            grid.add_vertical(ax, ay, by)
+            return congestion
+        if ay == by:
+            congestion = grid.segment_congestion(True, ay, ax, bx)
+            grid.add_horizontal(ay, ax, bx)
+            return congestion
+        # Two L patterns: horizontal-first at ay, or vertical-first at ax.
+        cong_l1 = max(
+            grid.segment_congestion(True, ay, ax, bx),
+            grid.segment_congestion(False, bx, ay, by),
+        )
+        cong_l2 = max(
+            grid.segment_congestion(False, ax, ay, by),
+            grid.segment_congestion(True, by, ax, bx),
+        )
+        if cong_l1 <= cong_l2:
+            grid.add_horizontal(ay, ax, bx)
+            grid.add_vertical(bx, ay, by)
+            return cong_l1
+        grid.add_vertical(ax, ay, by)
+        grid.add_horizontal(by, ax, bx)
+        return cong_l2
+
+    # ------------------------------------------------------------------
+    def run(self) -> RoutingResult:
+        """Route all signal nets; returns the routing result."""
+        nets = []
+        for net in self.design.nets:
+            if net.is_clock and not self.include_clock:
+                continue
+            if net.degree < 2:
+                continue
+            points = self._net_points(net)
+            if len(points) < 2:
+                continue
+            tree = rsmt(points)
+            nets.append((net, tree))
+        # Longest nets first: they have the least routing flexibility.
+        nets.sort(key=lambda item: -item[1].length)
+
+        net_lengths: Dict[int, float] = {}
+        total = 0.0
+        for net, tree in nets:
+            worst = 0.0
+            for i, j in tree.edges:
+                congestion = self._route_edge(tree.points[i], tree.points[j])
+                worst = max(worst, congestion)
+            detour = 1.0 + DETOUR_FACTOR * max(0.0, worst - 1.0)
+            length = tree.length * detour
+            net_lengths[net.index] = length
+            total += length
+
+        ratios = self.grid.congestion_ratios()
+        return RoutingResult(
+            routed_wirelength=total,
+            net_lengths=net_lengths,
+            grid=self.grid,
+            overflow_fraction=float((ratios > 1.0).mean()),
+            max_congestion=float(ratios.max(initial=0.0)),
+        )

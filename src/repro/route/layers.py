@@ -1,0 +1,141 @@
+"""Layer assignment over global-routed nets.
+
+After global routing, segments are assigned to metal layer pairs the
+way FastRoute's layer assignment does: short nets ride the thin lower
+layers, long nets are promoted to the wider/faster upper layers.  The
+pass reports per-layer track utilization and via counts — the numbers a
+signoff-oriented flow reads after routing — and a via-aware routed
+wirelength (each via stack costs equivalent wirelength).
+
+The layer stack is NanGate45-lite: five routing layer pairs above M1,
+alternating preferred directions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.netlist.design import Design
+from repro.route.global_route import RoutingResult
+
+
+@dataclass(frozen=True)
+class LayerPair:
+    """One horizontal+vertical routing layer pair.
+
+    Attributes:
+        name: Pair label, e.g. "M2/M3".
+        min_length: Nets at least this long (microns) may use the pair.
+        capacity_share: Fraction of total routing capacity on the pair.
+        r_per_um: Wire resistance (kOhm/um) — upper layers are wider
+            and faster.
+    """
+
+    name: str
+    min_length: float
+    capacity_share: float
+    r_per_um: float
+
+
+#: NanGate45-lite layer stack (lowest first).
+DEFAULT_STACK: Tuple[LayerPair, ...] = (
+    LayerPair("M2/M3", 0.0, 0.35, 0.0030),
+    LayerPair("M4/M5", 20.0, 0.30, 0.0020),
+    LayerPair("M6/M7", 60.0, 0.20, 0.0012),
+    LayerPair("M8/M9", 150.0, 0.15, 0.0006),
+)
+
+#: Equivalent wirelength of one via stack level (microns).
+VIA_EQUIVALENT_WL = 0.5
+
+
+@dataclass
+class LayerAssignment:
+    """Outcome of layer assignment.
+
+    Attributes:
+        layer_of_net: Net index -> layer pair index.
+        layer_wirelength: Wirelength per layer pair (microns).
+        layer_utilization: Demand / capacity per layer pair.
+        via_count: Total via stacks (two per net per promoted level:
+            up at the driver, down at each branch; approximated as
+            ``(level + 1) * (fanout + 1)``).
+        via_adjusted_wirelength: rWL plus the via-equivalent length.
+    """
+
+    layer_of_net: Dict[int, int] = field(default_factory=dict)
+    layer_wirelength: List[float] = field(default_factory=list)
+    layer_utilization: List[float] = field(default_factory=list)
+    via_count: int = 0
+    via_adjusted_wirelength: float = 0.0
+
+
+def assign_layers(
+    design: Design,
+    routing: RoutingResult,
+    stack: Tuple[LayerPair, ...] = DEFAULT_STACK,
+) -> LayerAssignment:
+    """Assign each routed net to a layer pair.
+
+    Nets are processed longest first; each takes the highest pair it
+    qualifies for that still has capacity, else it demotes downward
+    (upper layers saturate first on large designs, exactly the signoff
+    pain point).
+    """
+    total_wl = sum(routing.net_lengths.values())
+    capacities = [pair.capacity_share * max(total_wl, 1e-9) for pair in stack]
+    used = [0.0 for _ in stack]
+    assignment = LayerAssignment(
+        layer_wirelength=[0.0] * len(stack),
+        layer_utilization=[0.0] * len(stack),
+    )
+
+    nets_by_length = sorted(
+        routing.net_lengths.items(), key=lambda kv: -kv[1]
+    )
+    vias = 0
+    via_wl = 0.0
+    for net_index, length in nets_by_length:
+        # Highest qualifying pair with room.
+        chosen: Optional[int] = None
+        for level in reversed(range(len(stack))):
+            if length >= stack[level].min_length and (
+                used[level] + length <= capacities[level]
+            ):
+                chosen = level
+                break
+        if chosen is None:
+            # Fully demote to the lowest pair (overflow recorded via
+            # utilization > 1).
+            chosen = 0
+        used[chosen] += length
+        assignment.layer_of_net[net_index] = chosen
+        assignment.layer_wirelength[chosen] += length
+        fanout = design.nets[net_index].fanout
+        net_vias = (chosen + 1) * (fanout + 1)
+        vias += net_vias
+        via_wl += net_vias * VIA_EQUIVALENT_WL
+
+    assignment.layer_utilization = [
+        used[i] / capacities[i] if capacities[i] > 0 else 0.0
+        for i in range(len(stack))
+    ]
+    assignment.via_count = vias
+    assignment.via_adjusted_wirelength = routing.routed_wirelength + via_wl
+    return assignment
+
+
+def layer_report(assignment: LayerAssignment, stack=DEFAULT_STACK) -> str:
+    """Human-readable per-layer summary."""
+    lines = ["layer    wirelength     util"]
+    for i, pair in enumerate(stack):
+        lines.append(
+            f"{pair.name:<8} {assignment.layer_wirelength[i]:>10.0f}um "
+            f"{assignment.layer_utilization[i]:>7.2f}"
+        )
+    lines.append(
+        f"vias: {assignment.via_count}; via-adjusted rWL: "
+        f"{assignment.via_adjusted_wirelength:.0f}um"
+    )
+    return "\n".join(lines)

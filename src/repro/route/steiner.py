@@ -1,0 +1,96 @@
+"""Rectilinear Steiner tree construction (FLUTE-lite).
+
+Exact for 2-3 pin nets (where RSMT length equals the bounding-box
+half-perimeter); Prim MST with a Steiner discount for larger nets.
+The returned edge list feeds the pattern router.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+#: MST-to-RSMT discount for multi-pin nets; the RSMT of random point
+#: sets averages ~0.9x the rectilinear MST length.
+STEINER_DISCOUNT = 0.9
+
+#: Pin-count cap: beyond this the vectorized O(k^2) Prim becomes
+#: noticeable and nets are routed as a star from the first pin
+#: (drivers come first).  Signal nets rarely get near this; clock
+#: fanout is handled by CTS, not the signal router.
+MAX_MST_PINS = 1024
+
+
+@dataclass
+class SteinerTree:
+    """A routing topology for one net.
+
+    Attributes:
+        points: Pin locations (x, y), driver first when known.
+        edges: Index pairs into ``points`` forming the tree.
+        length: Estimated rectilinear Steiner length (microns).
+    """
+
+    points: List[Tuple[float, float]]
+    edges: List[Tuple[int, int]]
+    length: float
+
+
+def rsmt(points: Sequence[Tuple[float, float]]) -> SteinerTree:
+    """Build a rectilinear Steiner tree over ``points``.
+
+    2-pin and 3-pin nets use the exact RSMT length (bounding-box
+    half-perimeter); larger nets use a Prim MST with the standard
+    Steiner discount; nets above :data:`MAX_MST_PINS` pins fall back
+    to a star topology.
+    """
+    pts = list(points)
+    k = len(pts)
+    if k <= 1:
+        return SteinerTree(points=pts, edges=[], length=0.0)
+    if k == 2:
+        length = _manhattan(pts[0], pts[1])
+        return SteinerTree(points=pts, edges=[(0, 1)], length=length)
+    if k == 3:
+        # RSMT of 3 terminals = HPWL of their bounding box, realised by
+        # a tree through the median point.
+        xs = sorted(p[0] for p in pts)
+        ys = sorted(p[1] for p in pts)
+        length = (xs[2] - xs[0]) + (ys[2] - ys[0])
+        edges = [(0, 1), (0, 2)]
+        return SteinerTree(points=pts, edges=edges, length=length)
+    if k > MAX_MST_PINS:
+        edges = [(0, i) for i in range(1, k)]
+        length = sum(_manhattan(pts[0], pts[i]) for i in range(1, k))
+        return SteinerTree(points=pts, edges=edges, length=length)
+    return _prim_mst(pts)
+
+
+def _manhattan(a: Tuple[float, float], b: Tuple[float, float]) -> float:
+    return abs(a[0] - b[0]) + abs(a[1] - b[1])
+
+
+def _prim_mst(pts: List[Tuple[float, float]]) -> SteinerTree:
+    """Prim's algorithm on the Manhattan metric, vectorized per step."""
+    k = len(pts)
+    xs = np.array([p[0] for p in pts])
+    ys = np.array([p[1] for p in pts])
+    in_tree = np.zeros(k, dtype=bool)
+    in_tree[0] = True
+    best_dist = np.abs(xs - xs[0]) + np.abs(ys - ys[0])
+    best_from = np.zeros(k, dtype=np.int64)
+    edges: List[Tuple[int, int]] = []
+    total = 0.0
+    for _ in range(k - 1):
+        masked = np.where(in_tree, np.inf, best_dist)
+        j = int(np.argmin(masked))
+        total += float(masked[j])
+        edges.append((int(best_from[j]), j))
+        in_tree[j] = True
+        new_dist = np.abs(xs - xs[j]) + np.abs(ys - ys[j])
+        closer = new_dist < best_dist
+        best_dist = np.where(closer, new_dist, best_dist)
+        best_from = np.where(closer, j, best_from)
+    return SteinerTree(points=pts, edges=edges, length=total * STEINER_DISCOUNT)

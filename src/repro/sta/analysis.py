@@ -1,0 +1,210 @@
+"""Arrival / required / slack propagation.
+
+Single-clock setup analysis, matching how the paper's flow consumes
+OpenSTA: launch at FF Q (clock edge at t=0 plus clk-to-q), capture at
+FF D (next edge minus setup) and at output ports, worst-slack
+propagation over the levelized graph.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.netlist.design import Instance, Net, PinRef
+from repro.sta.delay import WireDelayModel, effective_cell_delay
+from repro.sta.graph import TimingGraph
+
+#: Clock period used when the design is unconstrained (effectively
+#: infinite, so all slacks come out large and positive).
+UNCONSTRAINED_PERIOD = 1e6
+
+
+@dataclass
+class TimingReport:
+    """Results of one timing update.
+
+    Attributes:
+        wns: Worst negative slack over all endpoints (ns; positive when
+            all constraints are met).
+        tns: Total negative slack (ns; 0 when nothing fails).
+        endpoint_slacks: Node id -> slack for every endpoint.
+        arrival: Per-node arrival times (-inf where unreachable).
+        required: Per-node required times (+inf where unconstrained).
+        worst_pred: Per-node predecessor on the worst arrival path,
+            used for critical-path backtracking.
+    """
+
+    wns: float
+    tns: float
+    endpoint_slacks: Dict[int, float] = field(default_factory=dict)
+    arrival: List[float] = field(default_factory=list)
+    required: List[float] = field(default_factory=list)
+    worst_pred: List[int] = field(default_factory=list)
+
+    @property
+    def num_failing(self) -> int:
+        """Number of endpoints with negative slack."""
+        return sum(1 for s in self.endpoint_slacks.values() if s < 0)
+
+
+class TimingAnalyzer:
+    """Propagates timing over a :class:`TimingGraph`.
+
+    The analyzer is cheap to re-run after the placement moves: the
+    graph is static, only the wire model's geometry answers change.
+    """
+
+    def __init__(
+        self,
+        graph: TimingGraph,
+        wire_model: WireDelayModel,
+        clock_uncertainty: float = 0.0,
+    ) -> None:
+        self.graph = graph
+        self.wire_model = wire_model
+        self.design = graph.design
+        #: Uniform clock uncertainty (e.g. the CTS skew) subtracted
+        #: from every endpoint's required time (ns).
+        self.clock_uncertainty = clock_uncertainty
+        self.report: Optional[TimingReport] = None
+        self._net_loads: Dict[int, float] = {}
+
+    # ------------------------------------------------------------------
+    def _clock_period(self) -> float:
+        period = self.design.clock_period
+        return period if period is not None else UNCONSTRAINED_PERIOD
+
+    def _arc_delay(self, u: int, v: int, kind: str, payload: object) -> float:
+        """Delay of one timing arc (ns)."""
+        if kind == TimingGraph.WIRE:
+            net: Net = payload  # type: ignore[assignment]
+            inst, pin = self.graph.info(v)
+            sink = PinRef(inst, pin)
+            return self.wire_model.wire_delay(net, sink)
+        # Cell arc: linear delay model on the driving output pin,
+        # with virtual buffering of large loads.
+        inst: Instance = payload  # type: ignore[no-redef]
+        _out_inst, out_pin = self.graph.info(v)
+        net = inst.net_on(out_pin)
+        if net is not None:
+            load = self._net_loads.get(net.index)
+            if load is None:
+                load = self.wire_model.net_load(net)
+                self._net_loads[net.index] = load
+        else:
+            load = 0.0
+        master = inst.master
+        return effective_cell_delay(
+            master.intrinsic_delay, master.drive_resistance, load
+        )
+
+    def _startpoint_arrival(self, node: int) -> float:
+        """Launch time at a startpoint."""
+        inst, pin = self.graph.info(node)
+        if inst is None:
+            return 0.0  # input port (no explicit input delay by default)
+        return inst.master.clk_to_q  # sequential Q launch
+
+    def _endpoint_required(self, node: int, period: float) -> float:
+        """Capture requirement at an endpoint."""
+        inst, pin = self.graph.info(node)
+        if inst is None:
+            return period - self.clock_uncertainty  # output port
+        # Sequential D-type input.
+        return period - inst.master.setup_time - self.clock_uncertainty
+
+    # ------------------------------------------------------------------
+    def update(self) -> TimingReport:
+        """Run full arrival/required propagation; returns the report."""
+        graph = self.graph
+        n = graph.num_nodes
+        period = self._clock_period()
+        # Net loads depend only on the current geometry: cache them for
+        # the duration of this update (cleared on every update so the
+        # analyzer stays safe to re-run after placement moves).
+        self._net_loads = {}
+
+        arrival = [-math.inf] * n
+        worst_pred = [-1] * n
+        for s in graph.startpoints:
+            arrival[s] = max(arrival[s], self._startpoint_arrival(s))
+
+        for u in graph.topo_order:
+            if arrival[u] == -math.inf:
+                continue
+            au = arrival[u]
+            for v, kind, payload in graph.arcs[u]:
+                candidate = au + self._arc_delay(u, v, kind, payload)
+                if candidate > arrival[v]:
+                    arrival[v] = candidate
+                    worst_pred[v] = u
+
+        required = [math.inf] * n
+        endpoint_slacks: Dict[int, float] = {}
+        for e in graph.endpoints:
+            required[e] = min(required[e], self._endpoint_required(e, period))
+
+        for v in reversed(graph.topo_order):
+            rv = required[v]
+            if rv == math.inf:
+                continue
+            for u, kind, payload in graph.preds[v]:
+                candidate = rv - self._arc_delay(u, v, kind, payload)
+                if candidate < required[u]:
+                    required[u] = candidate
+
+        wns = math.inf
+        tns = 0.0
+        for e in graph.endpoints:
+            if arrival[e] == -math.inf:
+                continue  # unreachable endpoint: unconstrained
+            slack = required[e] - arrival[e]
+            endpoint_slacks[e] = slack
+            wns = min(wns, slack)
+            if slack < 0:
+                tns += slack
+        if wns == math.inf:
+            wns = period  # no constrained endpoints at all
+
+        self.report = TimingReport(
+            wns=wns,
+            tns=tns,
+            endpoint_slacks=endpoint_slacks,
+            arrival=arrival,
+            required=required,
+            worst_pred=worst_pred,
+        )
+        return self.report
+
+    # ------------------------------------------------------------------
+    def net_slacks(self) -> Dict[int, float]:
+        """Worst slack over each net's arcs (net index -> slack).
+
+        The PPA-aware clustering uses these to weight hyperedges by
+        timing criticality.
+        """
+        if self.report is None:
+            self.update()
+        report = self.report
+        assert report is not None
+        slacks: Dict[int, float] = {}
+        graph = self.graph
+        for u in range(graph.num_nodes):
+            au = report.arrival[u]
+            if au == -math.inf:
+                continue
+            for v, kind, payload in graph.arcs[u]:
+                if kind != TimingGraph.WIRE:
+                    continue
+                rv = report.required[v]
+                if rv == math.inf:
+                    continue
+                delay = self._arc_delay(u, v, kind, payload)
+                slack = rv - (au + delay)
+                net: Net = payload  # type: ignore[assignment]
+                previous = slacks.get(net.index)
+                if previous is None or slack < previous:
+                    slacks[net.index] = slack
+        return slacks

@@ -1,0 +1,191 @@
+"""Wire delay / capacitance models.
+
+Three fidelity levels, used at different points of the flow:
+
+* :class:`FanoutWireModel` — pre-placement, wire length estimated from
+  fanout alone (the model synthesis-time STA would use).
+* :class:`PlacementWireModel` — post-placement, per-sink Manhattan
+  distance and HPWL-based net capacitance.
+* :class:`RoutedWireModel` — post-routing, uses the global router's
+  per-net routed lengths (Steiner length inflated by congestion
+  detours).
+
+Unit system: distance in microns, resistance in kOhm, capacitance in
+fF, time in ns.  1 kOhm * 1 fF = 1 ps = 1e-3 ns, hence the ``RC_NS``
+conversion factor.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.netlist.design import Design, Net, PinRef
+
+#: ns per (kOhm * fF).
+RC_NS = 1e-3
+
+#: Default per-micron wire resistance (kOhm/um), NanGate45-ish metal.
+DEFAULT_R_PER_UM = 0.002
+
+#: Default per-micron wire capacitance (fF/um).
+DEFAULT_C_PER_UM = 0.2
+
+#: Virtual buffering: loads above this are assumed to be buffered by
+#: the implementation tool (OpenROAD resizer / Innovus optDesign both
+#: do this before routing), so a driver never sees more than this
+#: capacitance directly...
+BUFFERED_LOAD_FF = 40.0
+
+#: ...and each doubling of the remaining load costs one buffer stage.
+BUFFER_STAGE_DELAY_NS = 0.045
+
+
+def effective_cell_delay(
+    intrinsic_delay: float, drive_resistance: float, load: float
+) -> float:
+    """Linear cell delay with virtual buffering of large loads.
+
+    ``delay = intrinsic + R * min(load, BUFFERED) + stage_delay *
+    log2(load / BUFFERED)`` — the logarithmic term models the buffer
+    tree the implementation tools would insert for high-fanout nets.
+    """
+    import math
+
+    direct = min(load, BUFFERED_LOAD_FF)
+    delay = intrinsic_delay + drive_resistance * direct
+    if load > BUFFERED_LOAD_FF:
+        delay += BUFFER_STAGE_DELAY_NS * math.log2(load / BUFFERED_LOAD_FF)
+    return delay
+
+
+class WireDelayModel:
+    """Base class: computes wire delay and net capacitance.
+
+    Subclasses override :meth:`net_wirelength` (total net wire length,
+    used for capacitive load) and :meth:`sink_distance` (driver-to-sink
+    distance, used for the distributed RC delay to one sink).
+    """
+
+    def __init__(
+        self,
+        design: Design,
+        r_per_um: float = DEFAULT_R_PER_UM,
+        c_per_um: float = DEFAULT_C_PER_UM,
+    ) -> None:
+        self.design = design
+        self.r_per_um = r_per_um
+        self.c_per_um = c_per_um
+
+    # -- geometry hooks -------------------------------------------------
+    def net_wirelength(self, net: Net) -> float:
+        """Estimated total wire length of the net (microns)."""
+        raise NotImplementedError
+
+    def sink_distance(self, net: Net, sink: PinRef) -> float:
+        """Estimated driver-to-sink distance (microns)."""
+        raise NotImplementedError
+
+    # -- electrical quantities ------------------------------------------
+    def wire_capacitance(self, net: Net) -> float:
+        """Wire capacitance of the net (fF)."""
+        return self.c_per_um * self.net_wirelength(net)
+
+    def net_load(self, net: Net) -> float:
+        """Total load seen by the driver: wire cap + sink pin caps (fF)."""
+        pin_cap = sum(sink.capacitance(self.design) for sink in net.sinks)
+        return pin_cap + self.wire_capacitance(net)
+
+    def wire_delay(self, net: Net, sink: PinRef) -> float:
+        """Elmore-style wire delay from driver to ``sink`` (ns).
+
+        Uses the distributed-RC approximation over the driver-to-sink
+        distance: ``R_wire * (C_wire / 2 + C_sink)``.
+        """
+        dist = self.sink_distance(net, sink)
+        r_wire = self.r_per_um * dist
+        c_wire = self.c_per_um * dist
+        c_sink = sink.capacitance(self.design)
+        return RC_NS * r_wire * (0.5 * c_wire + c_sink)
+
+
+class FanoutWireModel(WireDelayModel):
+    """Placement-oblivious model: wire length grows with fanout.
+
+    ``WL = wl_per_fanout * degree`` is the classic synthesis wireload
+    approximation; used for the pre-placement STA that seeds the
+    PPA-aware clustering when no placement exists yet.
+    """
+
+    def __init__(self, design: Design, wl_per_fanout: float = 4.0, **kwargs) -> None:
+        super().__init__(design, **kwargs)
+        self.wl_per_fanout = wl_per_fanout
+
+    def net_wirelength(self, net: Net) -> float:
+        return self.wl_per_fanout * max(1, net.fanout)
+
+    def sink_distance(self, net: Net, sink: PinRef) -> float:
+        return self.wl_per_fanout
+
+
+def _pin_location(design: Design, ref: PinRef) -> tuple:
+    """Location of a pin reference (instance centre or port location)."""
+    if ref.instance is not None:
+        return ref.instance.x, ref.instance.y
+    port = design.ports[ref.pin_name]
+    return port.x, port.y
+
+
+class PlacementWireModel(WireDelayModel):
+    """Post-placement model: HPWL net length, Manhattan sink distance."""
+
+    def net_wirelength(self, net: Net) -> float:
+        xs = []
+        ys = []
+        for ref in net.pins():
+            x, y = _pin_location(self.design, ref)
+            xs.append(x)
+            ys.append(y)
+        if not xs:
+            return 0.0
+        return (max(xs) - min(xs)) + (max(ys) - min(ys))
+
+    def sink_distance(self, net: Net, sink: PinRef) -> float:
+        if net.driver is None:
+            return 0.0
+        xd, yd = _pin_location(self.design, net.driver)
+        xs, ys = _pin_location(self.design, sink)
+        return abs(xd - xs) + abs(yd - ys)
+
+
+class RoutedWireModel(PlacementWireModel):
+    """Post-route model: per-net routed lengths from the global router.
+
+    ``routed_lengths`` maps net index to routed wire length (microns);
+    nets absent from the map fall back to the placement HPWL.  Sink
+    distances are scaled by the net's detour ratio so congestion-driven
+    detours lengthen the timing arcs they affect.
+    """
+
+    def __init__(
+        self,
+        design: Design,
+        routed_lengths: Optional[Dict[int, float]] = None,
+        **kwargs,
+    ) -> None:
+        super().__init__(design, **kwargs)
+        self.routed_lengths = routed_lengths or {}
+
+    def net_wirelength(self, net: Net) -> float:
+        routed = self.routed_lengths.get(net.index)
+        if routed is not None:
+            return routed
+        return super().net_wirelength(net)
+
+    def sink_distance(self, net: Net, sink: PinRef) -> float:
+        base = super().sink_distance(net, sink)
+        hpwl = super().net_wirelength(net)
+        routed = self.routed_lengths.get(net.index)
+        if routed is None or hpwl <= 0:
+            return base
+        detour = max(1.0, routed / hpwl)
+        return base * detour

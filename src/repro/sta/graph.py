@@ -1,0 +1,207 @@
+"""Timing graph construction and levelization.
+
+Nodes are pins (instance pins and top-level ports); arcs are
+
+* cell arcs: input pin -> output pin of a combinational cell,
+* wire arcs: driver pin -> each sink pin of a net.
+
+Clock pins are not modelled as nodes: sequential Q pins are path
+*startpoints* whose launch time (clock edge + clk-to-q) the analyzer
+applies directly, which is equivalent to an explicit CK -> Q launch arc
+under the single-clock, zero-insertion-delay model (CTS skew enters as
+clock uncertainty at the endpoints).
+
+Sequential D-type inputs and output ports are path endpoints; input
+ports and sequential Q outputs are path startpoints.  The generator
+guarantees combinational acyclicity, and :meth:`TimingGraph.levelize`
+verifies it (raising on a combinational loop, as OpenSTA would flag).
+"""
+
+from __future__ import annotations
+
+import weakref
+from collections import deque
+from typing import Dict, List, Optional, Tuple
+
+from repro.netlist.design import Design, Instance, Net, PinDirection, PinRef
+
+
+class TimingGraph:
+    """A levelized pin-level timing graph for one design.
+
+    Attributes:
+        design: The source design.
+        num_nodes: Number of pin nodes.
+        arcs: Forward adjacency: ``arcs[u]`` is a list of
+            ``(v, kind, payload)`` where kind is ``"cell"`` (payload:
+            the driving Instance) or ``"wire"`` (payload: the Net).
+        preds: Reverse adjacency mirroring ``arcs``.
+        startpoints: Node ids where timing paths begin.
+        endpoints: Node ids where timing paths end.
+        topo_order: Node ids in topological order (after levelize()).
+    """
+
+    CELL = "cell"
+    WIRE = "wire"
+
+    def __init__(self, design: Design) -> None:
+        self.design = design
+        self._node_of: Dict[Tuple[Optional[int], str], int] = {}
+        self._node_info: List[Tuple[Optional[Instance], str]] = []
+        self.arcs: List[List[Tuple[int, str, object]]] = []
+        self.preds: List[List[Tuple[int, str, object]]] = []
+        self.startpoints: List[int] = []
+        self.endpoints: List[int] = []
+        self.topo_order: List[int] = []
+        self._build()
+
+    # ------------------------------------------------------------------
+    def node(self, inst: Optional[Instance], pin_name: str) -> int:
+        """Get or create the node id for an instance pin / port."""
+        key = (inst.index if inst is not None else None, pin_name)
+        node_id = self._node_of.get(key)
+        if node_id is None:
+            node_id = len(self._node_info)
+            self._node_of[key] = node_id
+            self._node_info.append((inst, pin_name))
+            self.arcs.append([])
+            self.preds.append([])
+        return node_id
+
+    def node_for_ref(self, ref: PinRef) -> int:
+        """Node id for a :class:`PinRef`."""
+        return self.node(ref.instance, ref.pin_name)
+
+    def info(self, node_id: int) -> Tuple[Optional[Instance], str]:
+        """(instance, pin name) of a node; instance None for ports."""
+        return self._node_info[node_id]
+
+    def node_name(self, node_id: int) -> str:
+        """Human-readable pin name, e.g. ``u_a/U3.Y`` or port name."""
+        inst, pin = self._node_info[node_id]
+        if inst is None:
+            return pin
+        return f"{inst.name}.{pin}"
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of pin nodes."""
+        return len(self._node_info)
+
+    # ------------------------------------------------------------------
+    def _add_arc(self, u: int, v: int, kind: str, payload: object) -> None:
+        self.arcs[u].append((v, kind, payload))
+        self.preds[v].append((u, kind, payload))
+
+    def _build(self) -> None:
+        design = self.design
+        # Create nodes for every port so they exist even when floating.
+        for name in design.ports:
+            self.node(None, name)
+        # Wire arcs.
+        for net in design.nets:
+            if net.driver is None or net.is_clock:
+                continue
+            u = self.node_for_ref(net.driver)
+            for sink in net.sinks:
+                v = self.node_for_ref(sink)
+                self._add_arc(u, v, self.WIRE, net)
+
+        # Cell arcs.
+        for inst in design.instances:
+            master = inst.master
+            outputs = [
+                p.name
+                for p in master.output_pins()
+                if inst.net_on(p.name) is not None
+            ]
+            if master.is_sequential:
+                # Q pins launch paths (clock arrives at t=0, so arrival
+                # at Q is clk_to_q, applied by the analyzer).  D-type
+                # inputs are endpoints even when Q is unused.
+                for out in outputs:
+                    self.startpoints.append(self.node(inst, out))
+                d_pins = [
+                    p.name
+                    for p in master.input_pins()
+                    if inst.net_on(p.name) is not None
+                ]
+                for d in d_pins:
+                    self.endpoints.append(self.node(inst, d))
+            elif not outputs:
+                continue
+            else:
+                inputs = [
+                    p.name
+                    for p in master.input_pins()
+                    if inst.net_on(p.name) is not None
+                ]
+                for out in outputs:
+                    out_node = self.node(inst, out)
+                    for inp in inputs:
+                        self._add_arc(self.node(inst, inp), out_node, self.CELL, inst)
+
+        # Ports: input ports with a driven net are startpoints; output
+        # ports are endpoints.
+        for name, port in design.ports.items():
+            key = (None, name)
+            if key not in self._node_of:
+                continue
+            node_id = self._node_of[key]
+            if port.direction is PinDirection.INPUT:
+                clock_like = name == design.clock_port
+                if not clock_like:
+                    self.startpoints.append(node_id)
+            else:
+                self.endpoints.append(node_id)
+
+        self.levelize()
+
+    # ------------------------------------------------------------------
+    def levelize(self) -> None:
+        """Topologically order the nodes; raises on combinational loops."""
+        n = self.num_nodes
+        indeg = [len(self.preds[v]) for v in range(n)]
+        queue = deque(v for v in range(n) if indeg[v] == 0)
+        order: List[int] = []
+        while queue:
+            u = queue.popleft()
+            order.append(u)
+            for v, _kind, _payload in self.arcs[u]:
+                indeg[v] -= 1
+                if indeg[v] == 0:
+                    queue.append(v)
+        if len(order) != n:
+            remaining = [self.node_name(v) for v in range(n) if indeg[v] > 0]
+            raise ValueError(
+                f"combinational loop detected among {len(remaining)} pins, "
+                f"e.g. {remaining[:4]}"
+            )
+        self.topo_order = order
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        num_arcs = sum(len(a) for a in self.arcs)
+        return (
+            f"TimingGraph(nodes={self.num_nodes}, arcs={num_arcs}, "
+            f"starts={len(self.startpoints)}, ends={len(self.endpoints)})"
+        )
+
+
+_GRAPH_CACHE: "weakref.WeakKeyDictionary[Design, TimingGraph]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def timing_graph_for(design: Design) -> TimingGraph:
+    """Cached timing graph for a design.
+
+    The graph depends only on connectivity, which is immutable after
+    netlist construction in this package, so one graph per design is
+    safe to share between the clustering stage and the post-route
+    evaluation (placement moves only change the wire model's answers).
+    """
+    graph = _GRAPH_CACHE.get(design)
+    if graph is None:
+        graph = TimingGraph(design)
+        _GRAPH_CACHE[design] = graph
+    return graph

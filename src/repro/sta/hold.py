@@ -1,0 +1,99 @@
+"""Hold (min-delay) analysis.
+
+Setup analysis propagates worst-case (max) arrivals; hold checks the
+*fastest* path into each sequential D pin against the hold requirement
+at the same clock edge:
+
+    slack_hold = min_arrival(D) - (hold_time + clock_uncertainty)
+
+Short register-to-register paths — exactly what aggressive clustering
+can create by collapsing connected registers next to each other — are
+the classic hold hazard, so the post-route evaluation can optionally
+report hold WNS/TNS alongside setup.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.sta.analysis import TimingAnalyzer
+
+
+@dataclass
+class HoldReport:
+    """Hold-analysis results.
+
+    Attributes:
+        wns: Worst hold slack (ns; negative = violation).
+        tns: Total negative hold slack (ns).
+        endpoint_slacks: Node id -> hold slack for sequential endpoints.
+    """
+
+    wns: float
+    tns: float
+    endpoint_slacks: Dict[int, float] = field(default_factory=dict)
+
+    @property
+    def num_failing(self) -> int:
+        """Endpoints violating hold."""
+        return sum(1 for s in self.endpoint_slacks.values() if s < 0)
+
+
+def analyze_hold(
+    analyzer: TimingAnalyzer, input_min_delay: float = 0.05
+) -> HoldReport:
+    """Min-arrival propagation over the analyzer's graph + wire model.
+
+    Reuses the analyzer's arc delays (same geometry) with min instead
+    of max accumulation.  Only sequential D-type endpoints are checked
+    (output ports have no hold requirement in this single-clock model).
+
+    Args:
+        analyzer: Setup analyzer providing graph, wire model and clock
+            uncertainty.
+        input_min_delay: Earliest change time of primary inputs after
+            the clock edge (the ``set_input_delay -min`` value real
+            flows constrain; without it every input-to-D endpoint
+            trivially fails hold).
+    """
+    graph = analyzer.graph
+    n = graph.num_nodes
+
+    arrival = [math.inf] * n
+    for s in graph.startpoints:
+        inst, _pin = graph.info(s)
+        if inst is None:
+            launch = input_min_delay
+        else:
+            launch = inst.master.clk_to_q
+        arrival[s] = min(arrival[s], launch)
+
+    for u in graph.topo_order:
+        if arrival[u] == math.inf:
+            continue
+        au = arrival[u]
+        for v, kind, payload in graph.arcs[u]:
+            candidate = au + analyzer._arc_delay(u, v, kind, payload)
+            if candidate < arrival[v]:
+                arrival[v] = candidate
+
+    wns = math.inf
+    tns = 0.0
+    endpoint_slacks: Dict[int, float] = {}
+    for e in graph.endpoints:
+        inst, _pin = graph.info(e)
+        if inst is None or not inst.master.is_sequential:
+            continue
+        if arrival[e] == math.inf:
+            continue
+        requirement = inst.master.hold_time + analyzer.clock_uncertainty
+        slack = arrival[e] - requirement
+        endpoint_slacks[e] = slack
+        wns = min(wns, slack)
+        if slack < 0:
+            tns += slack
+    if wns == math.inf:
+        wns = 0.0
+    return HoldReport(wns=wns, tns=tns, endpoint_slacks=endpoint_slacks)

@@ -1,0 +1,114 @@
+"""Vectorless power analysis.
+
+Total power = switching + internal + leakage (+ clock network), the
+metric reported in the paper's Tables 3-6.
+
+* switching: ``0.5 * Vdd^2 * f * sum_nets(activity * C_net)``
+* internal:  ``f * sum_cells(internal_energy * output_activity)``
+* leakage:   ``sum_cells(leakage_power)``
+* clock:     switching power of the CTS network (wire + buffers at
+  activity 1.0), supplied by the router/CTS stage.
+
+Units: Vdd in volts, f in GHz (1/ns), capacitance in fF, energy in fJ;
+the products come out in mW after the 1e-3 factors cancel (fF * V^2 *
+GHz = fJ/ns * 1e-3 = uW... we carry an explicit factor, see code).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.netlist.design import Design
+from repro.sta.delay import WireDelayModel
+
+#: Supply voltage (V), NanGate45 nominal.
+VDD = 1.1
+
+#: fF * V^2 * GHz = 1e-15 F * V^2 * 1e9 Hz = 1e-6 W = 1e-3 mW.
+_FF_V2_GHZ_TO_MW = 1e-3
+
+
+@dataclass
+class PowerReport:
+    """Power breakdown in mW."""
+
+    switching: float
+    internal: float
+    leakage: float
+    clock: float
+
+    @property
+    def total(self) -> float:
+        """Total power (mW)."""
+        return self.switching + self.internal + self.leakage + self.clock
+
+
+def analyze_power(
+    design: Design,
+    wire_model: WireDelayModel,
+    net_activity: Optional[Dict[int, float]] = None,
+    clock_wirelength: float = 0.0,
+    clock_buffers: int = 0,
+    c_per_um: float = 0.2,
+) -> PowerReport:
+    """Compute the power report for the current placement/routing state.
+
+    Args:
+        design: The design (nets must carry switching activity unless
+            ``net_activity`` is given).
+        wire_model: Geometry source for net capacitances.
+        net_activity: Optional net index -> activity override.
+        clock_wirelength: Total CTS wire length (microns).
+        clock_buffers: Number of inserted clock buffers.
+        c_per_um: Wire capacitance for the clock network (fF/um).
+    """
+    period = design.clock_period or 1.0
+    freq_ghz = 1.0 / period
+
+    switching = 0.0
+    for net in design.nets:
+        if net.is_clock or net.driver is None:
+            continue
+        if net_activity is not None:
+            activity = net_activity.get(net.index, net.switching_activity)
+        else:
+            activity = net.switching_activity
+        cap = wire_model.net_load(net)
+        switching += 0.5 * activity * cap
+    switching *= VDD * VDD * freq_ghz * _FF_V2_GHZ_TO_MW
+
+    internal = 0.0
+    leakage = 0.0
+    for inst in design.instances:
+        master = inst.master
+        leakage += master.leakage_power
+        out_activity = 0.0
+        for pin in master.output_pins():
+            net = inst.net_on(pin.name)
+            if net is not None:
+                out_activity = max(out_activity, net.switching_activity)
+        if master.is_sequential:
+            # Sequential cells burn internal power on every clock edge.
+            out_activity = max(out_activity, 1.0)
+        internal += master.internal_energy * out_activity
+    internal *= freq_ghz * _FF_V2_GHZ_TO_MW
+
+    # Clock network: full-rate switching on the CTS wire capacitance
+    # plus per-buffer energy, plus CK pin caps of the sinks.
+    ck_pin_cap = 0.0
+    for inst in design.sequential_instances():
+        clock_pin = inst.master.clock_pin()
+        if clock_pin is not None:
+            ck_pin_cap += clock_pin.capacitance
+    clock_cap = c_per_um * clock_wirelength + ck_pin_cap
+    buffer_energy = 2.0 * clock_buffers  # fJ per buffer per edge
+    clock = (
+        (0.5 * 1.0 * clock_cap * VDD * VDD + buffer_energy)
+        * freq_ghz
+        * _FF_V2_GHZ_TO_MW
+    )
+
+    return PowerReport(
+        switching=switching, internal=internal, leakage=leakage, clock=clock
+    )

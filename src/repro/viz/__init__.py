@@ -1,0 +1,18 @@
+"""Layout visualisation (SVG, no external dependencies).
+
+Renders placements (optionally coloured by cluster), GCell congestion
+heat maps and clock trees to standalone SVG files — the artefacts a
+placement paper's figures are made of.
+"""
+
+from repro.viz.svg import (
+    render_clusters_svg,
+    render_congestion_svg,
+    render_placement_svg,
+)
+
+__all__ = [
+    "render_placement_svg",
+    "render_clusters_svg",
+    "render_congestion_svg",
+]

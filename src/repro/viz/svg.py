@@ -1,0 +1,142 @@
+"""SVG renderers for placements, cluster maps and congestion."""
+
+from __future__ import annotations
+
+import colorsys
+from typing import List, Optional, Sequence
+
+from repro.netlist.design import Design
+from repro.route.gcell import GCellGrid
+
+#: Rendered image width in pixels; height follows the die aspect.
+IMAGE_WIDTH = 800
+
+
+def _svg_header(width: float, height: float) -> List[str]:
+    return [
+        '<?xml version="1.0" encoding="UTF-8"?>',
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width:.0f}" '
+        f'height="{height:.0f}" viewBox="0 0 {width:.0f} {height:.0f}">',
+        f'<rect width="{width:.0f}" height="{height:.0f}" fill="#fafafa"/>',
+    ]
+
+
+def _cluster_color(cluster_id: int, num_clusters: int) -> str:
+    """Distinct, stable colour per cluster (golden-angle hues)."""
+    hue = (cluster_id * 0.61803398875) % 1.0
+    r, g, b = colorsys.hsv_to_rgb(hue, 0.65, 0.85)
+    return f"#{int(r * 255):02x}{int(g * 255):02x}{int(b * 255):02x}"
+
+
+def _heat_color(ratio: float) -> str:
+    """Green -> yellow -> red ramp for congestion ratios."""
+    clamped = max(0.0, min(ratio, 1.5)) / 1.5
+    hue = (1.0 - clamped) * 0.33  # 0.33 = green, 0 = red
+    r, g, b = colorsys.hsv_to_rgb(hue, 0.9, 0.9)
+    return f"#{int(r * 255):02x}{int(g * 255):02x}{int(b * 255):02x}"
+
+
+def render_placement_svg(
+    design: Design,
+    path: Optional[str] = None,
+    cell_color: str = "#4477aa",
+    macro_color: str = "#aa4444",
+) -> str:
+    """Render the current placement; returns (and optionally writes)
+    the SVG text."""
+    fp = design.floorplan
+    scale = IMAGE_WIDTH / fp.die_width
+    height = fp.die_height * scale
+    lines = _svg_header(IMAGE_WIDTH, height)
+    lines.append(
+        f'<rect x="{fp.core_llx * scale:.1f}" '
+        f'y="{(fp.die_height - fp.core_ury) * scale:.1f}" '
+        f'width="{fp.core_width * scale:.1f}" '
+        f'height="{fp.core_height * scale:.1f}" '
+        'fill="none" stroke="#888" stroke-width="1"/>'
+    )
+    for inst in design.instances:
+        w = max(1.0, inst.master.width * scale)
+        h = max(1.0, inst.master.height * scale)
+        x = inst.x * scale - w / 2
+        y = (fp.die_height - inst.y) * scale - h / 2
+        color = macro_color if inst.master.is_macro else cell_color
+        opacity = 0.9 if inst.master.is_macro else 0.5
+        lines.append(
+            f'<rect x="{x:.1f}" y="{y:.1f}" width="{w:.1f}" height="{h:.1f}" '
+            f'fill="{color}" fill-opacity="{opacity}"/>'
+        )
+    for port in design.ports.values():
+        x = port.x * scale
+        y = (fp.die_height - port.y) * scale
+        lines.append(
+            f'<circle cx="{x:.1f}" cy="{y:.1f}" r="3" fill="#222"/>'
+        )
+    lines.append("</svg>")
+    text = "\n".join(lines)
+    if path is not None:
+        with open(path, "w") as handle:
+            handle.write(text)
+    return text
+
+
+def render_clusters_svg(
+    design: Design,
+    cluster_of: Sequence[int],
+    path: Optional[str] = None,
+) -> str:
+    """Render the placement coloured by cluster membership."""
+    fp = design.floorplan
+    scale = IMAGE_WIDTH / fp.die_width
+    height = fp.die_height * scale
+    num_clusters = int(max(cluster_of)) + 1 if len(cluster_of) else 1
+    lines = _svg_header(IMAGE_WIDTH, height)
+    for inst in design.instances:
+        w = max(1.2, inst.master.width * scale)
+        h = max(1.2, inst.master.height * scale)
+        x = inst.x * scale - w / 2
+        y = (fp.die_height - inst.y) * scale - h / 2
+        color = _cluster_color(int(cluster_of[inst.index]), num_clusters)
+        lines.append(
+            f'<rect x="{x:.1f}" y="{y:.1f}" width="{w:.1f}" height="{h:.1f}" '
+            f'fill="{color}" fill-opacity="0.75"/>'
+        )
+    lines.append("</svg>")
+    text = "\n".join(lines)
+    if path is not None:
+        with open(path, "w") as handle:
+            handle.write(text)
+    return text
+
+
+def render_congestion_svg(
+    design: Design,
+    grid: GCellGrid,
+    path: Optional[str] = None,
+) -> str:
+    """Render the GCell congestion heat map of a routed design."""
+    fp = design.floorplan
+    scale = IMAGE_WIDTH / fp.die_width
+    height = fp.die_height * scale
+    lines = _svg_header(IMAGE_WIDTH, height)
+    cell_w = grid.cell_width * scale
+    cell_h = grid.cell_height * scale
+    ratios = grid.congestion_ratios().reshape(grid.ny, grid.nx)
+    for row in range(grid.ny):
+        for col in range(grid.nx):
+            ratio = float(ratios[row, col])
+            if ratio <= 0.05:
+                continue
+            x = col * cell_w
+            y = (grid.ny - 1 - row) * cell_h
+            lines.append(
+                f'<rect x="{x:.1f}" y="{y:.1f}" width="{cell_w:.1f}" '
+                f'height="{cell_h:.1f}" fill="{_heat_color(ratio)}" '
+                f'fill-opacity="0.8"/>'
+            )
+    lines.append("</svg>")
+    text = "\n".join(lines)
+    if path is not None:
+        with open(path, "w") as handle:
+            handle.write(text)
+    return text

@@ -1,0 +1,68 @@
+"""Additional Best-Choice / edge-coarsening behaviour tests."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.best_choice import best_choice_clustering
+from repro.cluster.edge_coarsening import edge_coarsening
+from repro.netlist.hypergraph import Hypergraph
+
+
+class TestBestChoiceDetails:
+    def test_area_normalised_rating_prefers_small_partners(self):
+        """BC's rating divides by combined area: the light pair merges
+        before the heavy, equally-connected pair."""
+        hg = Hypergraph(
+            4,
+            [(0, 1), (2, 3)],
+            edge_weights=[1.0, 1.0],
+            vertex_areas=[1.0, 1.0, 10.0, 10.0],
+        )
+        clusters = best_choice_clustering(hg, target_clusters=3)
+        assert clusters[0] == clusters[1]
+        assert clusters[2] != clusters[3]
+
+    def test_balance_blocks_oversized_merge(self):
+        hg = Hypergraph(
+            3,
+            [(0, 1), (1, 2)],
+            vertex_areas=[10.0, 10.0, 0.1],
+        )
+        clusters = best_choice_clustering(
+            hg, target_clusters=1, max_cluster_area_factor=0.6
+        )
+        # max area = 0.6 * 20.1 / 1 = 12.06: the two 10s cannot merge.
+        assert clusters[0] != clusters[1]
+
+    def test_empty(self):
+        assert len(best_choice_clustering(Hypergraph(0, []))) == 0
+
+    def test_singleton_graph(self):
+        clusters = best_choice_clustering(Hypergraph(3, []))
+        assert sorted(clusters.tolist()) == [0, 1, 2]
+
+
+class TestEdgeCoarseningDetails:
+    def test_heaviest_edge_matched(self):
+        hg = Hypergraph(
+            4,
+            [(0, 1), (1, 2), (2, 3)],
+            edge_weights=[10.0, 0.1, 10.0],
+        )
+        clusters = edge_coarsening(hg, target_clusters=2, max_passes=1, seed=0)
+        assert clusters[0] == clusters[1]
+        assert clusters[2] == clusters[3]
+        assert clusters[1] != clusters[2]
+
+    def test_deterministic_per_seed(self):
+        hg = Hypergraph(20, [(i, (i + 3) % 20) for i in range(20)])
+        a = edge_coarsening(hg, target_clusters=5, seed=7)
+        b = edge_coarsening(hg, target_clusters=5, seed=7)
+        assert np.array_equal(a, b)
+
+    def test_progress_guard_terminates(self):
+        """A hypergraph with no edges cannot coarsen: terminates with
+        all singletons."""
+        hg = Hypergraph(8, [])
+        clusters = edge_coarsening(hg, target_clusters=2, max_passes=5)
+        assert len(set(clusters.tolist())) == 8

@@ -1,0 +1,109 @@
+"""AdjacencyGraph and modularity tests."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.graph import AdjacencyGraph
+from repro.cluster.modularity import modularity
+from repro.netlist.hypergraph import Hypergraph
+
+
+def two_cliques(bridge_weight=0.1):
+    """Two 4-cliques joined by a weak bridge: the canonical community
+    structure."""
+    rows, cols, weights = [], [], []
+    for base in (0, 4):
+        for i in range(4):
+            for j in range(i + 1, 4):
+                rows.append(base + i)
+                cols.append(base + j)
+                weights.append(1.0)
+    rows.append(0)
+    cols.append(4)
+    weights.append(bridge_weight)
+    return AdjacencyGraph(
+        8, np.array(rows), np.array(cols), np.array(weights)
+    )
+
+
+class TestAdjacencyGraph:
+    def test_counts(self):
+        g = two_cliques()
+        assert g.num_vertices == 8
+        assert g.num_edges == 13
+
+    def test_degree_weights(self):
+        g = two_cliques(bridge_weight=0.5)
+        assert g.degree_weight(0) == pytest.approx(3.5)
+        assert g.degree_weight(1) == pytest.approx(3.0)
+
+    def test_total_weight(self):
+        g = two_cliques(bridge_weight=0.5)
+        assert g.total_weight == pytest.approx(12.5)
+
+    def test_neighbors(self):
+        g = two_cliques()
+        assert sorted(u for u, _w in g.neighbors(0)) == [1, 2, 3, 4]
+
+    def test_self_loops_folded(self):
+        g = AdjacencyGraph(
+            2, np.array([0, 0]), np.array([0, 1]), np.array([2.0, 1.0])
+        )
+        assert g.self_loops[0] == pytest.approx(2.0)
+        assert g.num_edges == 1
+        # degree includes 2x self-loop.
+        assert g.degree_weight(0) == pytest.approx(5.0)
+
+    def test_from_hypergraph(self):
+        hg = Hypergraph(3, [(0, 1, 2)], edge_weights=[2.0])
+        g = AdjacencyGraph.from_hypergraph(hg)
+        assert g.num_edges == 3
+        assert g.total_weight == pytest.approx(3.0)
+
+    def test_contract_preserves_total_weight(self):
+        g = two_cliques(bridge_weight=0.5)
+        coarse = g.contract(np.array([0, 0, 0, 0, 1, 1, 1, 1]))
+        assert coarse.num_vertices == 2
+        assert coarse.total_weight == pytest.approx(g.total_weight)
+        # All intra-clique weight became self-loops.
+        assert coarse.self_loops[0] == pytest.approx(6.0)
+        assert coarse.num_edges == 1
+
+    def test_contract_preserves_modularity(self):
+        g = two_cliques()
+        assignment = np.array([0, 0, 0, 0, 1, 1, 1, 1])
+        q_fine = modularity(g, assignment)
+        coarse = g.contract(assignment)
+        q_coarse = modularity(coarse, np.array([0, 1]))
+        assert q_coarse == pytest.approx(q_fine)
+
+
+class TestModularity:
+    def test_good_partition_positive(self):
+        g = two_cliques()
+        q = modularity(g, np.array([0, 0, 0, 0, 1, 1, 1, 1]))
+        assert q > 0.4
+
+    def test_single_community_zero(self):
+        g = two_cliques()
+        q = modularity(g, np.zeros(8, dtype=int))
+        assert q == pytest.approx(0.0)
+
+    def test_bad_partition_worse(self):
+        g = two_cliques()
+        good = modularity(g, np.array([0, 0, 0, 0, 1, 1, 1, 1]))
+        bad = modularity(g, np.array([0, 1, 0, 1, 0, 1, 0, 1]))
+        assert bad < good
+
+    def test_bounded_above_by_one(self):
+        g = two_cliques()
+        for assignment in (
+            np.zeros(8, dtype=int),
+            np.arange(8),
+            np.array([0, 0, 0, 0, 1, 1, 1, 1]),
+        ):
+            assert modularity(g, assignment) <= 1.0
+
+    def test_empty_graph(self):
+        g = AdjacencyGraph(3, np.zeros(0), np.zeros(0), np.zeros(0))
+        assert modularity(g, np.arange(3)) == 0.0

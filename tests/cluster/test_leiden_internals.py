@@ -1,0 +1,67 @@
+"""Leiden refinement-phase internals."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.graph import AdjacencyGraph
+from repro.cluster.leiden import _refine
+from repro.cluster.louvain import _local_moving, _renumber
+
+
+def barbell():
+    """Two triangles joined by one edge."""
+    rows = np.array([0, 1, 0, 3, 4, 3, 2])
+    cols = np.array([1, 2, 2, 4, 5, 5, 3])
+    return AdjacencyGraph(6, rows, cols, np.ones(7))
+
+
+class TestRefine:
+    def test_refinement_stays_within_communities(self):
+        import random
+
+        graph = barbell()
+        community_of = np.array([0, 0, 0, 1, 1, 1])
+        refined = _refine(graph, community_of, random.Random(0))
+        # Refined sub-communities never span the two communities.
+        for sub in set(refined.tolist()):
+            members = np.nonzero(refined == sub)[0]
+            assert len({community_of[m] for m in members}) == 1
+
+    def test_refinement_merges_connected_vertices(self):
+        import random
+
+        graph = barbell()
+        community_of = np.array([0, 0, 0, 1, 1, 1])
+        refined = _refine(graph, community_of, random.Random(1))
+        # The triangles are dense: refinement should merge at least
+        # some vertices (not all singletons).
+        assert len(set(refined.tolist())) < 6
+
+    def test_renumber_dense(self):
+        out = _renumber(np.array([5, 5, 9, 2]))
+        assert sorted(set(out.tolist())) == [0, 1, 2]
+        # Same-group relationships preserved.
+        assert out[0] == out[1]
+        assert out[0] != out[2] != out[3]
+
+
+class TestLocalMoving:
+    def test_merges_triangles(self):
+        import random
+
+        graph = barbell()
+        moved = _renumber(_local_moving(graph, random.Random(0), 1e-9))
+        assert moved[0] == moved[1] == moved[2]
+        assert moved[3] == moved[4] == moved[5]
+        assert moved[0] != moved[3]
+
+    def test_respects_initial_assignment(self):
+        import random
+
+        graph = barbell()
+        init = np.array([0, 0, 0, 1, 1, 1])
+        moved = _local_moving(
+            graph, random.Random(0), 1e-9, community_of=init
+        )
+        # Already optimal: nothing changes.
+        assert np.array_equal(_renumber(moved), _renumber(init))

@@ -1,0 +1,138 @@
+"""Shared fixtures: a hand-built toy circuit with known timing, plus
+session-scoped generated designs at several sizes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.designs import DesignSpec, generate_design
+from repro.designs.nangate45 import make_library
+from repro.netlist.design import Design, Floorplan, PinDirection
+
+
+def build_toy_design() -> Design:
+    """A tiny circuit with hand-checkable structure.
+
+    in0 -> U1(INV) -> U2(NAND2) -> FF1(D)
+    in1 ----------------^
+    FF1(Q) -> U3(INV) -> out0
+    clk -> FF1.CK
+    """
+    masters = make_library()
+    design = Design("toy", Floorplan(die_width=20.0, die_height=20.0))
+    design.clock_period = 1.0
+    design.clock_port = "clk"
+
+    design.add_port("in0", PinDirection.INPUT, 0.0, 5.0)
+    design.add_port("in1", PinDirection.INPUT, 0.0, 10.0)
+    design.add_port("out0", PinDirection.OUTPUT, 20.0, 10.0)
+    design.add_port("clk", PinDirection.INPUT, 0.0, 15.0)
+
+    u1 = design.add_instance("u1", masters["INV_X1"])
+    u2 = design.add_instance("u2", masters["NAND2_X1"])
+    ff1 = design.add_instance("ff1", masters["DFF_X1"])
+    u3 = design.add_instance("u3", masters["INV_X1"])
+    for i, inst in enumerate((u1, u2, ff1, u3)):
+        inst.x, inst.y = 4.0 + 4.0 * i, 10.0
+
+    n_in0 = design.add_net("n_in0")
+    design.connect_port(n_in0, "in0")
+    design.connect_instance_pin(n_in0, u1, "A")
+
+    n1 = design.add_net("n1")
+    design.connect_instance_pin(n1, u1, "Y")
+    design.connect_instance_pin(n1, u2, "A")
+
+    n_in1 = design.add_net("n_in1")
+    design.connect_port(n_in1, "in1")
+    design.connect_instance_pin(n_in1, u2, "B")
+
+    n2 = design.add_net("n2")
+    design.connect_instance_pin(n2, u2, "Y")
+    design.connect_instance_pin(n2, ff1, "D")
+
+    n3 = design.add_net("n3")
+    design.connect_instance_pin(n3, ff1, "Q")
+    design.connect_instance_pin(n3, u3, "A")
+
+    n_out = design.add_net("n_out")
+    design.connect_instance_pin(n_out, u3, "Y")
+    design.connect_port(n_out, "out0")
+
+    clk_net = design.add_net("clk_net")
+    clk_net.is_clock = True
+    design.connect_port(clk_net, "clk")
+    design.connect_instance_pin(clk_net, ff1, "CK")
+    return design
+
+
+@pytest.fixture
+def toy_design() -> Design:
+    """Fresh toy circuit per test (mutable)."""
+    return build_toy_design()
+
+
+@pytest.fixture(scope="session")
+def small_design() -> Design:
+    """A ~400-instance generated design (session-scoped, read-mostly)."""
+    return generate_design(
+        DesignSpec(
+            "small",
+            400,
+            clock_period=0.7,
+            logic_depth=10,
+            hierarchy_depth=2,
+            hierarchy_branching=3,
+            seed=7,
+        )
+    )
+
+
+@pytest.fixture
+def small_design_fresh() -> Design:
+    """A fresh copy of the small design for mutating tests."""
+    return generate_design(
+        DesignSpec(
+            "small",
+            400,
+            clock_period=0.7,
+            logic_depth=10,
+            hierarchy_depth=2,
+            hierarchy_branching=3,
+            seed=7,
+        )
+    )
+
+
+@pytest.fixture(scope="session")
+def medium_design() -> Design:
+    """A ~1.2k-instance design with macros (session-scoped)."""
+    return generate_design(
+        DesignSpec(
+            "medium",
+            1200,
+            clock_period=0.6,
+            logic_depth=12,
+            hierarchy_depth=3,
+            hierarchy_branching=3,
+            num_macros=2,
+            seed=11,
+        )
+    )
+
+
+@pytest.fixture
+def medium_design_fresh() -> Design:
+    """A fresh copy of the medium design for mutating tests."""
+    return generate_design(
+        DesignSpec(
+            "medium",
+            1200,
+            clock_period=0.6,
+            logic_depth=12,
+            hierarchy_depth=3,
+            hierarchy_branching=3,
+            num_macros=2,
+            seed=11,
+        )
+    )

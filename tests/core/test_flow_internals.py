@@ -1,0 +1,170 @@
+"""Flow-internal unit tests: criticality multipliers, evaluation,
+post-place metrics."""
+
+import numpy as np
+import pytest
+
+from repro.core.flow import (
+    _criticality_multipliers,
+    _members_of,
+    evaluate_placed_design,
+)
+from repro.db.database import DesignDatabase
+from repro.place import GlobalPlacer, PlacementProblem
+
+
+class TestCriticalityMultipliers:
+    def test_mean_score_maps_to_one(self, small_design):
+        db = DesignDatabase(small_design)
+        hg = db.hypergraph
+        scores = np.ones(hg.num_edges)
+        multipliers = _criticality_multipliers(db, scores, cap=4.0)
+        assert all(v == pytest.approx(1.0) for v in multipliers.values())
+
+    def test_cap_enforced(self, small_design):
+        db = DesignDatabase(small_design)
+        hg = db.hypergraph
+        scores = np.ones(hg.num_edges)
+        scores[0] = 1e6
+        multipliers = _criticality_multipliers(db, scores, cap=4.0)
+        assert max(multipliers.values()) <= 4.0
+
+    def test_floor_at_one(self, small_design):
+        """Sub-average edges keep weight 1 (criticality only boosts)."""
+        db = DesignDatabase(small_design)
+        hg = db.hypergraph
+        rng = np.random.default_rng(0)
+        scores = rng.uniform(0.1, 10.0, hg.num_edges)
+        multipliers = _criticality_multipliers(db, scores, cap=4.0)
+        assert min(multipliers.values()) >= 1.0
+
+    def test_keys_are_net_indices(self, small_design):
+        db = DesignDatabase(small_design)
+        hg = db.hypergraph
+        multipliers = _criticality_multipliers(
+            db, np.ones(hg.num_edges), cap=4.0
+        )
+        valid = set(int(i) for i in hg.edge_net_indices if i >= 0)
+        assert set(multipliers) == valid
+
+
+class TestMembersOf:
+    def test_partition(self):
+        members = _members_of(np.array([0, 1, 0, 2, 1]))
+        assert members == [[0, 2], [1, 4], [3]]
+
+    def test_empty(self):
+        assert _members_of(np.zeros(0, dtype=np.int64)) == []
+
+
+class TestEvaluatePlacedDesign:
+    def test_full_metric_record(self, small_design_fresh):
+        design = small_design_fresh
+        GlobalPlacer(PlacementProblem(design)).run()
+        metrics = evaluate_placed_design(design, {"place": 1.5})
+        assert metrics.hpwl > 0
+        assert metrics.rwl > 0
+        assert metrics.power > 0
+        assert metrics.tns <= 0
+        assert metrics.runtimes["place"] == 1.5
+        for stage in ("cts", "route", "sta_eval"):
+            assert stage in metrics.runtimes
+
+    def test_rwl_includes_clock_tree(self, small_design_fresh):
+        """Routed WL includes the CTS wirelength (a few percent)."""
+        from repro.route import GlobalRouter, synthesize_clock_tree
+
+        design = small_design_fresh
+        GlobalPlacer(PlacementProblem(design)).run()
+        signal_only = GlobalRouter(design).run().routed_wirelength
+        cts = synthesize_clock_tree(design)
+        metrics = evaluate_placed_design(design)
+        assert metrics.rwl == pytest.approx(
+            signal_only + cts.wirelength, rel=0.01
+        )
+
+    def test_deterministic(self, small_design_fresh):
+        design = small_design_fresh
+        GlobalPlacer(PlacementProblem(design)).run()
+        a = evaluate_placed_design(design)
+        b = evaluate_placed_design(design)
+        assert a.rwl == pytest.approx(b.rwl)
+        assert a.tns == pytest.approx(b.tns)
+        assert a.power == pytest.approx(b.power)
+
+
+class TestFlowArtifacts:
+    def test_artifacts_written(self, small_design_fresh, tmp_path):
+        from repro.core import ClusteredPlacementFlow, FlowConfig
+        from repro.netlist.def_format import parse_def
+        from repro.netlist.lef import parse_lef
+
+        flow = ClusteredPlacementFlow(
+            FlowConfig(run_routing=False, artifacts_dir=str(tmp_path))
+        )
+        result = flow.run(small_design_fresh)
+        lef_path = tmp_path / "small_clusters.lef"
+        seed_path = tmp_path / "small_seed.def"
+        placed_path = tmp_path / "small_placed.def"
+        assert lef_path.exists() and seed_path.exists() and placed_path.exists()
+        macros = parse_lef(lef_path.read_text())
+        assert len(macros) == result.num_clusters
+        placed = parse_def(placed_path.read_text())
+        assert len(placed.components) == small_design_fresh.num_instances
+
+
+class TestQorReporting:
+    def test_dict_and_json(self, small_design_fresh, tmp_path):
+        import json
+
+        from repro.core import (
+            ClusteredPlacementFlow,
+            FlowConfig,
+            flow_result_to_dict,
+            write_qor_json,
+        )
+
+        result = ClusteredPlacementFlow(FlowConfig()).run(small_design_fresh)
+        data = flow_result_to_dict(result, small_design_fresh)
+        assert data["metrics"]["tns_ns"] <= 0
+        assert data["design"]["instances"] == small_design_fresh.num_instances
+        assert data["clustering"]["num_clusters"] == result.num_clusters
+        assert "shapes" in data["shape_selection"]
+        assert "hierarchy_clustering" in data
+
+        path = tmp_path / "qor.json"
+        write_qor_json(str(path), result, small_design_fresh)
+        loaded = json.loads(path.read_text())
+        assert loaded["metrics"]["hpwl_um"] == pytest.approx(
+            result.metrics.hpwl
+        )
+
+    def test_text_summary(self, small_design_fresh):
+        from repro.core import ClusteredPlacementFlow, FlowConfig, qor_text
+
+        result = ClusteredPlacementFlow(
+            FlowConfig(run_routing=False)
+        ).run(small_design_fresh)
+        text = qor_text(result, small_design_fresh)
+        assert "HPWL" in text
+        assert "clusters" in text
+        assert "routed WL" not in text  # post-place only
+
+    def test_cli_report_flag(self, tmp_path):
+        import json
+
+        from repro.cli import main
+
+        path = tmp_path / "r.json"
+        code = main(
+            [
+                "flow",
+                "--benchmark",
+                "aes",
+                "--no-routing",
+                "--report",
+                str(path),
+            ]
+        )
+        assert code == 0
+        assert json.loads(path.read_text())["design"]["name"] == "aes"

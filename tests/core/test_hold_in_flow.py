@@ -1,0 +1,24 @@
+"""Hold metrics surfaced through the flow evaluation."""
+
+import pytest
+
+from repro.core import default_flow
+
+
+class TestHoldInFlow:
+    def test_hold_fields_populated(self, small_design_fresh):
+        metrics = default_flow(small_design_fresh).metrics
+        assert metrics.hold_wns is not None
+        assert metrics.hold_tns is not None
+        assert metrics.hold_tns <= 0.0 or metrics.hold_tns == 0.0
+
+    def test_hold_clean_on_benchmark(self, small_design_fresh):
+        """Generated benchmarks meet hold post-route (clk-to-q exceeds
+        the hold requirement and wires only add delay)."""
+        metrics = default_flow(small_design_fresh).metrics
+        assert metrics.hold_wns >= 0
+        assert metrics.hold_tns == pytest.approx(0.0)
+
+    def test_post_place_only_skips_hold(self, small_design_fresh):
+        metrics = default_flow(small_design_fresh, run_routing=False).metrics
+        assert metrics.hold_wns is None

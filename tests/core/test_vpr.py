@@ -1,0 +1,201 @@
+"""V-P&R framework tests (shapes, sub-netlist extraction, selectors)."""
+
+import numpy as np
+import pytest
+
+from repro.core.ppa_clustering import PPAClusteringConfig, ppa_aware_clustering
+from repro.core.shapes import (
+    ShapeCandidate,
+    default_candidate_grid,
+    uniform_shape,
+)
+from repro.core.vpr import (
+    MLShapeSelector,
+    RandomShapeSelector,
+    UniformShapeSelector,
+    VPRConfig,
+    VPRFramework,
+    VPRShapeSelector,
+    extract_subnetlist,
+)
+from repro.db.database import DesignDatabase
+from repro.netlist.design import PinDirection
+
+
+class TestShapeCandidates:
+    def test_paper_grid_is_20(self):
+        grid = default_candidate_grid()
+        assert len(grid) == 20
+        ars = {c.aspect_ratio for c in grid}
+        utils = {c.utilization for c in grid}
+        assert ars == {0.75, 1.0, 1.25, 1.5, 1.75}
+        assert utils == {0.75, 0.80, 0.85, 0.90}
+
+    def test_uniform_shape(self):
+        shape = uniform_shape()
+        assert shape.aspect_ratio == 1.0
+        assert shape.utilization == 0.9
+
+    def test_dimensions(self):
+        shape = ShapeCandidate(aspect_ratio=2.0, utilization=0.5)
+        w, h = shape.dimensions(100.0)
+        assert w * h == pytest.approx(200.0)
+        assert h / w == pytest.approx(2.0)
+
+
+@pytest.fixture(scope="module")
+def cluster_context():
+    from repro.designs import DesignSpec, generate_design
+
+    design = generate_design(
+        DesignSpec("v", 600, clock_period=0.8, logic_depth=8, seed=23)
+    )
+    db = DesignDatabase(design)
+    result = ppa_aware_clustering(
+        db, PPAClusteringConfig(target_cluster_size=150)
+    )
+    members = result.members()
+    largest = max(members, key=len)
+    return design, members, largest
+
+
+class TestSubnetlistExtraction:
+    def test_instances_copied(self, cluster_context):
+        design, _members, largest = cluster_context
+        sub = extract_subnetlist(design, largest)
+        assert sub.num_instances == len(largest)
+        for idx in largest:
+            assert sub.has_instance(design.instances[idx].name)
+
+    def test_boundary_ports_created(self, cluster_context):
+        design, _members, largest = cluster_context
+        sub = extract_subnetlist(design, largest)
+        in_ports = [
+            p for p in sub.ports.values() if p.direction is PinDirection.INPUT
+        ]
+        out_ports = [
+            p for p in sub.ports.values() if p.direction is PinDirection.OUTPUT
+        ]
+        assert in_ports, "external drivers must become input ports"
+        assert out_ports, "external sinks must become output ports"
+
+    def test_subnetlist_valid(self, cluster_context):
+        design, _members, largest = cluster_context
+        sub = extract_subnetlist(design, largest)
+        assert sub.validate() == []
+
+    def test_internal_nets_preserved(self, cluster_context):
+        design, _members, largest = cluster_context
+        member_set = set(largest)
+        sub = extract_subnetlist(design, largest)
+        internal = 0
+        for net in design.nets:
+            if net.is_clock:
+                continue
+            touched = {i.index for i in net.instances()}
+            if touched and touched <= member_set and len(touched) >= 2:
+                internal += 1
+                assert sub.net(net.name).degree >= 2
+        assert internal > 0
+
+    def test_clock_nets_excluded(self, cluster_context):
+        design, _members, largest = cluster_context
+        sub = extract_subnetlist(design, largest)
+        assert all(not n.is_clock for n in sub.nets)
+
+
+class TestVprEvaluation:
+    def test_candidate_costs_positive(self, cluster_context):
+        design, _members, largest = cluster_context
+        config = VPRConfig(placer_iterations=4)
+        framework = VPRFramework(config)
+        sub = extract_subnetlist(design, largest)
+        area = sum(design.instances[i].area for i in largest)
+        ev = framework.evaluate_candidate(sub, area, uniform_shape())
+        assert ev.hpwl_cost > 0
+        assert ev.congestion_cost >= 0
+        assert ev.total(0.01) == pytest.approx(
+            ev.hpwl_cost + 0.01 * ev.congestion_cost
+        )
+
+    def test_sweep_returns_all_candidates(self, cluster_context):
+        design, _members, largest = cluster_context
+        config = VPRConfig(placer_iterations=3)
+        framework = VPRFramework(config)
+        sweep = framework.sweep_cluster(design, largest, cluster_id=7)
+        assert len(sweep.evaluations) == 20
+        assert sweep.cluster_id == 7
+        best_total = min(e.total(config.delta) for e in sweep.evaluations)
+        chosen = [
+            e
+            for e in sweep.evaluations
+            if e.candidate == sweep.best
+        ][0]
+        assert chosen.total(config.delta) == pytest.approx(best_total)
+
+    def test_eligibility_threshold(self, cluster_context):
+        _design, members, _largest = cluster_context
+        framework = VPRFramework(VPRConfig(min_cluster_instances=100))
+        eligible = framework.eligible_clusters(members)
+        for c in eligible:
+            assert len(members[c]) > 100
+        # Largest first.
+        sizes = [len(members[c]) for c in eligible]
+        assert sizes == sorted(sizes, reverse=True)
+
+
+class TestSelectors:
+    def test_uniform_selector(self, cluster_context):
+        design, members, _l = cluster_context
+        selection = UniformShapeSelector().select(design, members)
+        assert len(selection.shapes) == len(members)
+        assert all(s == uniform_shape() for s in selection.shapes.values())
+
+    def test_random_selector_deterministic(self, cluster_context):
+        design, members, _l = cluster_context
+        a = RandomShapeSelector(seed=1).select(design, members)
+        b = RandomShapeSelector(seed=1).select(design, members)
+        assert a.shapes == b.shapes
+        c = RandomShapeSelector(seed=2).select(design, members)
+        assert c.shapes != a.shapes
+
+    def test_vpr_selector_sweeps_eligible(self, cluster_context):
+        design, members, _l = cluster_context
+        config = VPRConfig(
+            min_cluster_instances=100, max_vpr_clusters=2, placer_iterations=3
+        )
+        selection = VPRShapeSelector(config).select(design, members)
+        assert len(selection.shapes) == len(members)
+        assert len(selection.sweeps) <= 2
+        assert selection.runtime > 0
+
+    def test_vpr_selector_cap_recorded(self, cluster_context):
+        design, members, _l = cluster_context
+        config = VPRConfig(
+            min_cluster_instances=50, max_vpr_clusters=1, placer_iterations=3
+        )
+        framework_all = VPRFramework(config)
+        eligible = len(
+            [c for c in range(len(members)) if len(members[c]) > 50]
+        )
+        selection = VPRShapeSelector(config).select(design, members)
+        assert selection.skipped_clusters == max(0, eligible - 1)
+
+    def test_ml_selector_uses_predictor(self, cluster_context):
+        design, members, _l = cluster_context
+
+        calls = []
+
+        def predictor(sub, candidates):
+            calls.append(len(candidates))
+            # Prefer the 3rd candidate deterministically.
+            costs = np.ones(len(candidates))
+            costs[2] = 0.0
+            return costs
+
+        config = VPRConfig(min_cluster_instances=100, max_vpr_clusters=4)
+        selection = MLShapeSelector(predictor, config).select(design, members)
+        assert calls, "predictor must be invoked for eligible clusters"
+        eligible = VPRFramework(config).eligible_clusters(members)[:4]
+        for c in eligible:
+            assert selection.shapes[c] == config.candidates[2]

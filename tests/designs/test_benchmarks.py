@@ -1,0 +1,65 @@
+"""Benchmark configuration tests (Table 1)."""
+
+import pytest
+
+from repro.designs import BENCHMARKS, benchmark_spec, benchmark_table, load_benchmark
+from repro.designs.benchmarks import ALIASES
+
+
+class TestBenchmarks:
+    def test_six_designs(self):
+        assert set(BENCHMARKS) == {
+            "aes",
+            "jpeg",
+            "ariane",
+            "BlackParrot",
+            "MegaBoom",
+            "MemPool Group",
+        }
+
+    def test_aliases(self):
+        assert benchmark_spec("BP").name == "BlackParrot"
+        assert benchmark_spec("MB").name == "MegaBoom"
+        assert benchmark_spec("MP-G").name == "MemPool Group"
+
+    def test_unknown_raises(self):
+        with pytest.raises(KeyError):
+            benchmark_spec("nonexistent")
+
+    def test_size_ordering_matches_paper(self):
+        """Table 1 ordering: aes < jpeg < ariane < BP < MB < MP-G."""
+        sizes = [BENCHMARKS[n].num_instances for n in BENCHMARKS]
+        assert sizes == sorted(sizes)
+
+    def test_clock_periods_match_paper_tcp_or(self):
+        assert BENCHMARKS["aes"].clock_period == pytest.approx(0.55)
+        assert BENCHMARKS["jpeg"].clock_period == pytest.approx(0.80)
+        assert BENCHMARKS["ariane"].clock_period == pytest.approx(1.80)
+        assert BENCHMARKS["BlackParrot"].clock_period == pytest.approx(2.30)
+
+    def test_macro_content(self):
+        assert BENCHMARKS["aes"].num_macros == 0
+        assert BENCHMARKS["BlackParrot"].num_macros > 0
+        assert BENCHMARKS["MemPool Group"].num_macros > 0
+
+    def test_cache_returns_same_object(self):
+        a = load_benchmark("aes")
+        b = load_benchmark("aes")
+        assert a is b
+
+    def test_no_cache_returns_fresh(self):
+        a = load_benchmark("aes")
+        b = load_benchmark("aes", use_cache=False)
+        assert a is not b
+        assert a.num_instances == b.num_instances
+
+    def test_benchmark_table_rows(self):
+        rows = benchmark_table()
+        assert len(rows) == 6
+        aes_row = [r for r in rows if r["design"] == "aes"][0]
+        assert aes_row["instances"] >= 1000
+        assert aes_row["tcp_or"] == pytest.approx(0.55)
+
+    def test_aes_design_valid(self):
+        design = load_benchmark("aes")
+        assert design.validate() == []

@@ -1,0 +1,224 @@
+"""Numerical gradient checks for every autograd operation."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.ml.autograd import (
+    Tensor,
+    add,
+    add_tensors,
+    batchnorm,
+    matmul,
+    mse_loss,
+    relu,
+    segment_mean,
+    spmm,
+)
+
+EPS = 1e-6
+
+
+def numerical_grad(f, x, eps=EPS):
+    """Central-difference gradient of scalar f at array x."""
+    grad = np.zeros_like(x)
+    it = np.nditer(x, flags=["multi_index"])
+    while not it.finished:
+        idx = it.multi_index
+        orig = x[idx]
+        x[idx] = orig + eps
+        plus = f()
+        x[idx] = orig - eps
+        minus = f()
+        x[idx] = orig
+        grad[idx] = (plus - minus) / (2 * eps)
+        it.iternext()
+    return grad
+
+
+class TestMatmul:
+    def test_gradients(self):
+        rng = np.random.default_rng(0)
+        a = Tensor(rng.normal(size=(4, 3)), requires_grad=True)
+        b = Tensor(rng.normal(size=(3, 2)), requires_grad=True)
+
+        def loss_value():
+            return float((a.data @ b.data).sum())
+
+        out = matmul(a, b)
+        out.backward(np.ones_like(out.data))
+        assert np.allclose(a.grad, numerical_grad(loss_value, a.data), atol=1e-5)
+        assert np.allclose(b.grad, numerical_grad(loss_value, b.data), atol=1e-5)
+
+
+class TestAdd:
+    def test_bias_broadcast_gradient(self):
+        rng = np.random.default_rng(1)
+        x = Tensor(rng.normal(size=(5, 3)), requires_grad=True)
+        b = Tensor(rng.normal(size=(3,)), requires_grad=True)
+        out = add(x, b)
+        out.backward(np.ones_like(out.data))
+        assert np.allclose(x.grad, np.ones((5, 3)))
+        assert np.allclose(b.grad, np.full(3, 5.0))
+
+
+class TestRelu:
+    def test_gradient_masks_negative(self):
+        x = Tensor(np.array([[-1.0, 2.0], [3.0, -4.0]]), requires_grad=True)
+        out = relu(x)
+        out.backward(np.ones_like(out.data))
+        assert np.allclose(x.grad, [[0, 1], [1, 0]])
+
+    def test_forward(self):
+        x = Tensor(np.array([-2.0, 0.0, 5.0]))
+        assert np.allclose(relu(x).data, [0, 0, 5])
+
+
+class TestSpmm:
+    def test_gradient(self):
+        rng = np.random.default_rng(2)
+        operator = sp.random(6, 6, density=0.4, random_state=3, format="csr")
+        x = Tensor(rng.normal(size=(6, 4)), requires_grad=True)
+
+        def loss_value():
+            return float((operator @ x.data).sum())
+
+        out = spmm(operator, x)
+        out.backward(np.ones_like(out.data))
+        assert np.allclose(x.grad, numerical_grad(loss_value, x.data), atol=1e-5)
+
+
+class TestSegmentMean:
+    def test_forward(self):
+        x = Tensor(np.array([[1.0], [3.0], [10.0]]))
+        seg = np.array([0, 0, 1])
+        out = segment_mean(x, seg, 2)
+        assert np.allclose(out.data, [[2.0], [10.0]])
+
+    def test_gradient(self):
+        rng = np.random.default_rng(3)
+        x = Tensor(rng.normal(size=(5, 2)), requires_grad=True)
+        seg = np.array([0, 0, 0, 1, 1])
+
+        def loss_value():
+            out = np.zeros((2, 2))
+            np.add.at(out, seg, x.data)
+            out[0] /= 3
+            out[1] /= 2
+            return float(out.sum())
+
+        out = segment_mean(x, seg, 2)
+        out.backward(np.ones_like(out.data))
+        assert np.allclose(x.grad, numerical_grad(loss_value, x.data), atol=1e-5)
+
+    def test_empty_segment_safe(self):
+        x = Tensor(np.ones((2, 2)))
+        out = segment_mean(x, np.array([0, 0]), 3)
+        assert np.allclose(out.data[2], 0.0)
+
+
+class TestBatchnorm:
+    def test_training_forward_normalises(self):
+        rng = np.random.default_rng(4)
+        x = Tensor(rng.normal(5.0, 3.0, size=(64, 4)))
+        gamma = Tensor(np.ones(4), requires_grad=True)
+        beta = Tensor(np.zeros(4), requires_grad=True)
+        out = batchnorm(x, gamma, beta, training=True)
+        assert np.allclose(out.data.mean(axis=0), 0.0, atol=1e-9)
+        assert np.allclose(out.data.std(axis=0), 1.0, atol=1e-3)
+
+    def test_gradients_numerically(self):
+        rng = np.random.default_rng(5)
+        x_data = rng.normal(size=(8, 3))
+        weights = rng.normal(size=(8, 3))
+        gamma_data = rng.normal(1.0, 0.1, size=3)
+        beta_data = rng.normal(size=3)
+
+        def forward_value():
+            mean = x_data.mean(axis=0)
+            var = x_data.var(axis=0)
+            x_hat = (x_data - mean) / np.sqrt(var + 1e-5)
+            return float(((gamma_data * x_hat + beta_data) * weights).sum())
+
+        x = Tensor(x_data, requires_grad=True)
+        gamma = Tensor(gamma_data, requires_grad=True)
+        beta = Tensor(beta_data, requires_grad=True)
+        out = batchnorm(x, gamma, beta, training=True)
+        out.backward(weights)
+        assert np.allclose(x.grad, numerical_grad(forward_value, x_data), atol=1e-4)
+        assert np.allclose(
+            gamma.grad, numerical_grad(forward_value, gamma_data), atol=1e-5
+        )
+        assert np.allclose(
+            beta.grad, numerical_grad(forward_value, beta_data), atol=1e-5
+        )
+
+    def test_eval_mode_uses_running_stats(self):
+        running = {"mean": np.array([10.0]), "var": np.array([4.0])}
+        x = Tensor(np.array([[12.0]]))
+        gamma = Tensor(np.ones(1), requires_grad=True)
+        beta = Tensor(np.zeros(1), requires_grad=True)
+        out = batchnorm(x, gamma, beta, running=running, training=False)
+        assert out.data[0, 0] == pytest.approx(1.0, rel=1e-3)
+
+    def test_running_stats_updated(self):
+        running = {"mean": np.zeros(1), "var": np.ones(1)}
+        x = Tensor(np.full((4, 1), 10.0))
+        gamma = Tensor(np.ones(1), requires_grad=True)
+        beta = Tensor(np.zeros(1), requires_grad=True)
+        batchnorm(x, gamma, beta, running=running, momentum=0.5, training=True)
+        assert running["mean"][0] == pytest.approx(5.0)
+
+
+class TestCompositeAndLoss:
+    def test_add_tensors_gradient(self):
+        a = Tensor(np.ones((2, 2)), requires_grad=True)
+        b = Tensor(np.ones((2, 2)), requires_grad=True)
+        out = add_tensors([a, b])
+        out.backward(np.full((2, 2), 3.0))
+        assert np.allclose(a.grad, 3.0)
+        assert np.allclose(b.grad, 3.0)
+
+    def test_mse_loss(self):
+        pred = Tensor(np.array([[1.0], [3.0]]), requires_grad=True)
+        loss = mse_loss(pred, np.array([[0.0], [1.0]]))
+        assert loss.item() == pytest.approx((1 + 4) / 2)
+        loss.backward()
+        assert np.allclose(pred.grad, [[1.0], [2.0]])
+
+    def test_chained_graph(self):
+        """Two-layer composite: numerical check through the full chain."""
+        rng = np.random.default_rng(6)
+        x_data = rng.normal(size=(4, 3))
+        w1_data = rng.normal(size=(3, 5))
+        w2_data = rng.normal(size=(5, 1))
+        target = rng.normal(size=(4, 1))
+
+        def value():
+            h = np.maximum(x_data @ w1_data, 0)
+            out = h @ w2_data
+            return float(((out - target) ** 2).mean())
+
+        x = Tensor(x_data)
+        w1 = Tensor(w1_data, requires_grad=True)
+        w2 = Tensor(w2_data, requires_grad=True)
+        out = matmul(relu(matmul(x, w1)), w2)
+        loss = mse_loss(out, target)
+        loss.backward()
+        assert np.allclose(w1.grad, numerical_grad(value, w1_data), atol=1e-5)
+        assert np.allclose(w2.grad, numerical_grad(value, w2_data), atol=1e-5)
+
+    def test_grad_accumulation_on_reuse(self):
+        """A tensor used twice accumulates both contributions."""
+        x = Tensor(np.array([[2.0]]), requires_grad=True)
+        out = add_tensors([x, x])
+        out.backward(np.array([[1.0]]))
+        assert x.grad[0, 0] == pytest.approx(2.0)
+
+    def test_zero_grad(self):
+        x = Tensor(np.ones((2, 2)), requires_grad=True)
+        out = relu(x)
+        out.backward(np.ones((2, 2)))
+        assert x.grad is not None
+        x.zero_grad()
+        assert x.grad is None

@@ -1,0 +1,102 @@
+"""Dataset generation and split tests."""
+
+import numpy as np
+import pytest
+
+from repro.core.vpr import VPRConfig
+from repro.ml import DatasetConfig, build_dataset, split_dataset
+from repro.ml.features import GraphSample
+from repro.ml.layers import normalized_adjacency
+
+
+def make_samples(n):
+    op = normalized_adjacency(
+        np.array([0]), np.array([1]), np.ones(1), 2
+    )
+    return [
+        GraphSample(np.zeros((2, 35)), op, label=float(i)) for i in range(n)
+    ]
+
+
+class TestSplitDataset:
+    def test_group_integrity(self):
+        samples = make_samples(100)
+        train, val, test = split_dataset(samples, seed=0, group_size=20)
+        # Groups of 20 consecutive labels stay together.
+        for chunk in (train, val, test):
+            labels = [int(s.label) for s in chunk]
+            for i in range(0, len(labels) - len(labels) % 20, 20):
+                group = labels[i : i + 20]
+                if len(group) == 20:
+                    assert max(group) - min(group) == 19
+
+    def test_partition_complete(self):
+        samples = make_samples(100)
+        train, val, test = split_dataset(samples, seed=1, group_size=20)
+        assert len(train) + len(val) + len(test) == 100
+        all_labels = sorted(
+            int(s.label) for chunk in (train, val, test) for s in chunk
+        )
+        assert all_labels == list(range(100))
+
+    def test_tail_goes_to_train(self):
+        samples = make_samples(47)  # 2 groups of 20 + tail of 7
+        train, val, test = split_dataset(samples, seed=0, group_size=20)
+        assert len(train) + len(val) + len(test) == 47
+        # Tail labels 40..46 all in train.
+        train_labels = {int(s.label) for s in train}
+        assert set(range(40, 47)) <= train_labels
+
+    def test_fractions_roughly_respected(self):
+        samples = make_samples(400)
+        train, val, test = split_dataset(
+            samples, train_fraction=0.5, val_fraction=0.25, seed=2
+        )
+        assert len(train) == pytest.approx(200, abs=25)
+        assert len(val) == pytest.approx(100, abs=25)
+
+    def test_deterministic(self):
+        samples = make_samples(80)
+        a = split_dataset(samples, seed=3)
+        b = split_dataset(samples, seed=3)
+        for chunk_a, chunk_b in zip(a, b):
+            assert [s.label for s in chunk_a] == [s.label for s in chunk_b]
+
+
+class TestBuildDataset:
+    @pytest.fixture(scope="class")
+    def tiny_corpus(self):
+        from repro.designs import DesignSpec, generate_design
+
+        design = generate_design(
+            DesignSpec("ds", 400, clock_period=0.8, logic_depth=8, seed=71)
+        )
+        config = DatasetConfig(
+            max_clusters_per_design=2,
+            min_cluster_instances=30,
+            max_cluster_instances=400,
+            perturbation_seeds=(0,),
+            cluster_sizes=(80,),
+            vpr=VPRConfig(placer_iterations=3),
+        )
+        return build_dataset([design], config)
+
+    def test_twenty_samples_per_cluster(self, tiny_corpus):
+        assert len(tiny_corpus) % 20 == 0
+        assert len(tiny_corpus) > 0
+
+    def test_labels_finite_positive(self, tiny_corpus):
+        labels = np.array([s.label for s in tiny_corpus])
+        assert np.isfinite(labels).all()
+        assert (labels > 0).all()
+
+    def test_shape_features_vary_within_cluster(self, tiny_corpus):
+        group = tiny_corpus[:20]
+        utils = {s.features[0, 0] for s in group}
+        ars = {s.features[0, 1] for s in group}
+        assert len(utils) == 4
+        assert len(ars) == 5
+
+    def test_graph_shared_within_cluster(self, tiny_corpus):
+        group = tiny_corpus[:20]
+        assert all(s.operator is group[0].operator for s in group)

@@ -1,0 +1,94 @@
+"""Direct layer tests (Linear, BatchNorm, GraphConvBlock)."""
+
+import numpy as np
+import pytest
+
+from repro.ml.autograd import Tensor
+from repro.ml.layers import (
+    BatchNorm,
+    GraphConvBlock,
+    Linear,
+    normalized_adjacency,
+)
+
+
+class TestLinear:
+    def test_forward_shape_and_bias(self):
+        rng = np.random.default_rng(0)
+        layer = Linear(4, 3, rng)
+        layer.bias.data[:] = 7.0
+        x = Tensor(np.zeros((5, 4)))
+        out = layer(x)
+        assert out.shape == (5, 3)
+        assert np.allclose(out.data, 7.0)
+
+    def test_glorot_scale(self):
+        rng = np.random.default_rng(1)
+        layer = Linear(100, 100, rng)
+        bound = np.sqrt(6.0 / 200)
+        assert np.abs(layer.weight.data).max() <= bound + 1e-12
+
+    def test_parameters(self):
+        layer = Linear(2, 2, np.random.default_rng(0))
+        assert len(layer.parameters()) == 2
+        assert all(p.requires_grad for p in layer.parameters())
+
+
+class TestBatchNormLayer:
+    def test_train_vs_eval(self):
+        bn = BatchNorm(2)
+        x = Tensor(np.array([[0.0, 10.0], [2.0, 30.0], [4.0, 50.0]]))
+        out_train = bn(x)
+        assert np.allclose(out_train.data.mean(axis=0), 0, atol=1e-9)
+        # Running stats updated toward batch stats.
+        assert bn.running["mean"][1] > 0
+        bn.training = False
+        out_eval = bn(x)
+        # Eval uses running stats (not exactly centred after 1 batch).
+        assert not np.allclose(out_eval.data.mean(axis=0), 0, atol=1e-6)
+
+
+class TestGraphConvBlock:
+    def make_operator(self, n=6):
+        rows = np.arange(n - 1)
+        cols = np.arange(1, n)
+        return normalized_adjacency(rows, cols, np.ones(n - 1), n)
+
+    def test_skip_only_when_dims_match(self):
+        rng = np.random.default_rng(0)
+        same = GraphConvBlock(8, 8, rng)
+        diff = GraphConvBlock(8, 4, rng)
+        assert same.use_skip
+        assert not diff.use_skip
+
+    def test_forward_shape(self):
+        rng = np.random.default_rng(0)
+        block = GraphConvBlock(8, 4, rng)
+        op = self.make_operator()
+        out = block(Tensor(rng.normal(size=(6, 8))), op)
+        assert out.shape == (6, 4)
+
+    def test_propagates_information_to_neighbors(self):
+        """A distinctive feature on one node influences its neighbour's
+        output through the graph operator."""
+        rng = np.random.default_rng(0)
+        block = GraphConvBlock(3, 3, rng)
+        block.bn.training = False
+        op = self.make_operator(3)
+        base = np.zeros((3, 3))
+        spiked = base.copy()
+        spiked[0, 0] = 10.0
+        out_base = block(Tensor(base), op).data
+        out_spiked = block(Tensor(spiked), op).data
+        # Node 1 (neighbour of 0) changes.
+        assert not np.allclose(out_base[1], out_spiked[1])
+
+    def test_gradients_flow_to_all_parameters(self):
+        rng = np.random.default_rng(0)
+        block = GraphConvBlock(4, 4, rng)
+        op = self.make_operator(5)
+        x = Tensor(rng.normal(size=(5, 4)), requires_grad=True)
+        out = block(x, op)
+        out.backward(np.ones_like(out.data))
+        for param in block.parameters():
+            assert param.grad is not None

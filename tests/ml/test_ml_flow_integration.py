@@ -1,0 +1,96 @@
+"""End-to-end ML-accelerated flow integration test.
+
+Trains a small Total-Cost GNN on real V-P&R labels and plugs it into
+the full clustered placement flow via MLShapeSelector — the complete
+right-hand branch of the paper's Figure 1/3.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import ClusteredPlacementFlow, FlowConfig
+from repro.core.vpr import MLShapeSelector, VPRConfig
+from repro.designs import DesignSpec, generate_design
+from repro.ml import (
+    DatasetConfig,
+    FeatureExtractor,
+    TotalCostPredictor,
+    TrainingConfig,
+    build_dataset,
+    train_model,
+)
+
+
+@pytest.fixture(scope="module")
+def trained_predictor():
+    design = generate_design(
+        DesignSpec("mltrain", 500, clock_period=0.8, logic_depth=8, seed=97)
+    )
+    samples = build_dataset(
+        [design],
+        DatasetConfig(
+            max_clusters_per_design=4,
+            min_cluster_instances=40,
+            max_cluster_instances=400,
+            perturbation_seeds=(0,),
+            cluster_sizes=(100,),
+            vpr=VPRConfig(placer_iterations=3),
+        ),
+    )
+    result = train_model(
+        samples, config=TrainingConfig(epochs=8, batch_size=20, seed=0)
+    )
+    return TotalCostPredictor(result.model, FeatureExtractor())
+
+
+class TestMlAcceleratedFlow:
+    def test_flow_with_trained_model(self, trained_predictor):
+        design = generate_design(
+            DesignSpec("mlflow", 500, clock_period=0.8, logic_depth=8, seed=98)
+        )
+        config = FlowConfig(
+            tool="openroad",
+            shape_selector=MLShapeSelector(
+                trained_predictor,
+                VPRConfig(min_cluster_instances=60, max_vpr_clusters=4),
+            ),
+            run_routing=False,
+        )
+        result = ClusteredPlacementFlow(config).run(design)
+        assert result.metrics.hpwl > 0
+        # The ML selector chose non-default shapes for eligible clusters.
+        chosen = set(result.selection.shapes.values())
+        assert len(chosen) >= 1
+
+    def test_ml_and_exact_select_similar_costs(self, trained_predictor):
+        """The ML choice's exact Total Cost is within 25% of the exact
+        optimum on a held-out cluster."""
+        from repro.core.ppa_clustering import (
+            PPAClusteringConfig,
+            ppa_aware_clustering,
+        )
+        from repro.core.vpr import VPRFramework, extract_subnetlist
+        from repro.core.shapes import default_candidate_grid
+        from repro.db import DesignDatabase
+
+        design = generate_design(
+            DesignSpec("mlval", 500, clock_period=0.8, logic_depth=8, seed=99)
+        )
+        db = DesignDatabase(design)
+        clustering = ppa_aware_clustering(
+            db, PPAClusteringConfig(target_cluster_size=120)
+        )
+        members = max(clustering.members(), key=len)
+        config = VPRConfig(placer_iterations=3)
+        framework = VPRFramework(config)
+        sweep = framework.sweep_cluster(design, members)
+        exact_costs = {
+            e.candidate: e.total(config.delta) for e in sweep.evaluations
+        }
+        best_exact = min(exact_costs.values())
+
+        sub = extract_subnetlist(design, members)
+        candidates = default_candidate_grid()
+        predicted = trained_predictor(sub, candidates)
+        ml_choice = candidates[int(np.argmin(predicted))]
+        assert exact_costs[ml_choice] <= 1.25 * best_exact

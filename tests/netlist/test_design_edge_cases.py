@@ -1,0 +1,94 @@
+"""Edge-case tests for the netlist model added alongside the
+double-driven-pin guard."""
+
+import pytest
+
+from repro.designs.nangate45 import make_library
+from repro.netlist.design import Design, PinDirection
+
+
+@pytest.fixture
+def library():
+    return make_library()
+
+
+class TestConnectGuards:
+    def test_input_pin_driven_once(self, library):
+        design = Design("t")
+        a = design.add_instance("a", library["INV_X1"])
+        b = design.add_instance("b", library["INV_X1"])
+        c = design.add_instance("c", library["INV_X1"])
+        n1 = design.add_net("n1")
+        design.connect_instance_pin(n1, a, "Y")
+        design.connect_instance_pin(n1, c, "A")
+        n2 = design.add_net("n2")
+        design.connect_instance_pin(n2, b, "Y")
+        with pytest.raises(ValueError, match="already"):
+            design.connect_instance_pin(n2, c, "A")
+
+    def test_same_net_twice_is_idempotent_for_pin_map(self, library):
+        """Connecting two different pins of one instance to one net is
+        legal; reconnecting the *same* pin to the same net is not a
+        double-drive (the guard only fires across nets)."""
+        design = Design("t")
+        a = design.add_instance("a", library["NAND2_X1"])
+        drv = design.add_instance("drv", library["INV_X1"])
+        net = design.add_net("n")
+        design.connect_instance_pin(net, drv, "Y")
+        design.connect_instance_pin(net, a, "A")
+        design.connect_instance_pin(net, a, "B")
+        assert a.pin_nets["A"] is net
+        assert a.pin_nets["B"] is net
+
+    def test_duplicate_net_name_rejected(self, library):
+        design = Design("t")
+        design.add_net("n")
+        with pytest.raises(ValueError):
+            design.add_net("n")
+
+    def test_duplicate_port_rejected(self):
+        design = Design("t")
+        design.add_port("p", PinDirection.INPUT)
+        with pytest.raises(ValueError):
+            design.add_port("p", PinDirection.OUTPUT)
+
+    def test_duplicate_master_rejected(self, library):
+        design = Design("t")
+        design.add_master(library["INV_X1"])
+        with pytest.raises(ValueError):
+            design.add_master(library["INV_X1"])
+
+    def test_connect_unknown_port(self, library):
+        design = Design("t")
+        net = design.add_net("n")
+        with pytest.raises(KeyError):
+            design.connect_port(net, "ghost")
+
+
+class TestGeneratedDesignSoundness:
+    def test_no_multi_driven_pins(self, small_design):
+        """Every instance input pin is a sink of exactly one net (the
+        bug class fixed in the generator)."""
+        seen = {}
+        for net in small_design.nets:
+            for ref in net.sinks:
+                if ref.instance is None:
+                    continue
+                key = (ref.instance.index, ref.pin_name)
+                assert key not in seen, (
+                    f"{ref.instance.name}.{ref.pin_name} driven by both "
+                    f"{seen.get(key)} and {net.name}"
+                )
+                seen[key] = net.name
+
+    def test_pin_nets_matches_net_sinks(self, small_design):
+        """The pin_nets map and the net sink lists agree exactly."""
+        for net in small_design.nets:
+            for ref in net.pins():
+                if ref.instance is None:
+                    continue
+                assert ref.instance.pin_nets.get(ref.pin_name) is net
+
+    def test_high_fanout_nets_present_with_valid_pins(self, medium_design):
+        signal = [n for n in medium_design.nets if not n.is_clock]
+        assert max(n.fanout for n in signal) >= 15

@@ -1,0 +1,237 @@
+"""Round-trip tests for the Liberty / LEF / DEF / SDC / Verilog readers
+and writers."""
+
+import math
+
+import pytest
+
+from repro.designs.nangate45 import make_library
+from repro.netlist.def_format import DEF_UNITS, apply_def, parse_def, write_def
+from repro.netlist.design import PinDirection
+from repro.netlist.lef import (
+    ClusterLef,
+    LefMacro,
+    cluster_shape_dimensions,
+    parse_lef,
+    write_lef,
+)
+from repro.netlist.liberty import parse_liberty, write_liberty
+from repro.netlist.sdc import SdcConstraints, parse_sdc, write_sdc
+from repro.netlist.verilog import parse_verilog, write_verilog
+
+
+class TestLiberty:
+    def test_roundtrip(self):
+        masters = make_library()
+        text = write_liberty(masters)
+        parsed = parse_liberty(text)
+        assert set(parsed) == set(masters)
+        for name, original in masters.items():
+            clone = parsed[name]
+            assert clone.area == pytest.approx(original.area, rel=1e-4)
+            assert clone.is_sequential == original.is_sequential
+            assert clone.is_macro == original.is_macro
+            assert clone.cell_class == original.cell_class
+            assert set(clone.pins) == set(original.pins)
+            for pin_name, pin in original.pins.items():
+                assert clone.pins[pin_name].direction is pin.direction
+                assert clone.pins[pin_name].is_clock == pin.is_clock
+                assert clone.pins[pin_name].capacitance == pytest.approx(
+                    pin.capacitance
+                )
+
+    def test_timing_attributes_roundtrip(self):
+        masters = make_library()
+        parsed = parse_liberty(write_liberty(masters))
+        dff = parsed["DFF_X1"]
+        assert dff.clk_to_q == pytest.approx(masters["DFF_X1"].clk_to_q)
+        assert dff.setup_time == pytest.approx(masters["DFF_X1"].setup_time)
+
+    def test_comments_ignored(self):
+        text = """
+        library (l) {
+          /* a comment ; { } */
+          cell (X) {
+            area : 2.0 ;
+            pin (A) { direction : input ; capacitance : 1.5 ; }
+          }
+        }
+        """
+        parsed = parse_liberty(text)
+        assert parsed["X"].pins["A"].capacitance == pytest.approx(1.5)
+
+    def test_missing_library_group(self):
+        with pytest.raises(ValueError):
+            parse_liberty("cell (X) { }")
+
+
+class TestLef:
+    def test_roundtrip(self):
+        macros = {
+            "M1": LefMacro("M1", 10.0, 20.0, pins=["A", "B"]),
+            "M2": LefMacro("M2", 5.5, 1.4, macro_class="CORE"),
+        }
+        parsed = parse_lef(write_lef(macros))
+        assert parsed["M1"].width == pytest.approx(10.0)
+        assert parsed["M1"].pins == ["A", "B"]
+        assert parsed["M2"].macro_class == "CORE"
+
+    def test_cluster_shape_dimensions(self):
+        width, height = cluster_shape_dimensions(100.0, 2.0, 0.5)
+        assert width * height == pytest.approx(200.0)
+        assert height / width == pytest.approx(2.0)
+
+    def test_cluster_lef_realises_shape(self):
+        lef = ClusterLef()
+        macro = lef.add_cluster(3, cell_area=90.0, aspect_ratio=1.0, utilization=0.9)
+        assert macro.width == pytest.approx(10.0)
+        assert macro.height == pytest.approx(10.0)
+        assert lef.macro_for(3) is macro
+
+    def test_invalid_shape_rejected(self):
+        with pytest.raises(ValueError):
+            cluster_shape_dimensions(10.0, 0.0, 0.9)
+        with pytest.raises(ValueError):
+            ClusterLef().add_cluster(0, 10.0, 1.0, -1.0)
+
+
+class TestDef:
+    def test_roundtrip(self, toy_design):
+        text = write_def(toy_design)
+        parsed = parse_def(text)
+        assert parsed.name == "toy"
+        assert parsed.die[2] == pytest.approx(toy_design.floorplan.die_width)
+        assert len(parsed.components) == toy_design.num_instances
+        assert len(parsed.pins) == len(toy_design.ports)
+
+    def test_apply_restores_locations(self, toy_design):
+        toy_design.instance("u1").x = 7.25
+        toy_design.instance("u1").fixed = True
+        text = write_def(toy_design)
+        clone = build_clone(toy_design)
+        apply_def(clone, parse_def(text))
+        assert clone.instance("u1").x == pytest.approx(7.25, abs=1e-2)
+        assert clone.instance("u1").fixed
+
+    def test_units_respected(self, toy_design):
+        text = write_def(toy_design)
+        assert f"UNITS DISTANCE MICRONS {DEF_UNITS}" in text
+
+    def test_missing_design_statement(self):
+        with pytest.raises(ValueError):
+            parse_def("VERSION 5.8 ;")
+
+
+def build_clone(design):
+    """Fresh toy design (unplaced) for DEF application tests."""
+    from tests.conftest import build_toy_design
+
+    clone = build_toy_design()
+    for inst in clone.instances:
+        inst.x = inst.y = 0.0
+        inst.fixed = False
+    return clone
+
+
+class TestSdc:
+    def test_roundtrip(self):
+        sdc = SdcConstraints(
+            clock_period=1.25,
+            clock_port="clk",
+            clock_name="core_clk",
+            input_delays={"in0": 0.1},
+            output_delays={"out0": 0.2},
+            default_input_activity=0.15,
+        )
+        parsed = parse_sdc(write_sdc(sdc))
+        assert parsed.clock_period == pytest.approx(1.25)
+        assert parsed.clock_port == "clk"
+        assert parsed.clock_name == "core_clk"
+        assert parsed.input_delays["in0"] == pytest.approx(0.1)
+        assert parsed.output_delays["out0"] == pytest.approx(0.2)
+        assert parsed.default_input_activity == pytest.approx(0.15)
+
+    def test_parse_real_syntax(self):
+        text = """
+        # constraints
+        create_clock -name clk -period 0.55 [get_ports clk]
+        set_input_delay 0.05 -clock clk [get_ports {in3}]
+        """
+        parsed = parse_sdc(text)
+        assert parsed.clock_period == pytest.approx(0.55)
+        assert parsed.clock_port == "clk"
+        assert parsed.input_delays["in3"] == pytest.approx(0.05)
+
+    def test_unknown_commands_ignored(self):
+        parsed = parse_sdc("set_dont_touch [get_cells foo]\n")
+        assert parsed.clock_period is None
+
+
+class TestVerilog:
+    def test_roundtrip(self, toy_design):
+        masters = make_library()
+        text = write_verilog(toy_design)
+        parsed = parse_verilog(text, masters)
+        assert parsed.num_instances == toy_design.num_instances
+        assert set(parsed.ports) == set(toy_design.ports)
+        assert parsed.validate() == []
+        # Same connectivity: every net has matching degree (nets that
+        # touch a port are emitted under the port's name).
+        for net in toy_design.nets:
+            ports_on_net = [r.pin_name for r in net.pins() if r.is_port]
+            name = ports_on_net[0] if ports_on_net else net.name
+            assert parsed.net(name).degree == net.degree
+
+    def test_hierarchical_names_escape(self, small_design):
+        masters = make_library()
+        text = write_verilog(small_design)
+        parsed = parse_verilog(text, masters)
+        assert parsed.num_instances == small_design.num_instances
+        # A hierarchical name survived the escaping.
+        deep = [i.name for i in small_design.instances if "/" in i.name][0]
+        assert parsed.has_instance(deep)
+
+    def test_unknown_master_rejected(self):
+        text = "module m (a);\n  input a;\n  FOO u1 (.A(a));\nendmodule\n"
+        with pytest.raises(ValueError):
+            parse_verilog(text, {})
+
+    def test_no_module_rejected(self):
+        with pytest.raises(ValueError):
+            parse_verilog("// empty", make_library())
+
+    def test_port_directions(self, toy_design):
+        parsed = parse_verilog(write_verilog(toy_design), make_library())
+        assert parsed.ports["in0"].direction is PinDirection.INPUT
+        assert parsed.ports["out0"].direction is PinDirection.OUTPUT
+
+
+class TestAssignAliases:
+    def test_two_output_ports_one_net(self):
+        """A net loading two output ports round-trips through the
+        writer's assign alias."""
+        from repro.designs.nangate45 import make_library
+        from repro.netlist.design import Design, PinDirection
+        from repro.netlist.verilog import parse_verilog, write_verilog
+
+        lib = make_library()
+        design = Design("alias")
+        drv = design.add_instance("drv", lib["INV_X1"])
+        design.add_port("o1", PinDirection.OUTPUT)
+        design.add_port("o2", PinDirection.OUTPUT)
+        design.add_port("i", PinDirection.INPUT)
+        n_in = design.add_net("n_in")
+        design.connect_port(n_in, "i")
+        design.connect_instance_pin(n_in, drv, "A")
+        net = design.add_net("n_out")
+        design.connect_instance_pin(net, drv, "Y")
+        design.connect_port(net, "o1")
+        design.connect_port(net, "o2")
+
+        text = write_verilog(design)
+        assert "assign" in text
+        parsed = parse_verilog(text, lib)
+        assert parsed.validate() == []
+        out_net = parsed.instance("drv").net_on("Y")
+        port_sinks = {r.pin_name for r in out_net.sinks if r.is_port}
+        assert port_sinks == {"o1", "o2"}

@@ -1,0 +1,74 @@
+"""Unit tests for logical hierarchy extraction."""
+
+import pytest
+
+from repro.designs.nangate45 import make_library
+from repro.netlist.design import Design
+from repro.netlist.hierarchy import HierarchyTree
+
+
+@pytest.fixture
+def hier_design():
+    lib = make_library()
+    design = Design("h")
+    for name in ["a/b/U1", "a/b/U2", "a/c/U3", "d/U4", "U5"]:
+        design.add_instance(name, lib["INV_X1"])
+    return design
+
+
+class TestHierarchyTree:
+    def test_module_paths(self, hier_design):
+        tree = HierarchyTree(hier_design)
+        paths = set(tree.module_paths())
+        assert paths == {"", "a", "a/b", "a/c", "d"}
+
+    def test_instances_attach_to_leaf_module(self, hier_design):
+        tree = HierarchyTree(hier_design)
+        assert [i.name for i in tree.node("a/b").instances] == ["a/b/U1", "a/b/U2"]
+        assert [i.name for i in tree.node("").instances] == ["U5"]
+
+    def test_subtree_instances(self, hier_design):
+        tree = HierarchyTree(hier_design)
+        names = {i.name for i in tree.node("a").subtree_instances()}
+        assert names == {"a/b/U1", "a/b/U2", "a/c/U3"}
+
+    def test_depths(self, hier_design):
+        tree = HierarchyTree(hier_design)
+        assert tree.node("").depth() == 0
+        assert tree.node("a/b").depth() == 2
+        assert tree.max_depth() == 2
+
+    def test_full_path(self, hier_design):
+        tree = HierarchyTree(hier_design)
+        assert tree.node("a/b").full_path == "a/b"
+        assert tree.root.full_path == ""
+
+    def test_has_hierarchy(self, hier_design):
+        tree = HierarchyTree(hier_design)
+        assert tree.has_hierarchy()
+
+    def test_flat_design_has_no_hierarchy(self):
+        lib = make_library()
+        design = Design("flat")
+        design.add_instance("U1", lib["INV_X1"])
+        design.add_instance("U2", lib["INV_X1"])
+        tree = HierarchyTree(design)
+        assert not tree.has_hierarchy()
+        assert tree.num_modules == 1
+
+    def test_iter_subtree_preorder(self, hier_design):
+        tree = HierarchyTree(hier_design)
+        order = [n.full_path for n in tree.root.iter_subtree()]
+        assert order[0] == ""
+        assert order.index("a") < order.index("a/b")
+
+    def test_is_leaf_module(self, hier_design):
+        tree = HierarchyTree(hier_design)
+        assert tree.node("a/b").is_leaf_module
+        assert not tree.node("a").is_leaf_module
+
+    def test_generated_design_hierarchy(self, small_design):
+        tree = HierarchyTree(small_design)
+        assert tree.has_hierarchy()
+        total = len(tree.root.subtree_instances())
+        assert total == small_design.num_instances

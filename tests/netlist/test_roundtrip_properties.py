@@ -1,0 +1,87 @@
+"""Property-based round-trip tests across generated designs."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.designs import DesignSpec, generate_design
+from repro.designs.nangate45 import make_library
+from repro.netlist.def_format import parse_def, write_def
+from repro.netlist.liberty import parse_liberty, write_liberty
+from repro.netlist.verilog import parse_verilog, write_verilog
+
+_CACHE = {}
+
+
+def design_for(seed, macros):
+    key = (seed, macros)
+    if key not in _CACHE:
+        _CACHE[key] = generate_design(
+            DesignSpec(
+                "rt",
+                200,
+                clock_period=0.8,
+                num_macros=macros,
+                hierarchy_depth=2,
+                seed=seed,
+            )
+        )
+    return _CACHE[key]
+
+
+class TestVerilogRoundtripProperty:
+    @given(
+        st.integers(min_value=0, max_value=6),
+        st.integers(min_value=0, max_value=1),
+    )
+    @settings(max_examples=12, deadline=None)
+    def test_structure_preserved(self, seed, macros):
+        design = design_for(seed, macros)
+        parsed = parse_verilog(write_verilog(design), make_library())
+        assert parsed.num_instances == design.num_instances
+        assert parsed.validate() == []
+        # Per-master instance counts identical.
+        def histogram(d):
+            out = {}
+            for inst in d.instances:
+                out[inst.master.name] = out.get(inst.master.name, 0) + 1
+            return out
+
+        assert histogram(parsed) == histogram(design)
+        # Pin-connection multiset identical.
+        def pin_count(d):
+            return sum(len(i.pin_nets) for i in d.instances)
+
+        assert pin_count(parsed) == pin_count(design)
+
+    @given(st.integers(min_value=0, max_value=6))
+    @settings(max_examples=8, deadline=None)
+    def test_double_roundtrip_fixed_point(self, seed):
+        """write(parse(write(d))) == write(parse(d)) — the second trip
+        is a fixed point."""
+        design = design_for(seed, 0)
+        lib = make_library()
+        once = write_verilog(parse_verilog(write_verilog(design), lib))
+        twice = write_verilog(parse_verilog(once, lib))
+        assert once == twice
+
+
+class TestDefRoundtripProperty:
+    @given(st.integers(min_value=0, max_value=6))
+    @settings(max_examples=8, deadline=None)
+    def test_positions_quantised_to_def_units(self, seed):
+        design = design_for(seed, 1)
+        parsed = parse_def(write_def(design))
+        by_name = {c.name: c for c in parsed.components}
+        for inst in design.instances:
+            loc = by_name[inst.name].location
+            assert loc[0] == pytest.approx(inst.x, abs=1e-3)
+            assert loc[1] == pytest.approx(inst.y, abs=1e-3)
+
+
+class TestLibertyRoundtripProperty:
+    def test_double_roundtrip_fixed_point(self):
+        lib = make_library()
+        once = write_liberty(parse_liberty(write_liberty(lib)))
+        twice = write_liberty(parse_liberty(once))
+        assert once == twice

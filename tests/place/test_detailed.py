@@ -1,0 +1,70 @@
+"""Detailed placement (swap refinement) tests."""
+
+import pytest
+
+from repro.place import GlobalPlacer, PlacementProblem, legalize
+from repro.place.detailed import detailed_placement
+from repro.place.hpwl import hpwl
+
+
+@pytest.fixture
+def legalized_design(small_design_fresh):
+    design = small_design_fresh
+    GlobalPlacer(PlacementProblem(design)).run()
+    legalize(design)
+    return design
+
+
+class TestDetailedPlacement:
+    def test_never_degrades_hpwl(self, legalized_design):
+        design = legalized_design
+        before = hpwl(design)
+        result = detailed_placement(design)
+        after = hpwl(design)
+        assert after <= before + 1e-6
+        assert result.hpwl_after == pytest.approx(after, rel=1e-9)
+        assert result.hpwl_before == pytest.approx(before, rel=1e-9)
+
+    def test_finds_swaps(self, legalized_design):
+        result = detailed_placement(legalized_design)
+        assert result.swaps > 0
+        assert result.improvement >= 0
+
+    def test_rows_stay_legal(self, legalized_design):
+        design = legalized_design
+        fp = design.floorplan
+        detailed_placement(design)
+        rows = {}
+        for inst in design.instances:
+            if inst.fixed:
+                continue
+            rows.setdefault(round(inst.y, 3), []).append(inst)
+        for row_cells in rows.values():
+            row_cells.sort(key=lambda i: i.x)
+            for a, b in zip(row_cells, row_cells[1:]):
+                # Swapped cells have nearly-equal widths (tolerance), so
+                # tiny overlaps up to the tolerance are possible; the
+                # row ordering itself must be overlap-free beyond that.
+                gap = (b.x - b.master.width / 2) - (a.x + a.master.width / 2)
+                assert gap >= -0.3 * max(a.master.width, b.master.width)
+
+    def test_second_call_converges(self, legalized_design):
+        design = legalized_design
+        detailed_placement(design, passes=3)
+        second = detailed_placement(design, passes=3)
+        # Most improvement captured the first time.
+        assert second.improvement < 0.02
+
+    def test_fixed_cells_untouched(self, legalized_design):
+        design = legalized_design
+        # Fix one cell and record position.
+        target = design.instances[0]
+        target.fixed = True
+        x, y = target.x, target.y
+        detailed_placement(design)
+        assert (target.x, target.y) == (x, y)
+
+    def test_zero_window_noop(self, legalized_design):
+        result = detailed_placement(legalized_design, window=0)
+        assert result.swaps == 0
+        assert result.improvement == pytest.approx(0.0, abs=1e-12)

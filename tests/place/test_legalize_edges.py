@@ -1,0 +1,85 @@
+"""Legalizer edge cases: window widening, full rows, macro splits."""
+
+import pytest
+
+from repro.designs.nangate45 import make_library
+from repro.netlist.design import Design, Floorplan
+from repro.place.legalize import _row_segments, legalize
+
+
+def tiny_design(num_cells, die=10.0, margin=1.0):
+    lib = make_library()
+    design = Design(
+        "t",
+        Floorplan(
+            die_width=die, die_height=die, core_margin=margin, row_height=1.4
+        ),
+    )
+    for i in range(num_cells):
+        inst = design.add_instance(f"U{i}", lib["INV_X1"])
+        inst.x = die / 2
+        inst.y = die / 2
+    return design
+
+
+class TestRowSegments:
+    def test_unblocked_rows(self):
+        design = tiny_design(1)
+        segments = _row_segments(design, 5)
+        assert len(segments) == 5
+        for row in segments:
+            assert len(row) == 1
+            assert row[0].start == design.floorplan.core_llx
+
+    def test_macro_splits_row(self):
+        design = tiny_design(1, die=30.0)
+        from repro.netlist.design import MasterCell
+
+        block = design.add_master(
+            MasterCell("BLK", width=8.0, height=6.0, is_macro=True)
+        )
+        ram = design.add_instance("ram", block)
+        ram.x, ram.y = 15.0, 15.0
+        ram.fixed = True
+        num_rows = int(design.floorplan.core_height / 1.4)
+        segments = _row_segments(design, num_rows)
+        # Rows crossing the macro split into two segments.
+        split_rows = [row for row in segments if len(row) == 2]
+        assert split_rows
+        for row in split_rows:
+            assert row[0].end <= ram.x - ram.master.width / 2 + 1e-9
+            assert row[1].start >= ram.x + ram.master.width / 2 - 1e-9
+
+    def test_row_fully_blocked(self):
+        design = tiny_design(1, die=10.0)
+        lib = make_library()
+        # A macro wider than the core blocks rows entirely.
+        from repro.netlist.design import MasterCell
+
+        big = MasterCell("BIG", width=20.0, height=3.0, is_macro=True)
+        design.add_master(big)
+        inst = design.add_instance("big0", big)
+        inst.x, inst.y = 5.0, 5.0
+        inst.fixed = True
+        num_rows = int(design.floorplan.core_height / 1.4)
+        segments = _row_segments(design, num_rows)
+        assert any(len(row) == 0 for row in segments)
+
+
+class TestLegalizeStress:
+    def test_window_widens_when_local_rows_full(self):
+        """Many cells stacked at one point must spill to distant rows
+        without losing any cell."""
+        design = tiny_design(60, die=12.0)
+        legalize(design, row_search_window=1)
+        fp = design.floorplan
+        rows_used = {round((i.y - fp.core_lly) / fp.row_height) for i in design.instances}
+        assert len(rows_used) >= 3
+        # No overlaps within rows.
+        by_row = {}
+        for inst in design.instances:
+            by_row.setdefault(round(inst.y, 3), []).append(inst)
+        for cells in by_row.values():
+            cells.sort(key=lambda i: i.x)
+            for a, b in zip(cells, cells[1:]):
+                assert a.x + a.master.width / 2 <= b.x - b.master.width / 2 + 1e-9

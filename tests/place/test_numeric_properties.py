@@ -1,0 +1,79 @@
+"""Numerical properties of the placement math."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.place.b2b import b2b_edges, solve_axis
+from repro.place.hpwl import hpwl_arrays
+
+
+class TestB2BObjectiveEquivalence:
+    @given(st.integers(min_value=0, max_value=100))
+    @settings(max_examples=20, deadline=None)
+    def test_b2b_energy_equals_hpwl_at_linearisation(self, seed):
+        """1/2 sum over B2B edges of w_ij (x_i - x_j)^2 equals the
+        net's x-span at the linearisation point (the defining property
+        of the B2B model, up to the distance clamp)."""
+        rng = np.random.default_rng(seed)
+        degree = int(rng.integers(2, 6))
+        coords = np.sort(rng.uniform(0, 100, degree))
+        # Ensure pins are separated beyond the clamp.
+        coords = coords + np.arange(degree) * 2.0
+        pin_vertex = np.arange(degree)
+        offsets = np.array([0, degree])
+        weights = np.array([1.0])
+        u, v, w = b2b_edges(pin_vertex, offsets, weights, coords)
+        # Quadratic form convention: Phi = 1/2 sum w_ij (x_i - x_j)^2,
+        # so the raw edge energy equals 2x the net span.
+        energy = float(np.sum(w * (coords[u] - coords[v]) ** 2))
+        span = coords.max() - coords.min()
+        assert energy == pytest.approx(2 * span, rel=1e-6)
+
+    def test_solution_within_fixed_hull(self):
+        """Quadratic placement of a connected system stays inside the
+        convex hull of its fixed terminals."""
+        rng = np.random.default_rng(3)
+        n_fixed, n_mov = 4, 12
+        n = n_fixed + n_mov
+        coords = np.concatenate(
+            [np.array([0.0, 10.0, 20.0, 30.0]), rng.uniform(-50, 80, n_mov)]
+        )
+        fixed = np.zeros(n, dtype=bool)
+        fixed[:n_fixed] = True
+        # Random connected spring system.
+        u_list, v_list = [], []
+        for i in range(n_fixed, n):
+            u_list.append(i)
+            v_list.append(int(rng.integers(0, i)))
+        u = np.array(u_list)
+        v = np.array(v_list)
+        w = np.ones(len(u))
+        out = solve_axis(u, v, w, coords, fixed)
+        assert out[n_fixed:].min() >= -1e-6
+        assert out[n_fixed:].max() <= 30.0 + 1e-6
+
+
+class TestHpwlArraysProperties:
+    @given(st.integers(min_value=0, max_value=50))
+    @settings(max_examples=20, deadline=None)
+    def test_nonnegative_and_zero_for_coincident(self, seed):
+        rng = np.random.default_rng(seed)
+        num_nets = int(rng.integers(1, 6))
+        pins = []
+        offsets = [0]
+        for _ in range(num_nets):
+            degree = int(rng.integers(2, 5))
+            pins.extend(rng.integers(0, 10, degree).tolist())
+            offsets.append(len(pins))
+        x = rng.uniform(0, 100, 10)
+        y = rng.uniform(0, 100, 10)
+        value = hpwl_arrays(
+            np.array(pins), np.array(offsets), x, y
+        )
+        assert value >= 0
+        same = hpwl_arrays(
+            np.array(pins), np.array(offsets), np.zeros(10), np.zeros(10)
+        )
+        assert same == 0.0

@@ -1,0 +1,83 @@
+"""Routability-driven refinement tests."""
+
+import pytest
+
+from repro.place import GlobalPlacer, PlacementProblem
+from repro.place.routability import (
+    RoutabilityConfig,
+    routability_driven_refinement,
+)
+from repro.route import GlobalRouter
+
+
+@pytest.fixture
+def congested_design():
+    """A denser-than-usual design so routing hot spots exist."""
+    from repro.designs import DesignSpec, generate_design
+
+    design = generate_design(
+        DesignSpec(
+            "cong",
+            700,
+            clock_period=0.8,
+            logic_depth=8,
+            target_utilization=0.8,
+            seed=83,
+        )
+    )
+    GlobalPlacer(PlacementProblem(design)).run()
+    return design
+
+
+class TestRoutabilityRefinement:
+    def test_reduces_or_holds_overflow(self, congested_design):
+        before = GlobalRouter(congested_design).run().overflow_fraction
+        result = routability_driven_refinement(
+            congested_design, RoutabilityConfig(max_rounds=2)
+        )
+        after = GlobalRouter(congested_design).run().overflow_fraction
+        assert result.rounds >= 1
+        assert after <= before * 1.2 + 0.01
+
+    def test_traces_recorded(self, congested_design):
+        result = routability_driven_refinement(
+            congested_design, RoutabilityConfig(max_rounds=2)
+        )
+        assert len(result.overflow_trace) >= 1
+        if result.rounds > 1 and not result.converged:
+            assert result.inflated_cells > 0
+
+    def test_early_exit_when_clean(self):
+        """A low-utilization design needs no refinement."""
+        from repro.designs import DesignSpec, generate_design
+
+        design = generate_design(
+            DesignSpec(
+                "clean",
+                300,
+                clock_period=0.8,
+                target_utilization=0.35,
+                seed=89,
+            )
+        )
+        GlobalPlacer(PlacementProblem(design)).run()
+        result = routability_driven_refinement(
+            design, RoutabilityConfig(max_rounds=3, target_overflow=0.05)
+        )
+        assert result.rounds <= 2
+
+    def test_real_areas_untouched(self, congested_design):
+        areas_before = [i.master.area for i in congested_design.instances]
+        routability_driven_refinement(
+            congested_design, RoutabilityConfig(max_rounds=2)
+        )
+        areas_after = [i.master.area for i in congested_design.instances]
+        assert areas_before == areas_after
+
+    def test_cells_stay_in_core(self, congested_design):
+        routability_driven_refinement(
+            congested_design, RoutabilityConfig(max_rounds=2)
+        )
+        fp = congested_design.floorplan
+        for inst in congested_design.instances:
+            assert fp.core_llx - 1e-6 <= inst.x <= fp.core_urx + 1e-6

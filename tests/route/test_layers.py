@@ -1,0 +1,80 @@
+"""Layer assignment tests."""
+
+import pytest
+
+from repro.place import GlobalPlacer, PlacementProblem
+from repro.route import GlobalRouter
+from repro.route.layers import (
+    DEFAULT_STACK,
+    LayerPair,
+    assign_layers,
+    layer_report,
+)
+
+
+@pytest.fixture(scope="module")
+def routed():
+    from repro.designs import DesignSpec, generate_design
+
+    design = generate_design(
+        DesignSpec("lay", 600, clock_period=0.8, logic_depth=8, seed=61)
+    )
+    GlobalPlacer(PlacementProblem(design)).run()
+    return design, GlobalRouter(design).run()
+
+
+class TestAssignLayers:
+    def test_every_net_assigned(self, routed):
+        design, routing = routed
+        assignment = assign_layers(design, routing)
+        assert set(assignment.layer_of_net) == set(routing.net_lengths)
+
+    def test_wirelength_conserved(self, routed):
+        design, routing = routed
+        assignment = assign_layers(design, routing)
+        assert sum(assignment.layer_wirelength) == pytest.approx(
+            sum(routing.net_lengths.values())
+        )
+
+    def test_long_nets_promoted(self, routed):
+        design, routing = routed
+        assignment = assign_layers(design, routing)
+        # The longest net sits on a higher pair than the shortest.
+        longest = max(routing.net_lengths, key=routing.net_lengths.get)
+        shortest = min(routing.net_lengths, key=routing.net_lengths.get)
+        assert assignment.layer_of_net[longest] >= assignment.layer_of_net[shortest]
+
+    def test_min_length_respected_when_capacity_allows(self, routed):
+        design, routing = routed
+        assignment = assign_layers(design, routing)
+        for net_index, level in assignment.layer_of_net.items():
+            length = routing.net_lengths[net_index]
+            if level > 0:
+                assert length >= DEFAULT_STACK[level].min_length
+
+    def test_capacity_pressure_demotes(self, routed):
+        design, routing = routed
+        tiny_stack = (
+            LayerPair("M2/M3", 0.0, 0.99, 0.003),
+            LayerPair("M8/M9", 0.0, 0.01, 0.0006),
+        )
+        assignment = assign_layers(design, routing, stack=tiny_stack)
+        top_util = assignment.layer_utilization[1]
+        assert top_util <= 1.0 + 1e-9
+        # Most wirelength forced down.
+        assert assignment.layer_wirelength[0] > assignment.layer_wirelength[1]
+
+    def test_vias_counted(self, routed):
+        design, routing = routed
+        assignment = assign_layers(design, routing)
+        assert assignment.via_count > 0
+        assert (
+            assignment.via_adjusted_wirelength > routing.routed_wirelength
+        )
+
+    def test_report_format(self, routed):
+        design, routing = routed
+        assignment = assign_layers(design, routing)
+        text = layer_report(assignment)
+        assert "M2/M3" in text
+        assert "vias" in text

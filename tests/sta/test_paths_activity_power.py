@@ -1,0 +1,207 @@
+"""Path enumeration, switching activity and power analysis tests."""
+
+import pytest
+
+from repro.sta.activity import (
+    ACTIVITY_FLOOR,
+    REGISTER_ACTIVITY,
+    TRANSFER_FACTORS,
+    propagate_activity,
+)
+from repro.sta.analysis import TimingAnalyzer
+from repro.sta.delay import FanoutWireModel, PlacementWireModel, RoutedWireModel
+from repro.sta.graph import TimingGraph
+from repro.sta.paths import find_path_ends
+from repro.sta.power import analyze_power
+
+
+class TestFindPathEnds:
+    def test_one_path_per_endpoint(self, toy_design):
+        graph = TimingGraph(toy_design)
+        analyzer = TimingAnalyzer(graph, PlacementWireModel(toy_design))
+        paths = find_path_ends(analyzer)
+        endpoints = [p.endpoint for p in paths]
+        assert len(endpoints) == len(set(endpoints)) == 2
+
+    def test_sorted_by_slack(self, small_design):
+        graph = TimingGraph(small_design)
+        analyzer = TimingAnalyzer(graph, FanoutWireModel(small_design))
+        paths = find_path_ends(analyzer)
+        slacks = [p.slack for p in paths]
+        assert slacks == sorted(slacks)
+
+    def test_group_count_limits(self, small_design):
+        graph = TimingGraph(small_design)
+        analyzer = TimingAnalyzer(graph, FanoutWireModel(small_design))
+        paths = find_path_ends(analyzer, group_count=5)
+        assert len(paths) == 5
+
+    def test_path_starts_at_startpoint(self, toy_design):
+        graph = TimingGraph(toy_design)
+        analyzer = TimingAnalyzer(graph, PlacementWireModel(toy_design))
+        starts = set(graph.startpoints)
+        for path in find_path_ends(analyzer):
+            assert path.startpoint in starts
+
+    def test_path_nets_are_traversed_nets(self, toy_design):
+        graph = TimingGraph(toy_design)
+        analyzer = TimingAnalyzer(graph, PlacementWireModel(toy_design))
+        ff_path = [
+            p
+            for p in find_path_ends(analyzer)
+            if graph.node_name(p.endpoint) == "ff1.D"
+        ][0]
+        net_names = {toy_design.nets[i].name for i in ff_path.net_indices}
+        # Path into ff1.D goes in0 -> u1 -> u2 -> ff1 (or in1 -> u2).
+        assert "n2" in net_names
+
+    def test_endpoint_count_unsupported(self, toy_design):
+        graph = TimingGraph(toy_design)
+        analyzer = TimingAnalyzer(graph, PlacementWireModel(toy_design))
+        with pytest.raises(NotImplementedError):
+            find_path_ends(analyzer, endpoint_count=2)
+
+    def test_paths_match_report_slack(self, small_design):
+        graph = TimingGraph(small_design)
+        analyzer = TimingAnalyzer(graph, FanoutWireModel(small_design))
+        report = analyzer.update()
+        worst = find_path_ends(analyzer, group_count=1)[0]
+        assert worst.slack == pytest.approx(report.wns)
+
+
+class TestActivity:
+    def test_input_default(self, toy_design):
+        graph = TimingGraph(toy_design)
+        activity = propagate_activity(graph, default_input_activity=0.3)
+        # n_in0 is driven directly by port in0.
+        assert activity[toy_design.net("n_in0").index] == pytest.approx(0.3)
+
+    def test_inverter_passthrough(self, toy_design):
+        graph = TimingGraph(toy_design)
+        activity = propagate_activity(graph, default_input_activity=0.3)
+        # u1 is an inverter: output activity = input activity.
+        assert activity[toy_design.net("n1").index] == pytest.approx(0.3)
+
+    def test_register_output_activity(self, toy_design):
+        graph = TimingGraph(toy_design)
+        activity = propagate_activity(graph)
+        assert activity[toy_design.net("n3").index] == pytest.approx(
+            REGISTER_ACTIVITY
+        )
+
+    def test_clock_net_full_rate(self, toy_design):
+        graph = TimingGraph(toy_design)
+        activity = propagate_activity(graph)
+        assert activity[toy_design.net("clk_net").index] == pytest.approx(1.0)
+
+    def test_logic_attenuates(self, toy_design):
+        graph = TimingGraph(toy_design)
+        activity = propagate_activity(graph, default_input_activity=0.4)
+        # u2 is a NAND2 ("logic" class): mean input * factor.
+        n2 = activity[toy_design.net("n2").index]
+        assert n2 == pytest.approx(0.4 * TRANSFER_FACTORS["logic"])
+
+    def test_floor_enforced(self, small_design):
+        graph = TimingGraph(small_design)
+        activity = propagate_activity(graph, default_input_activity=1e-9)
+        assert min(activity.values()) >= ACTIVITY_FLOOR
+
+    def test_annotates_nets(self, toy_design):
+        graph = TimingGraph(toy_design)
+        propagate_activity(graph)
+        assert toy_design.net("n1").switching_activity > 0
+
+
+class TestPower:
+    def test_components_positive(self, toy_design):
+        graph = TimingGraph(toy_design)
+        propagate_activity(graph)
+        report = analyze_power(toy_design, PlacementWireModel(toy_design))
+        assert report.switching > 0
+        assert report.internal > 0
+        assert report.leakage > 0
+        assert report.total == pytest.approx(
+            report.switching + report.internal + report.leakage + report.clock
+        )
+
+    def test_clock_power_grows_with_wire(self, toy_design):
+        graph = TimingGraph(toy_design)
+        propagate_activity(graph)
+        model = PlacementWireModel(toy_design)
+        base = analyze_power(toy_design, model, clock_wirelength=0.0)
+        wired = analyze_power(
+            toy_design, model, clock_wirelength=500.0, clock_buffers=10
+        )
+        assert wired.clock > base.clock
+        assert wired.total > base.total
+
+    def test_power_scales_with_frequency(self, toy_design):
+        graph = TimingGraph(toy_design)
+        propagate_activity(graph)
+        model = PlacementWireModel(toy_design)
+        slow = analyze_power(toy_design, model)
+        toy_design.clock_period = 0.5  # 2x frequency
+        fast = analyze_power(toy_design, model)
+        assert fast.switching == pytest.approx(2 * slow.switching)
+        assert fast.leakage == pytest.approx(slow.leakage)
+
+    def test_activity_override(self, toy_design):
+        graph = TimingGraph(toy_design)
+        propagate_activity(graph)
+        model = PlacementWireModel(toy_design)
+        base = analyze_power(toy_design, model)
+        doubled = analyze_power(
+            toy_design,
+            model,
+            net_activity={
+                n.index: 2 * n.switching_activity for n in toy_design.nets
+            },
+        )
+        assert doubled.switching == pytest.approx(2 * base.switching)
+
+
+class TestWireModels:
+    def test_fanout_model_ignores_placement(self, toy_design):
+        model = FanoutWireModel(toy_design)
+        net = toy_design.net("n1")
+        before = model.net_wirelength(net)
+        toy_design.instance("u1").x += 100
+        assert model.net_wirelength(net) == pytest.approx(before)
+
+    def test_placement_model_tracks_hpwl(self, toy_design):
+        model = PlacementWireModel(toy_design)
+        net = toy_design.net("n1")
+        before = model.net_wirelength(net)
+        toy_design.instance("u2").x += 10
+        assert model.net_wirelength(net) == pytest.approx(before + 10)
+
+    def test_routed_model_uses_lengths(self, toy_design):
+        net = toy_design.net("n1")
+        placement = PlacementWireModel(toy_design)
+        routed = RoutedWireModel(toy_design, {net.index: 123.0})
+        assert routed.net_wirelength(net) == pytest.approx(123.0)
+        # Fallback for unmapped nets.
+        other = toy_design.net("n2")
+        assert routed.net_wirelength(other) == pytest.approx(
+            placement.net_wirelength(other)
+        )
+
+    def test_routed_detour_scales_sink_distance(self, toy_design):
+        from repro.netlist.design import PinRef
+
+        net = toy_design.net("n1")
+        placement = PlacementWireModel(toy_design)
+        hpwl = placement.net_wirelength(net)
+        routed = RoutedWireModel(toy_design, {net.index: 2 * hpwl})
+        sink = net.sinks[0]
+        assert routed.sink_distance(net, sink) == pytest.approx(
+            2 * placement.sink_distance(net, sink)
+        )
+
+    def test_net_load_includes_pins_and_wire(self, toy_design):
+        model = PlacementWireModel(toy_design)
+        net = toy_design.net("n1")
+        pin_cap = sum(s.capacitance(toy_design) for s in net.sinks)
+        assert model.net_load(net) == pytest.approx(
+            pin_cap + model.wire_capacitance(net)
+        )

@@ -1,0 +1,27 @@
+"""Benchmark-harness helper coverage (publish, RESULTS_DIR handling)."""
+
+import pathlib
+
+import pytest
+
+from benchmarks import _tables
+
+
+class TestPublish:
+    def test_publish_writes_and_prints(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.setattr(_tables, "RESULTS_DIR", tmp_path / "results")
+        _tables.publish("demo", "Title\n=====\nrow")
+        out = capsys.readouterr().out
+        assert "Title" in out
+        written = (tmp_path / "results" / "demo.txt").read_text()
+        assert written.startswith("Title")
+
+    def test_format_table_empty_rows(self):
+        text = _tables.format_table("T", ["a", "b"], [])
+        assert "T" in text
+        assert "a" in text
+
+    def test_results_dir_location(self):
+        # The real results dir sits next to the bench modules.
+        assert _tables.RESULTS_DIR.name == "results"
+        assert _tables.RESULTS_DIR.parent.name == "benchmarks"

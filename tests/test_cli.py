@@ -1,0 +1,110 @@
+"""CLI tests (python -m repro)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            build_parser().parse_args(["--version"])
+        assert exc.value.code == 0
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_flow_defaults(self):
+        args = build_parser().parse_args(["flow"])
+        assert args.benchmark == "aes"
+        assert args.tool == "openroad"
+        assert args.flow == "ours"
+
+    def test_invalid_tool_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["flow", "--tool", "magic"])
+
+
+class TestCommands:
+    def test_bench_table(self, capsys):
+        assert main(["bench-table"]) == 0
+        out = capsys.readouterr().out
+        assert "aes" in out
+        assert "MemPool Group" in out
+
+    def test_cluster_command(self, capsys):
+        assert main(["cluster", "--benchmark", "aes", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "clusters" in out
+        assert "cut weight" in out
+
+    def test_flow_default_no_routing(self, capsys):
+        code = main(
+            ["flow", "--benchmark", "aes", "--flow", "default", "--no-routing"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "HPWL" in out
+        assert "routed WL" not in out
+
+    def test_flow_ours_uniform_shapes(self, capsys):
+        code = main(
+            [
+                "flow",
+                "--benchmark",
+                "aes",
+                "--shapes",
+                "uniform",
+                "--no-routing",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "clusters" in out
+
+    def test_sta_command(self, capsys):
+        assert main(["sta", "--benchmark", "aes", "--paths", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "WNS" in out
+        assert "power" in out
+
+    def test_flow_verilog_requires_liberty(self):
+        with pytest.raises(SystemExit):
+            main(["flow", "--verilog", "x.v"])
+
+    def test_flow_from_files(self, tmp_path, capsys, small_design_fresh):
+        from repro.netlist.liberty import write_liberty
+        from repro.netlist.verilog import write_verilog
+
+        (tmp_path / "d.v").write_text(write_verilog(small_design_fresh))
+        (tmp_path / "d.lib").write_text(
+            write_liberty(small_design_fresh.masters)
+        )
+        code = main(
+            [
+                "flow",
+                "--verilog",
+                str(tmp_path / "d.v"),
+                "--liberty",
+                str(tmp_path / "d.lib"),
+                "--flow",
+                "default",
+                "--no-routing",
+            ]
+        )
+        assert code == 0
+
+
+class TestVizCommand:
+    def test_viz_writes_svgs(self, tmp_path, capsys):
+        code = main(
+            ["viz", "--benchmark", "aes", "--out", str(tmp_path)]
+        )
+        assert code == 0
+        names = {p.name for p in tmp_path.iterdir()}
+        assert names == {
+            "aes_placement.svg",
+            "aes_clusters.svg",
+            "aes_congestion.svg",
+        }

@@ -1,0 +1,51 @@
+"""CLI flow-variant coverage (blob / innovus / clustering choices)."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCliFlowVariants:
+    def test_blob_flow(self, capsys):
+        code = main(
+            ["flow", "--benchmark", "aes", "--flow", "blob", "--no-routing"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "clusters" in out
+
+    def test_innovus_tool(self, capsys):
+        code = main(
+            [
+                "flow",
+                "--benchmark",
+                "aes",
+                "--tool",
+                "innovus",
+                "--no-routing",
+            ]
+        )
+        assert code == 0
+
+    def test_leiden_clustering(self, capsys):
+        code = main(
+            [
+                "flow",
+                "--benchmark",
+                "aes",
+                "--clustering",
+                "leiden",
+                "--shapes",
+                "random",
+                "--no-routing",
+            ]
+        )
+        assert code == 0
+
+    def test_full_routing_output(self, capsys):
+        code = main(["flow", "--benchmark", "aes", "--flow", "default"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "routed WL" in out
+        assert "TNS" in out
+        assert "power" in out

@@ -1,0 +1,55 @@
+"""Seed-robustness of the headline comparison.
+
+The reproduced tables use fixed seeds; this test guards the conclusion
+against seed luck at test scale: across three flow seeds on one
+design, the clustered flow's TNS must beat the default flow's on
+average (the Table 3 headline).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import ClusteredPlacementFlow, FlowConfig, default_flow
+from repro.designs import DesignSpec, generate_design
+
+
+SPEC = DesignSpec(
+    "robust",
+    900,
+    clock_period=0.58,
+    logic_depth=12,
+    hierarchy_depth=3,
+    critical_chains=3,
+    seed=301,
+)
+
+
+@pytest.mark.parametrize("flow_seed", [0, 1, 2])
+def test_tns_improvement_per_seed(flow_seed, record_property):
+    base = default_flow(generate_design(SPEC), seed=flow_seed).metrics
+    ours = (
+        ClusteredPlacementFlow(
+            FlowConfig(tool="openroad", seed=flow_seed)
+        )
+        .run(generate_design(SPEC))
+        .metrics
+    )
+    record_property("base_tns", base.tns)
+    record_property("ours_tns", ours.tns)
+    _RESULTS.append((base.tns, ours.tns, base.hpwl, ours.hpwl))
+
+
+_RESULTS = []
+
+
+def test_average_improvement_holds():
+    if len(_RESULTS) < 3:
+        pytest.skip("per-seed stage did not run")
+    base_tns = np.mean([r[0] for r in _RESULTS])
+    ours_tns = np.mean([r[1] for r in _RESULTS])
+    # The design must actually violate timing for the claim to bite.
+    assert base_tns < 0
+    # Average TNS better or equal (less negative), HPWL similar.
+    assert ours_tns >= base_tns
+    hpwl_ratio = np.mean([r[3] / r[2] for r in _RESULTS])
+    assert hpwl_ratio < 1.12
