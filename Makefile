@@ -1,4 +1,4 @@
-.PHONY: install test bench tables clean lint
+.PHONY: install test bench tables clean lint perf-smoke
 
 install:
 	pip install -e .
@@ -17,6 +17,12 @@ bench-report:
 
 tables:
 	@ls benchmarks/results/*.txt 2>/dev/null | xargs -I{} sh -c 'echo; cat {}'
+
+# Quick perf sanity check: the jobs-scaling bench on the small aes
+# design, bounded so it stays a smoke test (not a measurement run).
+perf-smoke:
+	REPRO_PERF_DESIGN=aes REPRO_BENCH_SCALE=0.5 timeout 300 \
+	pytest benchmarks/bench_perf_scaling.py --benchmark-only -q
 
 clean:
 	rm -rf build dist *.egg-info src/*.egg-info .pytest_cache

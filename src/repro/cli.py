@@ -46,6 +46,19 @@ def _add_flow_parser(subparsers) -> None:
         help="cluster shape selector",
     )
     p.add_argument("--no-routing", action="store_true", help="stop post-place")
+    p.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="process-pool width for the V-P&R sweep (results are "
+        "identical to a serial run)",
+    )
+    p.add_argument(
+        "--perf-report",
+        help="write a repro.perf JSON report (stage timings, counters, "
+        "cache hit rates) to this path; also honours REPRO_PROFILE=<path> "
+        "for a cProfile dump",
+    )
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--report", help="write a QoR JSON report to this path")
     p.add_argument("--verilog", help=".v netlist (overrides --benchmark)")
@@ -107,6 +120,10 @@ def _load_design(args):
 
 
 def _cmd_flow(args) -> int:
+    import contextlib
+    import os
+
+    from repro import perf
     from repro.core import (
         ClusteredPlacementFlow,
         FlowConfig,
@@ -115,30 +132,57 @@ def _cmd_flow(args) -> int:
     )
     from repro.core.vpr import RandomShapeSelector, UniformShapeSelector
 
+    perf_path = getattr(args, "perf_report", None)
+    if perf_path:
+        perf.enable()
+        perf.reset()
+    profile_path = os.environ.get("REPRO_PROFILE")
+    profile_ctx = (
+        perf.cprofile_to(profile_path, top=25)
+        if profile_path
+        else contextlib.nullcontext()
+    )
+
     design = _load_design(args)
     run_routing = not args.no_routing
-    if args.flow == "default":
-        result = default_flow(
-            design, tool=args.tool, run_routing=run_routing, seed=args.seed
+    with profile_ctx:
+        if args.flow == "default":
+            result = default_flow(
+                design, tool=args.tool, run_routing=run_routing, seed=args.seed
+            )
+        elif args.flow == "blob":
+            result = blob_placement_flow(
+                design, run_routing=run_routing, seed=args.seed
+            )
+        else:
+            selector = None
+            if args.shapes == "uniform":
+                selector = UniformShapeSelector()
+            elif args.shapes == "random":
+                selector = RandomShapeSelector(seed=args.seed)
+            config = FlowConfig(
+                tool=args.tool,
+                clustering=args.clustering,
+                shape_selector=selector,
+                run_routing=run_routing,
+                jobs=args.jobs,
+                seed=args.seed,
+            )
+            result = ClusteredPlacementFlow(config).run(design)
+
+    if perf_path:
+        report = perf.report(
+            meta={
+                "design": design.name,
+                "flow": args.flow,
+                "jobs": args.jobs,
+                "seed": args.seed,
+            }
         )
-    elif args.flow == "blob":
-        result = blob_placement_flow(
-            design, run_routing=run_routing, seed=args.seed
-        )
-    else:
-        selector = None
-        if args.shapes == "uniform":
-            selector = UniformShapeSelector()
-        elif args.shapes == "random":
-            selector = RandomShapeSelector(seed=args.seed)
-        config = FlowConfig(
-            tool=args.tool,
-            clustering=args.clustering,
-            shape_selector=selector,
-            run_routing=run_routing,
-            seed=args.seed,
-        )
-        result = ClusteredPlacementFlow(config).run(design)
+        report.write(perf_path)
+        print(f"wrote perf report to {perf_path}")
+        for line in report.summary_lines():
+            print(f"  {line}")
 
     if getattr(args, "report", None):
         from repro.core.reporting import write_qor_json

@@ -17,6 +17,7 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
+from repro import perf
 from repro.cluster.best_choice import best_choice_clustering
 from repro.cluster.edge_coarsening import edge_coarsening
 from repro.cluster.fc import FirstChoiceConfig, first_choice_clustering
@@ -93,6 +94,10 @@ class FlowConfig:
             stands in with the criticality weights its own clustering
             stage already computed (DESIGN.md, substitutions).
         max_cluster_net_weight: Cap on the criticality multiplier.
+        jobs: Process-pool width for the V-P&R sweep (the flow's
+            runtime bottleneck).  Propagated to ``vpr_config.jobs``
+            unless that was set explicitly; serial and parallel runs
+            produce identical results.
         seed: Seed forwarded to clusterers / placers.
     """
 
@@ -108,7 +113,12 @@ class FlowConfig:
     max_cluster_net_weight: float = 4.0
     power_emphasis: float = 0.0
     artifacts_dir: Optional[str] = None
+    jobs: int = 1
     seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.jobs != 1 and self.vpr_config.jobs == 1:
+            self.vpr_config.jobs = self.jobs
 
 
 @dataclass
@@ -142,27 +152,30 @@ def evaluate_placed_design(
     post_place_hpwl = hpwl(design)
 
     t0 = time.perf_counter()
-    cts = synthesize_clock_tree(design)
+    with perf.stage("flow/cts"):
+        cts = synthesize_clock_tree(design)
     runtimes["cts"] = time.perf_counter() - t0
 
     t0 = time.perf_counter()
-    routing = GlobalRouter(design).run()
+    with perf.stage("flow/route"):
+        routing = GlobalRouter(design).run()
     runtimes["route"] = time.perf_counter() - t0
 
     t0 = time.perf_counter()
-    graph = timing_graph_for(design)
-    wire_model = RoutedWireModel(design, routing.net_lengths)
-    analyzer = TimingAnalyzer(graph, wire_model, clock_uncertainty=cts.skew)
-    report = analyzer.update()
-    hold = analyze_hold(analyzer)
-    net_activity = propagate_activity(graph)
-    power = analyze_power(
-        design,
-        wire_model,
-        net_activity=net_activity,
-        clock_wirelength=cts.wirelength,
-        clock_buffers=cts.num_buffers,
-    )
+    with perf.stage("flow/sta"):
+        graph = timing_graph_for(design)
+        wire_model = RoutedWireModel(design, routing.net_lengths)
+        analyzer = TimingAnalyzer(graph, wire_model, clock_uncertainty=cts.skew)
+        report = analyzer.update()
+        hold = analyze_hold(analyzer)
+        net_activity = propagate_activity(graph)
+        power = analyze_power(
+            design,
+            wire_model,
+            net_activity=net_activity,
+            clock_wirelength=cts.wirelength,
+            clock_buffers=cts.num_buffers,
+        )
     runtimes["sta_eval"] = time.perf_counter() - t0
 
     return PPAMetrics(
@@ -243,14 +256,16 @@ class ClusteredPlacementFlow:
         runtimes: Dict[str, float] = {}
 
         # Lines 2-10: PPA-aware clustering.
-        clustering = self._run_clustering(db)
+        with perf.stage("flow/clustering"):
+            clustering = self._run_clustering(db)
         runtimes.update(clustering.runtimes)
         members = clustering.members()
 
         # Lines 12-13: V-P&R shapes for clusters > 200 instances.
         selector = config.shape_selector or VPRShapeSelector(config.vpr_config)
         t0 = time.perf_counter()
-        selection = selector.select(design, members)
+        with perf.stage("flow/vpr"):
+            selection = selector.select(design, members)
         runtimes["vpr"] = time.perf_counter() - t0
 
         # Line 10/13: clustered netlist with the chosen shapes.
@@ -294,9 +309,10 @@ class ClusteredPlacementFlow:
             for net in design.nets:
                 net.weight *= multipliers.get(net.index, 1.0)
         try:
-            seeded_result = seeded_placement(
-                clustered, seeded_config, vpr_cluster_ids=vpr_ids
-            )
+            with perf.stage("flow/seeded_placement"):
+                seeded_result = seeded_placement(
+                    clustered, seeded_config, vpr_cluster_ids=vpr_ids
+                )
         finally:
             if saved_weights is not None:
                 for net, w in zip(design.nets, saved_weights):

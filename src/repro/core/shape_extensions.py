@@ -25,7 +25,6 @@ from repro.core.vpr import (
     CandidateEvaluation,
     VPRFramework,
     _configure_virtual_die,
-    extract_subnetlist,
 )
 from repro.netlist.design import Design, MasterCell
 from repro.place.placer import GlobalPlacer, PlacerConfig
@@ -197,8 +196,7 @@ class LShapeVPRFramework(VPRFramework):
         Costs and whether an L-shape wins (the extension study's
         question).
         """
-        sub = extract_subnetlist(source, member_indices)
-        cell_area = sum(source.instances[i].area for i in member_indices)
+        sub, cell_area = self.induce(source, member_indices)
         delta = self.config.delta
 
         rect_evals = [

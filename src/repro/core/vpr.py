@@ -18,22 +18,45 @@ Four shape selectors mirror the paper's Table 6 arms:
   ~30x acceleration),
 * :class:`RandomShapeSelector` / :class:`UniformShapeSelector` — the
   ablation baselines.
+
+Performance engine (this module is the flow's runtime bottleneck):
+
+* Each cluster's sub-netlist is induced **once** and shared by all 20
+  candidates (and, via :meth:`VPRFramework.induce`, by later callers —
+  ML feature extraction, L-shape sweeps, dataset labelling).
+* Per-candidate scoring reuses cached flat pin/offset arrays and the
+  vectorized :func:`repro.place.hpwl.hpwl_arrays` kernel instead of a
+  per-net Python loop; the best candidate is picked from a NumPy cost
+  vector.
+* ``VPRConfig.jobs > 1`` fans the sweep out over (cluster, candidate)
+  work items on a process pool.  Results are gathered into slots
+  indexed by (cluster, candidate), so the selected shapes and costs are
+  identical to a serial run regardless of worker scheduling; candidate
+  evaluation is order-independent by construction (the placer
+  re-initialises from its seed each run).
+* The :mod:`repro.perf` stage timers wrap every phase, so a perf
+  report shows extract/place/route/score splits.
 """
 
 from __future__ import annotations
 
+import multiprocessing
 import random
 import time
+import warnings
+from collections import OrderedDict
+from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro import perf
 from repro.core.shapes import ShapeCandidate, default_candidate_grid, uniform_shape
 from repro.netlist.design import Design, Floorplan, PinDirection
 from repro.place.placer import GlobalPlacer, PlacerConfig
 from repro.place.problem import PlacementProblem
-from repro.place.hpwl import net_hpwl
+from repro.place.hpwl import hpwl_arrays
 from repro.route.gcell import GCellGrid
 from repro.route.global_route import GlobalRouter
 
@@ -58,6 +81,10 @@ class VPRConfig:
             (virtual dies are small; a short run suffices).
         route_target_cells: GCell count of the virtual-die routing grid.
         die_margin: Margin around the virtual core (microns).
+        jobs: Process-pool width for the sweep.  1 (default) runs
+            serially in-process; N > 1 fans (cluster, candidate) work
+            items over N workers.  Serial and parallel runs select
+            identical shapes with identical costs.
         seed: RNG seed (randomised selector arms).
     """
 
@@ -69,6 +96,7 @@ class VPRConfig:
     placer_iterations: int = 6
     route_target_cells: int = 144
     die_margin: float = 1.0
+    jobs: int = 1
     seed: int = 0
 
 
@@ -82,12 +110,19 @@ class CandidateEvaluation:
 
     @property
     def total_cost(self) -> float:
-        """Total Cost = Cost_HPWL + delta * Cost_Congestion.
+        """Deprecated: Total Cost assuming the default delta = 0.01.
 
-        delta is applied by the framework; this property assumes the
-        default 0.01 for standalone use.
+        Hardcoding delta here meant a non-default ``VPRConfig.delta``
+        silently did not affect standalone cost comparisons.  Use
+        :meth:`total` with the configured delta instead.
         """
-        return self.hpwl_cost + 0.01 * self.congestion_cost
+        warnings.warn(
+            "CandidateEvaluation.total_cost assumes delta=0.01; use "
+            "total(delta) with the configured VPRConfig.delta instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.total(0.01)
 
     def total(self, delta: float) -> float:
         """Total Cost with an explicit delta."""
@@ -96,7 +131,13 @@ class CandidateEvaluation:
 
 @dataclass
 class VPRSweepResult:
-    """All candidate evaluations for one cluster."""
+    """All candidate evaluations for one cluster.
+
+    ``runtime`` is the wall-clock of a serial sweep; for a parallel
+    sweep it is the summed per-candidate evaluation time (the work the
+    pool absorbed), since per-cluster wall-clock is not attributable
+    when candidates interleave across workers.
+    """
 
     cluster_id: int
     evaluations: List[CandidateEvaluation]
@@ -219,69 +260,290 @@ def _configure_virtual_die(
 
 
 # ----------------------------------------------------------------------
+# Per-sub-netlist evaluation context (cached between candidates)
+# ----------------------------------------------------------------------
+class _SubContext:
+    """Candidate-independent artefacts of one sub-netlist.
+
+    Twenty candidates share the cluster's pin/offset arrays and the
+    placement problem; only the floorplan and the port ring change
+    between candidates.  ``fingerprint`` guards against structural
+    mutation (the L-shape sweep temporarily adds a blockage instance).
+    """
+
+    __slots__ = (
+        "sub",
+        "fingerprint",
+        "problem",
+        "score_pins",
+        "score_offsets",
+        "num_score_nets",
+    )
+
+    def __init__(self, sub: Design) -> None:
+        self.sub = sub
+        self.fingerprint = _sub_fingerprint(sub)
+        self.problem: Optional[PlacementProblem] = None
+
+        # Scoring arrays: per-pin vertex ids over nets with >= 2 pins,
+        # matching net_hpwl() semantics (duplicate same-instance pins
+        # kept; they cannot change a net's span).  Vertex convention
+        # matches PlacementProblem: instances, then sorted ports.
+        port_vertex = {
+            name: sub.num_instances + i for i, name in enumerate(sorted(sub.ports))
+        }
+        pins: List[int] = []
+        offsets: List[int] = [0]
+        for net in sub.nets:
+            if net.degree < 2:
+                continue
+            for ref in net.pins():
+                if ref.instance is not None:
+                    pins.append(ref.instance.index)
+                else:
+                    pins.append(port_vertex[ref.pin_name])
+            offsets.append(len(pins))
+        self.score_pins = np.asarray(pins, dtype=np.int64)
+        self.score_offsets = np.asarray(offsets, dtype=np.int64)
+        self.num_score_nets = len(offsets) - 1
+
+    def placement_problem(self) -> PlacementProblem:
+        """The shared placement problem, with fresh port coordinates."""
+        if self.problem is None:
+            self.problem = PlacementProblem(self.sub)
+        else:
+            self.problem.refresh_port_positions()
+        return self.problem
+
+    def mean_hpwl(self, problem: PlacementProblem) -> float:
+        """Average net HPWL over the problem's final coordinates."""
+        if self.num_score_nets == 0:
+            return 0.0
+        total = hpwl_arrays(
+            self.score_pins, self.score_offsets, problem.x, problem.y
+        )
+        return total / self.num_score_nets
+
+
+def _sub_fingerprint(sub: Design) -> Tuple[int, int, int]:
+    return (sub.num_instances, sub.num_nets, len(sub.ports))
+
+
+# ----------------------------------------------------------------------
 # The framework
 # ----------------------------------------------------------------------
 class VPRFramework:
     """Runs the V-P&R sweep of Figure 3."""
 
+    #: Bounded cache sizes (clusters are a few hundred instances; the
+    #: caps keep long dataset-generation runs from accumulating subs).
+    _INDUCE_CACHE_MAX = 64
+    _CONTEXT_CACHE_MAX = 16
+
     def __init__(self, config: Optional[VPRConfig] = None) -> None:
         self.config = config or VPRConfig()
+        self._induce_cache: "OrderedDict[tuple, Tuple[Design, float]]" = OrderedDict()
+        self._contexts: "OrderedDict[int, _SubContext]" = OrderedDict()
 
+    # -- sub-netlist cache ---------------------------------------------
+    def induce(
+        self, source: Design, member_indices: Sequence[int]
+    ) -> Tuple[Design, float]:
+        """Induce (or fetch the cached) sub-netlist for a cluster.
+
+        Returns ``(sub, cell_area)``.  The cache key is the exact
+        member tuple, so each cluster is extracted once and reused by
+        all shape candidates and any later caller (ML features,
+        L-shape sweeps, dataset labelling).
+        """
+        key = (id(source), tuple(int(i) for i in member_indices))
+        entry = self._induce_cache.get(key)
+        if entry is not None:
+            self._induce_cache.move_to_end(key)
+            perf.count("vpr.subnetlist.hit")
+            return entry
+        perf.count("vpr.subnetlist.miss")
+        with perf.stage("vpr/extract"):
+            sub = extract_subnetlist(source, member_indices)
+        cell_area = sum(source.instances[i].area for i in member_indices)
+        self._induce_cache[key] = (sub, cell_area)
+        if len(self._induce_cache) > self._INDUCE_CACHE_MAX:
+            self._induce_cache.popitem(last=False)
+        return sub, cell_area
+
+    def _context_of(self, sub: Design) -> _SubContext:
+        """Cached per-sub evaluation context (rebuilt on mutation)."""
+        key = id(sub)
+        ctx = self._contexts.get(key)
+        if ctx is not None and ctx.fingerprint == _sub_fingerprint(sub):
+            self._contexts.move_to_end(key)
+            return ctx
+        ctx = _SubContext(sub)
+        self._contexts[key] = ctx
+        self._contexts.move_to_end(key)
+        if len(self._contexts) > self._CONTEXT_CACHE_MAX:
+            self._contexts.popitem(last=False)
+        return ctx
+
+    # -- evaluation ----------------------------------------------------
     def evaluate_candidate(
         self, sub: Design, cell_area: float, candidate: ShapeCandidate
     ) -> CandidateEvaluation:
         """Place + route the sub-netlist on the candidate's virtual die
         and compute Cost_HPWL / Cost_Congestion (Eqs. 4-5)."""
         config = self.config
+        ctx = self._context_of(sub)
         _configure_virtual_die(sub, cell_area, candidate, config.die_margin)
-        problem = PlacementProblem(sub)
-        placer = GlobalPlacer(
-            problem,
-            PlacerConfig(
-                max_iterations=config.placer_iterations,
-                min_iterations=2,
-                target_overflow=0.15,
-                seed=config.seed,
-            ),
-        )
-        placer.run()
-        grid = GCellGrid.for_floorplan(
-            sub.floorplan, target_cells=config.route_target_cells
-        )
-        routing = GlobalRouter(sub, grid=grid).run()
-
-        nets = [n for n in sub.nets if n.degree >= 2]
-        if nets:
-            hpwl_avg = sum(net_hpwl(sub, n) for n in nets) / len(nets)
-        else:
-            hpwl_avg = 0.0
-        fp = sub.floorplan
-        hpwl_cost = hpwl_avg / max(fp.core_width + fp.core_height, 1e-9)
-        congestion_cost = routing.top_percent_congestion(config.top_x_percent)
+        with perf.stage("vpr/place"):
+            problem = ctx.placement_problem()
+            placer = GlobalPlacer(
+                problem,
+                PlacerConfig(
+                    max_iterations=config.placer_iterations,
+                    min_iterations=2,
+                    target_overflow=0.15,
+                    seed=config.seed,
+                ),
+            )
+            placer.run()
+        with perf.stage("vpr/route"):
+            grid = GCellGrid.for_floorplan(
+                sub.floorplan, target_cells=config.route_target_cells
+            )
+            routing = GlobalRouter(sub, grid=grid).run()
+        with perf.stage("vpr/score"):
+            hpwl_avg = ctx.mean_hpwl(problem)
+            fp = sub.floorplan
+            hpwl_cost = hpwl_avg / max(fp.core_width + fp.core_height, 1e-9)
+            congestion_cost = routing.top_percent_congestion(config.top_x_percent)
+        perf.count("vpr.candidates_evaluated")
         return CandidateEvaluation(
             candidate=candidate,
             hpwl_cost=hpwl_cost,
             congestion_cost=congestion_cost,
         )
 
+    def _best_of(self, evaluations: List[CandidateEvaluation]) -> CandidateEvaluation:
+        """Lowest Total Cost via one vectorized argmin (first wins on
+        ties, matching ``min()``)."""
+        totals = np.asarray([e.hpwl_cost for e in evaluations]) + (
+            self.config.delta
+            * np.asarray([e.congestion_cost for e in evaluations])
+        )
+        return evaluations[int(np.argmin(totals))]
+
     def sweep_cluster(
         self, source: Design, member_indices: Sequence[int], cluster_id: int = 0
     ) -> VPRSweepResult:
-        """Evaluate all shape candidates for one cluster."""
+        """Evaluate all shape candidates for one cluster (serially)."""
         start = time.perf_counter()
-        sub = extract_subnetlist(source, member_indices)
-        cell_area = sum(source.instances[i].area for i in member_indices)
-        evaluations = [
-            self.evaluate_candidate(sub, cell_area, candidate)
-            for candidate in self.config.candidates
-        ]
-        best = min(evaluations, key=lambda ev: ev.total(self.config.delta))
+        with perf.stage("vpr/sweep"):
+            sub, cell_area = self.induce(source, member_indices)
+            evaluations = [
+                self.evaluate_candidate(sub, cell_area, candidate)
+                for candidate in self.config.candidates
+            ]
+        best = self._best_of(evaluations)
         return VPRSweepResult(
             cluster_id=cluster_id,
             evaluations=evaluations,
             best=best.candidate,
             runtime=time.perf_counter() - start,
         )
+
+    def sweep_clusters(
+        self,
+        source: Design,
+        members: Sequence[Sequence[int]],
+        cluster_ids: Sequence[int],
+    ) -> List[VPRSweepResult]:
+        """Sweep several clusters, serially or on a process pool.
+
+        With ``config.jobs > 1`` the (cluster, candidate) grid is
+        fanned out over workers; gathered results are re-ordered into
+        their (cluster, candidate) slots, so selection is deterministic
+        and identical to the serial path.
+        """
+        jobs = max(1, int(self.config.jobs))
+        if jobs > 1 and len(cluster_ids) > 0 and _fork_available():
+            try:
+                return self._sweep_clusters_parallel(source, members, cluster_ids, jobs)
+            except OSError:
+                # Process pools can be unavailable (restricted
+                # sandboxes); the serial path computes the same result.
+                pass
+        return [
+            self.sweep_cluster(source, members[c], cluster_id=c)
+            for c in cluster_ids
+        ]
+
+    def _sweep_clusters_parallel(
+        self,
+        source: Design,
+        members: Sequence[Sequence[int]],
+        cluster_ids: Sequence[int],
+        jobs: int,
+    ) -> List[VPRSweepResult]:
+        """Fan the (cluster, candidate) grid out over a process pool."""
+        global _WORKER_STATE
+        config = self.config
+        clusters: Dict[int, Tuple[Design, float]] = {}
+        for c in cluster_ids:
+            clusters[c] = self.induce(source, members[c])
+
+        n_cand = len(config.candidates)
+        slots: Dict[int, List[Optional[Tuple[float, float, float, Optional[dict]]]]] = {
+            c: [None] * n_cand for c in cluster_ids
+        }
+        # Workers inherit the state via fork: sub-netlists are shared
+        # copy-on-write rather than pickled per work item.
+        _WORKER_STATE = {
+            "config": config,
+            "clusters": clusters,
+            "perf_enabled": perf.is_enabled(),
+        }
+        context = multiprocessing.get_context("fork")
+        try:
+            with perf.stage("vpr/parallel_sweep"):
+                with ProcessPoolExecutor(
+                    max_workers=jobs, mp_context=context
+                ) as pool:
+                    futures = {
+                        pool.submit(_candidate_worker, c, k): (c, k)
+                        for c in cluster_ids
+                        for k in range(n_cand)
+                    }
+                    for future in as_completed(futures):
+                        c, k = futures[future]
+                        slots[c][k] = future.result()
+        finally:
+            _WORKER_STATE = None
+
+        sweeps: List[VPRSweepResult] = []
+        for c in cluster_ids:
+            evaluations = []
+            runtime = 0.0
+            for k, slot in enumerate(slots[c]):
+                hpwl_cost, congestion_cost, seconds, counters = slot
+                evaluations.append(
+                    CandidateEvaluation(
+                        candidate=config.candidates[k],
+                        hpwl_cost=hpwl_cost,
+                        congestion_cost=congestion_cost,
+                    )
+                )
+                runtime += seconds
+                perf.merge_counters(counters)
+            best = self._best_of(evaluations)
+            sweeps.append(
+                VPRSweepResult(
+                    cluster_id=c,
+                    evaluations=evaluations,
+                    best=best.candidate,
+                    runtime=runtime,
+                )
+            )
+        return sweeps
 
     def eligible_clusters(self, members: Sequence[Sequence[int]]) -> List[int]:
         """Cluster ids large enough for V-P&R, capped and largest-first."""
@@ -292,6 +554,51 @@ class VPRFramework:
         ]
         eligible.sort(key=lambda c: -len(members[c]))
         return eligible
+
+
+# ----------------------------------------------------------------------
+# Process-pool worker machinery
+# ----------------------------------------------------------------------
+#: Parent-side state inherited by forked workers (None outside a
+#: parallel sweep).  Each worker lazily builds one framework so the
+#: per-sub contexts are shared across the candidates it evaluates.
+_WORKER_STATE: Optional[dict] = None
+
+
+def _fork_available() -> bool:
+    """Fork start method available (the pool relies on inheriting the
+    sub-netlists copy-on-write instead of pickling per item)."""
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+def _candidate_worker(
+    cluster_id: int, candidate_index: int
+) -> Tuple[float, float, float, Optional[dict]]:
+    """Evaluate one (cluster, candidate) work item in a worker process.
+
+    Returns ``(hpwl_cost, congestion_cost, seconds, perf_counters)``;
+    counters are per-item deltas the parent folds into its registry.
+    """
+    state = _WORKER_STATE
+    framework = state.get("_framework")
+    if framework is None:
+        if state["perf_enabled"]:
+            # Drop stats inherited from the parent snapshot; from here
+            # on this registry records only this worker's activity.
+            perf.get_registry().reset()
+        framework = VPRFramework(state["config"])
+        state["_framework"] = framework
+    sub, cell_area = state["clusters"][cluster_id]
+    candidate = state["config"].candidates[candidate_index]
+    start = time.perf_counter()
+    evaluation = framework.evaluate_candidate(sub, cell_area, candidate)
+    seconds = time.perf_counter() - start
+    counters: Optional[dict] = None
+    if state["perf_enabled"]:
+        registry = perf.get_registry()
+        counters = registry.snapshot()["counters"]
+        registry.reset()
+    return (evaluation.hpwl_cost, evaluation.congestion_cost, seconds, counters)
 
 
 # ----------------------------------------------------------------------
@@ -361,11 +668,10 @@ class VPRShapeSelector(ShapeSelector):
         shapes: Dict[int, ShapeCandidate] = {
             c: uniform_shape() for c in range(len(members))
         }
-        sweeps = []
-        for c in eligible:
-            sweep = self.framework.sweep_cluster(source, members[c], cluster_id=c)
-            shapes[c] = sweep.best
-            sweeps.append(sweep)
+        with perf.stage("vpr/select"):
+            sweeps = self.framework.sweep_clusters(source, members, eligible)
+        for sweep in sweeps:
+            shapes[sweep.cluster_id] = sweep.best
         return VPRSelection(
             shapes=shapes,
             sweeps=sweeps,
@@ -394,12 +700,13 @@ class MLShapeSelector(ShapeSelector):
     ) -> None:
         self.predictor = predictor
         self.config = config or VPRConfig()
+        self.framework = VPRFramework(self.config)
 
     def select(
         self, source: Design, members: Sequence[Sequence[int]]
     ) -> VPRSelection:
         start = time.perf_counter()
-        framework = VPRFramework(self.config)
+        framework = self.framework
         eligible = framework.eligible_clusters(members)
         skipped = 0
         cap = self.config.max_vpr_clusters
@@ -409,10 +716,11 @@ class MLShapeSelector(ShapeSelector):
         shapes: Dict[int, ShapeCandidate] = {
             c: uniform_shape() for c in range(len(members))
         }
-        for c in eligible:
-            sub = extract_subnetlist(source, members[c])
-            costs = np.asarray(self.predictor(sub, self.config.candidates))
-            shapes[c] = self.config.candidates[int(np.argmin(costs))]
+        with perf.stage("vpr/ml_select"):
+            for c in eligible:
+                sub, _area = framework.induce(source, members[c])
+                costs = np.asarray(self.predictor(sub, self.config.candidates))
+                shapes[c] = self.config.candidates[int(np.argmin(costs))]
         return VPRSelection(
             shapes=shapes,
             skipped_clusters=skipped,

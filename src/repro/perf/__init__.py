@@ -1,0 +1,65 @@
+"""Performance instrumentation for the flow's hot paths.
+
+The package provides three layers:
+
+* :mod:`repro.perf.timers` — a process-wide :class:`PerfRegistry` of
+  hierarchical stage timers and event counters.  Disabled by default;
+  when disabled every hook degenerates to a shared no-op object so the
+  instrumented code pays (almost) nothing.
+* :mod:`repro.perf.report` — :class:`PerfReport`, the JSON-serialisable
+  snapshot the flow/CLI emit (``--perf-report``).
+* :mod:`repro.perf.profile` — an optional :func:`cprofile_to` hook that
+  wraps a block in :mod:`cProfile` and dumps pstats to disk.
+
+Typical use::
+
+    from repro import perf
+
+    perf.enable()
+    with perf.stage("flow/vpr"):
+        ...
+    perf.count("steiner.rsmt.hit")
+    report = perf.report()          # PerfReport
+    report.write("perf.json")
+"""
+
+from repro.perf.profile import cprofile_to
+from repro.perf.report import PerfReport
+from repro.perf.timers import (
+    PerfRegistry,
+    count,
+    counter_value,
+    disable,
+    enable,
+    get_registry,
+    is_enabled,
+    merge_counters,
+    reset,
+    stage,
+)
+
+
+def report(meta=None) -> PerfReport:
+    """Snapshot the default registry into a :class:`PerfReport`.
+
+    ``meta`` is free-form run context recorded in the report (design
+    name, jobs, seed, ...).
+    """
+    return PerfReport.from_registry(get_registry(), meta=meta)
+
+
+__all__ = [
+    "PerfRegistry",
+    "PerfReport",
+    "cprofile_to",
+    "count",
+    "counter_value",
+    "disable",
+    "enable",
+    "get_registry",
+    "is_enabled",
+    "merge_counters",
+    "report",
+    "reset",
+    "stage",
+]

@@ -1,0 +1,54 @@
+"""Optional cProfile hook.
+
+Wraps a block in :mod:`cProfile` and dumps the pstats file next to an
+optional text summary::
+
+    with cprofile_to("/tmp/vpr.prof", top=20):
+        selector.select(design, members)
+
+The hook is independent of the stage timers: timers stay cheap enough
+to leave on in production runs, the profiler is for drill-downs.  It
+also honours the ``REPRO_PROFILE`` environment variable: when set, the
+CLI profiles its command into that path without code changes.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import cProfile
+import io
+import pstats
+from typing import Iterator, Optional
+
+
+@contextlib.contextmanager
+def cprofile_to(
+    path: Optional[str], top: int = 0, sort: str = "cumulative"
+) -> Iterator[Optional[cProfile.Profile]]:
+    """Profile the enclosed block into ``path`` (no-op when None).
+
+    Args:
+        path: pstats dump destination; ``None`` disables profiling so
+            callers can thread an optional knob straight through.
+        top: When > 0, also write a ``<path>.txt`` with the top-N
+            functions by ``sort``.
+        sort: pstats sort key for the text summary.
+
+    Yields:
+        The active :class:`cProfile.Profile`, or None when disabled.
+    """
+    if not path:
+        yield None
+        return
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        yield profiler
+    finally:
+        profiler.disable()
+        profiler.dump_stats(path)
+        if top > 0:
+            buffer = io.StringIO()
+            pstats.Stats(profiler, stream=buffer).sort_stats(sort).print_stats(top)
+            with open(f"{path}.txt", "w") as fh:
+                fh.write(buffer.getvalue())

@@ -30,8 +30,107 @@ def net_hpwl(design: Design, net: Net) -> float:
     return (max(xs) - min(xs)) + (max(ys) - min(ys))
 
 
+class _DesignNetArrays:
+    """Flat per-pin arrays for one design, built once and reused.
+
+    ``hpwl()`` on a MemPool-scale design used to walk every net's pin
+    list in Python on each call; the structure (which pin belongs to
+    which net) never changes between calls, only coordinates and
+    weights do.  This cache snapshots the structure as CSR-style
+    arrays; per call only the coordinate vector (and, when requested,
+    the weight vector) is refreshed.
+
+    Pin vertex convention matches :class:`repro.place.problem.PlacementProblem`:
+    instances occupy ids ``[0, num_instances)``, ports follow in sorted
+    name order.  Nets keep per-pin entries (duplicates included), so
+    spans equal :func:`net_hpwl` exactly.
+    """
+
+    __slots__ = (
+        "fingerprint",
+        "pin_vertex",
+        "net_offsets",
+        "net_list",
+        "port_names",
+    )
+
+    def __init__(self, design: Design, include_clock: bool) -> None:
+        self.fingerprint = _structure_fingerprint(design, include_clock)
+        self.port_names = sorted(design.ports)
+        port_vertex = {
+            name: design.num_instances + i
+            for i, name in enumerate(self.port_names)
+        }
+        pins = []
+        offsets = [0]
+        net_list = []
+        for net in design.nets:
+            if net.is_clock and not include_clock:
+                continue
+            if net.degree < 2:
+                continue
+            for ref in net.pins():
+                if ref.instance is not None:
+                    pins.append(ref.instance.index)
+                else:
+                    pins.append(port_vertex[ref.pin_name])
+            offsets.append(len(pins))
+            net_list.append(net)
+        self.pin_vertex = np.asarray(pins, dtype=np.int64)
+        self.net_offsets = np.asarray(offsets, dtype=np.int64)
+        self.net_list = net_list
+
+    def coordinates(self, design: Design):
+        """Fresh (x, y) vertex coordinate vectors."""
+        x = [inst.x for inst in design.instances]
+        y = [inst.y for inst in design.instances]
+        ports = design.ports
+        for name in self.port_names:
+            port = ports[name]
+            x.append(port.x)
+            y.append(port.y)
+        return np.asarray(x), np.asarray(y)
+
+    def weights(self) -> np.ndarray:
+        """Fresh per-net weight vector (weights mutate between calls)."""
+        return np.asarray([net.weight for net in self.net_list])
+
+
+def _structure_fingerprint(design: Design, include_clock: bool):
+    """Cheap invalidation key: changes when nets/instances/ports are
+    added or clock marking flips (pin membership of an existing net is
+    assumed stable, which holds for every transform in this repo)."""
+    clock_nets = sum(1 for n in design.nets if n.is_clock)
+    return (
+        design.num_instances,
+        design.num_nets,
+        len(design.ports),
+        clock_nets,
+        bool(include_clock),
+    )
+
+
+def _net_arrays(design: Design, include_clock: bool) -> _DesignNetArrays:
+    """Fetch (or rebuild) the cached flat arrays for a design."""
+    cache = getattr(design, "_hpwl_net_arrays", None)
+    fingerprint = _structure_fingerprint(design, include_clock)
+    entry = cache.get(include_clock) if cache else None
+    if entry is not None and entry.fingerprint == fingerprint:
+        return entry
+    entry = _DesignNetArrays(design, include_clock)
+    if cache is None:
+        cache = {}
+        design._hpwl_net_arrays = cache
+    cache[include_clock] = entry
+    return entry
+
+
 def hpwl(design: Design, weighted: bool = False, include_clock: bool = False) -> float:
     """Total design HPWL (microns).
+
+    Vectorized: the per-design pin/offset arrays are built once (see
+    :class:`_DesignNetArrays`) and every call reduces spans with
+    :func:`hpwl_arrays` instead of a per-net Python loop.
 
     Args:
         design: Design with a current placement.
@@ -40,15 +139,17 @@ def hpwl(design: Design, weighted: bool = False, include_clock: bool = False) ->
         include_clock: Include clock nets (excluded by default, as the
             clock is routed by CTS, not signal routing).
     """
-    total = 0.0
-    for net in design.nets:
-        if net.is_clock and not include_clock:
-            continue
-        value = net_hpwl(design, net)
-        if weighted:
-            value *= net.weight
-        total += value
-    return total
+    arrays = _net_arrays(design, include_clock)
+    if len(arrays.net_offsets) <= 1:
+        return 0.0
+    x, y = arrays.coordinates(design)
+    return hpwl_arrays(
+        arrays.pin_vertex,
+        arrays.net_offsets,
+        x,
+        y,
+        arrays.weights() if weighted else None,
+    )
 
 
 def hpwl_arrays(

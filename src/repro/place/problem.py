@@ -101,6 +101,19 @@ class PlacementProblem:
         """Vertex id of a port."""
         return self._port_vertex[name]
 
+    def refresh_port_positions(self) -> None:
+        """Re-read port coordinates from the design.
+
+        Lets a problem instance be reused across V-P&R shape candidates
+        (pin/offset arrays are shape-independent; only the virtual die's
+        port ring moves between candidates).
+        """
+        ports = self.design.ports
+        for name, vid in self._port_vertex.items():
+            port = ports[name]
+            self.x[vid] = port.x
+            self.y[vid] = port.y
+
     def hpwl(self, weighted: bool = False) -> float:
         """HPWL of the working coordinates (microns)."""
         return hpwl_arrays(

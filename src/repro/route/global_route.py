@@ -13,6 +13,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+import numpy as np
+
 from repro.netlist.design import Design, Net
 from repro.route.gcell import GCellGrid
 from repro.route.steiner import rsmt
@@ -76,14 +78,16 @@ class GlobalRouter:
                 points.append(point)
         return points
 
-    def _route_edge(
-        self, a: Tuple[float, float], b: Tuple[float, float]
-    ) -> float:
+    def _route_edge(self, ax: int, ay: int, bx: int, by: int) -> float:
         """Route one tree edge as the less-congested L; returns max
-        congestion ratio encountered along the chosen pattern."""
+        congestion ratio encountered along the chosen pattern.
+
+        Endpoints arrive as GCell indices: :meth:`run` converts all
+        tree points to cells in one vectorized pass rather than two
+        ``cell_of`` calls (two ``np.clip``/``int`` round-trips) per
+        edge, which dominated router wall-clock on virtual dies.
+        """
         grid = self.grid
-        ax, ay = grid.cell_of(*a)
-        bx, by = grid.cell_of(*b)
         if ax == bx and ay == by:
             return 0.0
         if ax == bx:
@@ -113,14 +117,33 @@ class GlobalRouter:
 
     # ------------------------------------------------------------------
     def run(self) -> RoutingResult:
-        """Route all signal nets; returns the routing result."""
+        """Route all signal nets; returns the routing result.
+
+        Pin gathering goes through the design's cached CSR pin arrays
+        (shared with :func:`repro.place.hpwl.hpwl`): one fancy-indexed
+        coordinate gather per net instead of per-pin attribute walks.
+        The dedup key (coordinates rounded to 1nm) and pin order
+        (driver first) match :meth:`_net_points` exactly.
+        """
+        # Deferred: repro.place's package init imports this module.
+        from repro.place.hpwl import _net_arrays
+
+        arrays = _net_arrays(self.design, self.include_clock)
+        vx, vy = arrays.coordinates(self.design)
+        all_px = vx[arrays.pin_vertex].tolist()
+        all_py = vy[arrays.pin_vertex].tolist()
+        offsets = arrays.net_offsets.tolist()
         nets = []
-        for net in self.design.nets:
-            if net.is_clock and not self.include_clock:
-                continue
-            if net.degree < 2:
-                continue
-            points = self._net_points(net)
+        for i, net in enumerate(arrays.net_list):
+            points: List[Tuple[float, float]] = []
+            seen = set()
+            for pin in range(offsets[i], offsets[i + 1]):
+                x_coord = all_px[pin]
+                y_coord = all_py[pin]
+                key = (round(x_coord, 3), round(y_coord, 3))
+                if key not in seen:
+                    seen.add(key)
+                    points.append((x_coord, y_coord))
             if len(points) < 2:
                 continue
             tree = rsmt(points)
@@ -128,13 +151,35 @@ class GlobalRouter:
         # Longest nets first: they have the least routing flexibility.
         nets.sort(key=lambda item: -item[1].length)
 
+        # One vectorized point -> GCell conversion for every tree point
+        # (same clip-then-truncate arithmetic as GCellGrid.cell_of).
+        grid = self.grid
+        all_points = [p for _, tree in nets for p in tree.points]
+        if all_points:
+            coords = np.asarray(all_points)
+            cell_x = np.clip(
+                coords[:, 0] / grid.cell_width, 0, grid.nx - 1
+            ).astype(np.int64)
+            cell_y = np.clip(
+                coords[:, 1] / grid.cell_height, 0, grid.ny - 1
+            ).astype(np.int64)
+        else:
+            cell_x = cell_y = np.zeros(0, dtype=np.int64)
+
         net_lengths: Dict[int, float] = {}
         total = 0.0
+        base = 0
         for net, tree in nets:
             worst = 0.0
             for i, j in tree.edges:
-                congestion = self._route_edge(tree.points[i], tree.points[j])
+                congestion = self._route_edge(
+                    int(cell_x[base + i]),
+                    int(cell_y[base + i]),
+                    int(cell_x[base + j]),
+                    int(cell_y[base + j]),
+                )
                 worst = max(worst, congestion)
+            base += len(tree.points)
             detour = 1.0 + DETOUR_FACTOR * max(0.0, worst - 1.0)
             length = tree.length * detour
             net_lengths[net.index] = length

@@ -3,14 +3,25 @@
 Exact for 2-3 pin nets (where RSMT length equals the bounding-box
 half-perimeter); Prim MST with a Steiner discount for larger nets.
 The returned edge list feeds the pattern router.
+
+Multi-pin topologies are memoized on the net's *relative* point set
+(coordinates translated so the minimum x/y sit at the origin): two nets
+whose pins form the same constellation anywhere on the die share one
+Prim run.  To keep the memo transparent, the MST is always computed in
+the relative frame — a cached result is therefore bit-identical to a
+fresh computation, so cache warmth (or a parallel worker's cold cache)
+can never change routing results.
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import List, Sequence, Tuple
 
 import numpy as np
+
+from repro import perf
 
 #: MST-to-RSMT discount for multi-pin nets; the RSMT of random point
 #: sets averages ~0.9x the rectilinear MST length.
@@ -21,6 +32,18 @@ STEINER_DISCOUNT = 0.9
 #: (drivers come first).  Signal nets rarely get near this; clock
 #: fanout is handled by CTS, not the signal router.
 MAX_MST_PINS = 1024
+
+#: Memoized Prim topologies, keyed by the relative point tuple.  LRU
+#: with a bounded size so long batch runs cannot grow without limit.
+_RSMT_CACHE: "OrderedDict[Tuple[Tuple[float, float], ...], Tuple[List[Tuple[int, int]], float]]" = (
+    OrderedDict()
+)
+_RSMT_CACHE_MAX = 65536
+
+#: Only memoize nets up to this pin count: the key (a tuple of floats)
+#: grows with the net, and large constellations essentially never
+#: repeat exactly.
+_RSMT_CACHE_MAX_PINS = 24
 
 
 @dataclass
@@ -65,32 +88,113 @@ def rsmt(points: Sequence[Tuple[float, float]]) -> SteinerTree:
         edges = [(0, i) for i in range(1, k)]
         length = sum(_manhattan(pts[0], pts[i]) for i in range(1, k))
         return SteinerTree(points=pts, edges=edges, length=length)
-    return _prim_mst(pts)
+
+    # Relative frame: identical constellations share one Prim run.
+    min_x = min(p[0] for p in pts)
+    min_y = min(p[1] for p in pts)
+    rel = tuple((p[0] - min_x, p[1] - min_y) for p in pts)
+    if k <= _RSMT_CACHE_MAX_PINS:
+        cached = _RSMT_CACHE.get(rel)
+        if cached is not None:
+            _RSMT_CACHE.move_to_end(rel)
+            perf.count("steiner.rsmt.hit")
+            edges, length = cached
+            return SteinerTree(points=pts, edges=list(edges), length=length)
+        perf.count("steiner.rsmt.miss")
+    tree = _prim_mst(list(rel))
+    if k <= _RSMT_CACHE_MAX_PINS:
+        _RSMT_CACHE[rel] = (tree.edges, tree.length)
+        if len(_RSMT_CACHE) > _RSMT_CACHE_MAX:
+            _RSMT_CACHE.popitem(last=False)
+    return SteinerTree(points=pts, edges=list(tree.edges), length=tree.length)
+
+
+def clear_rsmt_cache() -> None:
+    """Drop all memoized topologies (mostly for tests/benchmarks)."""
+    _RSMT_CACHE.clear()
+
+
+def rsmt_cache_size() -> int:
+    """Number of memoized constellations currently held."""
+    return len(_RSMT_CACHE)
 
 
 def _manhattan(a: Tuple[float, float], b: Tuple[float, float]) -> float:
     return abs(a[0] - b[0]) + abs(a[1] - b[1])
 
 
-def _prim_mst(pts: List[Tuple[float, float]]) -> SteinerTree:
-    """Prim's algorithm on the Manhattan metric, vectorized per step."""
+#: Below this pin count Prim runs in pure Python: per-step numpy call
+#: overhead exceeds the O(k^2) scalar arithmetic for tiny nets.
+_PRIM_SMALL_K = 32
+
+_INF = float("inf")
+
+
+def _prim_mst_small(pts: List[Tuple[float, float]]) -> SteinerTree:
+    """Scalar Prim for small nets.
+
+    Same IEEE double arithmetic, accumulation order, and first-wins
+    argmin tie-breaking as :func:`_prim_mst`, so both produce identical
+    trees; in-tree vertices are exactly those pinned to inf (pin
+    distances are always finite).
+    """
     k = len(pts)
-    xs = np.array([p[0] for p in pts])
-    ys = np.array([p[1] for p in pts])
+    xs = [p[0] for p in pts]
+    ys = [p[1] for p in pts]
+    x0 = xs[0]
+    y0 = ys[0]
+    best_dist = [abs(xs[i] - x0) + abs(ys[i] - y0) for i in range(k)]
+    best_dist[0] = _INF
+    best_from = [0] * k
+    edges: List[Tuple[int, int]] = []
+    total = 0.0
+    for _ in range(k - 1):
+        j = min(range(k), key=best_dist.__getitem__)
+        total += best_dist[j]
+        edges.append((best_from[j], j))
+        best_dist[j] = _INF
+        xj = xs[j]
+        yj = ys[j]
+        for i in range(k):
+            if best_dist[i] != _INF:
+                d = abs(xs[i] - xj) + abs(ys[i] - yj)
+                if d < best_dist[i]:
+                    best_dist[i] = d
+                    best_from[i] = j
+    return SteinerTree(points=pts, edges=edges, length=total * STEINER_DISCOUNT)
+
+
+def _prim_mst(pts: List[Tuple[float, float]]) -> SteinerTree:
+    """Prim's algorithm on the Manhattan metric.
+
+    The full distance matrix is built once by broadcasting (row ``j``
+    is elementwise-identical to recomputing ``|x - x_j| + |y - y_j|``
+    per step), and visited vertices are masked by pinning their best
+    distance to inf — the same argmin selection as masking per step,
+    without the per-step temporaries.
+    """
+    k = len(pts)
+    if k < _PRIM_SMALL_K:
+        return _prim_mst_small(pts)
+    arr = np.asarray(pts, dtype=float)
+    xs = arr[:, 0]
+    ys = arr[:, 1]
+    dist = np.abs(xs[:, None] - xs[None, :]) + np.abs(ys[:, None] - ys[None, :])
     in_tree = np.zeros(k, dtype=bool)
     in_tree[0] = True
-    best_dist = np.abs(xs - xs[0]) + np.abs(ys - ys[0])
+    best_dist = dist[0].copy()
+    best_dist[0] = np.inf
     best_from = np.zeros(k, dtype=np.int64)
     edges: List[Tuple[int, int]] = []
     total = 0.0
     for _ in range(k - 1):
-        masked = np.where(in_tree, np.inf, best_dist)
-        j = int(np.argmin(masked))
-        total += float(masked[j])
+        j = int(np.argmin(best_dist))
+        total += float(best_dist[j])
         edges.append((int(best_from[j]), j))
         in_tree[j] = True
-        new_dist = np.abs(xs - xs[j]) + np.abs(ys - ys[j])
-        closer = new_dist < best_dist
-        best_dist = np.where(closer, new_dist, best_dist)
-        best_from = np.where(closer, j, best_from)
+        best_dist[j] = np.inf
+        row = dist[j]
+        closer = (row < best_dist) & ~in_tree
+        best_dist[closer] = row[closer]
+        best_from[closer] = j
     return SteinerTree(points=pts, edges=edges, length=total * STEINER_DISCOUNT)

@@ -1,0 +1,163 @@
+"""The perf layer's contract: clean import, zero(-ish) overhead when
+disabled, correct aggregation when enabled, sane reports."""
+
+import json
+import time
+
+import pytest
+
+from repro import perf
+from repro.perf import PerfRegistry, PerfReport
+from repro.perf.timers import _NULL_STAGE
+
+
+@pytest.fixture(autouse=True)
+def _clean_registry():
+    """Every test starts and ends with a disabled, empty registry."""
+    perf.disable()
+    perf.reset()
+    yield
+    perf.disable()
+    perf.reset()
+
+
+class TestDisabledPath:
+    def test_package_imports_cleanly(self):
+        import repro.perf
+        import repro.perf.profile
+        import repro.perf.report
+        import repro.perf.timers  # noqa: F401
+
+        assert not perf.is_enabled()
+
+    def test_disabled_stage_is_shared_null_object(self):
+        assert perf.stage("anything") is _NULL_STAGE
+        assert perf.stage("other/name") is _NULL_STAGE
+        with perf.stage("x"):
+            pass
+        assert perf.report().stages == {}
+
+    def test_disabled_count_records_nothing(self):
+        perf.count("cache.hit", 5)
+        assert perf.counter_value("cache.hit") == 0
+
+    def test_disabled_overhead_near_zero(self):
+        """The disabled hook must stay within noise of a bare loop: one
+        attribute check plus returning a shared object."""
+        n = 20000
+
+        def bare():
+            t0 = time.perf_counter()
+            for _ in range(n):
+                pass
+            return time.perf_counter() - t0
+
+        def hooked():
+            t0 = time.perf_counter()
+            for _ in range(n):
+                with perf.stage("hot"):
+                    pass
+            return time.perf_counter() - t0
+
+        bare_s = min(bare() for _ in range(3))
+        hooked_s = min(hooked() for _ in range(3))
+        # Allow generous CI noise; a real regression (locking, dict
+        # writes, object churn per call) is an order of magnitude.
+        assert hooked_s - bare_s < 0.05, (
+            f"disabled perf.stage cost {(hooked_s - bare_s) / n * 1e9:.0f} "
+            "ns/call — expected a no-op"
+        )
+
+
+class TestEnabledPath:
+    def test_stage_nesting_builds_paths(self):
+        perf.enable()
+        with perf.stage("flow"):
+            with perf.stage("vpr"):
+                with perf.stage("place"):
+                    pass
+            with perf.stage("vpr"):
+                pass
+        snap = perf.get_registry().snapshot()
+        assert set(snap["stages"]) == {"flow", "flow/vpr", "flow/vpr/place"}
+        assert snap["stages"]["flow/vpr"]["calls"] == 2
+        assert snap["stages"]["flow"]["total_s"] >= (
+            snap["stages"]["flow/vpr"]["total_s"]
+        )
+
+    def test_counters_accumulate_and_merge(self):
+        perf.enable()
+        perf.count("steiner.rsmt.hit")
+        perf.count("steiner.rsmt.hit", 2)
+        perf.count("steiner.rsmt.miss")
+        assert perf.counter_value("steiner.rsmt.hit") == 3
+        # Worker snapshot round-trip.
+        perf.merge_counters({"steiner.rsmt.hit": 4, "vpr.candidates_evaluated": 7})
+        assert perf.counter_value("steiner.rsmt.hit") == 7
+        assert perf.counter_value("vpr.candidates_evaluated") == 7
+        perf.merge_counters(None)  # tolerated
+        assert perf.counter_value("steiner.rsmt.hit") == 7
+
+    def test_reset_clears_everything(self):
+        perf.enable()
+        with perf.stage("s"):
+            perf.count("c")
+        perf.reset()
+        snap = perf.get_registry().snapshot()
+        assert snap == {"stages": {}, "counters": {}}
+
+    def test_independent_registry(self):
+        reg = PerfRegistry(enabled=True)
+        with reg.stage("a"):
+            reg.count("k", 3)
+        assert reg.counter_value("k") == 3
+        assert not perf.is_enabled(), "default registry untouched"
+        assert perf.counter_value("k") == 0
+
+
+class TestReport:
+    def test_report_schema_roundtrip(self, tmp_path):
+        perf.enable()
+        with perf.stage("flow"):
+            perf.count("vpr.subnetlist.hit", 3)
+            perf.count("vpr.subnetlist.miss", 1)
+        report = perf.report(meta={"design": "aes", "jobs": 2})
+        path = tmp_path / "perf.json"
+        report.write(str(path))
+        loaded = json.loads(path.read_text())
+        assert loaded["schema"] == "repro.perf/1"
+        assert loaded["meta"] == {"design": "aes", "jobs": 2}
+        assert "flow" in loaded["stages"]
+        assert loaded["counters"]["vpr.subnetlist.hit"] == 3
+
+    def test_cache_rate(self):
+        report = PerfReport(
+            counters={"vpr.subnetlist.hit": 3, "vpr.subnetlist.miss": 1}
+        )
+        assert report.cache_rate("vpr.subnetlist") == pytest.approx(0.75)
+        assert report.cache_rate("unknown") is None
+
+    def test_summary_lines_rank_by_total(self):
+        report = PerfReport(
+            stages={
+                "fast": {"total_s": 0.1, "calls": 1},
+                "slow": {"total_s": 2.0, "calls": 4},
+            },
+            counters={"steiner.rsmt.hit": 9, "steiner.rsmt.miss": 1},
+        )
+        lines = report.summary_lines()
+        assert lines[0].startswith("slow")
+        assert any("90% cache hits" in line for line in lines)
+
+
+class TestProfileHook:
+    def test_cprofile_to_writes_dump(self, tmp_path):
+        path = tmp_path / "prof.pstats"
+        with perf.cprofile_to(str(path), top=5):
+            sum(range(1000))
+        assert path.exists()
+        assert (tmp_path / "prof.pstats.txt").exists()
+
+    def test_cprofile_none_is_noop(self):
+        with perf.cprofile_to(None):
+            pass
