@@ -8,6 +8,8 @@ Commands:
 * ``cluster`` — run PPA-aware clustering only and report the summary.
 * ``sta`` — timing/power report on a placed benchmark.
 * ``viz`` — render placement / cluster / congestion SVGs.
+* ``report`` — inspect or diff telemetry run reports (``run.json``);
+  ``report diff A B`` exits non-zero when a QoR stream regressed.
 
 All commands accept ``--seed`` for determinism.  See ``--help`` of each
 subcommand.
@@ -59,6 +61,13 @@ def _add_flow_parser(subparsers) -> None:
         "cache hit rates) to this path; also honours REPRO_PROFILE=<path> "
         "for a cProfile dump",
     )
+    p.add_argument(
+        "--telemetry",
+        metavar="DIR",
+        help="enable flow-wide telemetry (tracing spans, QoR metric "
+        "streams, structured events) and write DIR/run.json, "
+        "DIR/report.html and DIR/events.jsonl",
+    )
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--report", help="write a QoR JSON report to this path")
     p.add_argument("--verilog", help=".v netlist (overrides --benchmark)")
@@ -86,6 +95,43 @@ def _add_simple_parsers(subparsers) -> None:
     p.add_argument("--benchmark", default="aes")
     p.add_argument("--out", default="/tmp/repro_viz", help="output directory")
     p.add_argument("--seed", type=int, default=0)
+
+    p = subparsers.add_parser(
+        "report", help="inspect / diff telemetry run reports"
+    )
+    rsub = p.add_subparsers(dest="report_command", required=True)
+    d = rsub.add_parser(
+        "diff",
+        help="compare two run.json files; exit 1 when a QoR stream "
+        "regressed past the thresholds",
+    )
+    d.add_argument("baseline", help="baseline run.json")
+    d.add_argument("candidate", help="candidate run.json")
+    d.add_argument(
+        "--rel",
+        type=float,
+        default=0.05,
+        help="relative worsening threshold (default 0.05 = 5%%)",
+    )
+    d.add_argument(
+        "--abs",
+        dest="abs_threshold",
+        type=float,
+        default=1e-9,
+        help="absolute worsening threshold",
+    )
+    d.add_argument(
+        "--stream",
+        action="append",
+        dest="streams",
+        help="limit the gate to these streams (repeatable; a named "
+        "stream missing from either run counts as a regression)",
+    )
+    s = rsub.add_parser("show", help="summarise one run.json")
+    s.add_argument("path", help="run.json to summarise")
+    s.add_argument(
+        "--html", help="also render a self-contained HTML report here"
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -133,9 +179,28 @@ def _cmd_flow(args) -> int:
     from repro.core.vpr import RandomShapeSelector, UniformShapeSelector
 
     perf_path = getattr(args, "perf_report", None)
-    if perf_path:
+    telemetry_dir = getattr(args, "telemetry", None)
+    if perf_path or telemetry_dir:
+        # Telemetry runs embed the perf report in run.json.
         perf.enable()
         perf.reset()
+    if telemetry_dir:
+        from repro import telemetry
+
+        telemetry.enable(telemetry_dir)
+        telemetry.event(
+            "run.config",
+            command="flow",
+            benchmark=getattr(args, "benchmark", None),
+            flow=args.flow,
+            tool=args.tool,
+            clustering=args.clustering,
+            shapes=args.shapes,
+            routing=not args.no_routing,
+            jobs=args.jobs,
+            seed=args.seed,
+            version=__version__,
+        )
     profile_path = os.environ.get("REPRO_PROFILE")
     profile_ctx = (
         perf.cprofile_to(profile_path, top=25)
@@ -189,6 +254,36 @@ def _cmd_flow(args) -> int:
 
         write_qor_json(args.report, result, design)
         print(f"wrote QoR report to {args.report}")
+
+    if telemetry_dir:
+        from repro import telemetry
+        from repro.core.reporting import flow_qor_summary
+        from repro.telemetry import render_html
+
+        run = telemetry.run_report(
+            meta={
+                "design": design.name,
+                "instances": design.num_instances,
+                "flow": args.flow,
+                "tool": args.tool,
+                "clustering": args.clustering,
+                "shapes": args.shapes,
+                "jobs": args.jobs,
+                "seed": args.seed,
+                "version": __version__,
+            },
+            qor=flow_qor_summary(result),
+            perf=perf.report().to_dict(),
+        )
+        run_path = os.path.join(telemetry_dir, "run.json")
+        run.write(run_path)
+        render_html(run, os.path.join(telemetry_dir, "report.html"))
+        telemetry.disable()
+        print(
+            f"wrote telemetry to {telemetry_dir} "
+            f"({len(run.metrics)} streams, {len(run.spans)} spans, "
+            f"{len(run.events)} events)"
+        )
 
     m = result.metrics
     print(f"design        : {design.name} ({design.num_instances} instances)")
@@ -319,6 +414,47 @@ def _cmd_viz(args) -> int:
     return 0
 
 
+def _cmd_report(args) -> int:
+    from repro.telemetry import RunReport, diff_runs, render_html
+
+    if args.report_command == "diff":
+        diff = diff_runs(
+            RunReport.load(args.baseline),
+            RunReport.load(args.candidate),
+            rel_threshold=args.rel,
+            abs_threshold=args.abs_threshold,
+            streams=args.streams,
+        )
+        for delta in diff.deltas:
+            print(delta.describe())
+        if not diff.ok:
+            print(f"FAIL: {len(diff.regressions)} stream(s) regressed")
+            return 1
+        print("ok: no regressions")
+        return 0
+
+    report = RunReport.load(args.path)
+    for key in sorted(report.meta):
+        print(f"{key:<12}: {report.meta[key]}")
+    print(f"{'spans':<12}: {len(report.spans)} ({len(report.span_tree())} roots)")
+    print(f"{'events':<12}: {len(report.events)}")
+    print(f"{'streams':<12}: {len(report.metrics)}")
+    for name in sorted(report.metrics):
+        stream = report.metrics[name]
+        n = len(stream.get("values") or [])
+        final = report.stream_final(name)
+        final_text = f"{final:.6g}" if final is not None else "-"
+        print(f"  {name:<24} n={n:<5} final={final_text}")
+    if report.qor:
+        print("qor:")
+        for key in sorted(report.qor):
+            print(f"  {key:<24} {report.qor[key]:.6g}")
+    if getattr(args, "html", None):
+        render_html(report, args.html)
+        print(f"wrote {args.html}")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point."""
     args = build_parser().parse_args(argv)
@@ -328,6 +464,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "cluster": _cmd_cluster,
         "sta": _cmd_sta,
         "viz": _cmd_viz,
+        "report": _cmd_report,
     }
     return handlers[args.command](args)
 

@@ -17,7 +17,7 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
-from repro import perf
+from repro import perf, telemetry
 from repro.cluster.best_choice import best_choice_clustering
 from repro.cluster.edge_coarsening import edge_coarsening
 from repro.cluster.fc import FirstChoiceConfig, first_choice_clustering
@@ -152,17 +152,17 @@ def evaluate_placed_design(
     post_place_hpwl = hpwl(design)
 
     t0 = time.perf_counter()
-    with perf.stage("flow/cts"):
+    with perf.stage("flow/cts"), telemetry.span("flow.cts"):
         cts = synthesize_clock_tree(design)
     runtimes["cts"] = time.perf_counter() - t0
 
     t0 = time.perf_counter()
-    with perf.stage("flow/route"):
+    with perf.stage("flow/route"), telemetry.span("flow.route"):
         routing = GlobalRouter(design).run()
     runtimes["route"] = time.perf_counter() - t0
 
     t0 = time.perf_counter()
-    with perf.stage("flow/sta"):
+    with perf.stage("flow/sta"), telemetry.span("flow.sta"):
         graph = timing_graph_for(design)
         wire_model = RoutedWireModel(design, routing.net_lengths)
         analyzer = TimingAnalyzer(graph, wire_model, clock_uncertainty=cts.skew)
@@ -254,17 +254,35 @@ class ClusteredPlacementFlow:
         config = self.config
         db = DesignDatabase(design)
         runtimes: Dict[str, float] = {}
+        telemetry.event(
+            "flow.start",
+            design=design.name,
+            instances=design.num_instances,
+            clustering=config.clustering,
+            tool=config.tool,
+        )
 
         # Lines 2-10: PPA-aware clustering.
-        with perf.stage("flow/clustering"):
+        with perf.stage("flow/clustering"), telemetry.span(
+            "flow.clustering", method=config.clustering
+        ):
             clustering = self._run_clustering(db)
         runtimes.update(clustering.runtimes)
         members = clustering.members()
+        telemetry.event(
+            "cluster.formed",
+            method=config.clustering,
+            clusters=clustering.num_clusters,
+            singletons=clustering.singleton_count(),
+        )
+        telemetry.observe("cluster.count", clustering.num_clusters)
 
         # Lines 12-13: V-P&R shapes for clusters > 200 instances.
         selector = config.shape_selector or VPRShapeSelector(config.vpr_config)
         t0 = time.perf_counter()
-        with perf.stage("flow/vpr"):
+        with perf.stage("flow/vpr"), telemetry.span(
+            "flow.vpr", selector=selector.name
+        ):
             selection = selector.select(design, members)
         runtimes["vpr"] = time.perf_counter() - t0
 
@@ -309,7 +327,9 @@ class ClusteredPlacementFlow:
             for net in design.nets:
                 net.weight *= multipliers.get(net.index, 1.0)
         try:
-            with perf.stage("flow/seeded_placement"):
+            with perf.stage("flow/seeded_placement"), telemetry.span(
+                "flow.seeded_placement", tool=config.tool
+            ):
                 seeded_result = seeded_placement(
                     clustered, seeded_config, vpr_cluster_ids=vpr_ids
                 )
@@ -328,6 +348,13 @@ class ClusteredPlacementFlow:
             metrics = evaluate_placed_design(design, runtimes)
         else:
             metrics = _post_place_metrics(design, runtimes)
+        telemetry.event(
+            "flow.done",
+            design=design.name,
+            hpwl=metrics.hpwl,
+            wns=metrics.wns,
+            clusters=clustering.num_clusters,
+        )
 
         return FlowResult(
             metrics=metrics,

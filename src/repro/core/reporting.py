@@ -82,6 +82,29 @@ def write_qor_json(
         handle.write("\n")
 
 
+def flow_qor_summary(result: FlowResult) -> Dict[str, Any]:
+    """Flat scalar QoR summary for a telemetry run report.
+
+    A subset of :func:`flow_result_to_dict` with dotted keys matching
+    the metric-stream namespace, so ``repro report diff`` can compare
+    final stream values and end-of-run QoR under one naming scheme.
+    """
+    m = result.metrics
+    out: Dict[str, Any] = {
+        "qor.hpwl": m.hpwl,
+        "qor.rwl": m.rwl,
+        "qor.wns": m.wns,
+        "qor.tns": m.tns,
+        "qor.power": m.power,
+        "qor.hold_wns": m.hold_wns,
+        "qor.hold_tns": m.hold_tns,
+        "qor.num_clusters": result.num_clusters,
+        "qor.singleton_clusters": result.singleton_clusters,
+        "qor.placement_runtime_s": m.placement_runtime,
+    }
+    return {k: v for k, v in out.items() if v is not None}
+
+
 def qor_text(result: FlowResult, design: Optional[Design] = None) -> str:
     """Human-readable QoR summary."""
     data = flow_result_to_dict(result, design)

@@ -21,6 +21,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
+from repro import telemetry
 from repro.core.clustered_netlist import ClusteredNetlist
 from repro.place.placer import GlobalPlacer, PlacerConfig, PlacementResult
 from repro.place.problem import PlacementProblem
@@ -43,8 +44,13 @@ class SeededPlacementConfig:
     """
 
     tool: str = "openroad"
+    # The clustered-netlist stage streams its convergence under
+    # "gp.cluster.*"; the flat refinement keeps the canonical "gp.*"
+    # streams (the run-report convergence plots).
     cluster_placer: PlacerConfig = field(
-        default_factory=lambda: PlacerConfig(max_iterations=20, target_overflow=0.12)
+        default_factory=lambda: PlacerConfig(
+            max_iterations=20, target_overflow=0.12, telemetry="gp.cluster"
+        )
     )
     incremental_placer: PlacerConfig = field(
         default_factory=lambda: PlacerConfig(incremental=True, region_iterations=4)
@@ -143,6 +149,12 @@ def seeded_placement(
     t0 = time.perf_counter()
     clustered.seed_flat_positions()
     runtimes["seed"] = time.perf_counter() - t0
+    telemetry.event(
+        "placement.seeded",
+        tool=config.tool,
+        clusters=len(clustered.members),
+        cluster_hpwl=cluster_result.hpwl,
+    )
 
     # --- Incremental flat placement (line 19 / 25) ----------------------
     t0 = time.perf_counter()

@@ -51,7 +51,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro import perf
+from repro import perf, telemetry
 from repro.core.shapes import ShapeCandidate, default_candidate_grid, uniform_shape
 from repro.netlist.design import Design, Floorplan, PinDirection
 from repro.place.placer import GlobalPlacer, PlacerConfig
@@ -387,35 +387,52 @@ class VPRFramework:
 
     # -- evaluation ----------------------------------------------------
     def evaluate_candidate(
-        self, sub: Design, cell_area: float, candidate: ShapeCandidate
+        self,
+        sub: Design,
+        cell_area: float,
+        candidate: ShapeCandidate,
+        cluster_id: Optional[int] = None,
     ) -> CandidateEvaluation:
         """Place + route the sub-netlist on the candidate's virtual die
-        and compute Cost_HPWL / Cost_Congestion (Eqs. 4-5)."""
+        and compute Cost_HPWL / Cost_Congestion (Eqs. 4-5).
+
+        The per-iteration placer/router QoR streams are muted here
+        (hundreds of virtual dies would drown the flow-level
+        convergence curves); the candidate's own span and final costs
+        are recorded instead.
+        """
         config = self.config
-        ctx = self._context_of(sub)
-        _configure_virtual_die(sub, cell_area, candidate, config.die_margin)
-        with perf.stage("vpr/place"):
-            problem = ctx.placement_problem()
-            placer = GlobalPlacer(
-                problem,
-                PlacerConfig(
-                    max_iterations=config.placer_iterations,
-                    min_iterations=2,
-                    target_overflow=0.15,
-                    seed=config.seed,
-                ),
-            )
-            placer.run()
-        with perf.stage("vpr/route"):
-            grid = GCellGrid.for_floorplan(
-                sub.floorplan, target_cells=config.route_target_cells
-            )
-            routing = GlobalRouter(sub, grid=grid).run()
-        with perf.stage("vpr/score"):
-            hpwl_avg = ctx.mean_hpwl(problem)
-            fp = sub.floorplan
-            hpwl_cost = hpwl_avg / max(fp.core_width + fp.core_height, 1e-9)
-            congestion_cost = routing.top_percent_congestion(config.top_x_percent)
+        span_attrs = {"ar": candidate.aspect_ratio, "util": candidate.utilization}
+        if cluster_id is not None:
+            span_attrs["cluster"] = cluster_id
+        with telemetry.span("vpr.candidate", **span_attrs):
+            ctx = self._context_of(sub)
+            _configure_virtual_die(sub, cell_area, candidate, config.die_margin)
+            with perf.stage("vpr/place"):
+                problem = ctx.placement_problem()
+                placer = GlobalPlacer(
+                    problem,
+                    PlacerConfig(
+                        max_iterations=config.placer_iterations,
+                        min_iterations=2,
+                        target_overflow=0.15,
+                        telemetry=None,
+                        seed=config.seed,
+                    ),
+                )
+                placer.run()
+            with perf.stage("vpr/route"):
+                grid = GCellGrid.for_floorplan(
+                    sub.floorplan, target_cells=config.route_target_cells
+                )
+                routing = GlobalRouter(
+                    sub, grid=grid, telemetry_prefix=None
+                ).run()
+            with perf.stage("vpr/score"):
+                hpwl_avg = ctx.mean_hpwl(problem)
+                fp = sub.floorplan
+                hpwl_cost = hpwl_avg / max(fp.core_width + fp.core_height, 1e-9)
+                congestion_cost = routing.top_percent_congestion(config.top_x_percent)
         perf.count("vpr.candidates_evaluated")
         return CandidateEvaluation(
             candidate=candidate,
@@ -432,24 +449,45 @@ class VPRFramework:
         )
         return evaluations[int(np.argmin(totals))]
 
+    def _record_sweep(self, sweep: VPRSweepResult) -> None:
+        """Per-candidate cost streams for one finished sweep.
+
+        Always recorded parent-side, in candidate order, so serial and
+        parallel sweeps produce byte-identical streams regardless of
+        worker scheduling.
+        """
+        if not telemetry.is_enabled():
+            return
+        delta = self.config.delta
+        for evaluation in sweep.evaluations:
+            telemetry.observe("vpr.total_cost", evaluation.total(delta))
+            telemetry.observe("vpr.hpwl_cost", evaluation.hpwl_cost)
+            telemetry.observe("vpr.congestion_cost", evaluation.congestion_cost)
+
     def sweep_cluster(
         self, source: Design, member_indices: Sequence[int], cluster_id: int = 0
     ) -> VPRSweepResult:
         """Evaluate all shape candidates for one cluster (serially)."""
         start = time.perf_counter()
-        with perf.stage("vpr/sweep"):
+        with perf.stage("vpr/sweep"), telemetry.span(
+            "vpr.sweep", cluster=cluster_id
+        ):
             sub, cell_area = self.induce(source, member_indices)
             evaluations = [
-                self.evaluate_candidate(sub, cell_area, candidate)
+                self.evaluate_candidate(
+                    sub, cell_area, candidate, cluster_id=cluster_id
+                )
                 for candidate in self.config.candidates
             ]
         best = self._best_of(evaluations)
-        return VPRSweepResult(
+        sweep = VPRSweepResult(
             cluster_id=cluster_id,
             evaluations=evaluations,
             best=best.candidate,
             runtime=time.perf_counter() - start,
         )
+        self._record_sweep(sweep)
+        return sweep
 
     def sweep_clusters(
         self,
@@ -492,7 +530,7 @@ class VPRFramework:
             clusters[c] = self.induce(source, members[c])
 
         n_cand = len(config.candidates)
-        slots: Dict[int, List[Optional[Tuple[float, float, float, Optional[dict]]]]] = {
+        slots: Dict[int, List[Optional[_WorkerResult]]] = {
             c: [None] * n_cand for c in cluster_ids
         }
         # Workers inherit the state via fork: sub-netlists are shared
@@ -501,10 +539,13 @@ class VPRFramework:
             "config": config,
             "clusters": clusters,
             "perf_enabled": perf.is_enabled(),
+            "telemetry_enabled": telemetry.is_enabled(),
         }
         context = multiprocessing.get_context("fork")
-        try:
-            with perf.stage("vpr/parallel_sweep"):
+        with perf.stage("vpr/parallel_sweep"), telemetry.span(
+            "vpr.parallel_sweep", jobs=jobs, items=len(cluster_ids) * n_cand
+        ):
+            try:
                 with ProcessPoolExecutor(
                     max_workers=jobs, mp_context=context
                 ) as pool:
@@ -515,16 +556,64 @@ class VPRFramework:
                     }
                     for future in as_completed(futures):
                         c, k = futures[future]
-                        slots[c][k] = future.result()
-        finally:
-            _WORKER_STATE = None
+                        try:
+                            slots[c][k] = future.result()
+                        except OSError:
+                            raise  # pool infrastructure failure
+                        except Exception as exc:
+                            # The worker process died mid-item (e.g.
+                            # OOM-killed): no payload came back at all.
+                            slots[c][k] = (
+                                float("nan"),
+                                float("nan"),
+                                0.0,
+                                None,
+                                None,
+                                repr(exc),
+                            )
+            finally:
+                _WORKER_STATE = None
+
+            # Fold every returned payload in *before* retrying failures:
+            # a crashed item still contributes the partial counters and
+            # spans it recorded up to the failure point.
+            failed: List[Tuple[int, int]] = []
+            for c in cluster_ids:
+                for k, slot in enumerate(slots[c]):
+                    _h, _g, _s, counters, payload, error = slot
+                    perf.merge_counters(counters)
+                    telemetry.merge_worker(payload)
+                    if error is not None:
+                        perf.count("vpr.worker.error")
+                        telemetry.event(
+                            "worker.error", cluster=c, candidate=k, error=error
+                        )
+                        failed.append((c, k))
+
+            # Re-evaluate crashed items serially in the parent, so a
+            # transient worker death does not corrupt shape selection.
+            # A deterministic failure re-raises here, visibly.
+            for c, k in failed:
+                sub, cell_area = clusters[c]
+                start = time.perf_counter()
+                evaluation = self.evaluate_candidate(
+                    sub, cell_area, config.candidates[k], cluster_id=c
+                )
+                slots[c][k] = (
+                    evaluation.hpwl_cost,
+                    evaluation.congestion_cost,
+                    time.perf_counter() - start,
+                    None,
+                    None,
+                    None,
+                )
 
         sweeps: List[VPRSweepResult] = []
         for c in cluster_ids:
             evaluations = []
             runtime = 0.0
             for k, slot in enumerate(slots[c]):
-                hpwl_cost, congestion_cost, seconds, counters = slot
+                hpwl_cost, congestion_cost, seconds = slot[:3]
                 evaluations.append(
                     CandidateEvaluation(
                         candidate=config.candidates[k],
@@ -533,16 +622,15 @@ class VPRFramework:
                     )
                 )
                 runtime += seconds
-                perf.merge_counters(counters)
             best = self._best_of(evaluations)
-            sweeps.append(
-                VPRSweepResult(
-                    cluster_id=c,
-                    evaluations=evaluations,
-                    best=best.candidate,
-                    runtime=runtime,
-                )
+            sweep = VPRSweepResult(
+                cluster_id=c,
+                evaluations=evaluations,
+                best=best.candidate,
+                runtime=runtime,
             )
+            self._record_sweep(sweep)
+            sweeps.append(sweep)
         return sweeps
 
     def eligible_clusters(self, members: Sequence[Sequence[int]]) -> List[int]:
@@ -564,6 +652,14 @@ class VPRFramework:
 #: per-sub contexts are shared across the candidates it evaluates.
 _WORKER_STATE: Optional[dict] = None
 
+#: Shape of one work item's result: ``(hpwl_cost, congestion_cost,
+#: seconds, perf_counters, telemetry_payload, error)``.  ``error`` is
+#: the repr of a worker-side exception (costs are NaN then); the
+#: counters/payload recorded up to the failure still travel back.
+_WorkerResult = Tuple[
+    float, float, float, Optional[dict], Optional[dict], Optional[str]
+]
+
 
 def _fork_available() -> bool:
     """Fork start method available (the pool relies on inheriting the
@@ -571,34 +667,65 @@ def _fork_available() -> bool:
     return "fork" in multiprocessing.get_all_start_methods()
 
 
-def _candidate_worker(
-    cluster_id: int, candidate_index: int
-) -> Tuple[float, float, float, Optional[dict]]:
+def _worker_init() -> VPRFramework:
+    """First-use setup of a forked worker's process-global state."""
+    state = _WORKER_STATE
+    if state["perf_enabled"]:
+        # Drop stats inherited from the parent snapshot; from here
+        # on this registry records only this worker's activity.
+        perf.get_registry().reset()
+    if state["telemetry_enabled"]:
+        session = telemetry.get_session()
+        # The inherited session holds the parent's records and (when
+        # streaming) a duplicate handle on the parent's events.jsonl;
+        # close ours so worker events never interleave into that file,
+        # then clear the inherited records.
+        session.events.close()
+        session.reset()
+    framework = VPRFramework(state["config"])
+    state["_framework"] = framework
+    return framework
+
+
+def _candidate_worker(cluster_id: int, candidate_index: int) -> _WorkerResult:
     """Evaluate one (cluster, candidate) work item in a worker process.
 
-    Returns ``(hpwl_cost, congestion_cost, seconds, perf_counters)``;
-    counters are per-item deltas the parent folds into its registry.
+    Counters and the telemetry payload are per-item deltas the parent
+    folds into its registries.  Exceptions are contained: the item
+    reports ``error`` with NaN costs instead of poisoning the pool, and
+    whatever the item recorded before failing is still returned.
     """
     state = _WORKER_STATE
     framework = state.get("_framework")
     if framework is None:
-        if state["perf_enabled"]:
-            # Drop stats inherited from the parent snapshot; from here
-            # on this registry records only this worker's activity.
-            perf.get_registry().reset()
-        framework = VPRFramework(state["config"])
-        state["_framework"] = framework
+        framework = _worker_init()
     sub, cell_area = state["clusters"][cluster_id]
     candidate = state["config"].candidates[candidate_index]
     start = time.perf_counter()
-    evaluation = framework.evaluate_candidate(sub, cell_area, candidate)
+    hpwl_cost = congestion_cost = float("nan")
+    error: Optional[str] = None
+    try:
+        evaluation = framework.evaluate_candidate(
+            sub, cell_area, candidate, cluster_id=cluster_id
+        )
+        hpwl_cost = evaluation.hpwl_cost
+        congestion_cost = evaluation.congestion_cost
+    except Exception as exc:
+        error = repr(exc)
     seconds = time.perf_counter() - start
     counters: Optional[dict] = None
     if state["perf_enabled"]:
         registry = perf.get_registry()
         counters = registry.snapshot()["counters"]
         registry.reset()
-    return (evaluation.hpwl_cost, evaluation.congestion_cost, seconds, counters)
+    return (
+        hpwl_cost,
+        congestion_cost,
+        seconds,
+        counters,
+        telemetry.worker_snapshot(),
+        error,
+    )
 
 
 # ----------------------------------------------------------------------
@@ -668,10 +795,24 @@ class VPRShapeSelector(ShapeSelector):
         shapes: Dict[int, ShapeCandidate] = {
             c: uniform_shape() for c in range(len(members))
         }
-        with perf.stage("vpr/select"):
+        with perf.stage("vpr/select"), telemetry.span(
+            "vpr.select", selector=self.name, clusters=len(eligible)
+        ):
             sweeps = self.framework.sweep_clusters(source, members, eligible)
+        delta = self.framework.config.delta
         for sweep in sweeps:
             shapes[sweep.cluster_id] = sweep.best
+            best_eval = min(
+                sweep.evaluations, key=lambda e: e.total(delta)
+            )
+            telemetry.event(
+                "vpr.shape_selected",
+                selector=self.name,
+                cluster=sweep.cluster_id,
+                ar=sweep.best.aspect_ratio,
+                util=sweep.best.utilization,
+                total_cost=best_eval.total(delta),
+            )
         return VPRSelection(
             shapes=shapes,
             sweeps=sweeps,
@@ -716,11 +857,23 @@ class MLShapeSelector(ShapeSelector):
         shapes: Dict[int, ShapeCandidate] = {
             c: uniform_shape() for c in range(len(members))
         }
-        with perf.stage("vpr/ml_select"):
+        with perf.stage("vpr/ml_select"), telemetry.span(
+            "vpr.ml_select", selector=self.name, clusters=len(eligible)
+        ):
             for c in eligible:
                 sub, _area = framework.induce(source, members[c])
                 costs = np.asarray(self.predictor(sub, self.config.candidates))
-                shapes[c] = self.config.candidates[int(np.argmin(costs))]
+                pick = int(np.argmin(costs))
+                shapes[c] = self.config.candidates[pick]
+                telemetry.observe("vpr.ml.predicted_cost", float(costs[pick]))
+                telemetry.event(
+                    "vpr.shape_selected",
+                    selector=self.name,
+                    cluster=c,
+                    ar=shapes[c].aspect_ratio,
+                    util=shapes[c].utilization,
+                    predicted_cost=float(costs[pick]),
+                )
         return VPRSelection(
             shapes=shapes,
             skipped_clusters=skipped,

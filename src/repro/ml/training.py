@@ -5,6 +5,7 @@ Reports the Section 4.4 metrics: MAE and R^2 on train/validation/test.
 
 from __future__ import annotations
 
+import math
 import random
 import time
 from dataclasses import dataclass, field
@@ -12,6 +13,7 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+from repro import telemetry
 from repro.ml.autograd import mse_loss
 from repro.ml.features import GraphSample
 from repro.ml.model import TotalCostGNN, batch_samples
@@ -101,22 +103,26 @@ def train_model(
     loss_history: List[float] = []
     order = list(range(len(normalized)))
     model.set_training(True)
-    for _epoch in range(config.epochs):
-        rng.shuffle(order)
-        epoch_losses = []
-        for i in range(0, len(order), config.batch_size):
-            batch = [normalized[j] for j in order[i : i + config.batch_size]]
-            features, operator, segments = batch_samples(batch)
-            out = model.forward_batch(
-                features, operator, segments, len(batch), normalized=True
-            )
-            targets = np.array([[s.label] for s in batch])
-            loss = mse_loss(out, targets)
-            optimizer.zero_grad()
-            loss.backward()
-            optimizer.step()
-            epoch_losses.append(loss.item())
-        loss_history.append(float(np.mean(epoch_losses)))
+    with telemetry.span(
+        "ml.train", samples=len(train), epochs=config.epochs
+    ):
+        for epoch in range(config.epochs):
+            rng.shuffle(order)
+            epoch_losses = []
+            for i in range(0, len(order), config.batch_size):
+                batch = [normalized[j] for j in order[i : i + config.batch_size]]
+                features, operator, segments = batch_samples(batch)
+                out = model.forward_batch(
+                    features, operator, segments, len(batch), normalized=True
+                )
+                targets = np.array([[s.label] for s in batch])
+                loss = mse_loss(out, targets)
+                optimizer.zero_grad()
+                loss.backward()
+                optimizer.step()
+                epoch_losses.append(loss.item())
+            loss_history.append(float(np.mean(epoch_losses)))
+            telemetry.observe("ml.train.loss", loss_history[-1], step=epoch)
     runtime = time.perf_counter() - start
 
     model.set_training(False)
@@ -125,6 +131,16 @@ def train_model(
         "val": evaluate(model, val),
         "test": evaluate(model, test),
     }
+    for split, scores in metrics.items():
+        for key in ("mae", "r2"):
+            if not math.isnan(scores[key]):
+                telemetry.observe(f"ml.{split}.{key}", scores[key])
+    telemetry.event(
+        "ml.trained",
+        samples=len(train),
+        epochs=config.epochs,
+        final_loss=loss_history[-1] if loss_history else None,
+    )
     return TrainingResult(
         model=model, metrics=metrics, loss_history=loss_history, runtime=runtime
     )

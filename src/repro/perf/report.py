@@ -62,6 +62,25 @@ class PerfReport:
             "meta": self.meta,
         }
 
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "PerfReport":
+        """Rebuild a report from its schema dict.
+
+        Raises ``ValueError`` on a wrong/missing schema marker, so a
+        stale or foreign JSON file fails loudly instead of producing an
+        empty report.
+        """
+        schema = data.get("schema")
+        if schema != SCHEMA:
+            raise ValueError(
+                f"not a perf report (schema {schema!r}, expected {SCHEMA!r})"
+            )
+        return cls(
+            stages=dict(data.get("stages") or {}),
+            counters=dict(data.get("counters") or {}),
+            meta=dict(data.get("meta") or {}),
+        )
+
     def to_json(self, indent: int = 2) -> str:
         """Serialise to a JSON string."""
         return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
@@ -70,6 +89,12 @@ class PerfReport:
         """Write the JSON report to ``path``."""
         with open(path, "w") as fh:
             fh.write(self.to_json() + "\n")
+
+    @classmethod
+    def load(cls, path: str) -> "PerfReport":
+        """Read a JSON report back (inverse of :meth:`write`)."""
+        with open(path) as fh:
+            return cls.from_dict(json.load(fh))
 
     # -- convenience ---------------------------------------------------
     def stage_total(self, name: str) -> float:

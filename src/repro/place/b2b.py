@@ -15,6 +15,8 @@ from typing import Optional, Tuple
 import numpy as np
 import scipy.sparse as sp
 
+from repro import perf
+
 try:  # pragma: no cover - exercised whenever scipy provides the kernel
     from scipy.sparse import _sparsetools as _spt
 
@@ -281,6 +283,7 @@ def _jacobi_pcg(
     atol = rtol * math.sqrt(float(b @ b))
     rho_prev = 0.0
     p = None
+    iterations = 0
     for _ in range(maxiter):
         if math.sqrt(float(r @ r)) < atol:
             break
@@ -298,4 +301,10 @@ def _jacobi_pcg(
         x += alpha * p
         r -= alpha * Ap
         rho_prev = rho
+        iterations += 1
+    # Solver-effort counters for the perf/telemetry layers (no-ops
+    # while disabled); a CG iteration blow-up is the first symptom of
+    # an ill-conditioned B2B system (coincident pins, bad anchors).
+    perf.count("b2b.solves")
+    perf.count("b2b.cg_iterations", iterations)
     return x

@@ -14,6 +14,7 @@ from typing import List
 
 import numpy as np
 
+from repro import telemetry
 from repro.netlist.design import Design
 
 
@@ -68,12 +69,26 @@ def legalize(design: Design, row_search_window: int = 12) -> float:
     """
     fp = design.floorplan
     num_rows = max(1, int(fp.core_height / fp.row_height))
+    with telemetry.span("place.legalize", instances=design.num_instances):
+        total_disp, unplaced = _legalize_rows(
+            design, fp, num_rows, row_search_window
+        )
+    telemetry.observe("legalize.displacement", total_disp)
+    if unplaced:
+        telemetry.event(
+            "legalize.unplaced", count=unplaced, design=design.name
+        )
+    return total_disp
+
+
+def _legalize_rows(design, fp, num_rows, row_search_window):
     segments = _row_segments(design, num_rows)
 
     movable = [inst for inst in design.instances if not inst.fixed]
     movable.sort(key=lambda inst: inst.x)
 
     total_disp = 0.0
+    unplaced = 0
     for inst in movable:
         width = inst.master.width
         target_row = int((inst.y - fp.core_lly) / fp.row_height)
@@ -99,6 +114,7 @@ def legalize(design: Design, row_search_window: int = 12) -> float:
             window *= 2
         if best is None:
             # Core is over-full around this cell; leave it in place.
+            unplaced += 1
             continue
         cost, row, seg, position = best
         row_y = fp.core_lly + (row + 0.5) * fp.row_height
@@ -106,4 +122,4 @@ def legalize(design: Design, row_search_window: int = 12) -> float:
         inst.x = position + width / 2
         inst.y = row_y
         seg.cursor = position + width
-    return total_disp
+    return total_disp, unplaced

@@ -16,10 +16,11 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
+from repro import telemetry
 from repro.place.b2b import b2b_edges, solve_axis
 from repro.place.problem import PlacementProblem
 from repro.place.regions import RegionConstraint, clamp_regions
-from repro.place.spreading import DensityGrid, spreading_targets
+from repro.place.spreading import DensityGrid, spread_displacement, spreading_targets
 
 
 @dataclass
@@ -47,6 +48,12 @@ class PlacerConfig:
             into the region (a soft spring toward the region interior,
             approximating how commercial placers treat region guides)
             instead of hard-clamping positions after every solve.
+        telemetry: Prefix of the QoR streams this run emits per
+            iteration (``<prefix>.hpwl``, ``<prefix>.overflow``,
+            ``<prefix>.spread_move``) when :mod:`repro.telemetry` is
+            enabled.  None mutes the run — the V-P&R engine mutes its
+            hundreds of virtual-die placements so the flow-level
+            ``gp.*`` convergence streams stay clean.
         seed: RNG seed for the initial jitter.
     """
 
@@ -64,6 +71,7 @@ class PlacerConfig:
     seed_decay: float = 0.6
     region_iterations: Optional[int] = None
     soft_regions: bool = True
+    telemetry: Optional[str] = "gp"
     seed: int = 0
 
 
@@ -155,15 +163,52 @@ class GlobalPlacer:
         start = time.perf_counter()
         problem = self.problem
         config = self.config
+        mode = "incremental" if config.incremental else "full"
 
-        if config.incremental:
-            result = self._run_incremental()
-        else:
-            result = self._run_full()
+        with telemetry.span(
+            "place.global",
+            mode=mode,
+            movable=int(problem.movable.sum()),
+        ):
+            if config.incremental:
+                result = self._run_incremental()
+            else:
+                result = self._run_full()
+
+        if config.telemetry is not None:
+            converged = result.overflow < config.target_overflow
+            telemetry.event(
+                "placement.converged" if converged else "placement.diverged",
+                mode=mode,
+                iterations=result.iterations,
+                overflow=result.overflow,
+                hpwl=result.hpwl,
+            )
 
         problem.commit()
         result.runtime = time.perf_counter() - start
         return result
+
+    def _telemetry_on(self) -> bool:
+        return self.config.telemetry is not None and telemetry.is_enabled()
+
+    def _observe_round(
+        self,
+        iteration: int,
+        hpwl_value: float,
+        overflow: Optional[float],
+        spread_move: Optional[float],
+    ) -> None:
+        """Emit one iteration's QoR stream points (muted when
+        ``config.telemetry`` is None or telemetry is disabled)."""
+        if not self._telemetry_on():
+            return
+        prefix = self.config.telemetry
+        telemetry.observe(f"{prefix}.hpwl", hpwl_value, step=iteration)
+        if overflow is not None:
+            telemetry.observe(f"{prefix}.overflow", overflow, step=iteration)
+        if spread_move is not None:
+            telemetry.observe(f"{prefix}.spread_move", spread_move, step=iteration)
 
     def _run_full(self) -> PlacementResult:
         problem = self.problem
@@ -173,6 +218,7 @@ class GlobalPlacer:
         # Round 0: pure wirelength solve (no anchors).
         self._solve_round(None, None, None)
         trace = [problem.hpwl()]
+        self._observe_round(0, trace[0], None, None)
 
         anchor_w_scalar = config.anchor_base
         overflow = 1.0
@@ -186,6 +232,13 @@ class GlobalPlacer:
                 problem.movable,
                 strength=config.spread_strength,
             )
+            spread_move = (
+                spread_displacement(
+                    target_x, target_y, problem.x, problem.y, problem.movable
+                )
+                if self._telemetry_on()
+                else None
+            )
             weights = np.full(problem.num_vertices, anchor_w_scalar)
             self._solve_round(target_x, target_y, weights)
             trace.append(problem.hpwl())
@@ -196,6 +249,7 @@ class GlobalPlacer:
                 problem.movable,
                 config.target_density,
             )
+            self._observe_round(iteration, trace[-1], overflow, spread_move)
             if overflow < config.target_overflow and iteration >= config.min_iterations:
                 break
             anchor_w_scalar *= config.anchor_growth
@@ -227,6 +281,7 @@ class GlobalPlacer:
         seed_w = config.incremental_anchor
 
         trace = [problem.hpwl()]
+        self._observe_round(0, trace[0], None, None)
         anchor_w_scalar = config.anchor_base * 32
         overflow = 1.0
         iteration = 0
@@ -238,6 +293,13 @@ class GlobalPlacer:
                 problem.areas,
                 problem.movable,
                 strength=config.spread_strength,
+            )
+            spread_move = (
+                spread_displacement(
+                    target_x, target_y, problem.x, problem.y, problem.movable
+                )
+                if self._telemetry_on()
+                else None
             )
             # Blend the (decaying) seed anchor with the (growing)
             # spreading anchor.
@@ -266,6 +328,7 @@ class GlobalPlacer:
                 problem.movable,
                 config.target_density,
             )
+            self._observe_round(iteration, trace[-1], overflow, spread_move)
             if overflow < config.target_overflow and iteration >= 2:
                 break
             anchor_w_scalar *= config.incremental_growth

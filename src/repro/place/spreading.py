@@ -117,6 +117,27 @@ def spreading_targets(
     return target_x, target_y
 
 
+def spread_displacement(
+    target_x: np.ndarray,
+    target_y: np.ndarray,
+    x: np.ndarray,
+    y: np.ndarray,
+    movable: np.ndarray,
+) -> float:
+    """Mean Manhattan distance the spreader asks movable cells to move.
+
+    A convergence signal for the telemetry ``*.spread_move`` streams:
+    it decays toward zero as density equalises, and a plateau at a high
+    value flags a placement that is fighting its density target.
+    """
+    ids = np.nonzero(movable)[0]
+    if len(ids) == 0:
+        return 0.0
+    dx = np.abs(target_x[ids] - x[ids])
+    dy = np.abs(target_y[ids] - y[ids])
+    return float((dx + dy).mean())
+
+
 def _equalize_axis(
     ids: np.ndarray,
     primary: np.ndarray,

@@ -15,6 +15,7 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro import telemetry
 from repro.netlist.design import Design, Net
 from repro.route.gcell import GCellGrid
 from repro.route.steiner import rsmt
@@ -56,10 +57,16 @@ class GlobalRouter:
         design: Design,
         grid: Optional[GCellGrid] = None,
         include_clock: bool = False,
+        telemetry_prefix: Optional[str] = "route",
     ) -> None:
         self.design = design
         self.grid = grid or GCellGrid.for_floorplan(design.floorplan)
         self.include_clock = include_clock
+        #: Stream prefix of the QoR observations this run emits
+        #: (``<prefix>.overflow``, ``<prefix>.max_congestion``); None
+        #: mutes them — the V-P&R engine mutes its virtual-die routes
+        #: so the flow-level congestion streams stay clean.
+        self.telemetry_prefix = telemetry_prefix
 
     # ------------------------------------------------------------------
     def _net_points(self, net: Net) -> List[Tuple[float, float]]:
@@ -125,6 +132,20 @@ class GlobalRouter:
         The dedup key (coordinates rounded to 1nm) and pin order
         (driver first) match :meth:`_net_points` exactly.
         """
+        with telemetry.span(
+            "route.global",
+            design=self.design.name,
+            gcells=self.grid.nx * self.grid.ny,
+        ):
+            result = self._run()
+        prefix = self.telemetry_prefix
+        if prefix is not None:
+            telemetry.observe(f"{prefix}.overflow", result.overflow_fraction)
+            telemetry.observe(f"{prefix}.max_congestion", result.max_congestion)
+            telemetry.observe(f"{prefix}.wirelength", result.routed_wirelength)
+        return result
+
+    def _run(self) -> RoutingResult:
         # Deferred: repro.place's package init imports this module.
         from repro.place.hpwl import _net_arrays
 

@@ -12,6 +12,7 @@ import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from repro import telemetry
 from repro.netlist.design import Instance, Net, PinRef
 from repro.sta.delay import WireDelayModel, effective_cell_delay
 from repro.sta.graph import TimingGraph
@@ -117,7 +118,20 @@ class TimingAnalyzer:
 
     # ------------------------------------------------------------------
     def update(self) -> TimingReport:
-        """Run full arrival/required propagation; returns the report."""
+        """Run full arrival/required propagation; returns the report.
+
+        Each update also appends one point to the ``sta.wns`` /
+        ``sta.tns`` telemetry streams (auto-stepped, so repeated
+        updates — e.g. pre/post optimisation — trace a trajectory).
+        """
+        with telemetry.span("sta.update", nodes=self.graph.num_nodes):
+            report = self._update()
+        telemetry.observe("sta.wns", report.wns)
+        telemetry.observe("sta.tns", report.tns)
+        telemetry.observe("sta.failing_endpoints", report.num_failing)
+        return report
+
+    def _update(self) -> TimingReport:
         graph = self.graph
         n = graph.num_nodes
         period = self._clock_period()

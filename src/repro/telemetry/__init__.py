@@ -1,0 +1,90 @@
+"""Flow-wide telemetry: tracing spans, QoR metric streams, run reports.
+
+Three recording surfaces behind one process-wide session (off by
+default, near-zero overhead while disabled — see ``tests/telemetry``):
+
+* **spans** — nested wall-clock intervals with attributes
+  (``with telemetry.span("vpr.candidate", cluster=3, ar=1.5): ...``),
+  surviving the V-P&R fork-pool (worker spans are re-parented on
+  merge).
+* **metric streams** — named time-series of QoR observations
+  (``telemetry.observe("gp.hpwl", value, step=i)``) recording how
+  quality *evolved*, not just where it ended.
+* **events** — JSON-lines decision log (cluster formed, shape
+  selected, placement converged, worker error) streamed to
+  ``events.jsonl`` when an output directory is configured.
+
+A run's records serialise to a :class:`RunReport` (``run.json``),
+which :func:`diff_runs` compares against another run's — the
+``repro report diff`` regression gate.  Typical use::
+
+    from repro import telemetry
+
+    telemetry.enable("/tmp/run0")
+    ...  # run the flow
+    report = telemetry.run_report(meta={"design": "jpeg"})
+    report.write("/tmp/run0/run.json")
+"""
+
+from repro.telemetry.events import EVENT_SCHEMA, EventLog
+from repro.telemetry.metrics import MetricRegistry, MetricStream
+from repro.telemetry.report import (
+    SCHEMA,
+    RunDiff,
+    RunReport,
+    StreamDelta,
+    diff_runs,
+    render_html,
+)
+from repro.telemetry.session import (
+    TelemetrySession,
+    disable,
+    enable,
+    event,
+    get_session,
+    is_enabled,
+    merge_worker,
+    observe,
+    reset,
+    span,
+    stream,
+    traced,
+    worker_snapshot,
+)
+from repro.telemetry.trace import Span, Tracer, span_tree
+
+
+def run_report(meta=None, qor=None, perf=None) -> RunReport:
+    """Snapshot the default session into a :class:`RunReport`."""
+    return RunReport.from_session(get_session(), meta=meta, qor=qor, perf=perf)
+
+
+__all__ = [
+    "EVENT_SCHEMA",
+    "SCHEMA",
+    "EventLog",
+    "MetricRegistry",
+    "MetricStream",
+    "RunDiff",
+    "RunReport",
+    "Span",
+    "StreamDelta",
+    "TelemetrySession",
+    "Tracer",
+    "diff_runs",
+    "disable",
+    "enable",
+    "event",
+    "get_session",
+    "is_enabled",
+    "merge_worker",
+    "observe",
+    "render_html",
+    "reset",
+    "run_report",
+    "span",
+    "span_tree",
+    "stream",
+    "traced",
+    "worker_snapshot",
+]

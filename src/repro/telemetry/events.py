@@ -1,0 +1,79 @@
+"""Structured event log: JSON-lines records of what the flow decided.
+
+Events are discrete facts ("cluster formed", "shape selected", "cache
+miss", "worker error") with a stable schema::
+
+    {"schema": "repro.telemetry/1", "seq": 12, "t": 3.021,
+     "type": "vpr.shape_selected", "cluster": 3, "ar": 1.5, ...}
+
+``seq`` is a per-log sequence number, ``t`` seconds since the session
+epoch.  When the session has an output directory the log is also
+streamed to ``events.jsonl`` as it happens, so a crashed run still
+leaves its decision trail on disk.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from typing import Any, Dict, List, Optional
+
+#: Schema tag stamped on every event (and on run.json).
+EVENT_SCHEMA = "repro.telemetry/1"
+
+
+class EventLog:
+    """Thread-safe, optionally file-backed event recorder."""
+
+    def __init__(self, epoch: float, path: Optional[str] = None) -> None:
+        self.epoch = epoch
+        self.path = path
+        self._lock = threading.Lock()
+        self._events: List[Dict[str, Any]] = []
+        self._handle = open(path, "a") if path else None
+
+    def emit(self, event_type: str, **fields: Any) -> Dict[str, Any]:
+        """Record one event; returns the record."""
+        with self._lock:
+            record: Dict[str, Any] = {
+                "schema": EVENT_SCHEMA,
+                "seq": len(self._events),
+                "t": time.perf_counter() - self.epoch,
+                "type": event_type,
+            }
+            record.update(fields)
+            self._events.append(record)
+            if self._handle is not None:
+                self._handle.write(json.dumps(record, sort_keys=True) + "\n")
+                self._handle.flush()
+            return record
+
+    def export(self) -> List[Dict[str, Any]]:
+        """Copy of all recorded events."""
+        with self._lock:
+            return [dict(e) for e in self._events]
+
+    def merge(self, events: List[Dict[str, Any]], **extra: Any) -> None:
+        """Fold a worker's exported events in (re-sequenced)."""
+        for event in events or []:
+            fields = {
+                k: v for k, v in event.items() if k not in ("schema", "seq")
+            }
+            fields.update(extra)
+            fields.pop("type", None)
+            self.emit(event.get("type", "unknown"), **fields)
+
+    def reset(self) -> None:
+        with self._lock:
+            self._events.clear()
+
+    def close(self) -> None:
+        with self._lock:
+            if self._handle is not None:
+                self._handle.close()
+                self._handle = None
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._events)

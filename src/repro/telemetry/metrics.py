@@ -1,0 +1,115 @@
+"""QoR metric streams: named time-series observed during a run.
+
+A *stream* is an ordered list of (step, value) observations under a
+dotted name (``gp.hpwl``, ``vpr.total_cost``, ``sta.wns``).  Streams
+capture *trajectories* — how quality evolved over placement iterations
+or candidate sweeps — where :class:`~repro.core.metrics.PPAMetrics`
+only keeps the final numbers.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Dict, List, Optional
+
+
+class MetricStream:
+    """One named series of (step, value) observations."""
+
+    __slots__ = ("name", "steps", "values", "attrs")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.steps: List[float] = []
+        self.values: List[float] = []
+        self.attrs: Dict[str, Any] = {}
+
+    @property
+    def final(self) -> Optional[float]:
+        """Last observed value (None on an empty stream)."""
+        return self.values[-1] if self.values else None
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def to_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {"steps": list(self.steps), "values": list(self.values)}
+        if self.attrs:
+            out["attrs"] = dict(self.attrs)
+        return out
+
+
+class MetricRegistry:
+    """Thread-safe store of metric streams."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._streams: Dict[str, MetricStream] = {}
+
+    def observe(
+        self,
+        name: str,
+        value: float,
+        step: Optional[float] = None,
+        **attrs: Any,
+    ) -> None:
+        """Append one observation to stream ``name``.
+
+        ``step`` defaults to the stream's current length, so callers
+        without a natural iteration index still produce a monotone
+        series.  ``attrs`` are stream-level (last write wins), not
+        per-point — use separate streams for per-point dimensions.
+        """
+        with self._lock:
+            stream = self._streams.get(name)
+            if stream is None:
+                stream = self._streams[name] = MetricStream(name)
+            stream.steps.append(float(len(stream)) if step is None else float(step))
+            stream.values.append(float(value))
+            if attrs:
+                stream.attrs.update(attrs)
+
+    def stream(self, name: str) -> Optional[MetricStream]:
+        """The stream under ``name`` (None when never observed)."""
+        with self._lock:
+            return self._streams.get(name)
+
+    def names(self) -> List[str]:
+        with self._lock:
+            return sorted(self._streams)
+
+    def export(self) -> Dict[str, Dict[str, Any]]:
+        """Plain-dict copy ``{name: {steps, values[, attrs]}}``."""
+        with self._lock:
+            return {name: s.to_dict() for name, s in self._streams.items()}
+
+    def merge(self, exported: Dict[str, Dict[str, Any]]) -> None:
+        """Fold a worker's exported streams into this registry.
+
+        Worker observations are appended in export order.  Steps are
+        kept as-is when explicit, which lets per-iteration series from
+        a single worker stay meaningful; auto-stepped worker streams
+        are re-stepped onto the end of the parent stream so merged
+        series remain monotone.
+        """
+        if not exported:
+            return
+        with self._lock:
+            for name, data in exported.items():
+                stream = self._streams.get(name)
+                if stream is None:
+                    stream = self._streams[name] = MetricStream(name)
+                steps = data.get("steps") or []
+                values = data.get("values") or []
+                auto = steps == list(range(len(steps)))
+                for step, value in zip(steps, values):
+                    stream.steps.append(
+                        float(len(stream)) if auto else float(step)
+                    )
+                    stream.values.append(float(value))
+                if data.get("attrs"):
+                    stream.attrs.update(data["attrs"])
+
+    def reset(self) -> None:
+        with self._lock:
+            self._streams.clear()

@@ -1,0 +1,187 @@
+"""The process-wide telemetry session.
+
+A :class:`TelemetrySession` bundles the three sinks — tracer, metric
+registry, event log — behind one enabled flag.  Like
+:mod:`repro.perf`, instrumentation is **off by default** and every
+module-level hook degenerates to an early return / shared null object,
+so the flow's hot paths are instrumented unconditionally.
+
+Fork-pool workers inherit the session object; :func:`worker_snapshot`
+exports (and clears) a worker's records so they can travel back with
+its results, and :func:`merge_worker` folds such a payload into the
+parent session with span re-parenting.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, List, Optional
+
+from repro.telemetry.events import EventLog
+from repro.telemetry.metrics import MetricRegistry, MetricStream
+from repro.telemetry.trace import NULL_SPAN, Span, Tracer
+
+
+class TelemetrySession:
+    """One run's telemetry state (tracer + metrics + events)."""
+
+    def __init__(self, enabled: bool = False, out_dir: Optional[str] = None) -> None:
+        self.enabled = enabled
+        self.epoch = time.perf_counter()
+        self.out_dir = out_dir
+        self.tracer = Tracer(epoch=self.epoch)
+        self.metrics = MetricRegistry()
+        events_path = None
+        if out_dir is not None:
+            import os
+
+            os.makedirs(out_dir, exist_ok=True)
+            events_path = os.path.join(out_dir, "events.jsonl")
+        self.events = EventLog(self.epoch, path=events_path)
+
+    # -- recording -----------------------------------------------------
+    def span(self, name: str, **attrs: Any) -> Span:
+        if not self.enabled:
+            return NULL_SPAN
+        return self.tracer.span(name, **attrs)
+
+    def observe(
+        self, name: str, value: float, step: Optional[float] = None, **attrs: Any
+    ) -> None:
+        if not self.enabled:
+            return
+        self.metrics.observe(name, value, step=step, **attrs)
+
+    def event(self, event_type: str, **fields: Any) -> None:
+        if not self.enabled:
+            return
+        self.events.emit(event_type, **fields)
+
+    # -- worker round-trip ---------------------------------------------
+    def worker_snapshot(self) -> Dict[str, Any]:
+        """Export-and-clear this (worker) session's records.
+
+        Returns a picklable payload ``{"spans": [...], "metrics": {...},
+        "events": [...]}`` for the parent to merge.
+        """
+        payload = {
+            "spans": self.tracer.export(),
+            "metrics": self.metrics.export(),
+            "events": self.events.export(),
+        }
+        self.tracer.reset()
+        self.metrics.reset()
+        self.events.reset()
+        return payload
+
+    def merge_worker(
+        self, payload: Optional[Dict[str, Any]], **extra_attrs: Any
+    ) -> None:
+        """Fold a worker payload in; worker root spans are re-parented
+        under the span currently active on the calling thread."""
+        if not self.enabled or not payload:
+            return
+        self.tracer.merge(
+            payload.get("spans") or [],
+            parent_id=self.tracer.current_span_id(),
+            extra_attrs=extra_attrs or None,
+        )
+        self.metrics.merge(payload.get("metrics") or {})
+        self.events.merge(payload.get("events") or [], **extra_attrs)
+
+    def reset(self) -> None:
+        self.tracer.reset()
+        self.metrics.reset()
+        self.events.reset()
+
+
+_SESSION = TelemetrySession()
+
+
+def get_session() -> TelemetrySession:
+    """The process-wide default session."""
+    return _SESSION
+
+
+def enable(out_dir: Optional[str] = None) -> TelemetrySession:
+    """Turn telemetry on; replaces the default session with a fresh one.
+
+    ``out_dir`` (optional) enables streaming the event log to
+    ``<out_dir>/events.jsonl`` and is where the CLI writes ``run.json``.
+    """
+    global _SESSION
+    _SESSION.events.close()
+    _SESSION = TelemetrySession(enabled=True, out_dir=out_dir)
+    return _SESSION
+
+
+def disable() -> None:
+    """Turn telemetry off (hooks become no-ops; records are kept)."""
+    _SESSION.enabled = False
+    _SESSION.events.close()
+
+
+def is_enabled() -> bool:
+    """Whether the default session is recording."""
+    return _SESSION.enabled
+
+
+def reset() -> None:
+    """Clear the default session's records."""
+    _SESSION.reset()
+
+
+# -- module-level hooks (the instrumented code calls these) -------------
+def span(name: str, **attrs: Any):
+    """Open a span on the default session (no-op while disabled)."""
+    if not _SESSION.enabled:
+        return NULL_SPAN
+    return _SESSION.tracer.span(name, **attrs)
+
+
+def observe(
+    name: str, value: float, step: Optional[float] = None, **attrs: Any
+) -> None:
+    """Observe one point of a QoR metric stream (no-op while disabled)."""
+    if not _SESSION.enabled:
+        return
+    _SESSION.metrics.observe(name, value, step=step, **attrs)
+
+
+def event(event_type: str, **fields: Any) -> None:
+    """Emit one structured event (no-op while disabled)."""
+    if not _SESSION.enabled:
+        return
+    _SESSION.events.emit(event_type, **fields)
+
+
+def stream(name: str) -> Optional[MetricStream]:
+    """Read back a metric stream from the default session."""
+    return _SESSION.metrics.stream(name)
+
+
+def traced(name: str, **attrs: Any):
+    """Decorator: wrap every call in a span (enabled checked per call).
+
+    ::
+
+        @telemetry.traced("ml.train")
+        def train_model(...): ...
+    """
+    from repro.telemetry.trace import traced as _traced
+
+    return _traced(
+        name, lambda: _SESSION.tracer if _SESSION.enabled else None, **attrs
+    )
+
+
+def worker_snapshot() -> Optional[Dict[str, Any]]:
+    """Worker-side: export-and-clear the session (None when disabled)."""
+    if not _SESSION.enabled:
+        return None
+    return _SESSION.worker_snapshot()
+
+
+def merge_worker(payload: Optional[Dict[str, Any]], **extra_attrs: Any) -> None:
+    """Parent-side: fold a worker payload into the default session."""
+    _SESSION.merge_worker(payload, **extra_attrs)

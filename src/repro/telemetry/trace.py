@@ -1,0 +1,231 @@
+"""Tracing spans: a nested wall-clock trace of what the flow did.
+
+A :class:`Tracer` records *spans* — named intervals with attributes and
+parent/child links — into a flat list of records; the run report folds
+them back into a tree.  Spans complement :mod:`repro.perf` stage
+timers: a stage aggregates all calls under one name, a span is one
+concrete interval ("V-P&R candidate AR=1.5 on cluster 3 took 80 ms")
+with its own attributes.
+
+The active span is tracked per thread, so spans opened on worker
+threads nest correctly.  Fork-pool workers carry their own tracer;
+their finished records travel back with the results and are re-parented
+under the parent process's active span via :meth:`Tracer.merge`
+(fresh span ids are allocated, so merged ids never collide).
+
+``time.perf_counter`` is CLOCK_MONOTONIC on Linux and therefore
+comparable across forked processes, which keeps worker span timestamps
+on the same axis as the parent's.
+"""
+
+from __future__ import annotations
+
+import functools
+import threading
+import time
+from typing import Any, Callable, Dict, List, Optional
+
+
+class Span:
+    """One open interval; use as a context manager.
+
+    The span records its wall-clock bounds on exit and notes whether
+    the block raised (``error`` attribute on the record).
+    """
+
+    __slots__ = ("_tracer", "name", "span_id", "attrs", "_start")
+
+    def __init__(self, tracer: "Tracer", name: str, attrs: Dict[str, Any]) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.span_id = -1
+        self.attrs = attrs
+
+    def set_attr(self, key: str, value: Any) -> None:
+        """Attach an attribute discovered mid-span."""
+        self.attrs[key] = value
+
+    def __enter__(self) -> "Span":
+        self.span_id = self._tracer._enter(self.name)
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        end = time.perf_counter()
+        if exc_type is not None:
+            self.attrs["error"] = exc_type.__name__
+        self._tracer._exit(self, self._start, end)
+        return None
+
+
+class NullSpan:
+    """Shared no-op span returned while telemetry is disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        return None
+
+    def set_attr(self, key: str, value: Any) -> None:
+        return None
+
+
+NULL_SPAN = NullSpan()
+
+
+class Tracer:
+    """Thread-safe store of finished span records.
+
+    A *record* is a plain dict (JSON-ready)::
+
+        {"id": 7, "parent": 3, "name": "vpr.candidate",
+         "t0": 12.031, "dur": 0.080, "attrs": {"cluster": 3, "ar": 1.5}}
+
+    ``t0`` is seconds since the tracer's epoch (session start).
+    """
+
+    def __init__(self, epoch: Optional[float] = None) -> None:
+        self.epoch = time.perf_counter() if epoch is None else epoch
+        self._lock = threading.Lock()
+        self._records: List[Dict[str, Any]] = []
+        self._next_id = 0
+        self._local = threading.local()
+
+    # -- span stack (per thread) ---------------------------------------
+    def _stack(self) -> List[int]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
+    def current_span_id(self) -> Optional[int]:
+        """Id of the innermost open span on this thread (None at top)."""
+        stack = self._stack()
+        return stack[-1] if stack else None
+
+    def _alloc_id(self) -> int:
+        with self._lock:
+            span_id = self._next_id
+            self._next_id += 1
+        return span_id
+
+    def _enter(self, name: str) -> int:
+        span_id = self._alloc_id()
+        self._stack().append(span_id)
+        return span_id
+
+    def _exit(self, span: Span, start: float, end: float) -> None:
+        stack = self._stack()
+        if stack and stack[-1] == span.span_id:
+            stack.pop()
+        parent = stack[-1] if stack else None
+        record = {
+            "id": span.span_id,
+            "parent": parent,
+            "name": span.name,
+            "t0": start - self.epoch,
+            "dur": end - start,
+            "attrs": span.attrs,
+        }
+        with self._lock:
+            self._records.append(record)
+
+    # -- public API ----------------------------------------------------
+    def span(self, name: str, **attrs: Any) -> Span:
+        """Open a span (``with tracer.span("vpr.candidate", ar=1.5):``)."""
+        return Span(self, name, attrs)
+
+    def export(self) -> List[Dict[str, Any]]:
+        """Copy of the finished records (completion order)."""
+        with self._lock:
+            return [dict(r, attrs=dict(r["attrs"])) for r in self._records]
+
+    def merge(
+        self,
+        records: List[Dict[str, Any]],
+        parent_id: Optional[int] = None,
+        extra_attrs: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        """Fold another tracer's exported records into this one.
+
+        Every record gets a fresh id (two workers can both have span 0);
+        internal parent links are remapped, and records whose parent is
+        unknown (a worker's root spans) are re-parented under
+        ``parent_id`` — typically the parent process's span that was
+        active when the worker results were gathered.
+        """
+        if not records:
+            return
+        id_map = {r["id"]: self._alloc_id() for r in records}
+        remapped = []
+        for r in records:
+            attrs = dict(r.get("attrs") or {})
+            if extra_attrs:
+                attrs.update(extra_attrs)
+            remapped.append(
+                {
+                    "id": id_map[r["id"]],
+                    "parent": id_map.get(r.get("parent"), parent_id),
+                    "name": r["name"],
+                    "t0": r["t0"],
+                    "dur": r["dur"],
+                    "attrs": attrs,
+                }
+            )
+        with self._lock:
+            self._records.extend(remapped)
+
+    def reset(self) -> None:
+        """Drop all records (open spans on other threads are orphaned)."""
+        with self._lock:
+            self._records.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._records)
+
+
+def span_tree(records: List[Dict[str, Any]]) -> List[Dict[str, Any]]:
+    """Fold flat records into a forest of ``{**record, children: []}``.
+
+    Children are ordered by start time; records referencing a missing
+    parent (e.g. after a mid-run reset) surface as roots.
+    """
+    nodes = {r["id"]: dict(r, children=[]) for r in records}
+    roots: List[Dict[str, Any]] = []
+    for node in nodes.values():
+        parent = nodes.get(node["parent"])
+        if parent is None:
+            roots.append(node)
+        else:
+            parent["children"].append(node)
+    for node in nodes.values():
+        node["children"].sort(key=lambda n: n["t0"])
+    roots.sort(key=lambda n: n["t0"])
+    return roots
+
+
+def traced(name: str, tracer_getter: Callable[[], Optional[Tracer]], **attrs: Any):
+    """Decorator form: wrap every call of ``fn`` in a span.
+
+    The tracer is looked up per call (not at decoration time), so
+    functions decorated at import keep working when telemetry is
+    enabled later.  Used by :func:`repro.telemetry.traced`.
+    """
+
+    def decorate(fn: Callable) -> Callable:
+        @functools.wraps(fn)
+        def wrapper(*args, **kwargs):
+            tracer = tracer_getter()
+            if tracer is None:
+                return fn(*args, **kwargs)
+            with tracer.span(name, **attrs):
+                return fn(*args, **kwargs)
+
+        return wrapper
+
+    return decorate

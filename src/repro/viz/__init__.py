@@ -9,10 +9,12 @@ from repro.viz.svg import (
     render_clusters_svg,
     render_congestion_svg,
     render_placement_svg,
+    render_series_svg,
 )
 
 __all__ = [
     "render_placement_svg",
     "render_clusters_svg",
     "render_congestion_svg",
+    "render_series_svg",
 ]

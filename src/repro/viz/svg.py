@@ -109,6 +109,72 @@ def render_clusters_svg(
     return text
 
 
+def render_series_svg(
+    steps: Sequence[float],
+    values: Sequence[float],
+    title: str = "",
+    width: int = 480,
+    height: int = 160,
+    color: str = "#4477aa",
+    path: Optional[str] = None,
+) -> str:
+    """Render one metric stream as a compact line chart.
+
+    Used by the telemetry HTML run report for convergence curves
+    (``gp.hpwl`` per iteration, per-candidate V-P&R costs, ...).
+    Degenerate series (single point, constant value) still render.
+    """
+    margin_l, margin_r, margin_t, margin_b = 56.0, 8.0, 20.0, 18.0
+    plot_w = width - margin_l - margin_r
+    plot_h = height - margin_t - margin_b
+    xs = [float(s) for s in steps] or [0.0]
+    ys = [float(v) for v in values] or [0.0]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or max(abs(y_hi), 1.0)
+
+    def sx(x: float) -> float:
+        return margin_l + (x - x_lo) / x_span * plot_w
+
+    def sy(y: float) -> float:
+        return margin_t + (1.0 - (y - y_lo) / y_span) * plot_h
+
+    lines = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" viewBox="0 0 {width} {height}">',
+        f'<rect width="{width}" height="{height}" fill="#fafafa"/>',
+        f'<rect x="{margin_l:.1f}" y="{margin_t:.1f}" width="{plot_w:.1f}" '
+        f'height="{plot_h:.1f}" fill="none" stroke="#bbb"/>',
+    ]
+    if title:
+        lines.append(
+            f'<text x="{margin_l:.1f}" y="{margin_t - 6:.1f}" '
+            f'font-size="11" font-family="sans-serif">{title}</text>'
+        )
+    for label, y in ((f"{y_hi:.4g}", y_hi), (f"{y_lo:.4g}", y_lo)):
+        lines.append(
+            f'<text x="{margin_l - 4:.1f}" y="{sy(y) + 3:.1f}" font-size="9" '
+            f'font-family="sans-serif" text-anchor="end">{label}</text>'
+        )
+    points = " ".join(f"{sx(x):.1f},{sy(y):.1f}" for x, y in zip(xs, ys))
+    if len(xs) > 1:
+        lines.append(
+            f'<polyline points="{points}" fill="none" stroke="{color}" '
+            'stroke-width="1.5"/>'
+        )
+    for x, y in zip(xs, ys):
+        lines.append(
+            f'<circle cx="{sx(x):.1f}" cy="{sy(y):.1f}" r="1.8" fill="{color}"/>'
+        )
+    lines.append("</svg>")
+    text = "\n".join(lines)
+    if path is not None:
+        with open(path, "w") as handle:
+            handle.write(text)
+    return text
+
+
 def render_congestion_svg(
     design: Design,
     grid: GCellGrid,

@@ -1,0 +1,15 @@
+"""Telemetry test isolation: the session is process-global, so every
+test leaves it disabled and empty."""
+
+import pytest
+
+from repro import telemetry
+
+
+@pytest.fixture(autouse=True)
+def clean_telemetry():
+    telemetry.disable()
+    telemetry.reset()
+    yield
+    telemetry.disable()
+    telemetry.reset()

@@ -96,6 +96,79 @@ class TestCommands:
         assert code == 0
 
 
+class TestTelemetryCommands:
+    @pytest.fixture(autouse=True)
+    def _clean(self):
+        yield
+        from repro import perf, telemetry
+
+        perf.disable()
+        perf.reset()
+        telemetry.disable()
+        telemetry.reset()
+
+    def _run_flow(self, out_dir, seed):
+        return main(
+            [
+                "flow",
+                "--benchmark",
+                "aes",
+                "--seed",
+                str(seed),
+                "--telemetry",
+                str(out_dir),
+            ]
+        )
+
+    def test_flow_telemetry_artifacts(self, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "run0"
+        assert self._run_flow(out, seed=0) == 0
+        data = json.loads((out / "run.json").read_text())
+        assert data["schema"] == "repro.telemetry/1"
+        assert "gp.hpwl" in data["metrics"]
+        assert len(data["metrics"]) >= 5
+        assert data["perf"]["schema"] == "repro.perf/1"
+        assert "<svg" in (out / "report.html").read_text()
+        events = [
+            json.loads(line)
+            for line in (out / "events.jsonl").read_text().splitlines()
+        ]
+        assert events[0]["type"] == "run.config"
+        assert any(e["type"] == "flow.done" for e in events)
+
+    def test_report_show_and_diff(self, tmp_path, capsys):
+        a = tmp_path / "a"
+        b = tmp_path / "b"
+        assert self._run_flow(a, seed=0) == 0
+        assert self._run_flow(b, seed=0) == 0
+        capsys.readouterr()
+
+        assert main(["report", "show", str(a / "run.json")]) == 0
+        out = capsys.readouterr().out
+        assert "gp.hpwl" in out and "streams" in out
+
+        # Identical runs: the gate passes.
+        code = main(
+            ["report", "diff", str(a / "run.json"), str(b / "run.json")]
+        )
+        assert code == 0
+        assert "no regressions" in capsys.readouterr().out
+
+        # Doctor the candidate to regress gp.hpwl by 50%.
+        import json
+
+        data = json.loads((b / "run.json").read_text())
+        data["metrics"]["gp.hpwl"]["values"][-1] *= 1.5
+        (b / "run.json").write_text(json.dumps(data))
+        code = main(
+            ["report", "diff", str(a / "run.json"), str(b / "run.json")]
+        )
+        assert code == 1
+        assert "REGRESSED" in capsys.readouterr().out
+
+
 class TestVizCommand:
     def test_viz_writes_svgs(self, tmp_path, capsys):
         code = main(
