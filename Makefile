@@ -1,4 +1,4 @@
-.PHONY: install test bench tables clean lint perf-smoke
+.PHONY: install test bench tables clean lint perf-smoke resume-smoke
 
 install:
 	pip install -e .
@@ -23,6 +23,26 @@ tables:
 perf-smoke:
 	REPRO_PERF_DESIGN=aes REPRO_BENCH_SCALE=0.5 timeout 300 \
 	pytest benchmarks/bench_perf_scaling.py --benchmark-only -q
+
+# Crash-safety smoke: run a checkpointed flow, kill it mid-sweep with
+# an injected abort, resume, and require the resumed QoR to match an
+# uninterrupted baseline byte for byte (docs/recovery.md).
+resume-smoke:
+	rm -rf /tmp/repro-resume-smoke && mkdir -p /tmp/repro-resume-smoke
+	timeout 300 python -m repro flow --benchmark aes --no-routing \
+		--seed 3 --report /tmp/repro-resume-smoke/base.json
+	REPRO_FAULTS='abort:vpr.item.saved:#6' timeout 300 \
+		python -m repro flow --benchmark aes --no-routing --seed 3 \
+		--checkpoint /tmp/repro-resume-smoke/ckpt; \
+		test $$? -eq 123  # the injected abort's exit code
+	timeout 300 python -m repro flow --benchmark aes --no-routing \
+		--seed 3 --checkpoint /tmp/repro-resume-smoke/ckpt --resume \
+		--report /tmp/repro-resume-smoke/resumed.json
+	python -c "import json; \
+		a = json.load(open('/tmp/repro-resume-smoke/base.json')); \
+		b = json.load(open('/tmp/repro-resume-smoke/resumed.json')); \
+		assert a['metrics'] == b['metrics'], (a['metrics'], b['metrics']); \
+		print('resume-smoke: resumed QoR identical to uninterrupted run')"
 
 clean:
 	rm -rf build dist *.egg-info src/*.egg-info .pytest_cache

@@ -49,6 +49,20 @@ def _add_flow_parser(subparsers) -> None:
     )
     p.add_argument("--no-routing", action="store_true", help="stop post-place")
     p.add_argument(
+        "--checkpoint",
+        metavar="DIR",
+        help="checkpoint each completed flow stage (and each V-P&R work "
+        "item) to DIR so an interrupted run can be resumed "
+        "(--flow ours only); see docs/recovery.md",
+    )
+    p.add_argument(
+        "--resume",
+        action="store_true",
+        help="resume from --checkpoint DIR instead of starting fresh; "
+        "the resumed run reproduces the uninterrupted run's QoR bit "
+        "for bit",
+    )
+    p.add_argument(
         "--jobs",
         type=int,
         default=1,
@@ -208,6 +222,12 @@ def _cmd_flow(args) -> int:
         else contextlib.nullcontext()
     )
 
+    checkpoint_dir = getattr(args, "checkpoint", None)
+    if args.resume and not checkpoint_dir:
+        raise SystemExit("--resume requires --checkpoint DIR")
+    if checkpoint_dir and args.flow != "ours":
+        raise SystemExit("--checkpoint is only supported with --flow ours")
+
     design = _load_design(args)
     run_routing = not args.no_routing
     with profile_ctx:
@@ -232,6 +252,8 @@ def _cmd_flow(args) -> int:
                 run_routing=run_routing,
                 jobs=args.jobs,
                 seed=args.seed,
+                checkpoint_dir=checkpoint_dir,
+                resume=args.resume,
             )
             result = ClusteredPlacementFlow(config).run(design)
 

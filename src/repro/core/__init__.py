@@ -45,6 +45,7 @@ from repro.core.vpr import (
     VPRConfig,
     VPRFramework,
     VPRShapeSelector,
+    VPRSweepError,
 )
 from repro.core.seeded import SeededPlacementConfig, seeded_placement
 from repro.core.flow import (
@@ -76,6 +77,7 @@ __all__ = [
     "default_candidate_grid",
     "ShapeSelector",
     "VPRShapeSelector",
+    "VPRSweepError",
     "MLShapeSelector",
     "RandomShapeSelector",
     "UniformShapeSelector",

@@ -34,6 +34,8 @@ from repro.core.ppa_clustering import (
 from repro.core.seeded import (
     IO_NET_WEIGHT,
     SeededPlacementConfig,
+    capture_placement_state,
+    restore_placement_state,
     seeded_placement,
 )
 from repro.core.vpr import (
@@ -45,6 +47,8 @@ from repro.core.vpr import (
     VPRShapeSelector,
 )
 from repro.db.database import DesignDatabase
+from repro.recovery import SCHEMA as RECOVERY_SCHEMA
+from repro.recovery import CheckpointStore, faults
 from repro.netlist.design import Design
 from repro.place.placer import GlobalPlacer, PlacerConfig
 from repro.place.problem import PlacementProblem
@@ -99,6 +103,16 @@ class FlowConfig:
             unless that was set explicitly; serial and parallel runs
             produce identical results.
         seed: Seed forwarded to clusterers / placers.
+        checkpoint_dir: When set, the flow checkpoints each completed
+            stage (and each V-P&R work item) to this directory so an
+            interrupted run can restart from the last completed unit of
+            work.  None (the default) disables checkpointing entirely —
+            no extra work on the hot path.
+        resume: Resume from ``checkpoint_dir`` instead of starting
+            fresh.  A resumed run reproduces the uninterrupted run's
+            chosen shapes and QoR bit for bit (per-stage RNG snapshots
+            are restored); resuming with a different configuration is
+            refused.  See ``docs/recovery.md``.
     """
 
     tool: str = "openroad"
@@ -115,10 +129,14 @@ class FlowConfig:
     artifacts_dir: Optional[str] = None
     jobs: int = 1
     seed: int = 0
+    checkpoint_dir: Optional[str] = None
+    resume: bool = False
 
     def __post_init__(self) -> None:
         if self.jobs != 1 and self.vpr_config.jobs == 1:
             self.vpr_config.jobs = self.jobs
+        if self.resume and not self.checkpoint_dir:
+            raise ValueError("FlowConfig.resume requires checkpoint_dir")
 
 
 @dataclass
@@ -248,11 +266,79 @@ class ClusteredPlacementFlow:
             runtimes={"clustering": time.perf_counter() - t0},
         )
 
+    # -- checkpointing -----------------------------------------------------
+    def _checkpoint_fingerprint(self, design: Design) -> Dict[str, object]:
+        """What must match for a checkpoint to be resumable: the design
+        and every knob that influences the checkpointed stages."""
+        config = self.config
+        vpr = config.vpr_config
+        selector = config.shape_selector
+        return {
+            "schema": RECOVERY_SCHEMA,
+            "design": design.name,
+            "instances": design.num_instances,
+            "nets": design.num_nets,
+            "seed": config.seed,
+            "tool": config.tool,
+            "clustering": config.clustering,
+            "selector": selector.name if selector is not None else "vpr",
+            "run_routing": config.run_routing,
+            "power_emphasis": config.power_emphasis,
+            "delta": vpr.delta,
+            "top_x_percent": vpr.top_x_percent,
+            "min_cluster_instances": vpr.min_cluster_instances,
+            "max_vpr_clusters": vpr.max_vpr_clusters,
+            "placer_iterations": vpr.placer_iterations,
+            "candidates": [
+                [c.aspect_ratio, c.utilization] for c in vpr.candidates
+            ],
+        }
+
+    def _open_checkpoint(self, design: Design) -> Optional[CheckpointStore]:
+        config = self.config
+        if not config.checkpoint_dir:
+            return None
+        store = CheckpointStore(config.checkpoint_dir)
+        fingerprint = self._checkpoint_fingerprint(design)
+        if config.resume:
+            store.open_resume(fingerprint)
+        else:
+            store.initialize(fingerprint)
+        return store
+
+    def _stage(self, store, name: str, compute):
+        """Run one checkpointable stage, or serve it from the store.
+
+        Returns ``(payload, resumed)``.  A fresh run snapshots the
+        global RNG state at the stage boundary; a resumed run restores
+        the interrupted run's snapshot, so the RNG stream downstream of
+        skipped stages is bit-identical to an uninterrupted run.
+        """
+        if store is not None and store.has_stage(name):
+            payload = store.load_stage(name)
+            perf.count("recovery.stage.reused")
+            telemetry.event("checkpoint.resumed", stage=name)
+            return payload, True
+        if store is not None and not store.restore_rng(name):
+            store.capture_rng(name)
+        faults.check("flow." + name)
+        payload = compute()
+        if store is not None:
+            store.save_stage(name, payload)
+            telemetry.event("checkpoint.saved", stage=name)
+        return payload, False
+
     # -- the flow ----------------------------------------------------------
     def run(self, design: Design) -> FlowResult:
-        """Run Algorithm 1 on a design; placement is committed to it."""
+        """Run Algorithm 1 on a design; placement is committed to it.
+
+        With ``config.checkpoint_dir`` set, each completed stage is
+        persisted; with ``config.resume`` the run restarts from the
+        last completed unit of work and produces bit-identical QoR.
+        """
         config = self.config
         db = DesignDatabase(design)
+        store = self._open_checkpoint(design)
         runtimes: Dict[str, float] = {}
         telemetry.event(
             "flow.start",
@@ -263,10 +349,13 @@ class ClusteredPlacementFlow:
         )
 
         # Lines 2-10: PPA-aware clustering.
-        with perf.stage("flow/clustering"), telemetry.span(
-            "flow.clustering", method=config.clustering
-        ):
-            clustering = self._run_clustering(db)
+        def _compute_clustering() -> ClusteringResult:
+            with perf.stage("flow/clustering"), telemetry.span(
+                "flow.clustering", method=config.clustering
+            ):
+                return self._run_clustering(db)
+
+        clustering, _ = self._stage(store, "clustering", _compute_clustering)
         runtimes.update(clustering.runtimes)
         members = clustering.members()
         telemetry.event(
@@ -279,36 +368,19 @@ class ClusteredPlacementFlow:
 
         # Lines 12-13: V-P&R shapes for clusters > 200 instances.
         selector = config.shape_selector or VPRShapeSelector(config.vpr_config)
-        t0 = time.perf_counter()
-        with perf.stage("flow/vpr"), telemetry.span(
-            "flow.vpr", selector=selector.name
-        ):
-            selection = selector.select(design, members)
-        runtimes["vpr"] = time.perf_counter() - t0
+        framework = getattr(selector, "framework", None)
+        if store is not None and framework is not None:
+            framework.checkpoint = store
 
-        # Line 10/13: clustered netlist with the chosen shapes.
-        io_weight = IO_NET_WEIGHT if config.tool == "openroad" else 1.0
-        multipliers = None
-        if config.timing_weighted_cluster_nets and clustering.edge_scores is not None:
-            multipliers = _criticality_multipliers(
-                db, clustering.edge_scores, config.max_cluster_net_weight
-            )
-        if config.power_emphasis > 0:
-            power_mult = _power_multipliers(design, config.power_emphasis)
-            if multipliers is None:
-                multipliers = power_mult
-            else:
-                for net_index, value in power_mult.items():
-                    multipliers[net_index] = (
-                        multipliers.get(net_index, 1.0) * value
-                    )
-        clustered = build_clustered_netlist(
-            design,
-            clustering.cluster_of,
-            shapes=selection.shapes,
-            io_net_weight=io_weight,
-            net_weight_multipliers=multipliers,
-        )
+        def _compute_selection() -> VPRSelection:
+            with perf.stage("flow/vpr"), telemetry.span(
+                "flow.vpr", selector=selector.name
+            ):
+                return selector.select(design, members)
+
+        t0 = time.perf_counter()
+        selection, _ = self._stage(store, "vpr", _compute_selection)
+        runtimes["vpr"] = time.perf_counter() - t0
 
         # Lines 15-25: seeded placement.  The flat refinement also
         # sees the criticality weights (standing in for the tools'
@@ -316,38 +388,84 @@ class ClusteredPlacementFlow:
         # stages see clean weights).  Region constraints (Innovus mode)
         # cover the V-P&R-eligible clusters regardless of which shape
         # selector ran, so ablation arms differ only in the shapes.
+        # A resumed run whose seeded stage completed restores the
+        # committed coordinates instead of rebuilding the clustered
+        # netlist and re-placing.
+        seeded_cached = store is not None and store.has_stage("seeded")
+        clustered = None
+        if not seeded_cached:
+            # Line 10/13: clustered netlist with the chosen shapes.
+            io_weight = IO_NET_WEIGHT if config.tool == "openroad" else 1.0
+            multipliers = None
+            if (
+                config.timing_weighted_cluster_nets
+                and clustering.edge_scores is not None
+            ):
+                multipliers = _criticality_multipliers(
+                    db, clustering.edge_scores, config.max_cluster_net_weight
+                )
+            if config.power_emphasis > 0:
+                power_mult = _power_multipliers(design, config.power_emphasis)
+                if multipliers is None:
+                    multipliers = power_mult
+                else:
+                    for net_index, value in power_mult.items():
+                        multipliers[net_index] = (
+                            multipliers.get(net_index, 1.0) * value
+                        )
+            clustered = build_clustered_netlist(
+                design,
+                clustering.cluster_of,
+                shapes=selection.shapes,
+                io_net_weight=io_weight,
+                net_weight_multipliers=multipliers,
+            )
+
         vpr_ids = VPRFramework(config.vpr_config).eligible_clusters(members)
         cap = config.vpr_config.max_vpr_clusters
         if cap is not None:
             vpr_ids = vpr_ids[:cap]
-        seeded_config = SeededPlacementConfig(tool=config.tool)
-        saved_weights = None
-        if multipliers:
-            saved_weights = [net.weight for net in design.nets]
-            for net in design.nets:
-                net.weight *= multipliers.get(net.index, 1.0)
-        try:
-            with perf.stage("flow/seeded_placement"), telemetry.span(
-                "flow.seeded_placement", tool=config.tool
-            ):
-                seeded_result = seeded_placement(
-                    clustered, seeded_config, vpr_cluster_ids=vpr_ids
-                )
-        finally:
-            if saved_weights is not None:
-                for net, w in zip(design.nets, saved_weights):
-                    net.weight = w
-        runtimes.update(seeded_result.runtimes)
+
+        def _compute_seeded() -> Dict[str, object]:
+            seeded_config = SeededPlacementConfig(tool=config.tool)
+            saved_weights = None
+            if multipliers:
+                saved_weights = [net.weight for net in design.nets]
+                for net in design.nets:
+                    net.weight *= multipliers.get(net.index, 1.0)
+            try:
+                with perf.stage("flow/seeded_placement"), telemetry.span(
+                    "flow.seeded_placement", tool=config.tool
+                ):
+                    seeded_result = seeded_placement(
+                        clustered, seeded_config, vpr_cluster_ids=vpr_ids
+                    )
+            finally:
+                if saved_weights is not None:
+                    for net, w in zip(design.nets, saved_weights):
+                        net.weight = w
+            return capture_placement_state(design, seeded_result)
+
+        seeded_state, seeded_resumed = self._stage(
+            store, "seeded", _compute_seeded
+        )
+        if seeded_resumed:
+            restore_placement_state(design, seeded_state)
+        runtimes.update(seeded_state["runtimes"])
 
         # Line 13 artefacts: cluster .lef + seed/final .def on request.
-        if config.artifacts_dir is not None:
+        # Written by the run that actually executed the seeded stage
+        # (a resume past it no longer holds the placed cluster netlist).
+        if config.artifacts_dir is not None and not seeded_resumed:
             _write_artifacts(config.artifacts_dir, design, clustered)
 
         # Lines 27-30: evaluation.
-        if config.run_routing:
-            metrics = evaluate_placed_design(design, runtimes)
-        else:
-            metrics = _post_place_metrics(design, runtimes)
+        def _compute_metrics() -> PPAMetrics:
+            if config.run_routing:
+                return evaluate_placed_design(design, runtimes)
+            return _post_place_metrics(design, runtimes)
+
+        metrics, _ = self._stage(store, "metrics", _compute_metrics)
         telemetry.event(
             "flow.done",
             design=design.name,

@@ -19,10 +19,13 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence
+
+import numpy as np
 
 from repro import telemetry
 from repro.core.clustered_netlist import ClusteredNetlist
+from repro.netlist.design import Design
 from repro.place.placer import GlobalPlacer, PlacerConfig, PlacementResult
 from repro.place.problem import PlacementProblem
 from repro.place.regions import RegionConstraint
@@ -73,6 +76,38 @@ class SeededPlacementResult:
     cluster_result: PlacementResult
     incremental_result: PlacementResult
     runtimes: Dict[str, float] = field(default_factory=dict)
+
+
+def capture_placement_state(
+    design: Design, result: SeededPlacementResult
+) -> Dict[str, Any]:
+    """Snapshot the committed seeded placement for checkpointing.
+
+    The state is everything the rest of the flow consumes from this
+    stage: the flat instance coordinates plus the result summary.
+    Restoring it on a resumed run reproduces the placement bit for bit
+    without re-running either placer (``docs/recovery.md``).
+    """
+    return {
+        "x": np.array([inst.x for inst in design.instances], dtype=np.float64),
+        "y": np.array([inst.y for inst in design.instances], dtype=np.float64),
+        "hpwl": result.hpwl,
+        "runtimes": dict(result.runtimes),
+    }
+
+
+def restore_placement_state(design: Design, state: Dict[str, Any]) -> None:
+    """Commit a checkpointed seeded placement back onto the design."""
+    xs, ys = state["x"], state["y"]
+    if len(xs) != design.num_instances:
+        raise ValueError(
+            f"checkpointed placement has {len(xs)} instances but the design "
+            f"has {design.num_instances}; the netlist changed since the "
+            "checkpoint was written"
+        )
+    for inst, x, y in zip(design.instances, xs, ys):
+        inst.x = float(x)
+        inst.y = float(y)
 
 
 def _cluster_regions(

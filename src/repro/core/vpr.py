@@ -36,16 +36,36 @@ Performance engine (this module is the flow's runtime bottleneck):
   re-initialises from its seed each run).
 * The :mod:`repro.perf` stage timers wrap every phase, so a perf
   report shows extract/place/route/score splits.
+
+Fault tolerance (see ``docs/recovery.md``):
+
+* A crashed or failing work item is retried parent-side with a bounded
+  budget (``retry_limit``, exponential backoff); an item that still
+  fails is *terminal* — either the sweep raises
+  :class:`VPRSweepError` (``on_terminal_failure="raise"``, the
+  default) or the candidate is marked explicitly invalid and excluded
+  from selection (``"exclude"``).  NaN costs never reach the argmin:
+  :meth:`VPRFramework._best_of` selects over valid candidates only and
+  raises when none remain.
+* ``item_timeout`` bounds each work item in a pool worker (SIGALRM),
+  so one hung virtual-die P&R cannot stall the sweep.
+* With a :class:`~repro.recovery.CheckpointStore` attached, each
+  (cluster, candidate) evaluation is persisted the moment it
+  completes, and already-checkpointed items are served from disk — the
+  unit of resume after a mid-sweep crash.
 """
 
 from __future__ import annotations
 
+import math
 import multiprocessing
 import random
+import signal
 import time
 import warnings
 from collections import OrderedDict
 from concurrent.futures import ProcessPoolExecutor, as_completed
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -53,6 +73,8 @@ import numpy as np
 
 from repro import perf, telemetry
 from repro.core.shapes import ShapeCandidate, default_candidate_grid, uniform_shape
+from repro.recovery import faults
+from repro.recovery.checkpoint import CheckpointError, CheckpointStore
 from repro.netlist.design import Design, Floorplan, PinDirection
 from repro.place.placer import GlobalPlacer, PlacerConfig
 from repro.place.problem import PlacementProblem
@@ -86,6 +108,20 @@ class VPRConfig:
             items over N workers.  Serial and parallel runs select
             identical shapes with identical costs.
         seed: RNG seed (randomised selector arms).
+        item_timeout: Wall-clock bound (seconds) on one (cluster,
+            candidate) evaluation inside a pool worker; an item that
+            exceeds it fails and follows the retry policy.  None (the
+            default) disables the bound.
+        retry_limit: Parent-side re-evaluation attempts for a work
+            item whose worker crashed or errored (beyond the first
+            attempt).
+        retry_backoff: Base delay (seconds) between parent-side retry
+            attempts; attempt *i* waits ``retry_backoff * 2**(i-1)``.
+        on_terminal_failure: What to do with an item that exhausts its
+            retry budget: ``"raise"`` (default) aborts the sweep with
+            :class:`VPRSweepError`; ``"exclude"`` marks the candidate
+            invalid so selection skips it explicitly (selection still
+            raises if *every* candidate of a cluster is invalid).
     """
 
     delta: float = 0.01
@@ -98,15 +134,46 @@ class VPRConfig:
     die_margin: float = 1.0
     jobs: int = 1
     seed: int = 0
+    item_timeout: Optional[float] = None
+    retry_limit: int = 1
+    retry_backoff: float = 0.05
+    on_terminal_failure: str = "raise"
+
+    def __post_init__(self) -> None:
+        if self.on_terminal_failure not in ("raise", "exclude"):
+            raise ValueError(
+                f"on_terminal_failure must be 'raise' or 'exclude', "
+                f"got {self.on_terminal_failure!r}"
+            )
+
+
+class VPRSweepError(RuntimeError):
+    """A V-P&R work item (or a whole cluster's sweep) failed terminally."""
 
 
 @dataclass
 class CandidateEvaluation:
-    """Costs of one shape candidate on one cluster."""
+    """Costs of one shape candidate on one cluster.
+
+    ``error`` is None for a successful evaluation; a terminally failed
+    item carries the repr of its last exception and non-finite costs.
+    Selection never compares such a candidate — see
+    :meth:`VPRFramework._best_of`.
+    """
 
     candidate: ShapeCandidate
     hpwl_cost: float
     congestion_cost: float
+    error: Optional[str] = None
+
+    @property
+    def is_valid(self) -> bool:
+        """Whether this evaluation may participate in shape selection."""
+        return (
+            self.error is None
+            and math.isfinite(self.hpwl_cost)
+            and math.isfinite(self.congestion_cost)
+        )
 
     @property
     def total_cost(self) -> float:
@@ -340,8 +407,15 @@ class VPRFramework:
     _INDUCE_CACHE_MAX = 64
     _CONTEXT_CACHE_MAX = 16
 
-    def __init__(self, config: Optional[VPRConfig] = None) -> None:
+    def __init__(
+        self,
+        config: Optional[VPRConfig] = None,
+        checkpoint: Optional[CheckpointStore] = None,
+    ) -> None:
         self.config = config or VPRConfig()
+        #: Optional checkpoint store; when set, every completed
+        #: (cluster, candidate) evaluation is persisted and reused.
+        self.checkpoint = checkpoint
         self._induce_cache: "OrderedDict[tuple, Tuple[Design, float]]" = OrderedDict()
         self._contexts: "OrderedDict[int, _SubContext]" = OrderedDict()
 
@@ -440,13 +514,36 @@ class VPRFramework:
             congestion_cost=congestion_cost,
         )
 
-    def _best_of(self, evaluations: List[CandidateEvaluation]) -> CandidateEvaluation:
-        """Lowest Total Cost via one vectorized argmin (first wins on
-        ties, matching ``min()``)."""
-        totals = np.asarray([e.hpwl_cost for e in evaluations]) + (
-            self.config.delta
-            * np.asarray([e.congestion_cost for e in evaluations])
-        )
+    def _best_of(
+        self,
+        evaluations: List[CandidateEvaluation],
+        cluster_id: Optional[int] = None,
+    ) -> CandidateEvaluation:
+        """Lowest Total Cost among *valid* candidates via one vectorized
+        argmin (first wins on ties, matching ``min()``).
+
+        Invalid candidates (terminal failures, non-finite costs) are
+        excluded from the comparison — a NaN cost would lose every
+        ``<`` and silently vanish from selection.  Raises
+        :class:`VPRSweepError` when no valid candidate remains.
+        """
+        delta = self.config.delta
+        totals = np.full(len(evaluations), np.inf)
+        for i, evaluation in enumerate(evaluations):
+            if evaluation.is_valid:
+                total = evaluation.total(delta)
+                if math.isfinite(total):
+                    totals[i] = total
+        if not np.isfinite(totals).any():
+            details = "; ".join(
+                f"{e.candidate}: {e.error or 'non-finite cost'}"
+                for e in evaluations
+            )
+            where = f"cluster {cluster_id}" if cluster_id is not None else "cluster"
+            raise VPRSweepError(
+                f"{where}: all {len(evaluations)} shape candidates failed "
+                f"terminally; no valid V-P&R cost to select from ({details})"
+            )
         return evaluations[int(np.argmin(totals))]
 
     def _record_sweep(self, sweep: VPRSweepResult) -> None:
@@ -454,15 +551,136 @@ class VPRFramework:
 
         Always recorded parent-side, in candidate order, so serial and
         parallel sweeps produce byte-identical streams regardless of
-        worker scheduling.
+        worker scheduling.  Invalid candidates are not observed (their
+        failure already produced a ``vpr.item.failed`` event).
         """
         if not telemetry.is_enabled():
             return
         delta = self.config.delta
         for evaluation in sweep.evaluations:
+            if not evaluation.is_valid:
+                continue
             telemetry.observe("vpr.total_cost", evaluation.total(delta))
             telemetry.observe("vpr.hpwl_cost", evaluation.hpwl_cost)
             telemetry.observe("vpr.congestion_cost", evaluation.congestion_cost)
+
+    # -- fault tolerance / checkpointing -------------------------------
+    def _checkpoint_lookup(
+        self, cluster_id: int, candidate_index: int
+    ) -> Optional[Tuple[CandidateEvaluation, float]]:
+        """A checkpointed (evaluation, seconds) for this item, or None."""
+        store = self.checkpoint
+        if store is None:
+            return None
+        record = store.load_vpr_item(cluster_id, candidate_index)
+        if record is None:
+            return None
+        candidate = self.config.candidates[candidate_index]
+        if (
+            record.get("ar") != candidate.aspect_ratio
+            or record.get("util") != candidate.utilization
+        ):
+            raise CheckpointError(
+                f"checkpoint item for cluster {cluster_id} candidate "
+                f"{candidate_index} was written for shape "
+                f"AR={record.get('ar')}/U={record.get('util')} but this run's "
+                f"grid has {candidate}; the candidate grid changed — start a "
+                "fresh checkpoint"
+            )
+        perf.count("recovery.item.reused")
+        evaluation = CandidateEvaluation(
+            candidate=candidate,
+            hpwl_cost=float(record["hpwl_cost"]),
+            congestion_cost=float(record["congestion_cost"]),
+        )
+        return evaluation, float(record.get("seconds", 0.0))
+
+    def _checkpoint_save(
+        self,
+        cluster_id: int,
+        candidate_index: int,
+        evaluation: CandidateEvaluation,
+        seconds: float,
+    ) -> None:
+        """Persist one finished item (valid evaluations only)."""
+        store = self.checkpoint
+        if store is None or not evaluation.is_valid:
+            return
+        candidate = evaluation.candidate
+        store.save_vpr_item(
+            cluster_id,
+            candidate_index,
+            {
+                "ar": candidate.aspect_ratio,
+                "util": candidate.utilization,
+                "hpwl_cost": evaluation.hpwl_cost,
+                "congestion_cost": evaluation.congestion_cost,
+                "seconds": seconds,
+            },
+        )
+        perf.count("recovery.item.saved")
+        # Resume tests abort the whole process here (the instant after
+        # a unit of work was durably recorded).
+        faults.check("vpr.item.saved", key=f"{cluster_id}/{candidate_index}")
+
+    def _evaluate_item_guarded(
+        self, sub: Design, cell_area: float, cluster_id: int, candidate_index: int
+    ) -> Tuple[CandidateEvaluation, float]:
+        """Evaluate one item with the bounded retry/backoff policy.
+
+        Returns ``(evaluation, seconds)``.  On terminal failure either
+        raises :class:`VPRSweepError` (policy ``"raise"``) or returns
+        an explicitly invalid evaluation (policy ``"exclude"``).
+        """
+        config = self.config
+        candidate = config.candidates[candidate_index]
+        attempts = max(0, int(config.retry_limit)) + 1
+        last_error: Optional[BaseException] = None
+        start = time.perf_counter()
+        for attempt in range(attempts):
+            if attempt:
+                delay = config.retry_backoff * (2 ** (attempt - 1))
+                if delay > 0:
+                    time.sleep(delay)
+                perf.count("vpr.item.retry")
+                telemetry.event(
+                    "vpr.item.retry",
+                    cluster=cluster_id,
+                    candidate=candidate_index,
+                    attempt=attempt,
+                )
+            try:
+                faults.check("vpr.item", key=f"{cluster_id}/{candidate_index}")
+                evaluation = self.evaluate_candidate(
+                    sub, cell_area, candidate, cluster_id=cluster_id
+                )
+                return evaluation, time.perf_counter() - start
+            except Exception as exc:
+                last_error = exc
+        seconds = time.perf_counter() - start
+        perf.count("vpr.item.terminal")
+        telemetry.event(
+            "vpr.item.failed",
+            cluster=cluster_id,
+            candidate=candidate_index,
+            attempts=attempts,
+            error=repr(last_error),
+        )
+        if config.on_terminal_failure == "raise":
+            raise VPRSweepError(
+                f"V-P&R evaluation of cluster {cluster_id}, candidate "
+                f"{candidate_index} ({candidate}) failed after {attempts} "
+                f"attempt(s): {last_error!r}"
+            ) from last_error
+        return (
+            CandidateEvaluation(
+                candidate=candidate,
+                hpwl_cost=float("nan"),
+                congestion_cost=float("nan"),
+                error=repr(last_error),
+            ),
+            seconds,
+        )
 
     def sweep_cluster(
         self, source: Design, member_indices: Sequence[int], cluster_id: int = 0
@@ -473,13 +691,18 @@ class VPRFramework:
             "vpr.sweep", cluster=cluster_id
         ):
             sub, cell_area = self.induce(source, member_indices)
-            evaluations = [
-                self.evaluate_candidate(
-                    sub, cell_area, candidate, cluster_id=cluster_id
+            evaluations: List[CandidateEvaluation] = []
+            for k in range(len(self.config.candidates)):
+                cached = self._checkpoint_lookup(cluster_id, k)
+                if cached is not None:
+                    evaluations.append(cached[0])
+                    continue
+                evaluation, seconds = self._evaluate_item_guarded(
+                    sub, cell_area, cluster_id, k
                 )
-                for candidate in self.config.candidates
-            ]
-        best = self._best_of(evaluations)
+                self._checkpoint_save(cluster_id, k, evaluation, seconds)
+                evaluations.append(evaluation)
+        best = self._best_of(evaluations, cluster_id=cluster_id)
         sweep = VPRSweepResult(
             cluster_id=cluster_id,
             evaluations=evaluations,
@@ -533,6 +756,24 @@ class VPRFramework:
         slots: Dict[int, List[Optional[_WorkerResult]]] = {
             c: [None] * n_cand for c in cluster_ids
         }
+        # Serve checkpointed items from disk; only the rest hit the pool.
+        pending: List[Tuple[int, int]] = []
+        for c in cluster_ids:
+            for k in range(n_cand):
+                cached = self._checkpoint_lookup(c, k)
+                if cached is not None:
+                    evaluation, seconds = cached
+                    slots[c][k] = (
+                        evaluation.hpwl_cost,
+                        evaluation.congestion_cost,
+                        seconds,
+                        None,
+                        None,
+                        None,
+                    )
+                else:
+                    pending.append((c, k))
+
         # Workers inherit the state via fork: sub-netlists are shared
         # copy-on-write rather than pickled per work item.
         _WORKER_STATE = {
@@ -546,31 +787,43 @@ class VPRFramework:
             "vpr.parallel_sweep", jobs=jobs, items=len(cluster_ids) * n_cand
         ):
             try:
-                with ProcessPoolExecutor(
-                    max_workers=jobs, mp_context=context
-                ) as pool:
-                    futures = {
-                        pool.submit(_candidate_worker, c, k): (c, k)
-                        for c in cluster_ids
-                        for k in range(n_cand)
-                    }
-                    for future in as_completed(futures):
-                        c, k = futures[future]
+                if pending:
+                    with ProcessPoolExecutor(
+                        max_workers=jobs, mp_context=context
+                    ) as pool:
+                        futures = {
+                            pool.submit(_candidate_worker, c, k): (c, k)
+                            for c, k in pending
+                        }
                         try:
-                            slots[c][k] = future.result()
-                        except OSError:
-                            raise  # pool infrastructure failure
-                        except Exception as exc:
-                            # The worker process died mid-item (e.g.
-                            # OOM-killed): no payload came back at all.
-                            slots[c][k] = (
-                                float("nan"),
-                                float("nan"),
-                                0.0,
-                                None,
-                                None,
-                                repr(exc),
-                            )
+                            for future in as_completed(futures):
+                                c, k = futures[future]
+                                faults.check("vpr.collect", key=f"{c}/{k}")
+                                try:
+                                    slots[c][k] = future.result()
+                                except OSError:
+                                    raise  # pool infrastructure failure
+                                except Exception as exc:
+                                    # The worker process died mid-item
+                                    # (e.g. OOM-killed): no payload came
+                                    # back at all.
+                                    slots[c][k] = (
+                                        float("nan"),
+                                        float("nan"),
+                                        0.0,
+                                        None,
+                                        None,
+                                        repr(exc),
+                                    )
+                        except BaseException:
+                            # Escaping the executor context with sibling
+                            # futures still queued would run them anyway
+                            # during shutdown's drain; cancel everything
+                            # not yet started before propagating.
+                            for future in futures:
+                                future.cancel()
+                            pool.shutdown(wait=False, cancel_futures=True)
+                            raise
             finally:
                 _WORKER_STATE = None
 
@@ -578,34 +831,46 @@ class VPRFramework:
             # a crashed item still contributes the partial counters and
             # spans it recorded up to the failure point.
             failed: List[Tuple[int, int]] = []
-            for c in cluster_ids:
-                for k, slot in enumerate(slots[c]):
-                    _h, _g, _s, counters, payload, error = slot
-                    perf.merge_counters(counters)
-                    telemetry.merge_worker(payload)
-                    if error is not None:
-                        perf.count("vpr.worker.error")
-                        telemetry.event(
-                            "worker.error", cluster=c, candidate=k, error=error
-                        )
-                        failed.append((c, k))
+            for c, k in pending:
+                _h, _g, seconds, counters, payload, error = slots[c][k]
+                perf.merge_counters(counters)
+                telemetry.merge_worker(payload)
+                if error is not None:
+                    perf.count("vpr.worker.error")
+                    telemetry.event(
+                        "worker.error", cluster=c, candidate=k, error=error
+                    )
+                    failed.append((c, k))
+                else:
+                    self._checkpoint_save(
+                        c,
+                        k,
+                        CandidateEvaluation(
+                            candidate=config.candidates[k],
+                            hpwl_cost=_h,
+                            congestion_cost=_g,
+                        ),
+                        seconds,
+                    )
 
-            # Re-evaluate crashed items serially in the parent, so a
-            # transient worker death does not corrupt shape selection.
-            # A deterministic failure re-raises here, visibly.
+            # Re-evaluate crashed items serially in the parent with the
+            # bounded retry budget, so a transient worker death does not
+            # corrupt shape selection.  A terminal failure follows
+            # ``on_terminal_failure``: raise visibly, or mark the
+            # candidate invalid and let selection exclude it.
             for c, k in failed:
                 sub, cell_area = clusters[c]
-                start = time.perf_counter()
-                evaluation = self.evaluate_candidate(
-                    sub, cell_area, config.candidates[k], cluster_id=c
+                evaluation, seconds = self._evaluate_item_guarded(
+                    sub, cell_area, c, k
                 )
+                self._checkpoint_save(c, k, evaluation, seconds)
                 slots[c][k] = (
                     evaluation.hpwl_cost,
                     evaluation.congestion_cost,
-                    time.perf_counter() - start,
+                    seconds,
                     None,
                     None,
-                    None,
+                    evaluation.error,
                 )
 
         sweeps: List[VPRSweepResult] = []
@@ -619,10 +884,11 @@ class VPRFramework:
                         candidate=config.candidates[k],
                         hpwl_cost=hpwl_cost,
                         congestion_cost=congestion_cost,
+                        error=slot[5],
                     )
                 )
                 runtime += seconds
-            best = self._best_of(evaluations)
+            best = self._best_of(evaluations, cluster_id=c)
             sweep = VPRSweepResult(
                 cluster_id=c,
                 evaluations=evaluations,
@@ -667,9 +933,31 @@ def _fork_available() -> bool:
     return "fork" in multiprocessing.get_all_start_methods()
 
 
+@contextmanager
+def _item_alarm(timeout: Optional[float]):
+    """Bound a work item's wall-clock via SIGALRM (pool workers only;
+    fork workers run their items on the main thread, where signal
+    delivery is guaranteed)."""
+    if not timeout or timeout <= 0:
+        yield
+        return
+
+    def _on_alarm(signum, frame):
+        raise TimeoutError(f"V-P&R item exceeded item_timeout={timeout:g}s")
+
+    previous = signal.signal(signal.SIGALRM, _on_alarm)
+    signal.setitimer(signal.ITIMER_REAL, timeout)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
+
+
 def _worker_init() -> VPRFramework:
     """First-use setup of a forked worker's process-global state."""
     state = _WORKER_STATE
+    faults.mark_worker()
     if state["perf_enabled"]:
         # Drop stats inherited from the parent snapshot; from here
         # on this registry records only this worker's activity.
@@ -705,9 +993,13 @@ def _candidate_worker(cluster_id: int, candidate_index: int) -> _WorkerResult:
     hpwl_cost = congestion_cost = float("nan")
     error: Optional[str] = None
     try:
-        evaluation = framework.evaluate_candidate(
-            sub, cell_area, candidate, cluster_id=cluster_id
-        )
+        with _item_alarm(state["config"].item_timeout):
+            faults.check(
+                "vpr.item", key=f"{cluster_id}/{candidate_index}"
+            )
+            evaluation = framework.evaluate_candidate(
+                sub, cell_area, candidate, cluster_id=cluster_id
+            )
         hpwl_cost = evaluation.hpwl_cost
         congestion_cost = evaluation.congestion_cost
     except Exception as exc:
@@ -779,8 +1071,12 @@ class VPRShapeSelector(ShapeSelector):
 
     name = "vpr"
 
-    def __init__(self, config: Optional[VPRConfig] = None) -> None:
-        self.framework = VPRFramework(config)
+    def __init__(
+        self,
+        config: Optional[VPRConfig] = None,
+        checkpoint: Optional[CheckpointStore] = None,
+    ) -> None:
+        self.framework = VPRFramework(config, checkpoint=checkpoint)
 
     def select(
         self, source: Design, members: Sequence[Sequence[int]]
@@ -802,8 +1098,8 @@ class VPRShapeSelector(ShapeSelector):
         delta = self.framework.config.delta
         for sweep in sweeps:
             shapes[sweep.cluster_id] = sweep.best
-            best_eval = min(
-                sweep.evaluations, key=lambda e: e.total(delta)
+            best_eval = self.framework._best_of(
+                sweep.evaluations, cluster_id=sweep.cluster_id
             )
             telemetry.event(
                 "vpr.shape_selected",

@@ -5,8 +5,17 @@ density spreading, net weighting, region constraints, incremental mode
 and greedy row legalization — the knobs Algorithm 1's seeded placement
 needs (seed starts, ``-incremental`` runs, IO-net weight scaling,
 Innovus-style region constraints).
+
+The ``hpwl`` *function* shadows the ``repro.place.hpwl`` *submodule*
+on attribute access (``repro.place.hpwl`` is the function once this
+package is imported).  ``from repro.place.hpwl import ...`` still works
+— import-from consults ``sys.modules`` before attributes — and the
+submodule stays importable under the stable :data:`hpwl_module` alias.
 """
 
+# Bind the submodule under an unshadowed name BEFORE the function
+# import below rebinds the ``hpwl`` attribute to the function.
+from repro.place import hpwl as hpwl_module
 from repro.place.hpwl import hpwl, net_hpwl
 from repro.place.problem import PlacementProblem
 from repro.place.placer import GlobalPlacer, PlacerConfig, PlacementResult
@@ -21,6 +30,7 @@ from repro.place.routability import (
 
 __all__ = [
     "hpwl",
+    "hpwl_module",
     "net_hpwl",
     "PlacementProblem",
     "GlobalPlacer",

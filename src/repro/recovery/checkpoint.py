@@ -1,0 +1,313 @@
+"""Versioned, atomic stage checkpoints for the placement flow.
+
+A :class:`CheckpointStore` owns one checkpoint directory and persists
+the flow's units of work as they complete:
+
+* **stage records** — the clustering result, the chosen shapes, the
+  seeded-placement state and the final metrics, one pickle per stage,
+  with a SHA-256 recorded in the manifest and verified on load;
+* **V-P&R items** — one small JSON file per (cluster, candidate)
+  evaluation, written the moment the item finishes, so an interrupted
+  sweep resumes from the last completed item rather than the last
+  completed stage;
+* **RNG snapshots** — the global ``random`` / ``numpy.random`` states
+  captured at each stage boundary, restored on resume so a resumed run
+  replays the exact RNG stream of an uninterrupted one.
+
+Every write is atomic: the payload goes to a temporary file in the
+same directory, is fsynced, and is renamed over the final name (the
+directory is fsynced too).  A crash at any instant therefore leaves
+either the previous version or the new one — never a torn file.
+Externally corrupted files are detected (checksum / JSON parse) and
+reported as a :class:`CheckpointError` naming the file and the fix,
+not as a pickle traceback.
+
+Layout of a checkpoint directory::
+
+    MANIFEST.json             # schema, fingerprint, completed stages
+    stage_clustering.pkl      # one per completed stage
+    rng_clustering.pkl        # one per started stage
+    vpr_items/c{C}_k{K}.json  # one per completed (cluster, candidate)
+
+The manifest ``fingerprint`` identifies the run configuration (design,
+seed, clustering method, candidate grid, ...); ``--resume`` refuses a
+checkpoint written by a different configuration instead of silently
+mixing results.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import io
+import json
+import os
+import pickle
+import random
+import tempfile
+from pathlib import Path
+from typing import Any, Dict, Iterator, Optional, Tuple
+
+import numpy as np
+
+from repro.recovery import faults
+
+#: Schema tag of the manifest and every item record.
+SCHEMA = "repro.recovery/1"
+
+#: Flow stages a store can hold, in execution order.
+STAGES = ("clustering", "vpr", "seeded", "metrics")
+
+
+class CheckpointError(RuntimeError):
+    """A checkpoint could not be created, validated or loaded.
+
+    The message always names the offending path and the remedy
+    (usually: delete the file or directory and rerun without
+    ``--resume``).
+    """
+
+
+def _fsync_directory(path: Path) -> None:
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform without dir fds
+        return
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def atomic_write_bytes(path: Path, data: bytes) -> None:
+    """Write ``data`` to ``path`` atomically (temp + fsync + rename)."""
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(
+        prefix=f".{path.name}.", suffix=".tmp", dir=path.parent
+    )
+    tmp = Path(tmp_name)
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(data)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        tmp.unlink(missing_ok=True)
+        raise
+    _fsync_directory(path.parent)
+
+
+def _sha256(data: bytes) -> str:
+    return hashlib.sha256(data).hexdigest()
+
+
+class CheckpointStore:
+    """One checkpoint directory: stage records, V-P&R items, RNG state."""
+
+    MANIFEST = "MANIFEST.json"
+    ITEM_DIR = "vpr_items"
+
+    def __init__(self, directory: str) -> None:
+        self.directory = Path(directory)
+        self._manifest: Dict[str, Any] = {}
+
+    # -- lifecycle -----------------------------------------------------
+    def initialize(self, fingerprint: Dict[str, Any]) -> None:
+        """Start a fresh checkpoint, discarding any previous records."""
+        self.directory.mkdir(parents=True, exist_ok=True)
+        for stale in self.directory.glob("stage_*.pkl"):
+            stale.unlink()
+        for stale in self.directory.glob("rng_*.pkl"):
+            stale.unlink()
+        item_dir = self.directory / self.ITEM_DIR
+        if item_dir.is_dir():
+            for stale in item_dir.glob("*.json"):
+                stale.unlink()
+        self._manifest = {
+            "schema": SCHEMA,
+            "fingerprint": dict(fingerprint),
+            "stages": {},
+        }
+        self._write_manifest()
+
+    def open_resume(self, fingerprint: Dict[str, Any]) -> None:
+        """Attach to an existing checkpoint for a resumed run."""
+        manifest_path = self.directory / self.MANIFEST
+        if not manifest_path.is_file():
+            raise CheckpointError(
+                f"no checkpoint manifest at {manifest_path}; run without "
+                "--resume to start a fresh checkpointed run"
+            )
+        try:
+            manifest = json.loads(manifest_path.read_text())
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            raise CheckpointError(
+                f"checkpoint manifest {manifest_path} is corrupt ({exc}); "
+                f"delete {self.directory} and rerun without --resume"
+            ) from exc
+        schema = manifest.get("schema")
+        if schema != SCHEMA:
+            raise CheckpointError(
+                f"checkpoint {manifest_path} has schema {schema!r} but this "
+                f"build expects {SCHEMA!r}; delete {self.directory} and "
+                "rerun without --resume"
+            )
+        recorded = manifest.get("fingerprint", {})
+        if recorded != dict(fingerprint):
+            changed = sorted(
+                k
+                for k in set(recorded) | set(fingerprint)
+                if recorded.get(k) != fingerprint.get(k)
+            )
+            raise CheckpointError(
+                f"checkpoint {self.directory} was written by a different run "
+                f"configuration (differing: {', '.join(changed)}); resume "
+                "with the original configuration or start a fresh checkpoint"
+            )
+        self._manifest = manifest
+
+    # -- stage records -------------------------------------------------
+    def _stage_path(self, stage: str) -> Path:
+        return self.directory / f"stage_{stage}.pkl"
+
+    def has_stage(self, stage: str) -> bool:
+        entry = self._manifest.get("stages", {}).get(stage)
+        return entry is not None and self._stage_path(stage).is_file()
+
+    def save_stage(self, stage: str, payload: Any) -> None:
+        """Persist one completed stage atomically and record its hash."""
+        data = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+        path = self._stage_path(stage)
+        atomic_write_bytes(path, data)
+        if faults.check("checkpoint.save", key=stage) == "corrupt":
+            # Fault injection: simulate a torn/bit-rotted file on disk.
+            path.write_bytes(data[: max(1, len(data) // 2)] + b"\xde\xad")
+        self._manifest.setdefault("stages", {})[stage] = {
+            "file": path.name,
+            "sha256": _sha256(data),
+            "bytes": len(data),
+        }
+        self._write_manifest()
+
+    def load_stage(self, stage: str) -> Any:
+        """Load a completed stage, verifying its checksum."""
+        entry = self._manifest.get("stages", {}).get(stage)
+        path = self._stage_path(stage)
+        if entry is None or not path.is_file():
+            raise CheckpointError(
+                f"checkpoint stage {stage!r} is not recorded in {self.directory}"
+            )
+        data = path.read_bytes()
+        if _sha256(data) != entry.get("sha256"):
+            raise CheckpointError(
+                f"checkpoint file {path} does not match the checksum in the "
+                "manifest (truncated or corrupted); delete it (or the whole "
+                f"directory {self.directory}) and rerun without --resume to "
+                "recompute the stage"
+            )
+        try:
+            return pickle.loads(data)
+        except Exception as exc:
+            raise CheckpointError(
+                f"checkpoint file {path} failed to unpickle ({exc!r}); "
+                f"delete it and rerun without --resume"
+            ) from exc
+
+    # -- V-P&R item records --------------------------------------------
+    def _item_path(self, cluster_id: int, candidate_index: int) -> Path:
+        return (
+            self.directory
+            / self.ITEM_DIR
+            / f"c{int(cluster_id)}_k{int(candidate_index)}.json"
+        )
+
+    def save_vpr_item(
+        self,
+        cluster_id: int,
+        candidate_index: int,
+        record: Dict[str, Any],
+    ) -> None:
+        """Persist one finished (cluster, candidate) evaluation."""
+        payload = {
+            "schema": SCHEMA,
+            "cluster": int(cluster_id),
+            "candidate": int(candidate_index),
+        }
+        payload.update(record)
+        atomic_write_bytes(
+            self._item_path(cluster_id, candidate_index),
+            json.dumps(payload, sort_keys=True).encode(),
+        )
+
+    def load_vpr_item(
+        self, cluster_id: int, candidate_index: int
+    ) -> Optional[Dict[str, Any]]:
+        """The saved evaluation record, or None when not checkpointed."""
+        path = self._item_path(cluster_id, candidate_index)
+        if not path.is_file():
+            return None
+        try:
+            record = json.loads(path.read_text())
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            raise CheckpointError(
+                f"checkpoint item {path} is corrupt ({exc}); delete it to "
+                "recompute that (cluster, candidate) evaluation on resume"
+            ) from exc
+        if record.get("schema") != SCHEMA or "hpwl_cost" not in record:
+            raise CheckpointError(
+                f"checkpoint item {path} has an unexpected schema; delete "
+                "it to recompute that evaluation on resume"
+            )
+        return record
+
+    def vpr_items(self) -> Iterator[Tuple[int, int, Dict[str, Any]]]:
+        """Iterate all saved (cluster, candidate, record) items."""
+        item_dir = self.directory / self.ITEM_DIR
+        if not item_dir.is_dir():
+            return
+        for path in sorted(item_dir.glob("c*_k*.json")):
+            stem = path.stem  # c{C}_k{K}
+            c_text, k_text = stem[1:].split("_k")
+            yield int(c_text), int(k_text), self.load_vpr_item(
+                int(c_text), int(k_text)
+            )
+
+    # -- RNG snapshots -------------------------------------------------
+    def _rng_path(self, stage: str) -> Path:
+        return self.directory / f"rng_{stage}.pkl"
+
+    def has_rng(self, stage: str) -> bool:
+        return self._rng_path(stage).is_file()
+
+    def capture_rng(self, stage: str) -> None:
+        """Snapshot the global RNG states at this stage boundary."""
+        state = {
+            "random": random.getstate(),
+            "numpy": np.random.get_state(),
+        }
+        buffer = io.BytesIO()
+        pickle.dump(state, buffer, protocol=pickle.HIGHEST_PROTOCOL)
+        atomic_write_bytes(self._rng_path(stage), buffer.getvalue())
+
+    def restore_rng(self, stage: str) -> bool:
+        """Restore the snapshot for ``stage``; False when absent."""
+        path = self._rng_path(stage)
+        if not path.is_file():
+            return False
+        try:
+            state = pickle.loads(path.read_bytes())
+            random.setstate(state["random"])
+            np.random.set_state(state["numpy"])
+        except Exception as exc:
+            raise CheckpointError(
+                f"checkpoint RNG snapshot {path} is corrupt ({exc!r}); "
+                "delete it and rerun without --resume"
+            ) from exc
+        return True
+
+    # -- manifest ------------------------------------------------------
+    def _write_manifest(self) -> None:
+        atomic_write_bytes(
+            self.directory / self.MANIFEST,
+            json.dumps(self._manifest, indent=2, sort_keys=True).encode(),
+        )

@@ -10,6 +10,10 @@ miss", "worker error") with a stable schema::
 epoch.  When the session has an output directory the log is also
 streamed to ``events.jsonl`` as it happens, so a crashed run still
 leaves its decision trail on disk.
+
+Checkpointed runs (``docs/recovery.md``) add ``checkpoint.saved`` /
+``checkpoint.resumed`` per flow stage, plus ``vpr.item.retry`` /
+``vpr.item.failed`` from the sweep's fault-tolerance layer.
 """
 
 from __future__ import annotations

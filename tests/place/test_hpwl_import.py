@@ -1,0 +1,63 @@
+"""Regression tests for the hpwl function/submodule shadowing.
+
+``repro.place`` exports a function named ``hpwl`` that shadows the
+``repro.place.hpwl`` submodule as a package attribute.  Both import
+forms must keep working deterministically, in either import order, and
+the submodule must stay reachable under the ``hpwl_module`` alias.
+"""
+
+import importlib
+import subprocess
+import sys
+
+import repro.place
+
+
+def test_function_export():
+    assert callable(repro.place.hpwl)
+    assert callable(repro.place.net_hpwl)
+
+
+def test_import_from_resolves_to_functions():
+    from repro.place.hpwl import hpwl, net_hpwl
+
+    assert callable(hpwl)
+    assert callable(net_hpwl)
+
+
+def test_module_alias_is_the_submodule():
+    assert repro.place.hpwl_module is sys.modules["repro.place.hpwl"]
+    assert callable(repro.place.hpwl_module.hpwl)
+    assert "hpwl_module" in repro.place.__all__
+
+
+def test_import_module_returns_submodule_not_function():
+    module = importlib.import_module("repro.place.hpwl")
+    assert module is repro.place.hpwl_module
+
+
+def _run_snippet(code: str) -> None:
+    subprocess.run(
+        [sys.executable, "-c", code], check=True, timeout=60
+    )
+
+
+def test_both_import_orders_fresh_interpreter():
+    # Package first, submodule second.
+    _run_snippet(
+        "import repro.place\n"
+        "import repro.place.hpwl\n"
+        "from repro.place.hpwl import hpwl\n"
+        "assert callable(hpwl)\n"
+        "import sys\n"
+        "assert repro.place.hpwl_module is sys.modules['repro.place.hpwl']\n"
+    )
+    # Submodule first, package second.
+    _run_snippet(
+        "import repro.place.hpwl\n"
+        "import repro.place\n"
+        "from repro.place.hpwl import net_hpwl\n"
+        "assert callable(net_hpwl)\n"
+        "assert callable(repro.place.hpwl)\n"
+        "assert callable(repro.place.hpwl_module.hpwl)\n"
+    )

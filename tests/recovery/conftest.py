@@ -1,0 +1,14 @@
+"""Shared recovery-test fixtures: clean fault state per test."""
+
+import pytest
+
+from repro.recovery import faults
+
+
+@pytest.fixture(autouse=True)
+def _clean_faults(monkeypatch):
+    """Every test starts and ends with fault injection disarmed."""
+    monkeypatch.delenv(faults.ENV_VAR, raising=False)
+    faults.reset()
+    yield
+    faults.reset()

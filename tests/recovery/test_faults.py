@@ -1,0 +1,105 @@
+"""Fault-injection engine: spec parsing, selectors, action semantics."""
+
+import pytest
+
+from repro.recovery import faults
+from repro.recovery.faults import FaultInjected, FaultSpecError, parse_specs
+
+
+class TestParsing:
+    def test_action_site(self):
+        (spec,) = parse_specs("raise:flow.clustering")
+        assert spec.action == "raise"
+        assert spec.site == "flow.clustering"
+        assert spec.count is None and spec.key is None
+
+    def test_count_selector(self):
+        (spec,) = parse_specs("abort:vpr.item.saved:#12")
+        assert spec.count == 12
+
+    def test_key_selector(self):
+        (spec,) = parse_specs("kill:vpr.item:3/7")
+        assert spec.key == "3/7"
+
+    def test_multiple_specs(self):
+        specs = parse_specs("raise:a, oserror:b:#2 ,corrupt:c:key")
+        assert [s.action for s in specs] == ["raise", "oserror", "corrupt"]
+
+    @pytest.mark.parametrize(
+        "text",
+        ["justasite", "explode:site", "raise:site:#x", "raise:site:#0"],
+    )
+    def test_malformed_specs_raise(self, text):
+        with pytest.raises(FaultSpecError):
+            parse_specs(text)
+
+
+class TestConfiguration:
+    def test_inactive_by_default(self):
+        assert not faults.is_active()
+        assert faults.check("anything") is None
+
+    def test_env_var_read_on_first_check(self, monkeypatch):
+        monkeypatch.setenv(faults.ENV_VAR, "raise:site.from.env")
+        faults.reset()
+        with pytest.raises(FaultInjected):
+            faults.check("site.from.env")
+
+    def test_configure_none_disables(self):
+        faults.configure("raise:x")
+        assert faults.is_active()
+        faults.configure(None)
+        assert not faults.is_active()
+
+
+class TestFiring:
+    def test_raise_fires_once_then_disarms(self):
+        faults.configure("raise:stage")
+        with pytest.raises(FaultInjected):
+            faults.check("stage")
+        assert faults.check("stage") is None
+
+    def test_other_sites_unaffected(self):
+        faults.configure("raise:stage.a")
+        assert faults.check("stage.b") is None
+        with pytest.raises(FaultInjected):
+            faults.check("stage.a")
+
+    def test_count_selector_fires_on_nth_hit(self):
+        faults.configure("raise:item:#3")
+        assert faults.check("item") is None
+        assert faults.check("item") is None
+        with pytest.raises(FaultInjected):
+            faults.check("item")
+        assert faults.check("item") is None
+
+    def test_key_selector_fires_on_matching_key(self):
+        faults.configure("raise:item:2/5")
+        assert faults.check("item", key="0/0") is None
+        assert faults.check("item", key="2/4") is None
+        with pytest.raises(FaultInjected) as excinfo:
+            faults.check("item", key="2/5")
+        assert "2/5" in str(excinfo.value)
+        assert faults.check("item", key="2/5") is None
+
+    def test_oserror_action(self):
+        faults.configure("oserror:pool")
+        with pytest.raises(OSError, match="injected pool failure"):
+            faults.check("pool")
+
+    def test_corrupt_returned_to_caller(self):
+        faults.configure("corrupt:checkpoint.save:clustering")
+        assert faults.check("checkpoint.save", key="vpr") is None
+        assert faults.check("checkpoint.save", key="clustering") == "corrupt"
+        assert faults.check("checkpoint.save", key="clustering") is None
+
+    def test_kill_and_hang_are_noops_in_the_parent(self):
+        """kill/hang only terminate tagged worker processes — a parent
+        retrying a killed item must run clean (and so must this test
+        process)."""
+        faults.configure("kill:item,hang:item2")
+        assert faults.check("item") is None
+        assert faults.check("item2") is None
+        # Both disarmed after the first (no-op) firing.
+        assert faults.check("item") is None
+        assert faults.check("item2") is None

@@ -1,0 +1,223 @@
+"""Flow-level checkpoint/resume: interrupted runs finish bit-identical.
+
+The tentpole contract: kill a checkpointed run at an arbitrary unit of
+work, resume it, and the final shapes and QoR are byte-for-byte what an
+uninterrupted run produces — serially and in parallel.
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.core.flow import ClusteredPlacementFlow, FlowConfig
+from repro.core.ppa_clustering import PPAClusteringConfig
+from repro.core.shapes import default_candidate_grid
+from repro.core.vpr import VPRConfig, _fork_available
+from repro.designs import DesignSpec, generate_design
+from repro.recovery import CheckpointError, faults
+from repro.recovery.faults import ABORT_EXIT_CODE, FaultInjected
+
+
+def _fresh_design():
+    return generate_design(
+        DesignSpec(
+            "small",
+            400,
+            clock_period=0.7,
+            logic_depth=10,
+            hierarchy_depth=2,
+            hierarchy_branching=3,
+            seed=7,
+        )
+    )
+
+
+def _flow_config(checkpoint_dir=None, resume=False, jobs=1) -> FlowConfig:
+    return FlowConfig(
+        clustering_config=PPAClusteringConfig(target_cluster_size=120),
+        vpr_config=VPRConfig(
+            min_cluster_instances=60,
+            max_vpr_clusters=2,
+            placer_iterations=2,
+            candidates=default_candidate_grid()[:6],
+            retry_backoff=0.0,
+            jobs=jobs,
+        ),
+        run_routing=False,
+        checkpoint_dir=str(checkpoint_dir) if checkpoint_dir else None,
+        resume=resume,
+    )
+
+
+def _run(config) -> "FlowResult":
+    return ClusteredPlacementFlow(config).run(_fresh_design())
+
+
+def _assert_identical(a, b):
+    assert a.selection.shapes == b.selection.shapes
+    assert a.metrics.hpwl == b.metrics.hpwl
+    assert a.metrics.wns == b.metrics.wns
+    assert a.num_clusters == b.num_clusters
+
+
+class TestResumeBitIdentity:
+    def test_config_resume_requires_checkpoint_dir(self):
+        with pytest.raises(ValueError, match="checkpoint_dir"):
+            FlowConfig(resume=True)
+
+    def test_serial_interrupt_and_resume(self, tmp_path):
+        baseline = _run(_flow_config())
+        assert baseline.selection.sweeps, "fixture must sweep >= 1 cluster"
+
+        # Die the instant the 5th V-P&R item lands on disk.
+        faults.configure("raise:vpr.item.saved:#5")
+        with pytest.raises(FaultInjected):
+            _run(_flow_config(checkpoint_dir=tmp_path / "ckpt"))
+        faults.reset()
+        items = list((tmp_path / "ckpt" / "vpr_items").glob("*.json"))
+        assert len(items) == 5
+
+        resumed = _run(
+            _flow_config(checkpoint_dir=tmp_path / "ckpt", resume=True)
+        )
+        _assert_identical(resumed, baseline)
+
+        # Resuming a *finished* checkpoint serves every stage from disk
+        # and still reproduces the result.
+        again = _run(
+            _flow_config(checkpoint_dir=tmp_path / "ckpt", resume=True)
+        )
+        _assert_identical(again, baseline)
+
+    @pytest.mark.skipif(not _fork_available(), reason="fork unavailable")
+    def test_parallel_interrupt_and_resume(self, tmp_path):
+        baseline = _run(_flow_config(jobs=2))
+
+        faults.configure("raise:vpr.item.saved:#4")
+        with pytest.raises(FaultInjected):
+            _run(_flow_config(checkpoint_dir=tmp_path / "ckpt", jobs=2))
+        faults.reset()
+
+        resumed = _run(
+            _flow_config(checkpoint_dir=tmp_path / "ckpt", resume=True, jobs=2)
+        )
+        _assert_identical(resumed, baseline)
+        # And a serial resume of a parallel run's checkpoint matches too.
+        serial_resumed = _run(
+            _flow_config(checkpoint_dir=tmp_path / "ckpt", resume=True)
+        )
+        _assert_identical(serial_resumed, baseline)
+
+    def test_resume_skips_reclustering(self, tmp_path, monkeypatch):
+        calls = {"n": 0}
+        original = ClusteredPlacementFlow._run_clustering
+
+        def counted(self, db):
+            calls["n"] += 1
+            return original(self, db)
+
+        monkeypatch.setattr(ClusteredPlacementFlow, "_run_clustering", counted)
+
+        faults.configure("raise:flow.vpr")
+        with pytest.raises(FaultInjected):
+            _run(_flow_config(checkpoint_dir=tmp_path / "ckpt"))
+        faults.reset()
+        assert calls["n"] == 1
+
+        _run(_flow_config(checkpoint_dir=tmp_path / "ckpt", resume=True))
+        assert calls["n"] == 1, "resume must serve clustering from disk"
+
+
+class TestResumeValidation:
+    def test_corrupt_checkpoint_is_actionable(self, tmp_path):
+        faults.configure("raise:flow.vpr")
+        with pytest.raises(FaultInjected):
+            _run(_flow_config(checkpoint_dir=tmp_path / "ckpt"))
+        faults.reset()
+
+        path = tmp_path / "ckpt" / "stage_clustering.pkl"
+        path.write_bytes(path.read_bytes()[:20])
+        with pytest.raises(CheckpointError) as excinfo:
+            _run(_flow_config(checkpoint_dir=tmp_path / "ckpt", resume=True))
+        message = str(excinfo.value)
+        assert "stage_clustering.pkl" in message
+        assert "delete" in message
+
+    def test_resume_refuses_different_configuration(self, tmp_path):
+        _run(_flow_config(checkpoint_dir=tmp_path / "ckpt"))
+        other = _flow_config(checkpoint_dir=tmp_path / "ckpt", resume=True)
+        other.seed = 99
+        with pytest.raises(CheckpointError, match="seed"):
+            _run(other)
+
+
+class TestCheckpointTelemetry:
+    def test_saved_and_resumed_events(self, tmp_path):
+        from repro import telemetry
+
+        faults.configure("raise:flow.seeded")
+        with pytest.raises(FaultInjected):
+            _run(_flow_config(checkpoint_dir=tmp_path / "ckpt"))
+        faults.reset()
+
+        telemetry.enable(str(tmp_path / "tele"))
+        try:
+            _run(_flow_config(checkpoint_dir=tmp_path / "ckpt", resume=True))
+        finally:
+            telemetry.disable()
+        events = (tmp_path / "tele" / "events.jsonl").read_text()
+        assert "checkpoint.resumed" in events
+        assert "checkpoint.saved" in events
+
+
+class TestCLIResume:
+    """The operator-facing path: crash a `repro flow` subprocess with
+    REPRO_FAULTS, resume it, and match the uninterrupted QoR."""
+
+    def _cli(self, *args, fault=None):
+        env = dict(os.environ)
+        repo = Path(__file__).resolve().parents[2]
+        env["PYTHONPATH"] = str(repo / "src") + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+        )
+        env.pop("REPRO_FAULTS", None)
+        if fault:
+            env["REPRO_FAULTS"] = fault
+        return subprocess.run(
+            [sys.executable, "-m", "repro", "flow", "--benchmark", "aes",
+             "--no-routing", "--seed", "3", *args],
+            capture_output=True,
+            text=True,
+            env=env,
+            timeout=300,
+        )
+
+    @staticmethod
+    def _hpwl_line(stdout: str) -> str:
+        (line,) = [l for l in stdout.splitlines() if l.startswith("HPWL")]
+        return line
+
+    def test_abort_and_resume_matches_uninterrupted(self, tmp_path):
+        ckpt = str(tmp_path / "ckpt")
+        baseline = self._cli()
+        assert baseline.returncode == 0, baseline.stderr
+
+        crashed = self._cli(
+            "--checkpoint", ckpt, fault="abort:vpr.item.saved:#6"
+        )
+        assert crashed.returncode == ABORT_EXIT_CODE
+        assert len(list((tmp_path / "ckpt" / "vpr_items").glob("*.json"))) == 6
+
+        resumed = self._cli("--checkpoint", ckpt, "--resume")
+        assert resumed.returncode == 0, resumed.stderr
+        assert self._hpwl_line(resumed.stdout) == self._hpwl_line(
+            baseline.stdout
+        )
+
+    def test_resume_without_checkpoint_flag_errors(self):
+        result = self._cli("--resume")
+        assert result.returncode != 0
+        assert "--checkpoint" in result.stderr
