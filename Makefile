@@ -1,4 +1,4 @@
-.PHONY: install test bench tables clean lint perf-smoke resume-smoke
+.PHONY: install test bench tables clean lint perf-smoke resume-smoke bench-flow
 
 install:
 	pip install -e .
@@ -23,6 +23,23 @@ tables:
 perf-smoke:
 	REPRO_PERF_DESIGN=aes REPRO_BENCH_SCALE=0.5 timeout 300 \
 	pytest benchmarks/bench_perf_scaling.py --benchmark-only -q
+
+# End-to-end flow benchmark + perf-regression gate (docs/performance.md):
+# runs the flow on aes, emits bench-flow/run.json (and a fresh
+# BENCH_flow.json), then diffs against the committed baseline run
+# report.  Wall gate: host-normalised non-V-P&R wall time within 10%;
+# QoR gate: any worsening fails.
+bench-flow:
+	rm -rf bench-flow && mkdir -p bench-flow
+	timeout 600 python benchmarks/bench_flow_e2e.py --designs aes \
+		--seed 0 --repeats 2 --run-json bench-flow/run.json \
+		--json bench-flow/BENCH_flow.json --label after
+	python -m repro report diff \
+		benchmarks/results/bench_flow_baseline.json bench-flow/run.json \
+		--rel 0.10 --stream flow.wallnorm.aes.non_vpr_total
+	python -m repro report diff \
+		benchmarks/results/bench_flow_baseline.json bench-flow/run.json \
+		--rel 0 --stream qor.aes.hpwl
 
 # Crash-safety smoke: run a checkpointed flow, kill it mid-sweep with
 # an injected abort, resume, and require the resumed QoR to match an

@@ -74,15 +74,27 @@ class ClusteredNetlist:
         """
         centers = self.cluster_centers()
         rng = np.random.default_rng(seed)
-        for inst in self.source.instances:
-            if inst.fixed:
-                continue
-            c = int(self.cluster_of[inst.index])
-            macro = self.lef.macro_for(c)
-            dx = rng.uniform(-0.5, 0.5) * scatter * macro.width
-            dy = rng.uniform(-0.5, 0.5) * scatter * macro.height
-            inst.x = float(centers[c][0] + dx)
-            inst.y = float(centers[c][1] + dy)
+        instances = self.source.instances
+        free = [inst for inst in instances if not inst.fixed]
+        if not free:
+            return
+        cs = self.cluster_of[[inst.index for inst in free]]
+        macro_w = np.zeros(self.num_clusters)
+        macro_h = np.zeros(self.num_clusters)
+        for c in np.unique(cs):
+            macro = self.lef.macro_for(int(c))
+            macro_w[c] = macro.width
+            macro_h[c] = macro.height
+        # A single vectorized draw consumes the generator's doubles in
+        # the same order as the historical per-instance scalar calls
+        # (dx then dy per non-fixed instance), so the seeded scatter is
+        # reproduced bit for bit.
+        draws = rng.uniform(-0.5, 0.5, size=2 * len(free)).reshape(-1, 2)
+        xs = (centers[cs, 0] + draws[:, 0] * scatter * macro_w[cs]).tolist()
+        ys = (centers[cs, 1] + draws[:, 1] * scatter * macro_h[cs]).tolist()
+        for inst, x, y in zip(free, xs, ys):
+            inst.x = x
+            inst.y = y
 
 
 def build_clustered_netlist(

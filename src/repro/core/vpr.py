@@ -107,6 +107,13 @@ class VPRConfig:
             serially in-process; N > 1 fans (cluster, candidate) work
             items over N workers.  Serial and parallel runs select
             identical shapes with identical costs.
+        chunk_size: (Cluster, candidate) work items bundled into one
+            pool task.  None (default) auto-sizes to
+            ``ceil(items / (4 * jobs))`` — roughly four task waves per
+            worker, amortising per-task submission/result overhead on
+            large sweeps while keeping the tail balanced.  1 reproduces
+            the one-item-per-task scheduling.  Chunking only changes
+            scheduling granularity, never results.
         seed: RNG seed (randomised selector arms).
         item_timeout: Wall-clock bound (seconds) on one (cluster,
             candidate) evaluation inside a pool worker; an item that
@@ -133,6 +140,7 @@ class VPRConfig:
     route_target_cells: int = 144
     die_margin: float = 1.0
     jobs: int = 1
+    chunk_size: Optional[int] = None
     seed: int = 0
     item_timeout: Optional[float] = None
     retry_limit: int = 1
@@ -144,6 +152,11 @@ class VPRConfig:
             raise ValueError(
                 f"on_terminal_failure must be 'raise' or 'exclude', "
                 f"got {self.on_terminal_failure!r}"
+            )
+        if self.chunk_size is not None and self.chunk_size < 1:
+            raise ValueError(
+                f"chunk_size must be a positive integer or None, "
+                f"got {self.chunk_size!r}"
             )
 
 
@@ -782,9 +795,21 @@ class VPRFramework:
             "perf_enabled": perf.is_enabled(),
             "telemetry_enabled": telemetry.is_enabled(),
         }
+        # Bundle work items into chunks so one pool task amortises the
+        # per-future submission/result overhead over several items.
+        chunk_size = config.chunk_size
+        if chunk_size is None:
+            chunk_size = max(1, -(-len(pending) // (4 * jobs)))
+        chunks = [
+            pending[i : i + chunk_size]
+            for i in range(0, len(pending), chunk_size)
+        ]
         context = multiprocessing.get_context("fork")
         with perf.stage("vpr/parallel_sweep"), telemetry.span(
-            "vpr.parallel_sweep", jobs=jobs, items=len(cluster_ids) * n_cand
+            "vpr.parallel_sweep",
+            jobs=jobs,
+            items=len(cluster_ids) * n_cand,
+            chunk_size=chunk_size,
         ):
             try:
                 if pending:
@@ -792,29 +817,33 @@ class VPRFramework:
                         max_workers=jobs, mp_context=context
                     ) as pool:
                         futures = {
-                            pool.submit(_candidate_worker, c, k): (c, k)
-                            for c, k in pending
+                            pool.submit(_chunk_worker, chunk): chunk
+                            for chunk in chunks
                         }
                         try:
                             for future in as_completed(futures):
-                                c, k = futures[future]
-                                faults.check("vpr.collect", key=f"{c}/{k}")
+                                chunk = futures[future]
                                 try:
-                                    slots[c][k] = future.result()
+                                    results = future.result()
                                 except OSError:
                                     raise  # pool infrastructure failure
                                 except Exception as exc:
-                                    # The worker process died mid-item
+                                    # The worker process died mid-chunk
                                     # (e.g. OOM-killed): no payload came
-                                    # back at all.
-                                    slots[c][k] = (
-                                        float("nan"),
-                                        float("nan"),
-                                        0.0,
-                                        None,
-                                        None,
-                                        repr(exc),
-                                    )
+                                    # back for any of its items.
+                                    results = [
+                                        (
+                                            float("nan"),
+                                            float("nan"),
+                                            0.0,
+                                            None,
+                                            None,
+                                            repr(exc),
+                                        )
+                                    ] * len(chunk)
+                                for (c, k), result in zip(chunk, results):
+                                    faults.check("vpr.collect", key=f"{c}/{k}")
+                                    slots[c][k] = result
                         except BaseException:
                             # Escaping the executor context with sibling
                             # futures still queued would run them anyway
@@ -1018,6 +1047,18 @@ def _candidate_worker(cluster_id: int, candidate_index: int) -> _WorkerResult:
         telemetry.worker_snapshot(),
         error,
     )
+
+
+def _chunk_worker(
+    items: Sequence[Tuple[int, int]]
+) -> List[_WorkerResult]:
+    """Evaluate a chunk of (cluster, candidate) items in one pool task.
+
+    Per-item exception containment, counters and telemetry payloads are
+    unchanged from :func:`_candidate_worker`; only the scheduling
+    granularity differs.
+    """
+    return [_candidate_worker(c, k) for c, k in items]
 
 
 # ----------------------------------------------------------------------

@@ -135,6 +135,78 @@ class TotalCostGNN:
             self.set_training(True)
         return self.denormalize(out.data.ravel())
 
+    def predict_shared(
+        self, features: np.ndarray, operator: sp.spmatrix
+    ) -> np.ndarray:
+        """Blocked eval-mode inference for candidates sharing one graph.
+
+        The V-P&R shape sweep predicts the same cluster hypergraph under
+        B candidate shapes: only the two design-parameter feature
+        columns differ between candidates, the graph operator is
+        identical.  Instead of stacking B copies of the operator
+        block-diagonally, this path keeps the batch as a dense
+        ``(B, n, F)`` block and pushes all candidates through each
+        convolution with a single sparse multiply of the shared
+        ``(n, n)`` operator against the ``(n, B*d)`` re-layout —
+        arithmetic identical to :meth:`predict` (the per-element
+        accumulation order of the sparse product is unchanged), with
+        none of the B-times operator replication.
+
+        Args:
+            features: ``(B, n, F)`` feature block, one slice per
+                candidate.
+            operator: Shared ``(n, n)`` normalised adjacency.
+
+        Returns:
+            ``(B,)`` predicted Total Cost in label units.
+        """
+        op = operator.tocsr()
+        batch, n, _f = features.shape
+        h = self.normalize_features(features)
+
+        def conv(block: GraphConvBlock, x: np.ndarray) -> np.ndarray:
+            z = x @ block.linear.weight.data + block.linear.bias.data
+            d = z.shape[-1]
+            # (B, n, d) -> (n, B*d): one shared-operator sparse product
+            # covers every candidate.
+            z = np.ascontiguousarray(z.transpose(1, 0, 2)).reshape(n, batch * d)
+            z = op @ z
+            z = z.reshape(n, batch, d).transpose(1, 0, 2)
+            running = block.bn.running
+            inv_std = 1.0 / np.sqrt(running["var"] + 1e-5)
+            z = (
+                block.bn.gamma.data * ((z - running["mean"]) * inv_std)
+                + block.bn.beta.data
+            )
+            z = z * (z > 0)
+            if block.use_skip:
+                z = z + x
+            return z
+
+        accumulated = None
+        for blocks in self.branches:
+            out = h
+            for block in blocks:
+                out = conv(block, out)
+            accumulated = out if accumulated is None else accumulated + out
+        # Sequential per-node accumulation matches segment_mean's
+        # np.add.at ordering, keeping the pooled embedding bit-identical
+        # to the block-diagonal forward.
+        pooled = np.zeros((batch, accumulated.shape[-1]))
+        for i in range(n):
+            pooled += accumulated[:, i, :]
+        pooled /= max(n, 1)
+        z = pooled @ self.head_linear1.weight.data + self.head_linear1.bias.data
+        running = self.head_bn.running
+        inv_std = 1.0 / np.sqrt(running["var"] + 1e-5)
+        z = (
+            self.head_bn.gamma.data * ((z - running["mean"]) * inv_std)
+            + self.head_bn.beta.data
+        )
+        z = z * (z > 0)
+        z = z @ self.head_linear2.weight.data + self.head_linear2.bias.data
+        return self.denormalize(z.ravel())
+
     # ------------------------------------------------------------------
     def state_dict(self) -> Dict[str, np.ndarray]:
         """Serialisable parameter snapshot."""
@@ -202,14 +274,24 @@ class TotalCostPredictor:
         self,
         model: TotalCostGNN,
         extractor: Optional[FeatureExtractor] = None,
+        blocked: bool = True,
     ) -> None:
         self.model = model
         self.extractor = extractor or FeatureExtractor()
+        #: Use the shared-operator blocked batch path (candidates of a
+        #: cluster share the graph; only the shape features differ).
+        self.blocked = blocked
 
     def __call__(
         self, sub: Design, candidates: Sequence[ShapeCandidate]
     ) -> np.ndarray:
         """Predicted Total Cost per candidate."""
         base = self.extractor.extract(sub)
+        if self.blocked:
+            features = np.repeat(base.features[None, :, :], len(candidates), 0)
+            for i, candidate in enumerate(candidates):
+                features[i, :, 0] = candidate.utilization
+                features[i, :, 1] = candidate.aspect_ratio
+            return self.model.predict_shared(features, base.operator)
         samples = [base.with_shape(candidate) for candidate in candidates]
         return self.model.predict(samples)

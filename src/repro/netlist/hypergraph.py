@@ -61,6 +61,15 @@ class Hypergraph:
         if len(self.vertex_areas) != self.num_vertices:
             raise ValueError("vertex_areas length mismatch")
         self._incidence: Optional[List[List[int]]] = None
+        self._pin_csr: Optional[Tuple[np.ndarray, np.ndarray]] = None
+        self._incidence_csr: Optional[Tuple[np.ndarray, np.ndarray]] = None
+
+    def invalidate_caches(self) -> None:
+        """Drop memoised incidence structures (call after mutating
+        ``edges`` in place — none of the library code does)."""
+        self._incidence = None
+        self._pin_csr = None
+        self._incidence_csr = None
 
     # ------------------------------------------------------------------
     @classmethod
@@ -125,13 +134,55 @@ class Hypergraph:
             self._incidence = inc
         return self._incidence
 
+    def pin_csr(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Edge -> member CSR ``(indptr, vertices)``, memoised.
+
+        ``vertices[indptr[e]:indptr[e + 1]]`` are hyperedge ``e``'s
+        members in edge order.
+        """
+        if self._pin_csr is None:
+            counts = np.fromiter(
+                (len(e) for e in self.edges),
+                dtype=np.int64,
+                count=len(self.edges),
+            )
+            indptr = np.concatenate(([0], np.cumsum(counts))).astype(np.int64)
+            if len(self.edges):
+                verts = np.fromiter(
+                    (v for e in self.edges for v in e),
+                    dtype=np.int64,
+                    count=int(indptr[-1]),
+                )
+            else:
+                verts = np.empty(0, dtype=np.int64)
+            self._pin_csr = (indptr, verts)
+        return self._pin_csr
+
+    def incidence_csr(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Vertex -> incident-edge CSR ``(indptr, edge_ids)``, memoised.
+
+        Edge ids per vertex come out in increasing order, matching the
+        list form of :meth:`incidence`.
+        """
+        if self._incidence_csr is None:
+            e_indptr, e_verts = self.pin_csr()
+            counts = np.diff(e_indptr)
+            edge_ids = np.repeat(
+                np.arange(len(self.edges), dtype=np.int64), counts
+            )
+            order = np.argsort(e_verts, kind="stable")
+            indptr = np.concatenate(
+                ([0], np.cumsum(np.bincount(e_verts, minlength=self.num_vertices)))
+            ).astype(np.int64)
+            self._incidence_csr = (indptr, edge_ids[order])
+        return self._incidence_csr
+
     def vertex_degrees(self) -> np.ndarray:
         """Number of incident hyperedges per vertex."""
-        deg = np.zeros(self.num_vertices, dtype=np.int64)
-        for edge in self.edges:
-            for v in edge:
-                deg[v] += 1
-        return deg
+        e_indptr, e_verts = self.pin_csr()
+        return np.bincount(e_verts, minlength=self.num_vertices).astype(
+            np.int64
+        )
 
     def neighbors(self, v: int) -> List[int]:
         """Distinct vertices sharing at least one hyperedge with ``v``."""
@@ -192,22 +243,59 @@ class Hypergraph:
         if len(cluster_of) != self.num_vertices:
             raise ValueError("cluster_of length mismatch")
         k = int(cluster_of.max()) + 1 if self.num_vertices else 0
-        members: List[List[int]] = [[] for _ in range(k)]
-        for v, c in enumerate(cluster_of):
-            members[int(c)].append(v)
+        vorder = np.argsort(cluster_of, kind="stable")
+        vcounts = np.bincount(cluster_of, minlength=k)
+        bounds = np.concatenate(([0], np.cumsum(vcounts))).astype(np.int64)
+        members: List[List[int]] = [
+            vorder[bounds[c] : bounds[c + 1]].tolist() for c in range(k)
+        ]
         areas = np.zeros(k)
         np.add.at(areas, cluster_of, self.vertex_areas)
-        merged: Dict[Tuple[int, ...], float] = {}
-        for ei, edge in enumerate(self.edges):
-            coarse_edge = tuple(sorted({int(cluster_of[v]) for v in edge}))
-            if len(coarse_edge) < 2:
-                continue
-            merged[coarse_edge] = merged.get(coarse_edge, 0.0) + float(
-                self.edge_weights[ei]
+
+        # Map every fine edge to its (sorted, deduplicated) coarse
+        # member set; merge duplicate coarse edges in fine-edge order.
+        num_fine = self.num_edges
+        e_indptr, e_verts = self.pin_csr()
+        ce = cluster_of[e_verts]
+        eid = np.repeat(np.arange(num_fine, dtype=np.int64), np.diff(e_indptr))
+        order = np.lexsort((ce, eid))
+        ce_s = ce[order]
+        eid_s = eid[order]
+        if len(ce_s):
+            keep = np.concatenate(
+                ([True], (eid_s[1:] != eid_s[:-1]) | (ce_s[1:] != ce_s[:-1]))
             )
-        edges = list(merged.keys())
-        weights = [merged[e] for e in edges]
+            ce_d = ce_s[keep]
+            eid_d = eid_s[keep]
+            deg = np.bincount(eid_d, minlength=num_fine)
+        else:
+            ce_d = ce_s
+            deg = np.zeros(num_fine, dtype=np.int64)
+        dptr = np.concatenate(([0], np.cumsum(deg))).astype(np.int64)
+        merged_index: Dict[bytes, int] = {}
+        edges: List[Tuple[int, ...]] = []
+        fine_map = np.full(num_fine, -1, dtype=np.int64)
+        for ei in range(num_fine):
+            d = deg[ei]
+            if d < 2:
+                continue
+            span = ce_d[dptr[ei] : dptr[ei + 1]]
+            key = span.tobytes()
+            ci = merged_index.get(key)
+            if ci is None:
+                ci = len(edges)
+                merged_index[key] = ci
+                edges.append(tuple(span.tolist()))
+            fine_map[ei] = ci
+        weights = np.zeros(len(edges))
+        valid = fine_map >= 0
+        # add.at accumulates sequentially in array (= fine-edge) order,
+        # matching the reference dict accumulation bit for bit.
+        np.add.at(weights, fine_map[valid], self.edge_weights[valid])
         coarse = Hypergraph(k, edges, edge_weights=weights, vertex_areas=areas)
+        #: Fine-edge -> coarse-edge index (-1 when the edge collapsed
+        #: inside one cluster); reused by score re-aggregation.
+        coarse._fine_edge_map = fine_map
         return coarse, members
 
     # ------------------------------------------------------------------
@@ -215,12 +303,15 @@ class Hypergraph:
         """Boolean mask of hyperedges that cross cluster boundaries."""
         cluster_of = np.asarray(cluster_of, dtype=np.int64)
         mask = np.zeros(self.num_edges, dtype=bool)
-        for ei, edge in enumerate(self.edges):
-            first = cluster_of[edge[0]]
-            for v in edge[1:]:
-                if cluster_of[v] != first:
-                    mask[ei] = True
-                    break
+        e_indptr, e_verts = self.pin_csr()
+        if not len(e_verts):
+            return mask
+        ce = cluster_of[e_verts]
+        counts = np.diff(e_indptr)
+        safe_first = np.minimum(e_indptr[:-1], len(e_verts) - 1)
+        differs = ce != np.repeat(ce[safe_first], counts)
+        eid = np.repeat(np.arange(self.num_edges, dtype=np.int64), counts)
+        mask[np.unique(eid[differs])] = True
         return mask
 
     def cut_size(self, cluster_of: Sequence[int]) -> float:

@@ -17,6 +17,7 @@ from typing import Optional
 from repro.netlist.design import Design, MasterCell
 from repro.sta.analysis import TimingAnalyzer
 from repro.sta.delay import WireDelayModel, effective_cell_delay
+from repro.sta.flat import invalidate_flat
 from repro.sta.graph import TimingGraph
 from repro.sta.paths import find_path_ends
 
@@ -125,6 +126,11 @@ def resize_gates(
         if weaker is not None:
             inst.master = weaker
             downsized += 1
+
+    if upsized or downsized:
+        # Master swaps change the cell delays captured by the flat
+        # compilation; force a recompile for the next analyzer.
+        invalidate_flat(graph)
 
     return SizingResult(
         upsized=upsized, downsized=downsized, paths_touched=len(paths)

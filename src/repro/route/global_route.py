@@ -155,6 +155,7 @@ class GlobalRouter:
         all_py = vy[arrays.pin_vertex].tolist()
         offsets = arrays.net_offsets.tolist()
         nets = []
+        degenerate: List[int] = []
         for i, net in enumerate(arrays.net_list):
             points: List[Tuple[float, float]] = []
             seen = set()
@@ -166,6 +167,9 @@ class GlobalRouter:
                     seen.add(key)
                     points.append((x_coord, y_coord))
             if len(points) < 2:
+                # Every pin collapses onto one routing point: the net
+                # is degenerate — zero routed length, no grid demand.
+                degenerate.append(net.index)
                 continue
             tree = rsmt(points)
             nets.append((net, tree))
@@ -187,7 +191,7 @@ class GlobalRouter:
         else:
             cell_x = cell_y = np.zeros(0, dtype=np.int64)
 
-        net_lengths: Dict[int, float] = {}
+        net_lengths: Dict[int, float] = {idx: 0.0 for idx in degenerate}
         total = 0.0
         base = 0
         for net, tree in nets:

@@ -4,17 +4,34 @@ Single-clock setup analysis, matching how the paper's flow consumes
 OpenSTA: launch at FF Q (clock edge at t=0 plus clk-to-q), capture at
 FF D (next edge minus setup) and at output ports, worst-slack
 propagation over the levelized graph.
+
+Two propagation engines share the same semantics:
+
+* a scalar reference (``_update_scalar``) — per-arc Python loops, kept
+  as the ground truth and as the fallback for custom wire models;
+* a vectorized engine over the :mod:`repro.sta.flat` compilation —
+  wave-sliced NumPy kernels, bit-identical to the scalar reference
+  (asserted in tests), used for the built-in wire models.
+
+The analyzer also supports *incremental* updates: after
+:meth:`TimingAnalyzer.invalidate_nets`, the next :meth:`update` only
+re-evaluates the affected cone (levelized forward/backward worklists
+seeded at the dirty nets' arcs) instead of the whole graph, recording
+the arcs it skipped in the ``sta.incremental.*`` perf counters.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, Iterable, List, Optional, Union
 
-from repro import telemetry
+import numpy as np
+
+from repro import perf, telemetry
 from repro.netlist.design import Instance, Net, PinRef
-from repro.sta.delay import WireDelayModel, effective_cell_delay
+from repro.sta.delay import FanoutWireModel, WireDelayModel, effective_cell_delay
+from repro.sta.flat import FlatTiming, _gather_ranges, flat_for
 from repro.sta.graph import TimingGraph
 
 #: Clock period used when the design is unconstrained (effectively
@@ -50,6 +67,26 @@ class TimingReport:
         return sum(1 for s in self.endpoint_slacks.values() if s < 0)
 
 
+class _FlatState:
+    """Arrays carried between updates for incremental re-propagation."""
+
+    __slots__ = (
+        "sig",
+        "period",
+        "uncertainty",
+        "delay",
+        "delay_f",
+        "delay_b",
+        "net_wl",
+        "net_hpwl",
+        "net_load",
+        "arrival",
+        "required",
+        "wp",
+        "init_req",
+    )
+
+
 class TimingAnalyzer:
     """Propagates timing over a :class:`TimingGraph`.
 
@@ -62,6 +99,7 @@ class TimingAnalyzer:
         graph: TimingGraph,
         wire_model: WireDelayModel,
         clock_uncertainty: float = 0.0,
+        vectorize: bool = True,
     ) -> None:
         self.graph = graph
         self.wire_model = wire_model
@@ -69,8 +107,30 @@ class TimingAnalyzer:
         #: Uniform clock uncertainty (e.g. the CTS skew) subtracted
         #: from every endpoint's required time (ns).
         self.clock_uncertainty = clock_uncertainty
+        #: When False, always use the scalar reference propagation.
+        self.vectorize = vectorize
         self.report: Optional[TimingReport] = None
         self._net_loads: Dict[int, float] = {}
+        #: Pending dirty-net set; None means "everything dirty" (the
+        #: next update is a full update, which is also the default so
+        #: that plain update() calls keep their original semantics).
+        self._dirty: Optional[set] = None
+        self._state: Optional[_FlatState] = None
+
+    # ------------------------------------------------------------------
+    def invalidate_nets(self, nets: Iterable[Union[int, Net]]) -> None:
+        """Mark nets whose geometry changed since the last update.
+
+        Arms the incremental path: the next :meth:`update` re-evaluates
+        only the timing cone reachable from these nets' arcs, with
+        results bit-identical to a full update.  Callers must
+        invalidate every net whose wire geometry or load changed (for
+        placement-based models: all nets touching a moved instance).
+        """
+        if self._dirty is None:
+            self._dirty = set()
+        for net in nets:
+            self._dirty.add(net.index if isinstance(net, Net) else int(net))
 
     # ------------------------------------------------------------------
     def _clock_period(self) -> float:
@@ -118,11 +178,13 @@ class TimingAnalyzer:
 
     # ------------------------------------------------------------------
     def update(self) -> TimingReport:
-        """Run full arrival/required propagation; returns the report.
+        """Run arrival/required propagation; returns the report.
 
-        Each update also appends one point to the ``sta.wns`` /
-        ``sta.tns`` telemetry streams (auto-stepped, so repeated
-        updates — e.g. pre/post optimisation — trace a trajectory).
+        Full update by default; incremental (affected-cone only) when
+        :meth:`invalidate_nets` was called since the last update.  Each
+        update also appends one point to the ``sta.wns`` / ``sta.tns``
+        telemetry streams (auto-stepped, so repeated updates — e.g.
+        pre/post optimisation — trace a trajectory).
         """
         with telemetry.span("sta.update", nodes=self.graph.num_nodes):
             report = self._update()
@@ -132,6 +194,30 @@ class TimingAnalyzer:
         return report
 
     def _update(self) -> TimingReport:
+        dirty = self._dirty
+        self._dirty = None
+        if not self.vectorize:
+            self._state = None
+            return self._update_scalar()
+        flat = flat_for(self.graph)
+        sig = flat.model_signature(self.wire_model)
+        if sig is None:
+            self._state = None
+            return self._update_scalar()
+        period = self._clock_period()
+        state = self._state
+        if (
+            dirty is not None
+            and state is not None
+            and state.sig == sig
+            and state.period == period
+            and state.uncertainty == self.clock_uncertainty
+        ):
+            return self._update_incremental(flat, state, dirty)
+        return self._update_vectorized(flat, sig, period)
+
+    # -- scalar reference ----------------------------------------------
+    def _update_scalar(self) -> TimingReport:
         graph = self.graph
         n = graph.num_nodes
         period = self._clock_period()
@@ -191,6 +277,307 @@ class TimingAnalyzer:
             worst_pred=worst_pred,
         )
         return self.report
+
+    # -- vectorized full update ----------------------------------------
+    def _geometry(self, flat: FlatTiming):
+        """(inst_x, inst_y) when the model needs coordinates."""
+        if type(self.wire_model) is FanoutWireModel:
+            return None, None
+        return flat.instance_coords()
+
+    def _update_vectorized(
+        self, flat: FlatTiming, sig: tuple, period: float
+    ) -> TimingReport:
+        model = self.wire_model
+        self._net_loads = {}
+        inst_x, inst_y = self._geometry(flat)
+        net_wl, net_hpwl = flat.wire_net_lengths(model, inst_x, inst_y)
+        net_load = flat.net_pincap + model.c_per_um * net_wl
+        delay = flat.arc_delays(model, net_load, net_hpwl, inst_x, inst_y)
+        delay_f = delay[flat.order_f]
+        delay_b = delay[flat.order_b]
+
+        arrival, wp = self._forward_full(flat, delay_f)
+        required, init_req = self._backward_full(flat, delay_b, period)
+
+        state = _FlatState()
+        state.sig = sig
+        state.period = period
+        state.uncertainty = self.clock_uncertainty
+        state.delay = delay
+        state.delay_f = delay_f
+        state.delay_b = delay_b
+        state.net_wl = net_wl
+        state.net_hpwl = net_hpwl
+        state.net_load = net_load
+        state.arrival = arrival
+        state.required = required
+        state.wp = wp
+        state.init_req = init_req
+        self._state = state
+        return self._finalize(flat, state, period)
+
+    def _forward_full(self, flat: FlatTiming, delay_f: np.ndarray):
+        n = flat.num_nodes
+        m = flat.num_arcs
+        init = flat.init_arrival
+        arrival = init.copy()
+        wp = np.full(n, -1, dtype=np.int64)
+        fsrc = flat.f_src
+        fdst = flat.f_dst
+        for lvl in range(1, flat.max_level + 1):
+            a0 = flat.wave_f[lvl]
+            a1 = flat.wave_f[lvl + 1]
+            if a0 == a1:
+                continue
+            starts = flat.seg_f[flat.wave_seg_f[lvl] : flat.wave_seg_f[lvl + 1]]
+            local = starts - a0
+            cand = arrival[fsrc[a0:a1]] + delay_f[a0:a1]
+            segmax = np.maximum.reduceat(cand, local)
+            vs = fdst[starts]
+            iv = init[vs]
+            counts = np.diff(np.append(starts, a1))
+            pos = np.arange(a0, a1)
+            hit = np.where(cand == np.repeat(segmax, counts), pos, m)
+            first = np.minimum.reduceat(hit, local)
+            choose = segmax > iv
+            arrival[vs] = np.where(choose, segmax, iv)
+            wp[vs] = np.where(choose, fsrc[first], -1)
+        return arrival, wp
+
+    def _backward_full(self, flat: FlatTiming, delay_b: np.ndarray, period: float):
+        n = flat.num_nodes
+        init_req = np.full(n, np.inf)
+        if len(flat.e_nodes):
+            ereq = (period - flat.e_setup) - self.clock_uncertainty
+            np.minimum.at(init_req, flat.e_nodes, ereq)
+        required = init_req.copy()
+        bsrc = flat.b_src
+        bdst = flat.b_dst
+        for lvl in range(flat.max_level - 1, -1, -1):
+            a0 = flat.wave_b[lvl]
+            a1 = flat.wave_b[lvl + 1]
+            if a0 == a1:
+                continue
+            starts = flat.seg_b[flat.wave_seg_b[lvl] : flat.wave_seg_b[lvl + 1]]
+            local = starts - a0
+            cand = required[bdst[a0:a1]] - delay_b[a0:a1]
+            segmin = np.minimum.reduceat(cand, local)
+            us = bsrc[starts]
+            required[us] = np.minimum(init_req[us], segmin)
+        return required, init_req
+
+    def _finalize(
+        self, flat: FlatTiming, state: _FlatState, period: float
+    ) -> TimingReport:
+        arrival = state.arrival
+        required = state.required
+        endpoint_slacks: Dict[int, float] = {}
+        wns = math.inf
+        tns = 0.0
+        e = flat.e_nodes
+        if len(e):
+            arr_e = arrival[e]
+            reach = arr_e != -np.inf
+            slack = required[e] - arr_e
+            kept = slack[reach]
+            if len(kept):
+                wns = float(kept.min())
+                neg = kept[kept < 0]
+                if len(neg):
+                    tns = float(np.cumsum(neg)[-1])
+            endpoint_slacks = dict(zip(e[reach].tolist(), kept.tolist()))
+        if wns == math.inf:
+            wns = period  # no constrained endpoints at all
+        self.report = TimingReport(
+            wns=wns,
+            tns=tns,
+            endpoint_slacks=endpoint_slacks,
+            arrival=arrival.tolist(),
+            required=required.tolist(),
+            worst_pred=state.wp.tolist(),
+        )
+        return self.report
+
+    # -- incremental update --------------------------------------------
+    def _update_incremental(
+        self, flat: FlatTiming, state: _FlatState, dirty: set
+    ) -> TimingReport:
+        perf.count("sta.incremental.updates")
+        model = self.wire_model
+        m = flat.num_arcs
+        nets = np.asarray(sorted(dirty), dtype=np.int64)
+        nets = nets[(nets >= 0) & (nets < flat.num_nets)]
+        evaluated = 0
+        if len(nets):
+            inst_x, inst_y = self._subset_coords(flat, nets)
+            wl, hp = flat.wire_net_lengths(model, inst_x, inst_y, nets)
+            state.net_wl[nets] = wl
+            if state.net_hpwl is not None:
+                state.net_hpwl[nets] = hp if hp is not None else wl
+            state.net_load[nets] = (
+                flat.net_pincap[nets] + model.c_per_um * wl
+            )
+            warcs = flat.wnet_arcs[
+                _gather_ranges(
+                    flat.wnet_indptr[nets],
+                    flat.wnet_indptr[nets + 1] - flat.wnet_indptr[nets],
+                )
+            ]
+            carcs = flat.lnet_arcs[
+                _gather_ranges(
+                    flat.lnet_indptr[nets],
+                    flat.lnet_indptr[nets + 1] - flat.lnet_indptr[nets],
+                )
+            ]
+            affected = np.concatenate((warcs, carcs))
+        else:
+            affected = np.empty(0, dtype=np.int64)
+        if len(affected):
+            new_delay = flat.arc_delays(
+                model,
+                state.net_load,
+                state.net_hpwl,
+                inst_x,
+                inst_y,
+                arcs=affected,
+            )
+            state.delay[affected] = new_delay
+            state.delay_f[flat.inv_f[affected]] = new_delay
+            state.delay_b[flat.inv_b[affected]] = new_delay
+            evaluated += self._forward_worklist(flat, state, affected)
+            evaluated += self._backward_worklist(flat, state, affected)
+        perf.count("sta.incremental.arcs_evaluated", evaluated)
+        perf.count("sta.incremental.arcs_skipped", max(0, 2 * m - evaluated))
+        return self._finalize(flat, state, state.period)
+
+    def _subset_coords(self, flat: FlatTiming, nets: np.ndarray):
+        """Sparse instance coordinates: only dirty nets' pins filled."""
+        if type(self.wire_model) is FanoutWireModel:
+            return None, None
+        instances = self.design.instances
+        inst_x = np.zeros(len(instances))
+        inst_y = np.zeros(len(instances))
+        starts = flat.pin_indptr[nets]
+        counts = flat.pin_indptr[nets + 1] - starts
+        pins = _gather_ranges(starts, counts)
+        touched = np.unique(flat.pin_inst[pins])
+        for i in touched.tolist():
+            if i >= 0:
+                inst = instances[i]
+                inst_x[i] = inst.x
+                inst_y[i] = inst.y
+        return inst_x, inst_y
+
+    @staticmethod
+    def _bucket_by_level(
+        nodes: np.ndarray,
+        level: np.ndarray,
+        pending: np.ndarray,
+        buckets: List[List[np.ndarray]],
+    ) -> None:
+        """Queue not-yet-pending nodes into their per-level buckets."""
+        fresh = nodes[~pending[nodes]]
+        if not len(fresh):
+            return
+        pending[fresh] = True
+        lv = level[fresh]
+        order = np.argsort(lv, kind="stable")
+        fresh = fresh[order]
+        lv = lv[order]
+        cuts = np.flatnonzero(np.concatenate(([True], lv[1:] != lv[:-1])))
+        for i, c in enumerate(cuts):
+            end = cuts[i + 1] if i + 1 < len(cuts) else len(fresh)
+            buckets[lv[c]].append(fresh[c:end])
+
+    def _forward_worklist(
+        self, flat: FlatTiming, state: _FlatState, affected: np.ndarray
+    ) -> int:
+        arrival = state.arrival
+        wp = state.wp
+        init = flat.init_arrival
+        level = flat.level
+        fsrc = flat.f_src
+        df = state.delay_f
+        m = flat.num_arcs
+        evaluated = 0
+        pending = np.zeros(flat.num_nodes, dtype=bool)
+        buckets: List[List[np.ndarray]] = [[] for _ in range(flat.max_level + 1)]
+        self._bucket_by_level(
+            np.unique(flat.a_dst[affected]), level, pending, buckets
+        )
+        for lvl in range(1, flat.max_level + 1):
+            chunk = buckets[lvl]
+            if not chunk:
+                continue
+            vs = np.concatenate(chunk) if len(chunk) > 1 else chunk[0]
+            pending[vs] = False
+            starts = flat.pred_start[vs]
+            counts = flat.pred_end[vs] - starts
+            idx = _gather_ranges(starts, counts)
+            evaluated += len(idx)
+            # Recompute from the full pred slice — identical semantics
+            # (and tie-break) to one wave of the full forward sweep.
+            cand = arrival[fsrc[idx]] + df[idx]
+            loc = np.concatenate(([0], np.cumsum(counts)))[:-1]
+            segmax = np.maximum.reduceat(cand, loc)
+            hit = np.where(cand == np.repeat(segmax, counts), idx, m)
+            first = np.minimum.reduceat(hit, loc)
+            iv = init[vs]
+            choose = segmax > iv
+            new = np.where(choose, segmax, iv)
+            wp[vs] = np.where(choose, fsrc[first], -1)
+            changed = vs[new != arrival[vs]]
+            arrival[vs] = new
+            if len(changed):
+                ss = flat.succ_start[changed]
+                sc = flat.succ_end[changed] - ss
+                succ = flat.b_dst[_gather_ranges(ss, sc)]
+                if len(succ):
+                    self._bucket_by_level(
+                        np.unique(succ), level, pending, buckets
+                    )
+        return evaluated
+
+    def _backward_worklist(
+        self, flat: FlatTiming, state: _FlatState, affected: np.ndarray
+    ) -> int:
+        required = state.required
+        init_req = state.init_req
+        level = flat.level
+        bdst = flat.b_dst
+        db = state.delay_b
+        evaluated = 0
+        pending = np.zeros(flat.num_nodes, dtype=bool)
+        buckets: List[List[np.ndarray]] = [[] for _ in range(flat.max_level + 1)]
+        self._bucket_by_level(
+            np.unique(flat.a_src[affected]), level, pending, buckets
+        )
+        for lvl in range(flat.max_level, -1, -1):
+            chunk = buckets[lvl]
+            if not chunk:
+                continue
+            us = np.concatenate(chunk) if len(chunk) > 1 else chunk[0]
+            pending[us] = False
+            starts = flat.succ_start[us]
+            counts = flat.succ_end[us] - starts
+            idx = _gather_ranges(starts, counts)
+            evaluated += len(idx)
+            cand = required[bdst[idx]] - db[idx]
+            loc = np.concatenate(([0], np.cumsum(counts)))[:-1]
+            segmin = np.minimum.reduceat(cand, loc)
+            new = np.minimum(init_req[us], segmin)
+            changed = us[new != required[us]]
+            required[us] = new
+            if len(changed):
+                ps = flat.pred_start[changed]
+                pc = flat.pred_end[changed] - ps
+                pred = flat.f_src[_gather_ranges(ps, pc)]
+                if len(pred):
+                    self._bucket_by_level(
+                        np.unique(pred), level, pending, buckets
+                    )
+        return evaluated
 
     # ------------------------------------------------------------------
     def net_slacks(self) -> Dict[int, float]:

@@ -15,6 +15,11 @@ Sequential D-type inputs and output ports are path endpoints; input
 ports and sequential Q outputs are path startpoints.  The generator
 guarantees combinational acyclicity, and :meth:`TimingGraph.levelize`
 verifies it (raising on a combinational loop, as OpenSTA would flag).
+
+Besides the tuple-based adjacency (``arcs`` / ``preds``), the builder
+records flat integer arc arrays (wire arcs first, then cell arcs — the
+creation order) that :mod:`repro.sta.flat` compiles into the
+vectorized-STA form without re-walking the Python adjacency lists.
 """
 
 from __future__ import annotations
@@ -22,6 +27,8 @@ from __future__ import annotations
 import weakref
 from collections import deque
 from typing import Dict, List, Optional, Tuple
+
+import numpy as np
 
 from repro.netlist.design import Design, Instance, Net, PinDirection, PinRef
 
@@ -39,6 +46,8 @@ class TimingGraph:
         startpoints: Node ids where timing paths begin.
         endpoints: Node ids where timing paths end.
         topo_order: Node ids in topological order (after levelize()).
+        levels: Per-node longest-path depth (wave index) as a NumPy
+            array, filled by :meth:`levelize`.
     """
 
     CELL = "cell"
@@ -48,11 +57,26 @@ class TimingGraph:
         self.design = design
         self._node_of: Dict[Tuple[Optional[int], str], int] = {}
         self._node_info: List[Tuple[Optional[Instance], str]] = []
-        self.arcs: List[List[Tuple[int, str, object]]] = []
-        self.preds: List[List[Tuple[int, str, object]]] = []
+        # Tuple adjacency is built lazily from the flat arrays — the
+        # vectorized paths never touch it (see arcs/preds properties).
+        self._arcs: Optional[List[List[Tuple[int, str, object]]]] = None
+        self._preds: Optional[List[List[Tuple[int, str, object]]]] = None
+        self._wire_in: Optional[Tuple[np.ndarray, np.ndarray]] = None
         self.startpoints: List[int] = []
         self.endpoints: List[int] = []
         self.topo_order: List[int] = []
+        self.levels: Optional[np.ndarray] = None
+        # Flat arc arrays (filled by _build, wire arcs then cell arcs):
+        #: driver node per driven non-clock net, aligned with _w_net/_w_cnt.
+        self._w_src: Optional[np.ndarray] = None
+        self._w_dst: Optional[np.ndarray] = None  # per wire arc
+        self._w_net: Optional[np.ndarray] = None  # net index per driven net
+        self._w_cnt: Optional[np.ndarray] = None  # sink count per driven net
+        self._c_src: Optional[np.ndarray] = None  # per cell arc
+        self._c_out_node: Optional[np.ndarray] = None  # per (inst, output)
+        self._c_out_net: Optional[np.ndarray] = None
+        self._c_out_inst: Optional[np.ndarray] = None
+        self._c_nin: Optional[np.ndarray] = None  # inputs per (inst, output)
         self._build()
 
     # ------------------------------------------------------------------
@@ -64,8 +88,9 @@ class TimingGraph:
             node_id = len(self._node_info)
             self._node_of[key] = node_id
             self._node_info.append((inst, pin_name))
-            self.arcs.append([])
-            self.preds.append([])
+            if self._arcs is not None:
+                self._arcs.append([])
+                self._preds.append([])
         return node_id
 
     def node_for_ref(self, ref: PinRef) -> int:
@@ -89,77 +114,276 @@ class TimingGraph:
         return len(self._node_info)
 
     # ------------------------------------------------------------------
-    def _add_arc(self, u: int, v: int, kind: str, payload: object) -> None:
-        self.arcs[u].append((v, kind, payload))
-        self.preds[v].append((u, kind, payload))
+    @property
+    def arcs(self) -> List[List[Tuple[int, str, object]]]:
+        """Forward tuple adjacency, built lazily on first access."""
+        if self._arcs is None:
+            self._build_adjacency()
+        return self._arcs
+
+    @property
+    def preds(self) -> List[List[Tuple[int, str, object]]]:
+        """Reverse tuple adjacency, built lazily on first access."""
+        if self._preds is None:
+            self._build_adjacency()
+        return self._preds
+
+    def _build_adjacency(self) -> None:
+        """Materialize arcs/preds from the flat arrays.
+
+        Reproduces the historical construction order exactly: wire arcs
+        net-major in net-index order, then cell arcs output-major in
+        instance order with inputs in pin order.  Only the scalar
+        reference engines walk these lists; the vectorized flow runs
+        entirely on the flat arrays.
+        """
+        n = self.num_nodes
+        arcs: List[List[Tuple[int, str, object]]] = [[] for _ in range(n)]
+        preds: List[List[Tuple[int, str, object]]] = [[] for _ in range(n)]
+        WIRE = self.WIRE
+        CELL = self.CELL
+        nets = self.design.nets
+        instances = self.design.instances
+        dsts = self._w_dst.tolist()
+        pos = 0
+        for u, ni, cnt in zip(
+            self._w_src.tolist(), self._w_net.tolist(), self._w_cnt.tolist()
+        ):
+            net = nets[ni]
+            arcs_u = arcs[u]
+            preds_append = preds
+            for v in dsts[pos : pos + cnt]:
+                arcs_u.append((v, WIRE, net))
+                preds_append[v].append((u, WIRE, net))
+            pos += cnt
+        srcs = self._c_src.tolist()
+        pos = 0
+        for out_node, inst_i, nin in zip(
+            self._c_out_node.tolist(),
+            self._c_out_inst.tolist(),
+            self._c_nin.tolist(),
+        ):
+            inst = instances[inst_i]
+            preds_v = preds[out_node]
+            for u in srcs[pos : pos + nin]:
+                arcs[u].append((out_node, CELL, inst))
+                preds_v.append((u, CELL, inst))
+            pos += nin
+        self._arcs = arcs
+        self._preds = preds
+
+    def wire_in_arrays(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Per-node (driver node, net index) of the first wire in-arc.
+
+        ``-1`` where a node has no wire in-arc.  Lets path backtracking
+        resolve a hop's net without materializing the tuple adjacency.
+        """
+        if self._wire_in is None or len(self._wire_in[0]) < self.num_nodes:
+            n = self.num_nodes
+            wsrc = np.full(n, -1, dtype=np.int64)
+            wnet = np.full(n, -1, dtype=np.int64)
+            dst_rev = self._w_dst[::-1]
+            # Reversed assignment: the first wire arc into a node wins,
+            # matching the scalar scan's first-match semantics.
+            wsrc[dst_rev] = np.repeat(self._w_src, self._w_cnt)[::-1]
+            wnet[dst_rev] = np.repeat(self._w_net, self._w_cnt)[::-1]
+            self._wire_in = (wsrc, wnet)
+        return self._wire_in
 
     def _build(self) -> None:
         design = self.design
+        node_of = self._node_of
+        node_info = self._node_info
+
         # Create nodes for every port so they exist even when floating.
         for name in design.ports:
             self.node(None, name)
-        # Wire arcs.
-        for net in design.nets:
-            if net.driver is None or net.is_clock:
-                continue
-            u = self.node_for_ref(net.driver)
-            for sink in net.sinks:
-                v = self.node_for_ref(sink)
-                self._add_arc(u, v, self.WIRE, net)
 
-        # Cell arcs.
+        # Wire arcs (node() inlined: one dict probe per pin reference).
+        w_src: List[int] = []
+        w_dst: List[int] = []
+        w_net: List[int] = []
+        w_cnt: List[int] = []
+        for net in design.nets:
+            driver = net.driver
+            if driver is None or net.is_clock:
+                continue
+            inst = driver.instance
+            key = (inst.index if inst is not None else None, driver.pin_name)
+            u = node_of.get(key)
+            if u is None:
+                u = len(node_info)
+                node_of[key] = u
+                node_info.append((inst, driver.pin_name))
+            count = 0
+            for sink in net.sinks:
+                si = sink.instance
+                key = (si.index if si is not None else None, sink.pin_name)
+                v = node_of.get(key)
+                if v is None:
+                    v = len(node_info)
+                    node_of[key] = v
+                    node_info.append((si, sink.pin_name))
+                w_dst.append(v)
+                count += 1
+            w_src.append(u)
+            w_net.append(net.index)
+            w_cnt.append(count)
+
+        # Cell arcs.  Per-master pin-name lists are memoized: the
+        # MasterCell accessors rebuild them on every call.
+        c_src: List[int] = []
+        c_out_node: List[int] = []
+        c_out_net: List[int] = []
+        c_out_inst: List[int] = []
+        c_nin: List[int] = []
+        pins_of_master: Dict[int, Tuple[List[str], List[str], bool]] = {}
+        startpoints = self.startpoints
+        endpoints = self.endpoints
         for inst in design.instances:
             master = inst.master
-            outputs = [
-                p.name
-                for p in master.output_pins()
-                if inst.net_on(p.name) is not None
-            ]
-            if master.is_sequential:
+            cached = pins_of_master.get(id(master))
+            if cached is None:
+                cached = (
+                    [p.name for p in master.output_pins()],
+                    [p.name for p in master.input_pins()],
+                    master.is_sequential,
+                )
+                pins_of_master[id(master)] = cached
+            out_names, in_names, is_seq = cached
+            pin_nets = inst.pin_nets
+            outputs = [p for p in out_names if pin_nets.get(p) is not None]
+            if is_seq:
                 # Q pins launch paths (clock arrives at t=0, so arrival
                 # at Q is clk_to_q, applied by the analyzer).  D-type
                 # inputs are endpoints even when Q is unused.
                 for out in outputs:
-                    self.startpoints.append(self.node(inst, out))
-                d_pins = [
-                    p.name
-                    for p in master.input_pins()
-                    if inst.net_on(p.name) is not None
-                ]
-                for d in d_pins:
-                    self.endpoints.append(self.node(inst, d))
+                    startpoints.append(self.node(inst, out))
+                for d in in_names:
+                    if pin_nets.get(d) is not None:
+                        endpoints.append(self.node(inst, d))
             elif not outputs:
                 continue
             else:
-                inputs = [
-                    p.name
-                    for p in master.input_pins()
-                    if inst.net_on(p.name) is not None
-                ]
+                inputs = [p for p in in_names if pin_nets.get(p) is not None]
+                inst_index = inst.index
                 for out in outputs:
-                    out_node = self.node(inst, out)
+                    key = (inst_index, out)
+                    out_node = node_of.get(key)
+                    if out_node is None:
+                        out_node = len(node_info)
+                        node_of[key] = out_node
+                        node_info.append((inst, out))
                     for inp in inputs:
-                        self._add_arc(self.node(inst, inp), out_node, self.CELL, inst)
+                        key = (inst_index, inp)
+                        in_node = node_of.get(key)
+                        if in_node is None:
+                            in_node = len(node_info)
+                            node_of[key] = in_node
+                            node_info.append((inst, inp))
+                        c_src.append(in_node)
+                    if inputs:
+                        c_out_node.append(out_node)
+                        c_out_net.append(pin_nets[out].index)
+                        c_out_inst.append(inst_index)
+                        c_nin.append(len(inputs))
 
         # Ports: input ports with a driven net are startpoints; output
         # ports are endpoints.
         for name, port in design.ports.items():
             key = (None, name)
-            if key not in self._node_of:
+            if key not in node_of:
                 continue
-            node_id = self._node_of[key]
+            node_id = node_of[key]
             if port.direction is PinDirection.INPUT:
                 clock_like = name == design.clock_port
                 if not clock_like:
-                    self.startpoints.append(node_id)
+                    startpoints.append(node_id)
             else:
-                self.endpoints.append(node_id)
+                endpoints.append(node_id)
+
+        self._w_src = np.asarray(w_src, dtype=np.int64)
+        self._w_dst = np.asarray(w_dst, dtype=np.int64)
+        self._w_net = np.asarray(w_net, dtype=np.int64)
+        self._w_cnt = np.asarray(w_cnt, dtype=np.int64)
+        self._c_src = np.asarray(c_src, dtype=np.int64)
+        self._c_out_node = np.asarray(c_out_node, dtype=np.int64)
+        self._c_out_net = np.asarray(c_out_net, dtype=np.int64)
+        self._c_out_inst = np.asarray(c_out_inst, dtype=np.int64)
+        self._c_nin = np.asarray(c_nin, dtype=np.int64)
 
         self.levelize()
 
     # ------------------------------------------------------------------
+    def flat_arc_arrays(self) -> Tuple[np.ndarray, np.ndarray, int]:
+        """(src, dst, num_wire_arcs): arcs in creation order."""
+        src = np.concatenate(
+            (np.repeat(self._w_src, self._w_cnt), self._c_src)
+        )
+        dst = np.concatenate(
+            (self._w_dst, np.repeat(self._c_out_node, self._c_nin))
+        )
+        return src, dst, len(self._w_dst)
+
     def levelize(self) -> None:
-        """Topologically order the nodes; raises on combinational loops."""
+        """Topologically order the nodes; raises on combinational loops.
+
+        Vectorized Kahn waves that reproduce the FIFO deque order
+        exactly: within a wave, nodes are ordered by the position of
+        the arc that zeroed their in-degree in the wave's arc stream.
+        Also fills :attr:`levels` (longest-path depth per node).
+        """
+        if self._w_src is None:
+            self._levelize_scalar()
+            return
+        n = self.num_nodes
+        src, dst, _nw = self.flat_arc_arrays()
+        m = len(src)
+        level = np.zeros(n, dtype=np.int64)
+        if m == 0:
+            self.topo_order = list(range(n))
+            self.levels = level
+            return
+        indeg = np.bincount(dst, minlength=n)
+        order_arcs = np.argsort(src, kind="stable")
+        sdst = dst[order_arcs]
+        indptr = np.concatenate(([0], np.cumsum(np.bincount(src, minlength=n))))
+        frontier = np.flatnonzero(indeg == 0)
+        chunks: List[np.ndarray] = [frontier]
+        done = len(frontier)
+        lvl = 0
+        while len(frontier):
+            starts = indptr[frontier]
+            counts = indptr[frontier + 1] - starts
+            arc_idx = _multi_arange(starts, counts)
+            if not len(arc_idx):
+                break
+            dsts = sdst[arc_idx]
+            np.subtract.at(indeg, dsts, 1)
+            # FIFO order within the next wave: position of the *last*
+            # decrement of each node in this wave's arc stream.
+            rev = dsts[::-1]
+            uniq, rev_first = np.unique(rev, return_index=True)
+            ready = indeg[uniq] == 0
+            nodes = uniq[ready]
+            last_pos = (len(dsts) - 1) - rev_first[ready]
+            nodes = nodes[np.argsort(last_pos)]
+            lvl += 1
+            level[nodes] = lvl
+            chunks.append(nodes)
+            done += len(nodes)
+            frontier = nodes
+        if done != n:
+            remaining = [self.node_name(v) for v in np.flatnonzero(indeg > 0)]
+            raise ValueError(
+                f"combinational loop detected among {len(remaining)} pins, "
+                f"e.g. {remaining[:4]}"
+            )
+        self.topo_order = np.concatenate(chunks).tolist()
+        self.levels = level
+
+    def _levelize_scalar(self) -> None:
+        """Reference deque-based Kahn levelization."""
         n = self.num_nodes
         indeg = [len(self.preds[v]) for v in range(n)]
         queue = deque(v for v in range(n) if indeg[v] == 0)
@@ -178,13 +402,31 @@ class TimingGraph:
                 f"e.g. {remaining[:4]}"
             )
         self.topo_order = order
+        self.levels = None
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        num_arcs = sum(len(a) for a in self.arcs)
+        num_arcs = len(self._w_dst) + len(self._c_src)
         return (
             f"TimingGraph(nodes={self.num_nodes}, arcs={num_arcs}, "
             f"starts={len(self.startpoints)}, ends={len(self.endpoints)})"
         )
+
+
+def _multi_arange(starts: np.ndarray, counts: np.ndarray) -> np.ndarray:
+    """Concatenation of ``arange(s, s + c)`` for each (start, count)."""
+    nonzero = counts > 0
+    if not nonzero.all():
+        starts = starts[nonzero]
+        counts = counts[nonzero]
+    total = int(counts.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64)
+    out = np.ones(total, dtype=np.int64)
+    ends = np.cumsum(counts)
+    out[0] = starts[0]
+    if len(starts) > 1:
+        out[ends[:-1]] = starts[1:] - (starts[:-1] + counts[:-1]) + 1
+    return np.cumsum(out)
 
 
 _GRAPH_CACHE: "weakref.WeakKeyDictionary[Design, TimingGraph]" = (

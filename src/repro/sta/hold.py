@@ -18,6 +18,8 @@ import math
 from dataclasses import dataclass, field
 from typing import Dict
 
+import numpy as np
+
 from repro.sta.analysis import TimingAnalyzer
 
 
@@ -60,6 +62,49 @@ def analyze_hold(
     """
     graph = analyzer.graph
     n = graph.num_nodes
+
+    # Fast path: min-propagate over the flat compilation, reusing the
+    # per-arc delays the last (clean) vectorized update computed.
+    state = getattr(analyzer, "_state", None)
+    if state is not None and analyzer._dirty is None:
+        from repro.sta.flat import flat_for
+
+        flat = flat_for(graph)
+        arr = np.full(n, np.inf)
+        if len(flat.s_nodes):
+            launch = np.where(
+                flat.s_isport, input_min_delay, flat.s_launch
+            )
+            np.minimum.at(arr, flat.s_nodes, launch)
+        fsrc = flat.f_src
+        fdst = flat.f_dst
+        df = state.delay_f
+        for lvl in range(1, flat.max_level + 1):
+            a0 = flat.wave_f[lvl]
+            a1 = flat.wave_f[lvl + 1]
+            if a0 == a1:
+                continue
+            starts = flat.seg_f[flat.wave_seg_f[lvl] : flat.wave_seg_f[lvl + 1]]
+            cand = arr[fsrc[a0:a1]] + df[a0:a1]
+            segmin = np.minimum.reduceat(cand, starts - a0)
+            vs = fdst[starts]
+            arr[vs] = np.minimum(arr[vs], segmin)
+        e = flat.e_nodes
+        keep = flat.e_isseq & (arr[e] != np.inf) if len(e) else np.empty(0, bool)
+        kept_nodes = e[keep]
+        slack = arr[kept_nodes] - (
+            flat.e_hold[keep] + analyzer.clock_uncertainty
+        )
+        wns = float(slack.min()) if len(slack) else 0.0
+        tns = 0.0
+        neg = slack[slack < 0]
+        if len(neg):
+            tns = float(np.cumsum(neg)[-1])
+        return HoldReport(
+            wns=wns,
+            tns=tns,
+            endpoint_slacks=dict(zip(kept_nodes.tolist(), slack.tolist())),
+        )
 
     arrival = [math.inf] * n
     for s in graph.startpoints:

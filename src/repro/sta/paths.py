@@ -12,7 +12,6 @@ from dataclasses import dataclass
 from typing import List, Set
 
 from repro.sta.analysis import TimingAnalyzer
-from repro.sta.graph import TimingGraph
 
 
 @dataclass
@@ -78,6 +77,14 @@ def find_path_ends(
     endpoints = endpoints[:group_count]
 
     graph = analyzer.graph
+    # A node has at most one wire in-arc (its pin's net), so a hop
+    # (pred -> node) traverses a wire exactly when the node's wire
+    # in-arc source is pred.  Resolving the hop from these per-node
+    # arrays avoids materializing the tuple adjacency.
+    wire_src, wire_net = graph.wire_in_arrays()
+    wire_src = wire_src.tolist()
+    wire_net = wire_net.tolist()
+    worst_pred = report.worst_pred
     paths: List[TimingPath] = []
     for endpoint, slack in endpoints:
         nodes: List[int] = []
@@ -87,12 +94,9 @@ def find_path_ends(
         while node != -1 and node not in seen:
             seen.add(node)
             nodes.append(node)
-            pred = report.worst_pred[node]
-            if pred != -1:
-                for v, kind, payload in graph.arcs[pred]:
-                    if v == node and kind == TimingGraph.WIRE:
-                        nets.append(payload.index)
-                        break
+            pred = worst_pred[node]
+            if pred != -1 and wire_src[node] == pred:
+                nets.append(wire_net[node])
             node = pred
         nodes.reverse()
         nets.reverse()

@@ -34,12 +34,13 @@ def jpeg_clusters():
     return design, clustering.members()
 
 
-def _select(design, members, jobs):
+def _select(design, members, jobs, chunk_size=None):
     config = VPRConfig(
         min_cluster_instances=100,
         max_vpr_clusters=3,
         placer_iterations=3,
         jobs=jobs,
+        chunk_size=chunk_size,
     )
     return config, VPRShapeSelector(config).select(design, members)
 
@@ -65,6 +66,33 @@ class TestParallelDeterminism:
                 # the same code path and the placer re-seeds per run.
                 assert s_eval.hpwl_cost == p_eval.hpwl_cost
                 assert s_eval.congestion_cost == p_eval.congestion_cost
+
+    @pytest.mark.parametrize("chunk_size", [1, 7, 1000])
+    def test_chunk_size_does_not_change_selection(
+        self, jpeg_clusters, chunk_size
+    ):
+        """Chunking is a scheduling knob only: one item per task, odd
+        chunks that straddle cluster boundaries, and one giant chunk all
+        select byte-identical shapes with byte-identical costs."""
+        if not _fork_available():
+            pytest.skip("fork start method unavailable")
+        design, members = jpeg_clusters
+        clear_rsmt_cache()
+        _config, serial = _select(design, members, jobs=1)
+        clear_rsmt_cache()
+        _config, chunked = _select(
+            design, members, jobs=2, chunk_size=chunk_size
+        )
+        assert serial.shapes == chunked.shapes
+        for s_sweep, p_sweep in zip(serial.sweeps, chunked.sweeps):
+            assert s_sweep.best == p_sweep.best
+            for s_eval, p_eval in zip(s_sweep.evaluations, p_sweep.evaluations):
+                assert s_eval.hpwl_cost == p_eval.hpwl_cost
+                assert s_eval.congestion_cost == p_eval.congestion_cost
+
+    def test_bad_chunk_size_rejected(self):
+        with pytest.raises(ValueError, match="chunk_size"):
+            VPRConfig(chunk_size=0)
 
     def test_parallel_sweep_warm_cache_identical(self, jpeg_clusters):
         """A warm RSMT cache (second run, no clearing) must not change

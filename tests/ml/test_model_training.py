@@ -131,6 +131,53 @@ class TestModel:
         one_by_one = np.concatenate([model.predict([s]) for s in samples])
         assert np.allclose(all_at_once, one_by_one, atol=1e-8)
 
+    def test_predict_shared_matches_blockdiag(self):
+        # The blocked shared-operator path must be bit-identical to the
+        # block-diagonal predict over shape candidates that share one
+        # graph and differ only in the two design-parameter columns.
+        rng = np.random.default_rng(7)
+        model = TotalCostGNN(seed=3)
+        base = self.make_samples(1, n_nodes=17, seed=11)[0]
+        model.fit_normalization(self.make_samples(5, n_nodes=17, seed=2))
+        # Non-trivial eval batch-norm statistics.
+        bn_objects = [model.head_bn] + [
+            block.bn for blocks in model.branches for block in blocks
+        ]
+        for bn in bn_objects:
+            bn.running["mean"] = rng.normal(size=bn.running["mean"].shape)
+            bn.running["var"] = rng.uniform(0.5, 2.0, size=bn.running["var"].shape)
+        candidates = default_candidate_grid()
+        samples = []
+        features = np.repeat(base.features[None, :, :], len(candidates), 0)
+        for i, cand in enumerate(candidates):
+            features[i, :, 0] = cand.utilization
+            features[i, :, 1] = cand.aspect_ratio
+            samples.append(
+                GraphSample(features[i].copy(), base.operator, base.label)
+            )
+        blockdiag = model.predict(samples)
+        shared = model.predict_shared(features, base.operator)
+        assert shared.shape == blockdiag.shape
+        assert np.array_equal(shared, blockdiag)
+
+    def test_predictor_blocked_matches_unblocked(self):
+        from repro.designs import load_benchmark
+        from repro.ml import FeatureExtractor, TotalCostPredictor
+
+        design = load_benchmark("aes", use_cache=False)
+        db = DesignDatabase(design)
+        clustering = ppa_aware_clustering(
+            db, PPAClusteringConfig(target_cluster_size=200)
+        )
+        members = clustering.members()
+        cluster = max(range(len(members)), key=lambda c: len(members[c]))
+        sub = extract_subnetlist(design, members[cluster])
+        model = TotalCostGNN(seed=0)
+        candidates = default_candidate_grid()
+        blocked = TotalCostPredictor(model, FeatureExtractor(), blocked=True)
+        unblocked = TotalCostPredictor(model, FeatureExtractor(), blocked=False)
+        assert np.array_equal(blocked(sub, candidates), unblocked(sub, candidates))
+
     def test_save_load_roundtrip(self, tmp_path):
         model = TotalCostGNN(seed=1)
         samples = self.make_samples()
