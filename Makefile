@@ -1,4 +1,4 @@
-.PHONY: install test bench tables clean lint perf-smoke resume-smoke bench-flow
+.PHONY: install test bench tables clean lint perf-smoke resume-smoke bench-flow cache-smoke
 
 install:
 	pip install -e .
@@ -40,6 +40,30 @@ bench-flow:
 	python -m repro report diff \
 		benchmarks/results/bench_flow_baseline.json bench-flow/run.json \
 		--rel 0 --stream qor.aes.hpwl
+
+# Cross-run cache smoke: run the aes flow twice against one --cache
+# directory and require (a) the second run to serve its V-P&R items
+# from the cache (vpr.cache.hit > 0, zero misses) and (b) every metric
+# stream — costs, HPWL, selection — to be byte-identical between the
+# two runs (docs/performance.md "Cross-run caching").
+cache-smoke:
+	rm -rf /tmp/repro-cache-smoke && mkdir -p /tmp/repro-cache-smoke
+	timeout 300 python -m repro flow --benchmark aes --no-routing \
+		--seed 3 --cache /tmp/repro-cache-smoke/cache \
+		--telemetry /tmp/repro-cache-smoke/cold
+	timeout 300 python -m repro flow --benchmark aes --no-routing \
+		--seed 3 --cache /tmp/repro-cache-smoke/cache \
+		--telemetry /tmp/repro-cache-smoke/warm
+	python -c "import json; \
+		cold = json.load(open('/tmp/repro-cache-smoke/cold/run.json'))['perf']['counters']; \
+		warm = json.load(open('/tmp/repro-cache-smoke/warm/run.json'))['perf']['counters']; \
+		assert cold.get('vpr.cache.store', 0) > 0, cold; \
+		assert warm.get('vpr.cache.hit', 0) > 0, warm; \
+		assert warm.get('vpr.cache.miss', 0) == 0, warm; \
+		print('cache-smoke: warm run served', warm['vpr.cache.hit'], 'items from cache')"
+	python -m repro report diff \
+		/tmp/repro-cache-smoke/cold/run.json \
+		/tmp/repro-cache-smoke/warm/run.json --rel 0 --abs 0
 
 # Crash-safety smoke: run a checkpointed flow, kill it mid-sweep with
 # an injected abort, resume, and require the resumed QoR to match an

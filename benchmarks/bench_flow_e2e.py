@@ -105,6 +105,7 @@ def run_design(
     routing: bool = False,
     repeats: int = 1,
     jobs: int = 1,
+    cache_dir: Optional[str] = None,
 ) -> Dict[str, Any]:
     """Run the flow ``repeats`` times; best stage walls, first-run QoR.
 
@@ -121,11 +122,24 @@ def run_design(
         design = load_benchmark(name, use_cache=False)
         perf.enable()
         perf.reset()
-        config = FlowConfig(run_routing=routing, seed=seed, jobs=jobs)
+        config = FlowConfig(
+            run_routing=routing, seed=seed, jobs=jobs, cache_dir=cache_dir
+        )
         t0 = time.perf_counter()
         result = ClusteredPlacementFlow(config).run(design)
         wall_total = time.perf_counter() - t0
         counters = dict(perf.report().to_dict().get("counters") or {})
+        # The per-design counter block always carries the evaluation
+        # cache's hit/miss/store/evict counts (zeros when the counter
+        # never fired), so warm/cold comparisons and the cache-smoke CI
+        # job can read them without key-existence checks.
+        for counter in (
+            "vpr.cache.hit",
+            "vpr.cache.miss",
+            "vpr.cache.store",
+            "vpr.cache.evict",
+        ):
+            counters.setdefault(counter, 0)
         perf.disable()
 
         runtimes = {k: float(v) for k, v in result.metrics.runtimes.items()}
@@ -306,6 +320,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--routing", action="store_true", help="run CTS+route+post-route STA"
     )
     parser.add_argument(
+        "--cache",
+        default=None,
+        metavar="DIR",
+        help="evaluate V-P&R candidates through a cross-run cache in DIR "
+        "(flow --cache); vpr.cache.* counters land in the counter block",
+    )
+    parser.add_argument(
         "--json",
         default=None,
         metavar="PATH",
@@ -331,6 +352,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             routing=args.routing,
             repeats=args.repeats,
             jobs=args.jobs,
+            cache_dir=args.cache,
         )
         records[record["design"]] = record
         print(

@@ -1,0 +1,229 @@
+"""The on-disk evaluation store.
+
+Layout of a cache directory::
+
+    CACHE.json                  # schema marker (written on first put)
+    objects/ab/abcdef....json   # one entry per key, sharded by prefix
+
+Each entry is a small JSON record carrying the exact
+``CandidateEvaluation`` payload (hpwl/congestion costs) plus the
+seconds the original evaluation took.  Writes go through the shared
+atomic temp + rename primitive (:func:`repro.ioutil.atomic_write_bytes`,
+``durable=False`` — rename atomicity without per-item fsyncs; a torn
+entry is detected on read and treated as a miss).
+
+Design points:
+
+* **Reads never raise.**  Unparseable, truncated, or wrong-schema
+  entries count as misses (``vpr.cache.corrupt``) and are unlinked
+  best-effort.  A cache can therefore be shared, copied, or bit-rotted
+  without ever crashing a run.
+* **LRU garbage collection.**  Entry mtimes are bumped on hit, so
+  eviction (oldest-first) approximates LRU.  ``max_entries`` /
+  ``max_bytes`` bound the store; the parent-side writer triggers a GC
+  sweep opportunistically every :data:`GC_WRITE_INTERVAL` puts, and
+  ``repro cache gc`` runs one on demand.
+* **Single-writer discipline.**  Pool workers only call :meth:`get`;
+  all :meth:`put`/:meth:`gc` calls happen in the parent, so the hot
+  path has no file locks.  Concurrent *readers* are always safe.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from repro import perf
+from repro.cache.keys import SCHEMA
+from repro.ioutil import atomic_write_bytes
+from repro.recovery import faults
+
+#: Entry-count bound applied when the cache is opened without explicit
+#: limits (~40 designs' worth of full sweeps; entries are ~200 bytes).
+DEFAULT_MAX_ENTRIES = 200_000
+
+#: Parent-side puts between opportunistic GC sweeps.
+GC_WRITE_INTERVAL = 512
+
+#: Fields a stored record must carry to be served as a hit.
+_REQUIRED = ("hpwl_cost", "congestion_cost")
+
+
+@dataclass
+class CacheStats:
+    """Size summary of a cache directory."""
+
+    entries: int
+    total_bytes: int
+
+    def to_dict(self) -> Dict[str, int]:
+        return {"entries": self.entries, "total_bytes": self.total_bytes}
+
+
+class EvaluationCache:
+    """Content-addressed store of V-P&R candidate evaluations."""
+
+    MARKER = "CACHE.json"
+    OBJECT_DIR = "objects"
+
+    def __init__(
+        self,
+        directory: str,
+        max_entries: Optional[int] = DEFAULT_MAX_ENTRIES,
+        max_bytes: Optional[int] = None,
+    ) -> None:
+        self.directory = Path(directory)
+        self.max_entries = max_entries
+        self.max_bytes = max_bytes
+        self._writes_since_gc = 0
+        self._marker_written = False
+
+    # -- paths ---------------------------------------------------------
+    def _entry_path(self, key: str) -> Path:
+        return self.directory / self.OBJECT_DIR / key[:2] / f"{key}.json"
+
+    def _entries(self) -> Iterator[Path]:
+        root = self.directory / self.OBJECT_DIR
+        if not root.is_dir():
+            return
+        for shard in sorted(root.iterdir()):
+            if not shard.is_dir():
+                continue
+            yield from sorted(shard.glob("*.json"))
+
+    # -- read path (workers and parent) --------------------------------
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        """The stored record for ``key``, or None on miss.
+
+        Corruption-tolerant: any failure to read or validate the entry
+        is a miss, and the offending file is removed best-effort.  A
+        hit bumps the entry's mtime (the LRU recency signal).
+        """
+        path = self._entry_path(key)
+        # Fault site: a worker can be killed while reading an entry to
+        # prove the sweep degrades to the parent-side retry path.
+        faults.check("cache.read", key=key)
+        try:
+            record = json.loads(path.read_text())
+        except FileNotFoundError:
+            perf.count("vpr.cache.miss")
+            return None
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+            perf.count("vpr.cache.corrupt")
+            perf.count("vpr.cache.miss")
+            self._discard(path)
+            return None
+        if record.get("schema") != SCHEMA or not all(
+            k in record for k in _REQUIRED
+        ):
+            perf.count("vpr.cache.corrupt")
+            perf.count("vpr.cache.miss")
+            self._discard(path)
+            return None
+        perf.count("vpr.cache.hit")
+        try:
+            os.utime(path)
+        except OSError:  # pragma: no cover - entry raced away
+            pass
+        return record
+
+    @staticmethod
+    def _discard(path: Path) -> None:
+        try:
+            path.unlink(missing_ok=True)
+        except OSError:  # pragma: no cover - permission races
+            pass
+
+    # -- write path (parent only) --------------------------------------
+    def put(self, key: str, record: Dict[str, Any]) -> None:
+        """Store one evaluation record under its content address."""
+        payload = {"schema": SCHEMA, "key": key}
+        payload.update(record)
+        atomic_write_bytes(
+            self._entry_path(key),
+            json.dumps(payload, sort_keys=True).encode(),
+            durable=False,
+        )
+        perf.count("vpr.cache.store")
+        if not self._marker_written:
+            self._write_marker()
+        self._writes_since_gc += 1
+        if self._writes_since_gc >= GC_WRITE_INTERVAL:
+            self._writes_since_gc = 0
+            self.gc()
+
+    def _write_marker(self) -> None:
+        marker = self.directory / self.MARKER
+        if not marker.is_file():
+            atomic_write_bytes(
+                marker,
+                json.dumps({"schema": SCHEMA}, sort_keys=True).encode(),
+                durable=False,
+            )
+        self._marker_written = True
+
+    # -- maintenance ---------------------------------------------------
+    def stats(self) -> CacheStats:
+        """Entry count and total payload bytes currently stored."""
+        entries = 0
+        total = 0
+        for path in self._entries():
+            try:
+                total += path.stat().st_size
+            except OSError:  # pragma: no cover - entry raced away
+                continue
+            entries += 1
+        return CacheStats(entries=entries, total_bytes=total)
+
+    def gc(
+        self,
+        max_entries: Optional[int] = None,
+        max_bytes: Optional[int] = None,
+    ) -> int:
+        """Evict least-recently-used entries past the size bounds.
+
+        Bounds default to the store's configured limits; returns the
+        number of entries evicted (``vpr.cache.evict`` counts them
+        too).  A bound of None is unlimited.
+        """
+        if max_entries is None:
+            max_entries = self.max_entries
+        if max_bytes is None:
+            max_bytes = self.max_bytes
+        if max_entries is None and max_bytes is None:
+            return 0
+        aged: List[Tuple[float, int, Path]] = []
+        total = 0
+        for path in self._entries():
+            try:
+                stat = path.stat()
+            except OSError:  # pragma: no cover - entry raced away
+                continue
+            aged.append((stat.st_mtime, stat.st_size, path))
+            total += stat.st_size
+        aged.sort()  # oldest mtime first = least recently used
+        evicted = 0
+        count = len(aged)
+        for mtime, size, path in aged:
+            over_count = max_entries is not None and count > max_entries
+            over_bytes = max_bytes is not None and total > max_bytes
+            if not (over_count or over_bytes):
+                break
+            self._discard(path)
+            count -= 1
+            total -= size
+            evicted += 1
+        if evicted:
+            perf.count("vpr.cache.evict", evicted)
+        return evicted
+
+    def clear(self) -> int:
+        """Remove every entry; returns how many were removed."""
+        removed = 0
+        for path in self._entries():
+            self._discard(path)
+            removed += 1
+        return removed

@@ -10,6 +10,8 @@ Commands:
 * ``viz`` — render placement / cluster / congestion SVGs.
 * ``report`` — inspect or diff telemetry run reports (``run.json``);
   ``report diff A B`` exits non-zero when a QoR stream regressed.
+* ``cache`` — manage the cross-run V-P&R evaluation cache
+  (``stats`` / ``gc`` / ``clear``); see ``flow --cache DIR``.
 
 All commands accept ``--seed`` for determinism.  See ``--help`` of each
 subcommand.
@@ -61,6 +63,14 @@ def _add_flow_parser(subparsers) -> None:
         help="resume from --checkpoint DIR instead of starting fresh; "
         "the resumed run reproduces the uninterrupted run's QoR bit "
         "for bit",
+    )
+    p.add_argument(
+        "--cache",
+        metavar="DIR",
+        help="serve V-P&R candidate evaluations from (and store them "
+        "into) a content-addressed cross-run cache in DIR; warm "
+        "results are byte-identical to cold (--flow ours only); see "
+        "docs/performance.md",
     )
     p.add_argument(
         "--jobs",
@@ -147,6 +157,31 @@ def _add_simple_parsers(subparsers) -> None:
         "--html", help="also render a self-contained HTML report here"
     )
 
+    p = subparsers.add_parser(
+        "cache", help="manage the cross-run V-P&R evaluation cache"
+    )
+    csub = p.add_subparsers(dest="cache_command", required=True)
+    c = csub.add_parser("stats", help="entry count and total bytes stored")
+    c.add_argument("directory", help="cache directory (flow --cache DIR)")
+    c = csub.add_parser(
+        "gc", help="evict least-recently-used entries past the bounds"
+    )
+    c.add_argument("directory", help="cache directory")
+    c.add_argument(
+        "--max-entries",
+        type=int,
+        default=None,
+        help="entry-count bound (default: the store's built-in bound)",
+    )
+    c.add_argument(
+        "--max-bytes",
+        type=int,
+        default=None,
+        help="total-size bound in bytes (default: unlimited)",
+    )
+    c = csub.add_parser("clear", help="remove every cached entry")
+    c.add_argument("directory", help="cache directory")
+
 
 def build_parser() -> argparse.ArgumentParser:
     """The top-level argument parser."""
@@ -227,6 +262,9 @@ def _cmd_flow(args) -> int:
         raise SystemExit("--resume requires --checkpoint DIR")
     if checkpoint_dir and args.flow != "ours":
         raise SystemExit("--checkpoint is only supported with --flow ours")
+    cache_dir = getattr(args, "cache", None)
+    if cache_dir and args.flow != "ours":
+        raise SystemExit("--cache is only supported with --flow ours")
 
     design = _load_design(args)
     run_routing = not args.no_routing
@@ -254,6 +292,7 @@ def _cmd_flow(args) -> int:
                 seed=args.seed,
                 checkpoint_dir=checkpoint_dir,
                 resume=args.resume,
+                cache_dir=cache_dir,
             )
             result = ClusteredPlacementFlow(config).run(design)
 
@@ -477,6 +516,28 @@ def _cmd_report(args) -> int:
     return 0
 
 
+def _cmd_cache(args) -> int:
+    from repro.cache import EvaluationCache
+
+    cache = EvaluationCache(args.directory)
+    if args.cache_command == "stats":
+        stats = cache.stats()
+        print(f"directory   : {args.directory}")
+        print(f"entries     : {stats.entries}")
+        print(f"total bytes : {stats.total_bytes}")
+        return 0
+    if args.cache_command == "gc":
+        evicted = cache.gc(
+            max_entries=args.max_entries, max_bytes=args.max_bytes
+        )
+        stats = cache.stats()
+        print(f"evicted {evicted} entries; {stats.entries} remain")
+        return 0
+    removed = cache.clear()
+    print(f"removed {removed} entries")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point."""
     args = build_parser().parse_args(argv)
@@ -487,6 +548,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "sta": _cmd_sta,
         "viz": _cmd_viz,
         "report": _cmd_report,
+        "cache": _cmd_cache,
     }
     return handlers[args.command](args)
 

@@ -1,0 +1,146 @@
+"""Zero-copy publication of sweep state to pool workers.
+
+The V-P&R sweep fans (cluster, candidate) work items out over a
+process pool.  The expensive part of each item is *state*, not work
+description: the induced sub-netlists, their flat scoring arrays and
+the config.  Shipping that per item (pickle in every task) puts a
+serialization knee in the ``--jobs`` scaling curve, so the sweep
+publishes the whole state **once** and each work item carries only two
+integers:
+
+* **fork** start method (Linux default): the parent parks the payload
+  in a module global before creating the pool; forked workers inherit
+  the pages copy-on-write.  Nothing is pickled at all.
+* **spawn** start method (macOS/Windows default, or forced via
+  ``VPRConfig.start_method``): the payload is pickled *once* into a
+  :class:`multiprocessing.shared_memory.SharedMemory` segment; each
+  worker attaches to the segment by name (zero-copy buffer mapping)
+  and deserialises it once at initialisation.
+
+Both paths hand workers the same object graph, so results are
+byte-identical regardless of start method
+(``tests/core/test_fanout.py``).  A worker that dies while attaching
+or reading the shared buffer simply loses its items to the parent-side
+retry path — the segment itself is owned (and unlinked) by the parent.
+"""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Tuple
+
+from repro import perf
+from repro.recovery import faults
+
+try:  # pragma: no cover - stdlib since 3.8; guarded for exotic builds
+    from multiprocessing import shared_memory
+except ImportError:  # pragma: no cover
+    shared_memory = None  # type: ignore[assignment]
+
+#: A token a worker can resolve to the published payload.
+#: ``("inherit",)`` for fork-inherited globals;
+#: ``("shm", name, size)`` for a shared-memory segment.
+StateToken = Tuple[str, ...]
+
+#: Fork-inherited payload (parent side; workers read their COW copy).
+_INHERITED: Optional[Dict[str, Any]] = None
+
+#: Worker-side memo: the payload this process already attached, keyed
+#: by token, so every item after the first resolves it for free.
+_ATTACHED: Dict[StateToken, Dict[str, Any]] = {}
+
+
+@dataclass
+class StatePublisher:
+    """Parent-side handle on one published payload.
+
+    Use as a context manager around the pool's lifetime::
+
+        with publish_state(payload, method="fork") as token:
+            pool.submit(worker, token, item)...
+
+    Exiting releases the fork global / unlinks the shared segment.
+    """
+
+    token: StateToken
+    _shm: Optional[object] = None
+
+    def __enter__(self) -> StateToken:
+        return self.token
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def close(self) -> None:
+        global _INHERITED
+        if self.token and self.token[0] == "inherit":
+            _INHERITED = None
+        if self._shm is not None:
+            try:
+                self._shm.close()
+                self._shm.unlink()
+            except OSError:  # pragma: no cover - already unlinked
+                pass
+            self._shm = None
+
+
+def publish_state(payload: Dict[str, Any], method: str) -> StatePublisher:
+    """Publish ``payload`` for workers started with ``method``.
+
+    ``method`` is the multiprocessing start method the pool will use
+    (``"fork"`` or ``"spawn"``).
+    """
+    if method == "fork":
+        global _INHERITED
+        _INHERITED = payload
+        return StatePublisher(token=("inherit",))
+    if shared_memory is None:  # pragma: no cover - exotic build
+        raise OSError("multiprocessing.shared_memory unavailable")
+    blob = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+    segment = shared_memory.SharedMemory(create=True, size=max(1, len(blob)))
+    segment.buf[: len(blob)] = blob
+    perf.count("vpr.fanout.shm_bytes", len(blob))
+    return StatePublisher(
+        token=("shm", segment.name, str(len(blob))), _shm=segment
+    )
+
+
+def attach_state(token: StateToken) -> Dict[str, Any]:
+    """Resolve a token to the published payload (worker side).
+
+    Fork workers read their inherited copy; spawn workers map the
+    shared segment and unpickle it once, memoising the result for the
+    rest of the process's life.
+    """
+    cached = _ATTACHED.get(tuple(token))
+    if cached is not None:
+        return cached
+    # Fault site: a worker can be killed here to prove a crash while
+    # reading the shared buffer degrades to the parent-side retry path.
+    faults.check("fanout.attach", key=token[0])
+    if token[0] == "inherit":
+        if _INHERITED is None:
+            raise RuntimeError(
+                "no fork-inherited sweep state in this process (the parent "
+                "must publish before creating the pool)"
+            )
+        payload = _INHERITED
+    elif token[0] == "shm":
+        if shared_memory is None:  # pragma: no cover - exotic build
+            raise OSError("multiprocessing.shared_memory unavailable")
+        _kind, name, size_text = token
+        segment = shared_memory.SharedMemory(name=name)
+        try:
+            payload = pickle.loads(bytes(segment.buf[: int(size_text)]))
+        finally:
+            segment.close()
+    else:
+        raise ValueError(f"unknown fan-out token {token!r}")
+    _ATTACHED[tuple(token)] = payload
+    return payload
+
+
+def reset_attachments() -> None:
+    """Drop worker-side memoised payloads (tests only)."""
+    _ATTACHED.clear()

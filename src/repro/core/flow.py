@@ -18,6 +18,7 @@ from typing import Dict, List, Optional
 import numpy as np
 
 from repro import perf, telemetry
+from repro.cache import EvaluationCache
 from repro.cluster.best_choice import best_choice_clustering
 from repro.cluster.edge_coarsening import edge_coarsening
 from repro.cluster.fc import FirstChoiceConfig, first_choice_clustering
@@ -113,6 +114,12 @@ class FlowConfig:
             chosen shapes and QoR bit for bit (per-stage RNG snapshots
             are restored); resuming with a different configuration is
             refused.  See ``docs/recovery.md``.
+        cache_dir: When set, V-P&R candidate evaluations are served
+            from (and stored into) a content-addressed cross-run cache
+            in this directory.  Unlike a checkpoint (one run's resume
+            state), the cache is shared by *any* run whose (sub-netlist,
+            shape, config) items match; warm results are byte-identical
+            to cold.  See ``docs/performance.md``.
     """
 
     tool: str = "openroad"
@@ -131,6 +138,7 @@ class FlowConfig:
     seed: int = 0
     checkpoint_dir: Optional[str] = None
     resume: bool = False
+    cache_dir: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.jobs != 1 and self.vpr_config.jobs == 1:
@@ -371,6 +379,8 @@ class ClusteredPlacementFlow:
         framework = getattr(selector, "framework", None)
         if store is not None and framework is not None:
             framework.checkpoint = store
+        if config.cache_dir and framework is not None:
+            framework.cache = EvaluationCache(config.cache_dir)
 
         def _compute_selection() -> VPRSelection:
             with perf.stage("flow/vpr"), telemetry.span(

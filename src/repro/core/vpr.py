@@ -33,7 +33,16 @@ Performance engine (this module is the flow's runtime bottleneck):
   indexed by (cluster, candidate), so the selected shapes and costs are
   identical to a serial run regardless of worker scheduling; candidate
   evaluation is order-independent by construction (the placer
-  re-initialises from its seed each run).
+  re-initialises from its seed each run).  Sweep state (induced
+  sub-netlists, scoring arrays, config) is published **once** via
+  :mod:`repro.core.fanout` — fork workers inherit it copy-on-write,
+  spawn workers map one shared-memory segment — so a work item ships
+  only its (cluster, candidate) indices.
+* With an :class:`~repro.cache.EvaluationCache` attached, evaluations
+  are content-addressed across runs: a (sub-netlist, shape, config)
+  item seen before is served from disk, byte-identical to a fresh
+  evaluation.  Workers only read the store; the parent is the only
+  writer (see ``docs/performance.md``).
 * The :mod:`repro.perf` stage timers wrap every phase, so a perf
   report shows extract/place/route/score splits.
 
@@ -72,10 +81,13 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro import perf, telemetry
+from repro.cache import EvaluationCache, cache_key, netlist_digest
+from repro.core.fanout import StateToken, attach_state, publish_state
 from repro.core.shapes import ShapeCandidate, default_candidate_grid, uniform_shape
 from repro.recovery import faults
 from repro.recovery.checkpoint import CheckpointError, CheckpointStore
 from repro.netlist.design import Design, Floorplan, PinDirection
+from repro.netlist.snapshot import design_from_snapshot, design_snapshot
 from repro.place.placer import GlobalPlacer, PlacerConfig
 from repro.place.problem import PlacementProblem
 from repro.place.hpwl import hpwl_arrays
@@ -114,6 +126,13 @@ class VPRConfig:
             large sweeps while keeping the tail balanced.  1 reproduces
             the one-item-per-task scheduling.  Chunking only changes
             scheduling granularity, never results.
+        start_method: Multiprocessing start method for the pool:
+            ``"fork"`` (workers inherit the published sweep state
+            copy-on-write), ``"spawn"`` (the state is published once
+            through a shared-memory segment), or None (default —
+            fork when available, else spawn).  The start method only
+            changes how state reaches workers, never results (see
+            :mod:`repro.core.fanout`).
         seed: RNG seed (randomised selector arms).
         item_timeout: Wall-clock bound (seconds) on one (cluster,
             candidate) evaluation inside a pool worker; an item that
@@ -141,6 +160,7 @@ class VPRConfig:
     die_margin: float = 1.0
     jobs: int = 1
     chunk_size: Optional[int] = None
+    start_method: Optional[str] = None
     seed: int = 0
     item_timeout: Optional[float] = None
     retry_limit: int = 1
@@ -157,6 +177,11 @@ class VPRConfig:
             raise ValueError(
                 f"chunk_size must be a positive integer or None, "
                 f"got {self.chunk_size!r}"
+            )
+        if self.start_method not in (None, "fork", "spawn"):
+            raise ValueError(
+                f"start_method must be 'fork', 'spawn' or None, "
+                f"got {self.start_method!r}"
             )
 
 
@@ -360,10 +385,24 @@ class _SubContext:
         "num_score_nets",
     )
 
-    def __init__(self, sub: Design) -> None:
+    def __init__(
+        self,
+        sub: Design,
+        score_pins: Optional[np.ndarray] = None,
+        score_offsets: Optional[np.ndarray] = None,
+    ) -> None:
         self.sub = sub
         self.fingerprint = _sub_fingerprint(sub)
         self.problem: Optional[PlacementProblem] = None
+
+        if score_pins is not None and score_offsets is not None:
+            # Pre-built arrays shipped by the parent's fan-out payload
+            # (zero-copy under fork; one shared-memory publication
+            # under spawn) — identical to what the loop below builds.
+            self.score_pins = np.asarray(score_pins, dtype=np.int64)
+            self.score_offsets = np.asarray(score_offsets, dtype=np.int64)
+            self.num_score_nets = len(self.score_offsets) - 1
+            return
 
         # Scoring arrays: per-pin vertex ids over nets with >= 2 pins,
         # matching net_hpwl() semantics (duplicate same-instance pins
@@ -419,18 +458,25 @@ class VPRFramework:
     #: caps keep long dataset-generation runs from accumulating subs).
     _INDUCE_CACHE_MAX = 64
     _CONTEXT_CACHE_MAX = 16
+    _DIGEST_CACHE_MAX = 64
 
     def __init__(
         self,
         config: Optional[VPRConfig] = None,
         checkpoint: Optional[CheckpointStore] = None,
+        cache: Optional[EvaluationCache] = None,
     ) -> None:
         self.config = config or VPRConfig()
         #: Optional checkpoint store; when set, every completed
         #: (cluster, candidate) evaluation is persisted and reused.
         self.checkpoint = checkpoint
+        #: Optional cross-run evaluation cache; when set, evaluations
+        #: whose content address matches a stored entry are served from
+        #: disk instead of re-running place + route.
+        self.cache = cache
         self._induce_cache: "OrderedDict[tuple, Tuple[Design, float]]" = OrderedDict()
         self._contexts: "OrderedDict[int, _SubContext]" = OrderedDict()
+        self._digests: "OrderedDict[int, Tuple[tuple, str]]" = OrderedDict()
 
     # -- sub-netlist cache ---------------------------------------------
     def induce(
@@ -471,6 +517,21 @@ class VPRFramework:
         if len(self._contexts) > self._CONTEXT_CACHE_MAX:
             self._contexts.popitem(last=False)
         return ctx
+
+    def seed_context(
+        self, sub: Design, score_pins: np.ndarray, score_offsets: np.ndarray
+    ) -> None:
+        """Install a context built from pre-shipped scoring arrays.
+
+        Pool workers call this with the arrays the parent published, so
+        no worker re-walks the sub-netlist's nets (under fork the
+        arrays are literally the parent's pages, copy-on-write).
+        """
+        key = id(sub)
+        self._contexts[key] = _SubContext(sub, score_pins, score_offsets)
+        self._contexts.move_to_end(key)
+        if len(self._contexts) > self._CONTEXT_CACHE_MAX:
+            self._contexts.popitem(last=False)
 
     # -- evaluation ----------------------------------------------------
     def evaluate_candidate(
@@ -636,6 +697,102 @@ class VPRFramework:
         # a unit of work was durably recorded).
         faults.check("vpr.item.saved", key=f"{cluster_id}/{candidate_index}")
 
+    # -- cross-run evaluation cache ------------------------------------
+    def _netlist_digest(self, sub: Design) -> str:
+        """Memoised content digest of one sub-netlist.
+
+        Keyed by object identity and revalidated against the structural
+        fingerprint (the L-shape sweep mutates subs in place).
+        """
+        key = id(sub)
+        fingerprint = _sub_fingerprint(sub)
+        entry = self._digests.get(key)
+        if entry is not None and entry[0] == fingerprint:
+            self._digests.move_to_end(key)
+            return entry[1]
+        with perf.stage("vpr/cache_key"):
+            digest = netlist_digest(sub)
+        self._digests[key] = (fingerprint, digest)
+        self._digests.move_to_end(key)
+        if len(self._digests) > self._DIGEST_CACHE_MAX:
+            self._digests.popitem(last=False)
+        return digest
+
+    def _cache_key(
+        self, sub: Design, cell_area: float, candidate_index: int
+    ) -> str:
+        return cache_key(
+            self._netlist_digest(sub),
+            self.config.candidates[candidate_index],
+            self.config,
+            cell_area=cell_area,
+        )
+
+    def _cache_lookup(
+        self,
+        sub: Design,
+        cell_area: float,
+        cluster_id: int,
+        candidate_index: int,
+    ) -> Optional[Tuple[CandidateEvaluation, float]]:
+        """A cached (evaluation, original seconds) for this item, or None.
+
+        Only valid (finite-cost) records are served; anything else is a
+        miss.  Emits ``cache.hit`` / ``cache.miss`` telemetry events so
+        run reports attribute reuse per (cluster, candidate).
+        """
+        cache = self.cache
+        if cache is None:
+            return None
+        key = self._cache_key(sub, cell_area, candidate_index)
+        record = cache.get(key)
+        if record is not None:
+            candidate = self.config.candidates[candidate_index]
+            evaluation = CandidateEvaluation(
+                candidate=candidate,
+                hpwl_cost=float(record["hpwl_cost"]),
+                congestion_cost=float(record["congestion_cost"]),
+            )
+            if evaluation.is_valid:
+                telemetry.event(
+                    "cache.hit",
+                    cluster=cluster_id,
+                    candidate=candidate_index,
+                    key=key,
+                )
+                return evaluation, float(record.get("seconds", 0.0))
+        telemetry.event(
+            "cache.miss",
+            cluster=cluster_id,
+            candidate=candidate_index,
+            key=key,
+        )
+        return None
+
+    def _cache_store(
+        self,
+        sub: Design,
+        cell_area: float,
+        candidate_index: int,
+        evaluation: CandidateEvaluation,
+        seconds: float,
+    ) -> None:
+        """Persist one finished evaluation (parent-side, valid only)."""
+        cache = self.cache
+        if cache is None or not evaluation.is_valid:
+            return
+        candidate = evaluation.candidate
+        cache.put(
+            self._cache_key(sub, cell_area, candidate_index),
+            {
+                "ar": candidate.aspect_ratio,
+                "util": candidate.utilization,
+                "hpwl_cost": evaluation.hpwl_cost,
+                "congestion_cost": evaluation.congestion_cost,
+                "seconds": seconds,
+            },
+        )
+
     def _evaluate_item_guarded(
         self, sub: Design, cell_area: float, cluster_id: int, candidate_index: int
     ) -> Tuple[CandidateEvaluation, float]:
@@ -706,14 +863,21 @@ class VPRFramework:
             sub, cell_area = self.induce(source, member_indices)
             evaluations: List[CandidateEvaluation] = []
             for k in range(len(self.config.candidates)):
-                cached = self._checkpoint_lookup(cluster_id, k)
+                checkpointed = self._checkpoint_lookup(cluster_id, k)
+                if checkpointed is not None:
+                    evaluations.append(checkpointed[0])
+                    continue
+                cached = self._cache_lookup(sub, cell_area, cluster_id, k)
                 if cached is not None:
-                    evaluations.append(cached[0])
+                    evaluation, seconds = cached
+                    self._checkpoint_save(cluster_id, k, evaluation, seconds)
+                    evaluations.append(evaluation)
                     continue
                 evaluation, seconds = self._evaluate_item_guarded(
                     sub, cell_area, cluster_id, k
                 )
                 self._checkpoint_save(cluster_id, k, evaluation, seconds)
+                self._cache_store(sub, cell_area, k, evaluation, seconds)
                 evaluations.append(evaluation)
         best = self._best_of(evaluations, cluster_id=cluster_id)
         sweep = VPRSweepResult(
@@ -739,9 +903,14 @@ class VPRFramework:
         and identical to the serial path.
         """
         jobs = max(1, int(self.config.jobs))
-        if jobs > 1 and len(cluster_ids) > 0 and _fork_available():
+        method = self.config.start_method
+        if method is None:
+            method = "fork" if _fork_available() else "spawn"
+        if jobs > 1 and len(cluster_ids) > 0:
             try:
-                return self._sweep_clusters_parallel(source, members, cluster_ids, jobs)
+                return self._sweep_clusters_parallel(
+                    source, members, cluster_ids, jobs, method
+                )
             except OSError:
                 # Process pools can be unavailable (restricted
                 # sandboxes); the serial path computes the same result.
@@ -757,13 +926,16 @@ class VPRFramework:
         members: Sequence[Sequence[int]],
         cluster_ids: Sequence[int],
         jobs: int,
+        method: str,
     ) -> List[VPRSweepResult]:
         """Fan the (cluster, candidate) grid out over a process pool."""
-        global _WORKER_STATE
         config = self.config
         clusters: Dict[int, Tuple[Design, float]] = {}
+        score_arrays: Dict[int, Tuple[np.ndarray, np.ndarray]] = {}
         for c in cluster_ids:
             clusters[c] = self.induce(source, members[c])
+            ctx = self._context_of(clusters[c][0])
+            score_arrays[c] = (ctx.score_pins, ctx.score_offsets)
 
         n_cand = len(config.candidates)
         slots: Dict[int, List[Optional[_WorkerResult]]] = {
@@ -773,9 +945,9 @@ class VPRFramework:
         pending: List[Tuple[int, int]] = []
         for c in cluster_ids:
             for k in range(n_cand):
-                cached = self._checkpoint_lookup(c, k)
-                if cached is not None:
-                    evaluation, seconds = cached
+                checkpointed = self._checkpoint_lookup(c, k)
+                if checkpointed is not None:
+                    evaluation, seconds = checkpointed
                     slots[c][k] = (
                         evaluation.hpwl_cost,
                         evaluation.congestion_cost,
@@ -783,17 +955,32 @@ class VPRFramework:
                         None,
                         None,
                         None,
+                        True,
                     )
                 else:
                     pending.append((c, k))
 
-        # Workers inherit the state via fork: sub-netlists are shared
-        # copy-on-write rather than pickled per work item.
-        _WORKER_STATE = {
+        # Publish the sweep state once: fork workers inherit it
+        # copy-on-write; spawn workers map one shared-memory segment.
+        # Work items then carry only two integers each — the induced
+        # sub-netlists and scoring arrays are never pickled per item.
+        # Spawn ships flat design snapshots (the linked Design graph
+        # recurses past the pickle limit on real netlists); each worker
+        # rebuilds them once at setup.
+        shipped_clusters: Dict[int, Tuple[object, float]] = clusters
+        if method == "spawn":
+            shipped_clusters = {
+                c: (design_snapshot(sub), area)
+                for c, (sub, area) in clusters.items()
+            }
+        payload = {
             "config": config,
-            "clusters": clusters,
+            "clusters": shipped_clusters,
+            "snapshots": method == "spawn",
+            "score_arrays": score_arrays,
             "perf_enabled": perf.is_enabled(),
             "telemetry_enabled": telemetry.is_enabled(),
+            "cache_dir": str(self.cache.directory) if self.cache else None,
         }
         # Bundle work items into chunks so one pool task amortises the
         # per-future submission/result overhead over several items.
@@ -804,66 +991,66 @@ class VPRFramework:
             pending[i : i + chunk_size]
             for i in range(0, len(pending), chunk_size)
         ]
-        context = multiprocessing.get_context("fork")
+        context = multiprocessing.get_context(method)
         with perf.stage("vpr/parallel_sweep"), telemetry.span(
             "vpr.parallel_sweep",
             jobs=jobs,
             items=len(cluster_ids) * n_cand,
             chunk_size=chunk_size,
+            start_method=method,
         ):
-            try:
-                if pending:
-                    with ProcessPoolExecutor(
-                        max_workers=jobs, mp_context=context
-                    ) as pool:
-                        futures = {
-                            pool.submit(_chunk_worker, chunk): chunk
-                            for chunk in chunks
-                        }
-                        try:
-                            for future in as_completed(futures):
-                                chunk = futures[future]
-                                try:
-                                    results = future.result()
-                                except OSError:
-                                    raise  # pool infrastructure failure
-                                except Exception as exc:
-                                    # The worker process died mid-chunk
-                                    # (e.g. OOM-killed): no payload came
-                                    # back for any of its items.
-                                    results = [
-                                        (
-                                            float("nan"),
-                                            float("nan"),
-                                            0.0,
-                                            None,
-                                            None,
-                                            repr(exc),
-                                        )
-                                    ] * len(chunk)
-                                for (c, k), result in zip(chunk, results):
-                                    faults.check("vpr.collect", key=f"{c}/{k}")
-                                    slots[c][k] = result
-                        except BaseException:
-                            # Escaping the executor context with sibling
-                            # futures still queued would run them anyway
-                            # during shutdown's drain; cancel everything
-                            # not yet started before propagating.
-                            for future in futures:
-                                future.cancel()
-                            pool.shutdown(wait=False, cancel_futures=True)
-                            raise
-            finally:
-                _WORKER_STATE = None
+            if pending:
+                with publish_state(payload, method) as token, \
+                        ProcessPoolExecutor(
+                            max_workers=jobs, mp_context=context
+                        ) as pool:
+                    futures = {
+                        pool.submit(_chunk_worker, token, chunk): chunk
+                        for chunk in chunks
+                    }
+                    try:
+                        for future in as_completed(futures):
+                            chunk = futures[future]
+                            try:
+                                results = future.result()
+                            except OSError:
+                                raise  # pool infrastructure failure
+                            except Exception as exc:
+                                # The worker process died mid-chunk
+                                # (e.g. OOM-killed): no payload came
+                                # back for any of its items.
+                                results = [
+                                    (
+                                        float("nan"),
+                                        float("nan"),
+                                        0.0,
+                                        None,
+                                        None,
+                                        repr(exc),
+                                        False,
+                                    )
+                                ] * len(chunk)
+                            for (c, k), result in zip(chunk, results):
+                                faults.check("vpr.collect", key=f"{c}/{k}")
+                                slots[c][k] = result
+                    except BaseException:
+                        # Escaping the executor context with sibling
+                        # futures still queued would run them anyway
+                        # during shutdown's drain; cancel everything
+                        # not yet started before propagating.
+                        for future in futures:
+                            future.cancel()
+                        pool.shutdown(wait=False, cancel_futures=True)
+                        raise
 
             # Fold every returned payload in *before* retrying failures:
             # a crashed item still contributes the partial counters and
             # spans it recorded up to the failure point.
             failed: List[Tuple[int, int]] = []
             for c, k in pending:
-                _h, _g, seconds, counters, payload, error = slots[c][k]
+                _h, _g, seconds, counters, events, error, was_hit = slots[c][k]
                 perf.merge_counters(counters)
-                telemetry.merge_worker(payload)
+                telemetry.merge_worker(events)
                 if error is not None:
                     perf.count("vpr.worker.error")
                     telemetry.event(
@@ -871,16 +1058,20 @@ class VPRFramework:
                     )
                     failed.append((c, k))
                 else:
-                    self._checkpoint_save(
-                        c,
-                        k,
-                        CandidateEvaluation(
-                            candidate=config.candidates[k],
-                            hpwl_cost=_h,
-                            congestion_cost=_g,
-                        ),
-                        seconds,
+                    evaluation = CandidateEvaluation(
+                        candidate=config.candidates[k],
+                        hpwl_cost=_h,
+                        congestion_cost=_g,
                     )
+                    self._checkpoint_save(c, k, evaluation, seconds)
+                    if not was_hit:
+                        # Parent is the cache's only writer; items the
+                        # worker already served from the cache are not
+                        # re-stored.
+                        sub, cell_area = clusters[c]
+                        self._cache_store(
+                            sub, cell_area, k, evaluation, seconds
+                        )
 
             # Re-evaluate crashed items serially in the parent with the
             # bounded retry budget, so a transient worker death does not
@@ -889,9 +1080,16 @@ class VPRFramework:
             # candidate invalid and let selection exclude it.
             for c, k in failed:
                 sub, cell_area = clusters[c]
-                evaluation, seconds = self._evaluate_item_guarded(
-                    sub, cell_area, c, k
-                )
+                cached = self._cache_lookup(sub, cell_area, c, k)
+                if cached is not None:
+                    # e.g. the worker died *while reading* this entry;
+                    # the store itself is intact, so serve it here.
+                    evaluation, seconds = cached
+                else:
+                    evaluation, seconds = self._evaluate_item_guarded(
+                        sub, cell_area, c, k
+                    )
+                    self._cache_store(sub, cell_area, k, evaluation, seconds)
                 self._checkpoint_save(c, k, evaluation, seconds)
                 slots[c][k] = (
                     evaluation.hpwl_cost,
@@ -900,6 +1098,7 @@ class VPRFramework:
                     None,
                     None,
                     evaluation.error,
+                    False,
                 )
 
         sweeps: List[VPRSweepResult] = []
@@ -942,17 +1141,14 @@ class VPRFramework:
 # ----------------------------------------------------------------------
 # Process-pool worker machinery
 # ----------------------------------------------------------------------
-#: Parent-side state inherited by forked workers (None outside a
-#: parallel sweep).  Each worker lazily builds one framework so the
-#: per-sub contexts are shared across the candidates it evaluates.
-_WORKER_STATE: Optional[dict] = None
-
 #: Shape of one work item's result: ``(hpwl_cost, congestion_cost,
-#: seconds, perf_counters, telemetry_payload, error)``.  ``error`` is
-#: the repr of a worker-side exception (costs are NaN then); the
-#: counters/payload recorded up to the failure still travel back.
+#: seconds, perf_counters, telemetry_payload, error, cached)``.
+#: ``error`` is the repr of a worker-side exception (costs are NaN
+#: then); the counters/payload recorded up to the failure still travel
+#: back.  ``cached`` is True when the worker served the item from the
+#: evaluation cache (the parent then skips re-storing it).
 _WorkerResult = Tuple[
-    float, float, float, Optional[dict], Optional[dict], Optional[str]
+    float, float, float, Optional[dict], Optional[dict], Optional[str], bool
 ]
 
 
@@ -983,57 +1179,99 @@ def _item_alarm(timeout: Optional[float]):
         signal.signal(signal.SIGALRM, previous)
 
 
-def _worker_init() -> VPRFramework:
-    """First-use setup of a forked worker's process-global state."""
-    state = _WORKER_STATE
+def _setup_worker(state: dict) -> VPRFramework:
+    """First-use setup of a pool worker's process-global state."""
     faults.mark_worker()
     if state["perf_enabled"]:
-        # Drop stats inherited from the parent snapshot; from here
-        # on this registry records only this worker's activity.
+        if not perf.is_enabled():
+            # Spawn workers start with a fresh interpreter; turn the
+            # registry on so counters recorded here travel back.
+            perf.enable()
+        # Drop any stats inherited from the parent snapshot (fork);
+        # from here on this registry records only this worker's
+        # activity.
         perf.get_registry().reset()
     if state["telemetry_enabled"]:
+        if not telemetry.is_enabled():
+            telemetry.enable()
         session = telemetry.get_session()
-        # The inherited session holds the parent's records and (when
-        # streaming) a duplicate handle on the parent's events.jsonl;
-        # close ours so worker events never interleave into that file,
-        # then clear the inherited records.
+        # A fork-inherited session holds the parent's records and
+        # (when streaming) a duplicate handle on the parent's
+        # events.jsonl; close ours so worker events never interleave
+        # into that file, then clear the inherited records.
         session.events.close()
         session.reset()
-    framework = VPRFramework(state["config"])
+    cache = (
+        EvaluationCache(state["cache_dir"])
+        if state.get("cache_dir")
+        else None
+    )
+    if state.get("snapshots"):
+        # Spawn payloads carry flat design snapshots; rebuild each sub
+        # once per worker (fork payloads carry the parent's objects).
+        state["clusters"] = {
+            c: (design_from_snapshot(snap), area)
+            for c, (snap, area) in state["clusters"].items()
+        }
+        state["snapshots"] = False
+    framework = VPRFramework(state["config"], cache=cache)
+    for c, (sub, _area) in state["clusters"].items():
+        pins, offsets = state["score_arrays"][c]
+        framework.seed_context(sub, pins, offsets)
     state["_framework"] = framework
     return framework
 
 
-def _candidate_worker(cluster_id: int, candidate_index: int) -> _WorkerResult:
+def _resolve_worker_state(token: StateToken) -> dict:
+    """The published sweep state in this worker (attach + set up once)."""
+    state = attach_state(token)
+    if state.get("_framework") is None:
+        _setup_worker(state)
+    return state
+
+
+def _candidate_worker(
+    state: dict, cluster_id: int, candidate_index: int
+) -> _WorkerResult:
     """Evaluate one (cluster, candidate) work item in a worker process.
 
-    Counters and the telemetry payload are per-item deltas the parent
-    folds into its registries.  Exceptions are contained: the item
-    reports ``error`` with NaN costs instead of poisoning the pool, and
-    whatever the item recorded before failing is still returned.
+    The evaluation cache is consulted first (workers only *read* the
+    store); a hit skips place + route entirely and reports the original
+    evaluation's seconds.  Counters and the telemetry payload are
+    per-item deltas the parent folds into its registries.  Exceptions
+    are contained: the item reports ``error`` with NaN costs instead of
+    poisoning the pool, and whatever the item recorded before failing
+    is still returned.
     """
-    state = _WORKER_STATE
-    framework = state.get("_framework")
-    if framework is None:
-        framework = _worker_init()
+    framework: VPRFramework = state["_framework"]
     sub, cell_area = state["clusters"][cluster_id]
     candidate = state["config"].candidates[candidate_index]
     start = time.perf_counter()
     hpwl_cost = congestion_cost = float("nan")
     error: Optional[str] = None
+    was_hit = False
+    seconds: Optional[float] = None
     try:
         with _item_alarm(state["config"].item_timeout):
-            faults.check(
-                "vpr.item", key=f"{cluster_id}/{candidate_index}"
+            cached = framework._cache_lookup(
+                sub, cell_area, cluster_id, candidate_index
             )
-            evaluation = framework.evaluate_candidate(
-                sub, cell_area, candidate, cluster_id=cluster_id
-            )
+            if cached is not None:
+                evaluation, seconds = cached
+                was_hit = True
+            else:
+                faults.check(
+                    "vpr.item", key=f"{cluster_id}/{candidate_index}"
+                )
+                evaluation = framework.evaluate_candidate(
+                    sub, cell_area, candidate, cluster_id=cluster_id
+                )
         hpwl_cost = evaluation.hpwl_cost
         congestion_cost = evaluation.congestion_cost
     except Exception as exc:
         error = repr(exc)
-    seconds = time.perf_counter() - start
+    if seconds is None:
+        seconds = time.perf_counter() - start
     counters: Optional[dict] = None
     if state["perf_enabled"]:
         registry = perf.get_registry()
@@ -1046,19 +1284,24 @@ def _candidate_worker(cluster_id: int, candidate_index: int) -> _WorkerResult:
         counters,
         telemetry.worker_snapshot(),
         error,
+        was_hit,
     )
 
 
 def _chunk_worker(
-    items: Sequence[Tuple[int, int]]
+    token: StateToken, items: Sequence[Tuple[int, int]]
 ) -> List[_WorkerResult]:
     """Evaluate a chunk of (cluster, candidate) items in one pool task.
 
+    The state token is resolved here (not in a pool initializer), so an
+    attach failure is contained to this chunk and flows into the
+    parent-side retry path instead of breaking the whole pool.
     Per-item exception containment, counters and telemetry payloads are
     unchanged from :func:`_candidate_worker`; only the scheduling
     granularity differs.
     """
-    return [_candidate_worker(c, k) for c, k in items]
+    state = _resolve_worker_state(token)
+    return [_candidate_worker(state, c, k) for c, k in items]
 
 
 # ----------------------------------------------------------------------
@@ -1116,8 +1359,9 @@ class VPRShapeSelector(ShapeSelector):
         self,
         config: Optional[VPRConfig] = None,
         checkpoint: Optional[CheckpointStore] = None,
+        cache: Optional[EvaluationCache] = None,
     ) -> None:
-        self.framework = VPRFramework(config, checkpoint=checkpoint)
+        self.framework = VPRFramework(config, checkpoint=checkpoint, cache=cache)
 
     def select(
         self, source: Design, members: Sequence[Sequence[int]]

@@ -22,6 +22,7 @@ from repro.netlist.liberty import parse_liberty, write_liberty
 from repro.netlist.lef import ClusterLef, parse_lef, write_lef
 from repro.netlist.def_format import parse_def, write_def
 from repro.netlist.sdc import SdcConstraints, parse_sdc, write_sdc
+from repro.netlist.snapshot import design_from_snapshot, design_snapshot
 from repro.netlist.verilog import parse_verilog, write_verilog
 
 __all__ = [
@@ -47,4 +48,6 @@ __all__ = [
     "write_sdc",
     "parse_verilog",
     "write_verilog",
+    "design_snapshot",
+    "design_from_snapshot",
 ]

@@ -16,8 +16,10 @@ the flow's units of work as they complete:
 
 Every write is atomic: the payload goes to a temporary file in the
 same directory, is fsynced, and is renamed over the final name (the
-directory is fsynced too).  A crash at any instant therefore leaves
-either the previous version or the new one — never a torn file.
+directory is fsynced too; the shared primitive lives in
+:mod:`repro.ioutil` and is also what the evaluation cache uses).  A
+crash at any instant therefore leaves either the previous version or
+the new one — never a torn file.
 Externally corrupted files are detected (checksum / JSON parse) and
 reported as a :class:`CheckpointError` naming the file and the fix,
 not as a pickle traceback.
@@ -37,19 +39,25 @@ mixing results.
 
 from __future__ import annotations
 
-import hashlib
 import io
 import json
-import os
 import pickle
 import random
-import tempfile
 from pathlib import Path
 from typing import Any, Dict, Iterator, Optional, Tuple
 
 import numpy as np
 
+from repro.ioutil import atomic_write_bytes, fsync_directory, sha256_hex
 from repro.recovery import faults
+
+__all__ = [
+    "SCHEMA",
+    "STAGES",
+    "CheckpointError",
+    "CheckpointStore",
+    "atomic_write_bytes",  # re-exported; implementation in repro.ioutil
+]
 
 #: Schema tag of the manifest and every item record.
 SCHEMA = "repro.recovery/1"
@@ -67,38 +75,11 @@ class CheckpointError(RuntimeError):
     """
 
 
-def _fsync_directory(path: Path) -> None:
-    try:
-        fd = os.open(path, os.O_RDONLY)
-    except OSError:  # pragma: no cover - platform without dir fds
-        return
-    try:
-        os.fsync(fd)
-    finally:
-        os.close(fd)
-
-
-def atomic_write_bytes(path: Path, data: bytes) -> None:
-    """Write ``data`` to ``path`` atomically (temp + fsync + rename)."""
-    path.parent.mkdir(parents=True, exist_ok=True)
-    fd, tmp_name = tempfile.mkstemp(
-        prefix=f".{path.name}.", suffix=".tmp", dir=path.parent
-    )
-    tmp = Path(tmp_name)
-    try:
-        with os.fdopen(fd, "wb") as handle:
-            handle.write(data)
-            handle.flush()
-            os.fsync(handle.fileno())
-        os.replace(tmp, path)
-    except BaseException:
-        tmp.unlink(missing_ok=True)
-        raise
-    _fsync_directory(path.parent)
-
-
-def _sha256(data: bytes) -> str:
-    return hashlib.sha256(data).hexdigest()
+#: Kept as module aliases so existing call sites and tests keep
+#: working; the implementations moved to :mod:`repro.ioutil` when the
+#: evaluation cache started sharing them.
+_fsync_directory = fsync_directory
+_sha256 = sha256_hex
 
 
 class CheckpointStore:

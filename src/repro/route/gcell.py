@@ -116,9 +116,17 @@ class GCellGrid:
 
         This is the paper's Congestion Cost (Eq. 5) with X = percent.
         """
-        ratios = np.sort(self.congestion_ratios())[::-1]
+        ratios = self.congestion_ratios()
         count = max(1, int(len(ratios) * percent / 100.0))
-        return float(ratios[:count].mean())
+        if count >= len(ratios):
+            top = np.sort(ratios)[::-1]
+        else:
+            # O(n) selection of the top-k block; the block is then
+            # sorted descending so the mean's pairwise-summation order
+            # (and hence the exact float result) matches the full-sort
+            # implementation this replaced.
+            top = np.sort(np.partition(ratios, len(ratios) - count)[-count:])[::-1]
+        return float(top.mean())
 
     def overflow_fraction(self) -> float:
         """Fraction of GCells whose demand exceeds capacity."""

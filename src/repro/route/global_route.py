@@ -69,8 +69,16 @@ class GlobalRouter:
         self.telemetry_prefix = telemetry_prefix
 
     # ------------------------------------------------------------------
-    def _net_points(self, net: Net) -> List[Tuple[float, float]]:
-        """Distinct pin locations of a net, driver first."""
+    def _net_points_reference(self, net: Net) -> List[Tuple[float, float]]:
+        """Distinct pin locations of a net, driver first.
+
+        Reference implementation of the pin gather: the hot path in
+        :meth:`_run` computes the same points through the design's
+        cached CSR pin arrays in one vectorized gather (mirroring the
+        ``_fc_pass_reference`` pattern).  Kept for the equivalence test
+        in ``tests/route/test_global_route.py``; not called by the
+        router itself.
+        """
         points: List[Tuple[float, float]] = []
         seen = set()
         for ref in net.pins():
@@ -130,7 +138,7 @@ class GlobalRouter:
         (shared with :func:`repro.place.hpwl.hpwl`): one fancy-indexed
         coordinate gather per net instead of per-pin attribute walks.
         The dedup key (coordinates rounded to 1nm) and pin order
-        (driver first) match :meth:`_net_points` exactly.
+        (driver first) match :meth:`_net_points_reference` exactly.
         """
         with telemetry.span(
             "route.global",

@@ -1,0 +1,91 @@
+"""Zero-copy state publication: fork globals and spawn shared memory."""
+
+import pickle
+
+import pytest
+
+import repro.core.fanout as fanout
+from repro.core.fanout import (
+    StatePublisher,
+    attach_state,
+    publish_state,
+    reset_attachments,
+)
+
+PAYLOAD = {"config": {"jobs": 2}, "clusters": {0: [1, 2, 3]}, "text": "x" * 1000}
+
+
+@pytest.fixture(autouse=True)
+def _clean_attachments():
+    reset_attachments()
+    yield
+    reset_attachments()
+    fanout._INHERITED = None
+
+
+class TestForkPublication:
+    def test_publish_parks_payload_in_global(self):
+        with publish_state(PAYLOAD, "fork") as token:
+            assert token == ("inherit",)
+            assert fanout._INHERITED is PAYLOAD
+
+    def test_attach_resolves_inherited_payload(self):
+        with publish_state(PAYLOAD, "fork") as token:
+            assert attach_state(token) is PAYLOAD
+
+    def test_close_releases_global(self):
+        with publish_state(PAYLOAD, "fork"):
+            pass
+        assert fanout._INHERITED is None
+
+    def test_attach_without_publication_raises(self):
+        with pytest.raises(RuntimeError, match="no fork-inherited"):
+            attach_state(("inherit",))
+
+
+class TestSpawnPublication:
+    def test_payload_roundtrips_through_shared_memory(self):
+        with publish_state(PAYLOAD, "spawn") as token:
+            assert token[0] == "shm"
+            attached = attach_state(token)
+            # A spawn worker gets an equal copy, not the same object.
+            assert attached is not PAYLOAD
+            assert attached == PAYLOAD
+
+    def test_segment_unlinked_on_close(self):
+        from multiprocessing import shared_memory
+
+        with publish_state(PAYLOAD, "spawn") as token:
+            name = token[1]
+        reset_attachments()
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=name)
+
+    def test_token_records_exact_blob_size(self):
+        with publish_state(PAYLOAD, "spawn") as token:
+            assert int(token[2]) == len(
+                pickle.dumps(PAYLOAD, protocol=pickle.HIGHEST_PROTOCOL)
+            )
+
+    def test_attach_is_memoised(self):
+        with publish_state(PAYLOAD, "spawn") as token:
+            first = attach_state(token)
+            assert attach_state(token) is first
+
+    def test_reset_attachments_drops_memo(self):
+        with publish_state(PAYLOAD, "spawn") as token:
+            first = attach_state(token)
+            reset_attachments()
+            assert attach_state(token) is not first
+
+
+class TestTokens:
+    def test_unknown_token_rejected(self):
+        with pytest.raises(ValueError, match="unknown fan-out token"):
+            attach_state(("carrier-pigeon", "x"))
+
+    def test_publisher_close_is_idempotent(self):
+        publisher = publish_state(PAYLOAD, "spawn")
+        publisher.close()
+        publisher.close()
+        assert isinstance(publisher, StatePublisher)

@@ -9,7 +9,7 @@ import math
 
 import pytest
 
-import repro.core.vpr as vpr_module
+import repro.core.fanout as fanout
 from repro.core.ppa_clustering import PPAClusteringConfig, ppa_aware_clustering
 from repro.core.shapes import default_candidate_grid
 from repro.core.vpr import (
@@ -188,23 +188,24 @@ class TestParallelRecovery:
 
     def test_pool_failure_falls_back_to_serial(self, small_clusters):
         """An OSError escaping the collection loop cancels the pending
-        siblings, tears down _WORKER_STATE and falls back to the serial
-        path with identical results (the executor-escape bugfix)."""
+        siblings, releases the published fan-out state and falls back
+        to the serial path with identical results (the executor-escape
+        bugfix)."""
         design, members = small_clusters
         serial = self._select(design, members, _config())
         faults.configure("oserror:vpr.collect")
         parallel = self._select(design, members, _config(jobs=2))
-        assert vpr_module._WORKER_STATE is None
+        assert fanout._INHERITED is None
         assert parallel.shapes == serial.shapes
         for s, p in zip(serial.sweeps, parallel.sweeps):
             for es, ep in zip(s.evaluations, p.evaluations):
                 assert es.hpwl_cost == ep.hpwl_cost
                 assert es.congestion_cost == ep.congestion_cost
 
-    def test_worker_state_cleared_after_clean_run(self, small_clusters):
+    def test_published_state_released_after_clean_run(self, small_clusters):
         design, members = small_clusters
         self._select(design, members, _config(jobs=2))
-        assert vpr_module._WORKER_STATE is None
+        assert fanout._INHERITED is None
 
 
 class TestConfigValidation:

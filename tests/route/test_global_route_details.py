@@ -87,3 +87,51 @@ class TestPatternRouting:
         assert (
             with_clock.routed_wirelength > without.routed_wirelength
         )
+
+
+class TestNetPointsReference:
+    """`_net_points_reference` (scalar walk) vs the CSR gather in _run."""
+
+    def _csr_points(self, design, include_clock=False):
+        from repro.place.hpwl import _net_arrays
+
+        arrays = _net_arrays(design, include_clock)
+        vx, vy = arrays.coordinates(design)
+        px = vx[arrays.pin_vertex]
+        py = vy[arrays.pin_vertex]
+        offsets = arrays.net_offsets
+        out = {}
+        for i, net in enumerate(arrays.net_list):
+            points = []
+            seen = set()
+            for pin in range(int(offsets[i]), int(offsets[i + 1])):
+                x, y = float(px[pin]), float(py[pin])
+                key = (round(x, 3), round(y, 3))
+                if key not in seen:
+                    seen.add(key)
+                    points.append((x, y))
+            out[net.index] = points
+        return out
+
+    def test_reference_matches_csr_gather(self):
+        from repro.designs import DesignSpec, generate_design
+        from repro.place import GlobalPlacer, PlacementProblem
+
+        design = generate_design(
+            DesignSpec("np_ref", 400, clock_period=0.8, logic_depth=6, seed=3)
+        )
+        GlobalPlacer(PlacementProblem(design)).run()
+        router = GlobalRouter(design)
+        csr = self._csr_points(design)
+        checked = 0
+        for net in design.nets:
+            if net.index not in csr:
+                continue
+            assert router._net_points_reference(net) == csr[net.index]
+            checked += 1
+        assert checked > 0
+
+    def test_reference_dedups_coincident_pins(self):
+        design, net = two_cell_design(50.0, 50.0, 50.0, 50.0)
+        router = GlobalRouter(design)
+        assert router._net_points_reference(net) == [(50.0, 50.0)]

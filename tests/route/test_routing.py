@@ -67,6 +67,29 @@ class TestGCellGrid:
         grid.v_usage[0, 0] = 10 * grid.v_capacity
         assert grid.overflow_fraction() > 0
 
+    @pytest.mark.parametrize("percent", [0.5, 1.0, 10.0, 50.0, 100.0])
+    def test_top_percent_matches_full_sort_reference(self, percent):
+        """The np.partition top-k selection must pin the exact float
+        the original full-sort implementation produced (same selected
+        block, same descending summation order)."""
+        grid = self.make()
+        rng = np.random.default_rng(42)
+        grid.h_usage[:, :] = rng.uniform(0, 3, grid.h_usage.shape) * grid.h_capacity
+        grid.v_usage[:, :] = rng.uniform(0, 3, grid.v_usage.shape) * grid.v_capacity
+        ratios = np.sort(grid.congestion_ratios())[::-1]
+        count = max(1, int(len(ratios) * percent / 100.0))
+        reference = float(ratios[:count].mean())
+        assert grid.top_percent_congestion(percent) == reference
+
+    def test_top_percent_with_duplicate_ratios(self):
+        """Ties across the k-th boundary select the same block either way."""
+        grid = self.make()
+        grid.h_usage[:, :] = grid.h_capacity  # all ratios identical
+        grid.h_usage[0, 0] = 5 * grid.h_capacity
+        ratios = np.sort(grid.congestion_ratios())[::-1]
+        count = max(1, int(len(ratios) * 10.0 / 100.0))
+        assert grid.top_percent_congestion(10.0) == float(ratios[:count].mean())
+
 
 class TestGlobalRouting:
     def test_routed_wl_reasonable(self, routed_design):

@@ -169,6 +169,76 @@ class TestTelemetryCommands:
         assert "REGRESSED" in capsys.readouterr().out
 
 
+class TestCacheCommands:
+    def _seed_cache(self, directory, keys):
+        from repro.cache import EvaluationCache
+
+        cache = EvaluationCache(str(directory))
+        for i, key in enumerate(keys):
+            cache.put(
+                key,
+                {"ar": 1.0, "util": 0.9, "hpwl_cost": float(i),
+                 "congestion_cost": 0.1, "seconds": 0.5},
+            )
+        return cache
+
+    def test_cache_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["cache"])
+
+    def test_cache_stats(self, tmp_path, capsys):
+        self._seed_cache(tmp_path, ["aa" + "0" * 62, "bb" + "0" * 62])
+        assert main(["cache", "stats", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "entries     : 2" in out
+        assert "total bytes" in out
+
+    def test_cache_gc(self, tmp_path, capsys):
+        import os
+
+        cache = self._seed_cache(
+            tmp_path, ["aa" + "0" * 62, "bb" + "0" * 62, "cc" + "0" * 62]
+        )
+        for i, key in enumerate(
+            ["aa" + "0" * 62, "bb" + "0" * 62, "cc" + "0" * 62]
+        ):
+            os.utime(cache._entry_path(key), (1000.0 + i, 1000.0 + i))
+        assert main(
+            ["cache", "gc", str(tmp_path), "--max-entries", "1"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "evicted 2 entries; 1 remain" in out
+
+    def test_cache_clear(self, tmp_path, capsys):
+        self._seed_cache(tmp_path, ["aa" + "0" * 62])
+        assert main(["cache", "clear", str(tmp_path)]) == 0
+        assert "removed 1 entries" in capsys.readouterr().out
+        assert main(["cache", "stats", str(tmp_path)]) == 0
+        assert "entries     : 0" in capsys.readouterr().out
+
+    def test_flow_cache_requires_ours(self):
+        with pytest.raises(SystemExit, match="--flow ours"):
+            main(
+                ["flow", "--flow", "default", "--cache", "/tmp/nope"]
+            )
+
+    def test_flow_with_cache_populates_store(self, tmp_path, capsys):
+        code = main(
+            [
+                "flow",
+                "--benchmark",
+                "aes",
+                "--no-routing",
+                "--cache",
+                str(tmp_path / "cache"),
+            ]
+        )
+        assert code == 0
+        from repro.cache import EvaluationCache
+
+        assert EvaluationCache(str(tmp_path / "cache")).stats().entries > 0
+
+
 class TestVizCommand:
     def test_viz_writes_svgs(self, tmp_path, capsys):
         code = main(
