@@ -107,11 +107,12 @@ class FeatureExtractor:
             features[:, 1] = candidate.aspect_ratio
         features[:, 2:19] = cluster_feats[None, :]
         features[:, 19:27] = cell_feats
-        # One-hot cell class (8 classes).
-        class_index = {name: i for i, name in enumerate(Design.CELL_CLASSES)}
-        for inst in sub.instances:
-            col = 27 + class_index.get(inst.master.cell_class, 0)
-            features[inst.index, col] = 1.0
+        # One-hot cell class (8 classes); unknown classes fall back to
+        # class 0, matching the historical dict.get default.
+        arrays = sub.arrays()
+        codes = arrays.m_class_code[arrays.inst_master].astype(np.int64)
+        codes[codes < 0] = 0
+        features[np.arange(len(codes)), 27 + codes] = 1.0
         return GraphSample(features=features, operator=operator)
 
     # ------------------------------------------------------------------
@@ -124,17 +125,22 @@ class FeatureExtractor:
     ) -> np.ndarray:
         """The 17 cluster-level features."""
         n = max(1, hgraph.num_vertices)
-        num_nets = len(sub.nets)
+        arrays = sub.arrays()
+        num_nets = arrays.num_nets
         num_pins = hgraph.num_pins
-        fanouts = [net.fanout for net in sub.nets if net.degree >= 2]
-        nets_f5_10 = sum(1 for f in fanouts if 5 <= f <= 10)
-        nets_f10 = sum(1 for f in fanouts if f > 10)
-        border_nets = sum(1 for net in sub.nets if net.touches_port())
+        wide = arrays.net_degree >= 2
+        fanouts = arrays.net_fanout[wide]
+        nets_f5_10 = int(((fanouts >= 5) & (fanouts <= 10)).sum())
+        nets_f10 = int((fanouts > 10).sum())
+        port_pin_nets = arrays.pin_net()[arrays.pin_inst < 0]
+        border_nets = int(
+            (np.bincount(port_pin_nets, minlength=num_nets) > 0).sum()
+        )
         internal_nets = num_nets - border_nets
         total_area = sub.total_cell_area()
         avg_cell_degree = float(degrees.mean()) if len(degrees) else 0.0
-        net_degrees = [net.degree for net in sub.nets if net.degree >= 2]
-        avg_net_degree = float(np.mean(net_degrees)) if net_degrees else 0.0
+        net_degrees = arrays.net_degree[wide]
+        avg_net_degree = float(np.mean(net_degrees)) if len(net_degrees) else 0.0
         clustering_coeffs = _clustering_coefficients(adjacency)
         avg_clustering = float(clustering_coeffs.mean()) if n else 0.0
         num_edges = sum(len(a) for a in adjacency) / 2
@@ -177,7 +183,7 @@ class FeatureExtractor:
     ) -> np.ndarray:
         """The 8 numeric cell-level features per node."""
         n = len(adjacency)
-        areas = np.array([inst.area for inst in sub.instances])
+        areas = sub.arrays().current_inst_areas()
         avg_nbr_degree = np.zeros(n)
         for v in range(n):
             if len(adjacency[v]):

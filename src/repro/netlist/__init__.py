@@ -7,6 +7,7 @@ Provides the in-memory design model (:class:`Design`, :class:`Instance`,
 paper's flow consumes (.v, .lib, .lef, .def, .sdc).
 """
 
+from repro.netlist.arrays import NetlistArrays
 from repro.netlist.design import (
     Design,
     Instance,
@@ -36,6 +37,7 @@ __all__ = [
     "HierarchyNode",
     "HierarchyTree",
     "Hypergraph",
+    "NetlistArrays",
     "parse_liberty",
     "write_liberty",
     "ClusterLef",

@@ -1,0 +1,911 @@
+"""Array-native netlist core: the flat CSR form of a :class:`Design`.
+
+This module promotes the flat representation proved out by
+:mod:`repro.netlist.snapshot` from a serialization detail to the
+*primary* in-memory form of the netlist.  A :class:`NetlistArrays`
+holds the whole design as typed NumPy arrays:
+
+* net -> pin incidence as one CSR (``net_ptr`` / pin rows, driver
+  first within each net), with per-pin owner, capacitance, direction
+  and interned pin-name ids;
+* instance -> connection reverse CSR (``ipin_ptr`` / ``ipin_rows``,
+  rows in master-pin declaration order);
+* per-master tables (geometry, timing, power, cell-class codes and the
+  pin declaration list);
+* per-instance master indices and areas;
+* port geometry, directions and capacitances.
+
+The flow's hot consumers — hypergraph construction
+(:meth:`hyperedge_csr`), the STA graph build
+(:class:`repro.sta.graph.TimingGraph`), placer netlist extraction
+(:meth:`placement_csr`), HPWL/routing pin gathers (:meth:`pin_vertex_csr`)
+and ML feature extraction — read these arrays directly instead of
+walking the linked object graph, which is what lets the repo scale to
+paper-sized (million-instance) netlists.
+
+Caching and invalidation
+------------------------
+
+``design.arrays()`` builds the form once and caches it against
+:meth:`Design.structure_key`; every construction-API mutation
+(``add_instance`` / ``add_net`` / ``add_port`` / ``connect``)
+invalidates it automatically, and out-of-API connectivity edits must
+call :meth:`Design.bump_structure_version`.  Mutable *attributes* are
+deliberately not trusted from the snapshot: net weights, switching
+activity, instance coordinates/areas (gate sizing swaps masters in
+place) and port coordinates are re-gathered from the object view by the
+``current_*`` accessors, so consumers always see live values while the
+expensive connectivity flattening is reused.
+
+A :class:`NetlistArrays` can also be built directly (no object graph at
+all) — the array-native fast path of :mod:`repro.designs.generator`
+does exactly that for million-instance synthetic designs — and
+materialized into an object-view :class:`Design` with :meth:`to_design`
+(digest-identical to a design built through the construction API).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.netlist.design import (
+    CellPin,
+    Design,
+    Floorplan,
+    Instance,
+    MasterCell,
+    Net,
+    PinDirection,
+    PinRef,
+    Port,
+)
+
+#: Direction codes used by ``mp_dir`` / ``pin_dir`` / ``port_dir``.
+DIR_INPUT, DIR_OUTPUT, DIR_INOUT = 0, 1, 2
+
+_DIRECTIONS: Tuple[PinDirection, ...] = (
+    PinDirection.INPUT,
+    PinDirection.OUTPUT,
+    PinDirection.INOUT,
+)
+_DIR_CODE: Dict[PinDirection, int] = {d: i for i, d in enumerate(_DIRECTIONS)}
+
+
+def multi_arange(starts: np.ndarray, counts: np.ndarray) -> np.ndarray:
+    """Concatenation of ``arange(s, s + c)`` for each (start, count).
+
+    The classic vectorized gather used throughout the flat kernels
+    (same construction as :func:`repro.sta.flat._gather_ranges`).
+    """
+    starts = np.asarray(starts, dtype=np.int64)
+    counts = np.asarray(counts, dtype=np.int64)
+    nonzero = counts > 0
+    if not nonzero.all():
+        starts = starts[nonzero]
+        counts = counts[nonzero]
+    total = int(counts.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64)
+    out = np.ones(total, dtype=np.int64)
+    ends = np.cumsum(counts)
+    out[0] = starts[0]
+    if len(starts) > 1:
+        out[ends[:-1]] = starts[1:] - (starts[:-1] + counts[:-1]) + 1
+    return np.cumsum(out)
+
+
+class _MasterTables:
+    """Flattened master-cell library tables (see :func:`flatten_masters`)."""
+
+    __slots__ = (
+        "names",
+        "classes",
+        "scalars",
+        "flags",
+        "mp_ptr",
+        "mp_name_idx",
+        "mp_dir",
+        "mp_is_clock",
+        "mp_cap",
+        "index_of",
+        "slot_of",
+    )
+
+
+def flatten_masters(
+    masters: Dict[str, "MasterCell"],
+    pool_index: Dict[str, int],
+    name_pool: List[str],
+) -> _MasterTables:
+    """Flatten a master-cell dict into typed tables.
+
+    Pin names are interned into ``name_pool`` (extended in place via
+    ``pool_index``).  Shared by :meth:`NetlistArrays.from_design` and
+    the array-native generator fast path.
+    """
+
+    def intern(name: str) -> int:
+        idx = pool_index.get(name)
+        if idx is None:
+            idx = len(name_pool)
+            pool_index[name] = idx
+            name_pool.append(name)
+        return idx
+
+    t = _MasterTables()
+    t.names = []
+    t.classes = []
+    t.index_of = {}
+    t.slot_of = {}
+    scalars: List[Tuple[float, ...]] = []
+    flags: List[Tuple[bool, bool]] = []
+    mp_counts: List[int] = []
+    t.mp_name_idx = []
+    t.mp_dir = []
+    t.mp_is_clock = []
+    t.mp_cap = []
+    for name, m in masters.items():
+        mi = len(t.names)
+        t.index_of[id(m)] = mi
+        t.names.append(name)
+        t.classes.append(m.cell_class)
+        scalars.append(
+            (
+                m.width,
+                m.height,
+                m.intrinsic_delay,
+                m.drive_resistance,
+                m.clk_to_q,
+                m.setup_time,
+                m.hold_time,
+                m.leakage_power,
+                m.internal_energy,
+            )
+        )
+        flags.append((m.is_sequential, m.is_macro))
+        mp_counts.append(len(m.pins))
+        for pin in m.pins.values():
+            t.slot_of[(mi, pin.name)] = len(t.mp_name_idx)
+            t.mp_name_idx.append(intern(pin.name))
+            t.mp_dir.append(_DIR_CODE[pin.direction])
+            t.mp_is_clock.append(pin.is_clock)
+            t.mp_cap.append(pin.capacitance)
+    t.scalars = np.asarray(scalars, dtype=np.float64).reshape(-1, 9)
+    t.flags = np.asarray(flags, dtype=bool).reshape(-1, 2)
+    t.mp_ptr = np.concatenate(([0], np.cumsum(mp_counts))).astype(np.int64)
+    t.mp_name_idx = np.asarray(t.mp_name_idx, dtype=np.int32)
+    t.mp_dir = np.asarray(t.mp_dir, dtype=np.int8)
+    t.mp_is_clock = np.asarray(t.mp_is_clock, dtype=bool)
+    t.mp_cap = np.asarray(t.mp_cap, dtype=np.float64)
+    return t
+
+
+class NetlistArrays:
+    """The flat CSR / typed-array form of one netlist (module docstring).
+
+    All arrays are plain NumPy; lists hold interned strings only.  The
+    per-field layout:
+
+    Name interning
+        ``name_pool``: every distinct master-pin and port name.
+
+    Masters (index order = ``master_names`` order)
+        ``m_width/m_height/m_area``, ``m_is_seq/m_is_macro``,
+        ``m_intrinsic/m_drive/m_clk_to_q/m_setup/m_hold/m_leakage/m_energy``,
+        ``m_class_code`` (index into ``Design.CELL_CLASSES``, -1 when
+        unknown) + ``master_classes`` (raw strings);
+        master-pin slots in declaration order:
+        ``mp_ptr[m]:mp_ptr[m+1]`` rows with ``mp_name_idx`` /
+        ``mp_dir`` / ``mp_is_clock`` / ``mp_cap``.
+
+    Instances
+        ``inst_master`` (master index), ``inst_area`` (build-time
+        snapshot; sizing swaps masters — use
+        :meth:`current_inst_areas`), optional ``inst_names``.
+
+    Ports (insertion order)
+        ``port_name_idx/port_dir/port_x/port_y/port_cap`` and
+        ``port_sorted_rank`` (rank in sorted-name order — the vertex
+        convention of :class:`repro.place.problem.PlacementProblem`).
+
+    Nets / pins
+        ``net_ptr`` CSR over pin rows in ``net.pins()`` order (driver
+        first when ``net_has_driver``); per-net ``net_is_clock`` /
+        ``net_weight`` / ``net_activity`` (weight/activity are
+        snapshots; see ``current_*``); per-pin ``pin_inst`` (-1 for
+        ports), ``pin_port`` (port insertion index, -1 for instance
+        pins), ``pin_name_idx``, ``pin_slot`` (global master-pin slot,
+        -1 for ports), ``pin_cap``, ``pin_dir``, ``pin_is_clockpin``.
+    """
+
+    def __init__(
+        self,
+        *,
+        name: str,
+        floorplan: Tuple[float, float, float, float, float],
+        clock_period: Optional[float],
+        clock_port: Optional[str],
+        name_pool: List[str],
+        master_names: List[str],
+        master_classes: List[str],
+        m_width: np.ndarray,
+        m_height: np.ndarray,
+        m_is_seq: np.ndarray,
+        m_is_macro: np.ndarray,
+        m_intrinsic: np.ndarray,
+        m_drive: np.ndarray,
+        m_clk_to_q: np.ndarray,
+        m_setup: np.ndarray,
+        m_hold: np.ndarray,
+        m_leakage: np.ndarray,
+        m_energy: np.ndarray,
+        mp_ptr: np.ndarray,
+        mp_name_idx: np.ndarray,
+        mp_dir: np.ndarray,
+        mp_is_clock: np.ndarray,
+        mp_cap: np.ndarray,
+        inst_master: np.ndarray,
+        port_name_idx: np.ndarray,
+        port_dir: np.ndarray,
+        port_x: np.ndarray,
+        port_y: np.ndarray,
+        port_cap: np.ndarray,
+        net_ptr: np.ndarray,
+        net_has_driver: np.ndarray,
+        net_is_clock: np.ndarray,
+        net_weight: np.ndarray,
+        net_activity: np.ndarray,
+        pin_inst: np.ndarray,
+        pin_port: np.ndarray,
+        pin_name_idx: np.ndarray,
+        pin_slot: np.ndarray,
+        inst_names: Optional[List[str]] = None,
+        net_names: Optional[List[str]] = None,
+        design: Optional[Design] = None,
+    ) -> None:
+        self.name = name
+        self.floorplan = floorplan
+        self.clock_period = clock_period
+        self.clock_port = clock_port
+        self.name_pool = name_pool
+        self.master_names = master_names
+        self.master_classes = master_classes
+        self.m_width = m_width
+        self.m_height = m_height
+        self.m_area = m_width * m_height
+        self.m_is_seq = m_is_seq
+        self.m_is_macro = m_is_macro
+        self.m_intrinsic = m_intrinsic
+        self.m_drive = m_drive
+        self.m_clk_to_q = m_clk_to_q
+        self.m_setup = m_setup
+        self.m_hold = m_hold
+        self.m_leakage = m_leakage
+        self.m_energy = m_energy
+        classes = {c: i for i, c in enumerate(Design.CELL_CLASSES)}
+        self.m_class_code = np.fromiter(
+            (classes.get(c, -1) for c in master_classes),
+            dtype=np.int16,
+            count=len(master_classes),
+        )
+        self.mp_ptr = mp_ptr
+        self.mp_name_idx = mp_name_idx
+        self.mp_dir = mp_dir
+        self.mp_is_clock = mp_is_clock
+        self.mp_cap = mp_cap
+        # Index columns are int32: supports 2^31 entities while halving
+        # the per-pin footprint (kernels that form composite keys with
+        # room to overflow upcast to int64 explicitly).
+        inst_master = np.asarray(inst_master, dtype=np.int32)
+        self.inst_master = inst_master
+        self.inst_area = self.m_area[inst_master] if len(inst_master) else np.zeros(0)
+        self.inst_names = inst_names
+        self.port_name_idx = port_name_idx
+        self.port_dir = port_dir
+        self.port_x = port_x
+        self.port_y = port_y
+        self.port_cap = port_cap
+        port_names = self.port_names
+        order = sorted(range(len(port_names)), key=port_names.__getitem__)
+        rank = np.empty(len(order), dtype=np.int64)
+        for sorted_pos, insertion_idx in enumerate(order):
+            rank[insertion_idx] = sorted_pos
+        self.port_sorted_rank = rank
+        net_ptr = np.asarray(net_ptr, dtype=np.int64)
+        pin_inst = np.asarray(pin_inst, dtype=np.int32)
+        pin_port = np.asarray(pin_port, dtype=np.int32)
+        pin_slot = np.asarray(pin_slot, dtype=np.int32)
+        self.net_ptr = net_ptr
+        self.net_has_driver = net_has_driver
+        self.net_is_clock = net_is_clock
+        self.net_weight = net_weight
+        self.net_activity = net_activity
+        self.net_names = net_names
+        self.pin_inst = pin_inst
+        self.pin_port = pin_port
+        self.pin_name_idx = pin_name_idx
+        self.pin_slot = pin_slot
+        # Derived per-pin electrical data (one gather, reused by STA /
+        # delay tables).
+        is_port_pin = pin_inst < 0
+        if len(pin_inst):
+            # A design may have no ports or no master pins at all;
+            # guard the gathers with 1-element padding.
+            pcap = port_cap if len(port_cap) else np.zeros(1)
+            pdir = port_dir if len(port_dir) else np.zeros(1, dtype=np.int8)
+            scap = mp_cap if len(mp_cap) else np.zeros(1)
+            sdir = mp_dir if len(mp_dir) else np.zeros(1, dtype=np.int8)
+            sclk = mp_is_clock if len(mp_is_clock) else np.zeros(1, dtype=bool)
+            slot_safe = np.where(pin_slot >= 0, pin_slot, 0)
+            port_safe = np.where(pin_port >= 0, pin_port, 0)
+            self.pin_cap = np.where(
+                is_port_pin, pcap[port_safe], scap[slot_safe]
+            )
+            self.pin_dir = np.where(
+                is_port_pin, pdir[port_safe], sdir[slot_safe]
+            ).astype(np.int8)
+            self.pin_is_clockpin = np.where(
+                is_port_pin, False, sclk[slot_safe]
+            )
+        else:
+            self.pin_cap = np.zeros(0)
+            self.pin_dir = np.zeros(0, dtype=np.int8)
+            self.pin_is_clockpin = np.zeros(0, dtype=bool)
+        self.net_degree = np.diff(net_ptr).astype(np.int32)
+        self.net_fanout = self.net_degree - net_has_driver.astype(np.int32)
+        #: Source object view (None for array-native construction).
+        self.design = design
+        #: Filled by Design.arrays() for cache validation.
+        self.structure_key: Optional[tuple] = None
+        self._pin_net: Optional[np.ndarray] = None
+        self._ipin: Optional[Tuple[np.ndarray, np.ndarray]] = None
+
+    # ------------------------------------------------------------------
+    # Basic shape
+    # ------------------------------------------------------------------
+    @property
+    def num_instances(self) -> int:
+        """Number of instances."""
+        return len(self.inst_master)
+
+    @property
+    def num_nets(self) -> int:
+        """Number of nets."""
+        return len(self.net_ptr) - 1
+
+    @property
+    def num_ports(self) -> int:
+        """Number of top-level ports."""
+        return len(self.port_name_idx)
+
+    @property
+    def num_pins(self) -> int:
+        """Total pin connections across all nets."""
+        return len(self.pin_inst)
+
+    @property
+    def port_names(self) -> List[str]:
+        """Port names in insertion order."""
+        pool = self.name_pool
+        return [pool[i] for i in self.port_name_idx.tolist()]
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes held by the typed arrays (the netlist-core footprint).
+
+        Interned name lists are excluded: they belong to the object
+        view (and are shared with it when one exists).
+        """
+        total = 0
+        for value in self.__dict__.values():
+            if isinstance(value, np.ndarray):
+                total += value.nbytes
+            elif isinstance(value, tuple):
+                total += sum(
+                    v.nbytes for v in value if isinstance(v, np.ndarray)
+                )
+        return total
+
+    # ------------------------------------------------------------------
+    # Memoised derived structure
+    # ------------------------------------------------------------------
+    def pin_net(self) -> np.ndarray:
+        """Net index of every pin row (memoised)."""
+        if self._pin_net is None:
+            self._pin_net = np.repeat(
+                np.arange(self.num_nets, dtype=np.int32), self.net_degree
+            )
+        return self._pin_net
+
+    def instance_pin_csr(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Instance -> connection CSR ``(indptr, rows)``, memoised.
+
+        ``rows[indptr[i]:indptr[i + 1]]`` index the pin-row arrays for
+        instance ``i``'s connections, in master-pin declaration order
+        (global slot ids are declaration-ordered within one master, so
+        sorting by slot sorts by declaration position).
+        """
+        if self._ipin is None:
+            inst_rows = np.flatnonzero(self.pin_inst >= 0)
+            owners = self.pin_inst[inst_rows]
+            order = np.lexsort((self.pin_slot[inst_rows], owners))
+            rows = inst_rows[order].astype(np.int32)
+            counts = np.bincount(owners, minlength=self.num_instances)
+            indptr = np.concatenate(([0], np.cumsum(counts))).astype(np.int64)
+            self._ipin = (indptr, rows)
+        return self._ipin
+
+    # ------------------------------------------------------------------
+    # Live-attribute gathers (object view wins when present)
+    # ------------------------------------------------------------------
+    def current_net_weights(self) -> np.ndarray:
+        """Per-net placement weights, live when an object view exists."""
+        if self.design is None:
+            return self.net_weight
+        nets = self.design.nets
+        return np.fromiter((n.weight for n in nets), dtype=np.float64, count=len(nets))
+
+    def current_net_activity(self) -> np.ndarray:
+        """Per-net switching activity, live when an object view exists."""
+        if self.design is None:
+            return self.net_activity
+        nets = self.design.nets
+        return np.fromiter(
+            (n.switching_activity for n in nets), dtype=np.float64, count=len(nets)
+        )
+
+    def current_inst_areas(self) -> np.ndarray:
+        """Per-instance areas, live (gate sizing swaps masters in place)."""
+        if self.design is None:
+            return self.inst_area
+        instances = self.design.instances
+        return np.fromiter(
+            (i.master.width * i.master.height for i in instances),
+            dtype=np.float64,
+            count=len(instances),
+        )
+
+    def current_positions(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Per-instance centre coordinates, live when possible."""
+        if self.design is None:
+            n = self.num_instances
+            return np.zeros(n), np.zeros(n)
+        instances = self.design.instances
+        n = len(instances)
+        xs = np.fromiter((i.x for i in instances), dtype=np.float64, count=n)
+        ys = np.fromiter((i.y for i in instances), dtype=np.float64, count=n)
+        return xs, ys
+
+    def current_port_xy(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Port coordinates in insertion order, live when possible
+        (V-P&R virtual dies move the port ring between candidates)."""
+        if self.design is None:
+            return self.port_x, self.port_y
+        ports = self.design.ports
+        n = len(ports)
+        xs = np.fromiter((p.x for p in ports.values()), dtype=np.float64, count=n)
+        ys = np.fromiter((p.y for p in ports.values()), dtype=np.float64, count=n)
+        return xs, ys
+
+    # ------------------------------------------------------------------
+    # Consumer kernels
+    # ------------------------------------------------------------------
+    def hyperedge_csr(
+        self,
+        include_clock: bool = False,
+        max_edge_degree: Optional[int] = None,
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Instance hyperedges as ``(indptr, vertices, net_indices)``.
+
+        One edge per kept net, in net-index order, members sorted
+        ascending and deduplicated — exactly the edge list
+        :meth:`repro.netlist.hypergraph.Hypergraph.from_design`
+        produces, computed as array kernels instead of per-net Python.
+        Nets reduced to fewer than two distinct instances are dropped;
+        clock nets are dropped unless ``include_clock``; nets wider
+        than ``max_edge_degree`` distinct members are dropped.
+        """
+        num_nets = self.num_nets
+        nid = self.pin_net()
+        keep_net = (
+            np.ones(num_nets, dtype=bool)
+            if include_clock
+            else ~self.net_is_clock
+        )
+        mask = (self.pin_inst >= 0) & keep_net[nid]
+        ni = nid[mask]
+        vi = self.pin_inst[mask]
+        order = np.lexsort((vi, ni))
+        ni_s = ni[order]
+        vi_s = vi[order]
+        if len(ni_s):
+            dedup = np.concatenate(
+                ([True], (ni_s[1:] != ni_s[:-1]) | (vi_s[1:] != vi_s[:-1]))
+            )
+        else:
+            dedup = np.zeros(0, dtype=bool)
+        ni_d = ni_s[dedup]
+        vi_d = vi_s[dedup]
+        deg = np.bincount(ni_d, minlength=num_nets)
+        sel = deg >= 2
+        if max_edge_degree is not None:
+            sel &= deg <= max_edge_degree
+        sel_nets = np.flatnonzero(sel)
+        counts = deg[sel_nets]
+        indptr = np.concatenate(([0], np.cumsum(counts))).astype(np.int64)
+        net_start = np.concatenate(([0], np.cumsum(deg))).astype(np.int64)
+        verts = vi_d[multi_arange(net_start[sel_nets], counts)]
+        return indptr, verts, sel_nets
+
+    def placement_csr(
+        self, include_clock: bool = False
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Placement-problem nets as ``(pin_vertex, net_offsets, net_indices)``.
+
+        Vertex convention of :class:`repro.place.problem.PlacementProblem`:
+        instances first, then ports in sorted-name order.  Members are
+        distinct vertex ids sorted ascending; nets with fewer than two
+        distinct vertices are dropped.
+        """
+        num_nets = self.num_nets
+        n_inst = self.num_instances
+        nid = self.pin_net()
+        keep_net = (
+            np.ones(num_nets, dtype=bool)
+            if include_clock
+            else ~self.net_is_clock
+        )
+        mask = keep_net[nid]
+        ni = nid[mask]
+        is_port = self.pin_inst[mask] < 0
+        rank = (
+            self.port_sorted_rank
+            if len(self.port_sorted_rank)
+            else np.zeros(1, dtype=np.int64)
+        )
+        vi = np.where(
+            is_port,
+            n_inst + rank[np.where(is_port, self.pin_port[mask], 0)],
+            self.pin_inst[mask],
+        )
+        order = np.lexsort((vi, ni))
+        ni_s = ni[order]
+        vi_s = vi[order]
+        if len(ni_s):
+            dedup = np.concatenate(
+                ([True], (ni_s[1:] != ni_s[:-1]) | (vi_s[1:] != vi_s[:-1]))
+            )
+        else:
+            dedup = np.zeros(0, dtype=bool)
+        ni_d = ni_s[dedup]
+        vi_d = vi_s[dedup]
+        deg = np.bincount(ni_d, minlength=num_nets)
+        sel_nets = np.flatnonzero(deg >= 2)
+        counts = deg[sel_nets]
+        offsets = np.concatenate(([0], np.cumsum(counts))).astype(np.int64)
+        net_start = np.concatenate(([0], np.cumsum(deg))).astype(np.int64)
+        pin_vertex = vi_d[multi_arange(net_start[sel_nets], counts)]
+        return pin_vertex, offsets, sel_nets
+
+    def pin_vertex_csr(
+        self, include_clock: bool = False
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """All-pin vertex rows as ``(pin_vertex, net_offsets, net_indices)``.
+
+        Unlike :meth:`placement_csr` this keeps every pin connection
+        (duplicates included) in ``net.pins()`` order, which is what
+        the HPWL/routing gathers need; nets with ``degree < 2`` (or
+        clock nets, unless included) are dropped.  Same vertex
+        convention: instances, then sorted ports.
+        """
+        keep = self.net_degree >= 2
+        if not include_clock:
+            keep &= ~self.net_is_clock
+        sel_nets = np.flatnonzero(keep)
+        counts = self.net_degree[sel_nets]
+        offsets = np.concatenate(([0], np.cumsum(counts))).astype(np.int64)
+        rows = multi_arange(self.net_ptr[sel_nets], counts)
+        is_port = self.pin_inst[rows] < 0
+        rank = (
+            self.port_sorted_rank
+            if len(self.port_sorted_rank)
+            else np.zeros(1, dtype=np.int64)
+        )
+        pin_vertex = np.where(
+            is_port,
+            self.num_instances + rank[np.where(is_port, self.pin_port[rows], 0)],
+            self.pin_inst[rows],
+        )
+        return pin_vertex, offsets, sel_nets
+
+    # ------------------------------------------------------------------
+    # Construction from / materialization to the object view
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_design(cls, design: Design) -> "NetlistArrays":
+        """Flatten a design into its array form (one pass over pins).
+
+        This is the refactored :func:`repro.netlist.snapshot.design_snapshot`
+        walk producing typed arrays instead of primitive lists; it is
+        the only place the array path touches the object graph.
+        """
+        pool_index: Dict[str, int] = {}
+        name_pool: List[str] = []
+
+        def intern(name: str) -> int:
+            idx = pool_index.get(name)
+            if idx is None:
+                idx = len(name_pool)
+                pool_index[name] = idx
+                name_pool.append(name)
+            return idx
+
+        # -- masters ---------------------------------------------------
+        t = flatten_masters(design.masters, pool_index, name_pool)
+        master_index = t.index_of
+        slot_of = t.slot_of
+        mp_name_list = t.mp_name_idx.tolist()
+        scalars = t.scalars
+        flags = t.flags
+
+        # -- instances -------------------------------------------------
+        instances = design.instances
+        inst_master = np.fromiter(
+            (master_index[id(i.master)] for i in instances),
+            dtype=np.int64,
+            count=len(instances),
+        )
+        inst_names = [i.name for i in instances]
+
+        # -- ports -----------------------------------------------------
+        port_rank: Dict[str, int] = {}
+        port_name_idx: List[int] = []
+        port_dir: List[int] = []
+        port_x: List[float] = []
+        port_y: List[float] = []
+        port_cap: List[float] = []
+        for name, port in design.ports.items():
+            port_rank[name] = len(port_name_idx)
+            port_name_idx.append(intern(name))
+            port_dir.append(_DIR_CODE[port.direction])
+            port_x.append(port.x)
+            port_y.append(port.y)
+            port_cap.append(port.capacitance)
+
+        # -- nets / pins -----------------------------------------------
+        nets = design.nets
+        net_counts: List[int] = []
+        net_has_driver = np.zeros(len(nets), dtype=bool)
+        net_is_clock: List[bool] = []
+        net_weight: List[float] = []
+        net_activity: List[float] = []
+        net_names: List[str] = []
+        pin_inst: List[int] = []
+        pin_port: List[int] = []
+        pin_name_idx: List[int] = []
+        pin_slot: List[int] = []
+        im_list = inst_master.tolist()
+        for ni, net in enumerate(nets):
+            net_is_clock.append(net.is_clock)
+            net_weight.append(net.weight)
+            net_activity.append(net.switching_activity)
+            net_names.append(net.name)
+            count = 0
+            if net.driver is not None:
+                net_has_driver[ni] = True
+            for ref in net.pins():
+                inst = ref.instance
+                if inst is None:
+                    pin_inst.append(-1)
+                    pin_port.append(port_rank[ref.pin_name])
+                    pin_name_idx.append(port_name_idx[pin_port[-1]])
+                    pin_slot.append(-1)
+                else:
+                    ii = inst.index
+                    pin_inst.append(ii)
+                    pin_port.append(-1)
+                    slot = slot_of[(im_list[ii], ref.pin_name)]
+                    pin_name_idx.append(mp_name_list[slot])
+                    pin_slot.append(slot)
+                count += 1
+            net_counts.append(count)
+
+        fp = design.floorplan
+        return cls(
+            name=design.name,
+            floorplan=(
+                fp.die_width,
+                fp.die_height,
+                fp.core_margin,
+                fp.row_height,
+                fp.target_utilization,
+            ),
+            clock_period=design.clock_period,
+            clock_port=design.clock_port,
+            name_pool=name_pool,
+            master_names=t.names,
+            master_classes=t.classes,
+            m_width=scalars[:, 0],
+            m_height=scalars[:, 1],
+            m_is_seq=flags[:, 0],
+            m_is_macro=flags[:, 1],
+            m_intrinsic=scalars[:, 2],
+            m_drive=scalars[:, 3],
+            m_clk_to_q=scalars[:, 4],
+            m_setup=scalars[:, 5],
+            m_hold=scalars[:, 6],
+            m_leakage=scalars[:, 7],
+            m_energy=scalars[:, 8],
+            mp_ptr=t.mp_ptr,
+            mp_name_idx=t.mp_name_idx,
+            mp_dir=t.mp_dir,
+            mp_is_clock=t.mp_is_clock,
+            mp_cap=t.mp_cap,
+            inst_master=inst_master,
+            port_name_idx=np.asarray(port_name_idx, dtype=np.int32),
+            port_dir=np.asarray(port_dir, dtype=np.int8),
+            port_x=np.asarray(port_x, dtype=np.float64),
+            port_y=np.asarray(port_y, dtype=np.float64),
+            port_cap=np.asarray(port_cap, dtype=np.float64),
+            net_ptr=np.concatenate(([0], np.cumsum(net_counts))).astype(np.int64),
+            net_has_driver=net_has_driver,
+            net_is_clock=np.asarray(net_is_clock, dtype=bool),
+            net_weight=np.asarray(net_weight, dtype=np.float64),
+            net_activity=np.asarray(net_activity, dtype=np.float64),
+            pin_inst=np.asarray(pin_inst, dtype=np.int64),
+            pin_port=np.asarray(pin_port, dtype=np.int64),
+            pin_name_idx=np.asarray(pin_name_idx, dtype=np.int32),
+            pin_slot=np.asarray(pin_slot, dtype=np.int64),
+            inst_names=inst_names,
+            net_names=net_names,
+            design=design,
+        )
+
+    def to_design(
+        self,
+        positions: Optional[Tuple[np.ndarray, np.ndarray]] = None,
+        fixed: Optional[np.ndarray] = None,
+    ) -> Design:
+        """Materialize the object view (batch construction).
+
+        Builds instances, nets and pin references directly — no
+        per-pin ``connect`` classification, no per-name duplicate
+        checks — while producing exactly the structure the
+        construction API would: the first pin of a driven net becomes
+        the driver, the rest sinks in order, and ``pin_nets`` is filled
+        for every instance pin.  Round-tripping a design through
+        ``from_design`` / ``to_design`` is digest-identical.
+
+        Args:
+            positions: Optional per-instance (x, y) arrays (defaults to
+                the source design's coordinates when one exists, else 0).
+            fixed: Optional per-instance fixed mask (same defaulting).
+        """
+        design = Design(self.name, floorplan=Floorplan(*self.floorplan))
+        design.clock_period = self.clock_period
+        design.clock_port = self.clock_port
+        pool = self.name_pool
+
+        # Masters.
+        masters: List[MasterCell] = []
+        mp_ptr = self.mp_ptr.tolist()
+        mp_names = self.mp_name_idx.tolist()
+        mp_dirs = self.mp_dir.tolist()
+        mp_clk = self.mp_is_clock.tolist()
+        mp_cap = self.mp_cap.tolist()
+        for mi, name in enumerate(self.master_names):
+            pins: Dict[str, CellPin] = {}
+            for s in range(mp_ptr[mi], mp_ptr[mi + 1]):
+                pin_name = pool[mp_names[s]]
+                pins[pin_name] = CellPin(
+                    pin_name, _DIRECTIONS[mp_dirs[s]], mp_cap[s], mp_clk[s]
+                )
+            master = MasterCell(
+                name=name,
+                width=float(self.m_width[mi]),
+                height=float(self.m_height[mi]),
+                pins=pins,
+                is_sequential=bool(self.m_is_seq[mi]),
+                is_macro=bool(self.m_is_macro[mi]),
+                intrinsic_delay=float(self.m_intrinsic[mi]),
+                drive_resistance=float(self.m_drive[mi]),
+                clk_to_q=float(self.m_clk_to_q[mi]),
+                setup_time=float(self.m_setup[mi]),
+                hold_time=float(self.m_hold[mi]),
+                leakage_power=float(self.m_leakage[mi]),
+                internal_energy=float(self.m_energy[mi]),
+                cell_class=self.master_classes[mi],
+            )
+            masters.append(master)
+            design.masters[name] = master
+
+        # Instances (batch; names synthesized when the arrays carry none).
+        n = self.num_instances
+        names = self.inst_names
+        if names is None:
+            names = [f"U{i}" for i in range(n)]
+        im = self.inst_master.tolist()
+        if positions is None and self.design is not None:
+            positions = self.current_positions()
+        if fixed is None and self.design is not None:
+            src = self.design.instances
+            fixed = np.fromiter((i.fixed for i in src), dtype=bool, count=len(src))
+        xs = positions[0].tolist() if positions is not None else None
+        ys = positions[1].tolist() if positions is not None else None
+        fx = fixed.tolist() if fixed is not None else None
+        instances: List[Instance] = []
+        for i in range(n):
+            inst = Instance(names[i], masters[im[i]], index=i)
+            if xs is not None:
+                inst.x = xs[i]
+                inst.y = ys[i]
+            if fx is not None:
+                inst.fixed = fx[i]
+            instances.append(inst)
+        design.instances = instances
+        design._instance_by_name = dict(zip(names, instances))
+
+        # Ports.
+        port_names = self.port_names
+        for pi, name in enumerate(port_names):
+            port = Port(
+                name,
+                _DIRECTIONS[int(self.port_dir[pi])],
+                float(self.port_x[pi]),
+                float(self.port_y[pi]),
+            )
+            port.capacitance = float(self.port_cap[pi])
+            design.ports[name] = port
+
+        # Nets + pin references.
+        net_names = self.net_names
+        if net_names is None:
+            net_names = [f"n{i}" for i in range(self.num_nets)]
+        ptr = self.net_ptr.tolist()
+        has_driver = self.net_has_driver.tolist()
+        is_clock = self.net_is_clock.tolist()
+        weight = self.net_weight.tolist()
+        activity = self.net_activity.tolist()
+        p_inst = self.pin_inst.tolist()
+        p_port = self.pin_port.tolist()
+        p_name = self.pin_name_idx.tolist()
+        nets: List[Net] = []
+        for ni in range(self.num_nets):
+            net = Net(net_names[ni], index=ni)
+            net.weight = weight[ni]
+            net.is_clock = is_clock[ni]
+            net.switching_activity = activity[ni]
+            start, end = ptr[ni], ptr[ni + 1]
+            first_sink = start
+            if has_driver[ni] and end > start:
+                r = start
+                inst = instances[p_inst[r]] if p_inst[r] >= 0 else None
+                pin_name = pool[p_name[r]] if inst is not None else port_names[p_port[r]]
+                net.driver = PinRef(inst, pin_name)
+                if inst is not None:
+                    inst.pin_nets[pin_name] = net
+                first_sink = start + 1
+            sinks = net.sinks
+            for r in range(first_sink, end):
+                ii = p_inst[r]
+                if ii >= 0:
+                    inst = instances[ii]
+                    pin_name = pool[p_name[r]]
+                    sinks.append(PinRef(inst, pin_name))
+                    inst.pin_nets[pin_name] = net
+                else:
+                    sinks.append(PinRef(None, port_names[p_port[r]]))
+            nets.append(net)
+        design.nets = nets
+        design._net_by_name = {net.name: net for net in nets}
+        design.bump_structure_version()
+        return design
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"NetlistArrays({self.name!r}, insts={self.num_instances}, "
+            f"nets={self.num_nets}, pins={self.num_pins}, "
+            f"bytes={self.nbytes})"
+        )

@@ -31,8 +31,49 @@ class PinDirection(enum.Enum):
     INOUT = "inout"
 
 
-@dataclass(frozen=True)
-class CellPin:
+class _FrozenSlots:
+    """Immutable ``__slots__`` base: frozen-dataclass semantics without
+    requiring ``dataclass(slots=True)`` (3.10+) or its broken pickling
+    on 3.10 (bpo-45520 — fixed only in 3.11)."""
+
+    __slots__ = ()
+
+    def __setattr__(self, name: str, value) -> None:
+        raise AttributeError(f"{type(self).__name__} is immutable")
+
+    def __delattr__(self, name: str) -> None:
+        raise AttributeError(f"{type(self).__name__} is immutable")
+
+    def _astuple(self) -> tuple:
+        return tuple(getattr(self, s) for s in self.__slots__)
+
+    def __eq__(self, other) -> bool:
+        if other.__class__ is not self.__class__:
+            return NotImplemented
+        return self._astuple() == other._astuple()
+
+    def __hash__(self) -> int:
+        return hash((self.__class__, self._astuple()))
+
+    def __getstate__(self) -> tuple:
+        return self._astuple()
+
+    def __setstate__(self, state: tuple) -> None:
+        for slot, value in zip(self.__slots__, state):
+            object.__setattr__(self, slot, value)
+
+    def __reduce__(self):
+        return (_rebuild_frozen, (self.__class__, self._astuple()))
+
+
+def _rebuild_frozen(cls, state):
+    """Pickle helper: rebuild a :class:`_FrozenSlots` without __init__."""
+    obj = cls.__new__(cls)
+    obj.__setstate__(state)
+    return obj
+
+
+class CellPin(_FrozenSlots):
     """A pin on a master cell.
 
     Attributes:
@@ -42,10 +83,25 @@ class CellPin:
         is_clock: True for the clock pin of sequential cells.
     """
 
-    name: str
-    direction: PinDirection
-    capacitance: float = 1.0
-    is_clock: bool = False
+    __slots__ = ("name", "direction", "capacitance", "is_clock")
+
+    def __init__(
+        self,
+        name: str,
+        direction: PinDirection,
+        capacitance: float = 1.0,
+        is_clock: bool = False,
+    ) -> None:
+        object.__setattr__(self, "name", name)
+        object.__setattr__(self, "direction", direction)
+        object.__setattr__(self, "capacitance", capacitance)
+        object.__setattr__(self, "is_clock", is_clock)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"CellPin(name={self.name!r}, direction={self.direction!r}, "
+            f"capacitance={self.capacitance!r}, is_clock={self.is_clock!r})"
+        )
 
 
 @dataclass
@@ -116,16 +172,18 @@ class MasterCell:
         return None
 
 
-@dataclass(frozen=True)
-class PinRef:
+class PinRef(_FrozenSlots):
     """A reference to one pin of one instance (or a top-level port).
 
     ``instance`` is None when the reference denotes a top-level port, in
     which case ``pin_name`` holds the port name.
     """
 
-    instance: Optional["Instance"]
-    pin_name: str
+    __slots__ = ("instance", "pin_name")
+
+    def __init__(self, instance: Optional["Instance"], pin_name: str) -> None:
+        object.__setattr__(self, "instance", instance)
+        object.__setattr__(self, "pin_name", pin_name)
 
     @property
     def is_port(self) -> bool:
@@ -382,6 +440,77 @@ class Design:
         self.ports: Dict[str, Port] = {}
         self._instance_by_name: Dict[str, Instance] = {}
         self._net_by_name: Dict[str, Net] = {}
+        #: Monotonic counter bumped by every structural mutation made
+        #: through the construction API (add_instance / add_net /
+        #: add_port / connect).  Derived caches — signal_nets(),
+        #: net_degrees(), the :class:`repro.netlist.arrays.NetlistArrays`
+        #: form — key on :meth:`structure_key`.  Code that mutates
+        #: connectivity *outside* the construction API (e.g. editing
+        #: ``net.sinks`` in place) must call
+        #: :meth:`bump_structure_version`.
+        self._structure_version = 0
+        self._signal_nets_cache: Optional[Tuple[tuple, List[Net]]] = None
+        self._degree_cache: Optional[tuple] = None
+        #: Cached flat-array form (filled by Design.arrays()).
+        self._netlist_arrays = None
+
+    def __getstate__(self) -> Dict[str, object]:
+        """Drop derived caches when pickling / deep-copying.
+
+        The array form, signal-net list, degree arrays and the HPWL
+        pin-array cache are all rebuildable and would otherwise bloat
+        checkpoints (and drag stale numpy buffers across processes).
+        """
+        state = self.__dict__.copy()
+        for key in (
+            "_netlist_arrays",
+            "_signal_nets_cache",
+            "_degree_cache",
+            "_hpwl_net_arrays",
+        ):
+            state.pop(key, None)
+        return state
+
+    def __setstate__(self, state: Dict[str, object]) -> None:
+        self.__dict__.update(state)
+        # Designs pickled by older code predate the cache fields.
+        self.__dict__.setdefault("_structure_version", 0)
+        self._signal_nets_cache = None
+        self._degree_cache = None
+        self._netlist_arrays = None
+
+    # ------------------------------------------------------------------
+    # Cache invalidation
+    # ------------------------------------------------------------------
+    def bump_structure_version(self) -> None:
+        """Invalidate every structure-derived cache.
+
+        Called automatically by the construction API; call it manually
+        after mutating connectivity in place (editing ``net.sinks``,
+        re-pointing a driver, flipping ``net.is_clock`` after
+        construction has finished).
+        """
+        self._structure_version += 1
+        self._signal_nets_cache = None
+        self._degree_cache = None
+        self._netlist_arrays = None
+
+    def structure_key(self) -> tuple:
+        """Cheap fingerprint of the netlist structure.
+
+        Combines the mutation counter with entity counts and the
+        clock-net count, so caches also survive code paths that flip
+        ``is_clock`` without touching the construction API (the same
+        convention :mod:`repro.place.hpwl` uses).
+        """
+        clock_nets = sum(1 for n in self.nets if n.is_clock)
+        return (
+            self._structure_version,
+            len(self.instances),
+            len(self.nets),
+            len(self.ports),
+            clock_nets,
+        )
 
     # ------------------------------------------------------------------
     # Construction API
@@ -402,6 +531,7 @@ class Design:
         inst = Instance(name, master, index=len(self.instances))
         self.instances.append(inst)
         self._instance_by_name[name] = inst
+        self.bump_structure_version()
         return inst
 
     def add_net(self, name: str) -> Net:
@@ -411,6 +541,7 @@ class Design:
         net = Net(name, index=len(self.nets))
         self.nets.append(net)
         self._net_by_name[name] = net
+        self.bump_structure_version()
         return net
 
     def add_port(
@@ -425,6 +556,7 @@ class Design:
             raise ValueError(f"duplicate port name {name!r}")
         port = Port(name, direction, x, y)
         self.ports[name] = port
+        self.bump_structure_version()
         return port
 
     def connect(self, net: Net, ref: PinRef) -> None:
@@ -451,6 +583,7 @@ class Design:
                     f"connected to net {existing.name!r}"
                 )
             ref.instance.pin_nets[ref.pin_name] = net
+        self.bump_structure_version()
 
     def connect_instance_pin(self, net: Net, instance: Instance, pin: str) -> None:
         """Convenience wrapper: connect ``instance.pin`` to ``net``."""
@@ -480,8 +613,62 @@ class Design:
         return name in self._instance_by_name
 
     def signal_nets(self) -> List[Net]:
-        """All non-clock nets with at least two connections."""
-        return [n for n in self.nets if not n.is_clock and n.degree >= 2]
+        """All non-clock nets with at least two connections.
+
+        Cached per :meth:`structure_key` — hot loops (routing, STA
+        tables, feature extraction) call this repeatedly and used to
+        rebuild the filtered list on every call.
+        """
+        key = self.structure_key()
+        cached = self._signal_nets_cache
+        if cached is not None and cached[0] == key:
+            return cached[1]
+        nets = [n for n in self.nets if not n.is_clock and n.degree >= 2]
+        self._signal_nets_cache = (key, nets)
+        return nets
+
+    def net_degrees(self) -> "Tuple[object, object]":
+        """Cached ``(degrees, fanouts)`` int arrays indexed by net index.
+
+        ``degrees[i] == nets[i].degree`` and ``fanouts[i] ==
+        nets[i].fanout``; rebuilt only when :meth:`structure_key`
+        changes, so hot loops can read counts without re-deriving them
+        net by net.
+        """
+        import numpy as np
+
+        key = self.structure_key()
+        cached = self._degree_cache
+        if cached is not None and cached[0] == key:
+            return cached[1], cached[2]
+        count = len(self.nets)
+        fanouts = np.fromiter(
+            (len(n.sinks) for n in self.nets), dtype=np.int64, count=count
+        )
+        drivers = np.fromiter(
+            (n.driver is not None for n in self.nets), dtype=bool, count=count
+        )
+        degrees = fanouts + drivers
+        self._degree_cache = (key, degrees, fanouts)
+        return degrees, fanouts
+
+    def arrays(self):
+        """The flat array-native form (:class:`repro.netlist.arrays.NetlistArrays`).
+
+        Built on first use and cached against :meth:`structure_key`;
+        invalidated automatically by the construction API (see
+        :meth:`bump_structure_version` for out-of-API mutations).
+        """
+        from repro.netlist.arrays import NetlistArrays
+
+        key = self.structure_key()
+        cached = self._netlist_arrays
+        if cached is not None and cached.structure_key == key:
+            return cached
+        arrays = NetlistArrays.from_design(self)
+        arrays.structure_key = key
+        self._netlist_arrays = arrays
+        return arrays
 
     def sequential_instances(self) -> List[Instance]:
         """All flip-flop / latch instances."""

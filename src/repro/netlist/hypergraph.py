@@ -43,9 +43,10 @@ class Hypergraph:
         edge_net_indices: Optional[Sequence[int]] = None,
     ) -> None:
         self.num_vertices = int(num_vertices)
-        self.edges: List[Tuple[int, ...]] = [tuple(e) for e in edges]
+        self._edges: Optional[List[Tuple[int, ...]]] = [tuple(e) for e in edges]
+        n_edges = len(self._edges)
         if edge_weights is None:
-            self.edge_weights = np.ones(len(self.edges))
+            self.edge_weights = np.ones(n_edges)
         else:
             self.edge_weights = np.asarray(edge_weights, dtype=float)
         if vertex_areas is None:
@@ -53,10 +54,10 @@ class Hypergraph:
         else:
             self.vertex_areas = np.asarray(vertex_areas, dtype=float)
         if edge_net_indices is None:
-            self.edge_net_indices = np.full(len(self.edges), -1, dtype=np.int64)
+            self.edge_net_indices = np.full(n_edges, -1, dtype=np.int64)
         else:
             self.edge_net_indices = np.asarray(edge_net_indices, dtype=np.int64)
-        if len(self.edge_weights) != len(self.edges):
+        if len(self.edge_weights) != n_edges:
             raise ValueError("edge_weights length mismatch")
         if len(self.vertex_areas) != self.num_vertices:
             raise ValueError("vertex_areas length mismatch")
@@ -64,9 +65,71 @@ class Hypergraph:
         self._pin_csr: Optional[Tuple[np.ndarray, np.ndarray]] = None
         self._incidence_csr: Optional[Tuple[np.ndarray, np.ndarray]] = None
 
+    @classmethod
+    def from_csr(
+        cls,
+        num_vertices: int,
+        indptr: np.ndarray,
+        vertices: np.ndarray,
+        edge_weights: Optional[Sequence[float]] = None,
+        vertex_areas: Optional[Sequence[float]] = None,
+        edge_net_indices: Optional[Sequence[int]] = None,
+    ) -> "Hypergraph":
+        """Construct directly from an edge->member CSR.
+
+        The CSR is the primary storage; the ``edges`` list of tuples is
+        materialized lazily only if some consumer asks for it.  This is
+        the array-native path: :meth:`from_design` feeds it straight
+        from :meth:`repro.netlist.arrays.NetlistArrays.hyperedge_csr`.
+        """
+        self = cls.__new__(cls)
+        self.num_vertices = int(num_vertices)
+        indptr = np.asarray(indptr, dtype=np.int64)
+        vertices = np.asarray(vertices, dtype=np.int64)
+        n_edges = len(indptr) - 1
+        self._edges = None
+        self._pin_csr = (indptr, vertices)
+        if edge_weights is None:
+            self.edge_weights = np.ones(n_edges)
+        else:
+            self.edge_weights = np.asarray(edge_weights, dtype=float)
+        if vertex_areas is None:
+            self.vertex_areas = np.ones(self.num_vertices)
+        else:
+            self.vertex_areas = np.asarray(vertex_areas, dtype=float)
+        if edge_net_indices is None:
+            self.edge_net_indices = np.full(n_edges, -1, dtype=np.int64)
+        else:
+            self.edge_net_indices = np.asarray(edge_net_indices, dtype=np.int64)
+        if len(self.edge_weights) != n_edges:
+            raise ValueError("edge_weights length mismatch")
+        if len(self.vertex_areas) != self.num_vertices:
+            raise ValueError("vertex_areas length mismatch")
+        self._incidence = None
+        self._incidence_csr = None
+        return self
+
+    @property
+    def edges(self) -> List[Tuple[int, ...]]:
+        """Hyperedges as tuples of distinct vertex ids (lazy).
+
+        CSR-built hypergraphs materialize this list on first access;
+        prefer :meth:`pin_csr` in hot code.
+        """
+        if self._edges is None:
+            indptr, verts = self._pin_csr
+            vl = verts.tolist()
+            il = indptr.tolist()
+            self._edges = [
+                tuple(vl[il[i] : il[i + 1]]) for i in range(len(il) - 1)
+            ]
+        return self._edges
+
     def invalidate_caches(self) -> None:
         """Drop memoised incidence structures (call after mutating
         ``edges`` in place — none of the library code does)."""
+        if self._edges is None:
+            _ = self.edges  # CSR was primary; keep the edge list alive
         self._incidence = None
         self._pin_csr = None
         self._incidence_csr = None
@@ -78,6 +141,7 @@ class Hypergraph:
         design: Design,
         include_clock_nets: bool = False,
         max_edge_degree: Optional[int] = None,
+        use_arrays: bool = True,
     ) -> "Hypergraph":
         """Build the hypergraph over a design's instances.
 
@@ -89,7 +153,25 @@ class Hypergraph:
             max_edge_degree: Nets with more distinct vertices than this
                 are skipped (a standard guard against degenerate
                 high-fanout nets); None keeps everything.
+            use_arrays: When True (default) build from the cached
+                :class:`~repro.netlist.arrays.NetlistArrays` CSR
+                kernels; the object-graph walk is kept as the
+                equivalence oracle for tests.
         """
+        if use_arrays:
+            arrays = design.arrays()
+            indptr, verts, sel_nets = arrays.hyperedge_csr(
+                include_clock=include_clock_nets,
+                max_edge_degree=max_edge_degree,
+            )
+            return cls.from_csr(
+                design.num_instances,
+                indptr,
+                verts,
+                edge_weights=arrays.current_net_weights()[sel_nets],
+                vertex_areas=arrays.current_inst_areas(),
+                edge_net_indices=sel_nets,
+            )
         edges: List[Tuple[int, ...]] = []
         weights: List[float] = []
         net_indices: List[int] = []
@@ -117,11 +199,13 @@ class Hypergraph:
     @property
     def num_edges(self) -> int:
         """Number of hyperedges."""
-        return len(self.edges)
+        return len(self.edge_weights)
 
     @property
     def num_pins(self) -> int:
         """Total pin count (sum of hyperedge degrees)."""
+        if self._pin_csr is not None:
+            return int(self._pin_csr[0][-1])
         return sum(len(e) for e in self.edges)
 
     def incidence(self) -> List[List[int]]:

@@ -56,40 +56,28 @@ class _DesignNetArrays:
 
     def __init__(self, design: Design, include_clock: bool) -> None:
         self.fingerprint = _structure_fingerprint(design, include_clock)
+        arrays = design.arrays()
         self.port_names = sorted(design.ports)
-        port_vertex = {
-            name: design.num_instances + i
-            for i, name in enumerate(self.port_names)
-        }
-        pins = []
-        offsets = [0]
-        net_list = []
-        for net in design.nets:
-            if net.is_clock and not include_clock:
-                continue
-            if net.degree < 2:
-                continue
-            for ref in net.pins():
-                if ref.instance is not None:
-                    pins.append(ref.instance.index)
-                else:
-                    pins.append(port_vertex[ref.pin_name])
-            offsets.append(len(pins))
-            net_list.append(net)
-        self.pin_vertex = np.asarray(pins, dtype=np.int64)
-        self.net_offsets = np.asarray(offsets, dtype=np.int64)
-        self.net_list = net_list
+        pin_vertex, offsets, sel_nets = arrays.pin_vertex_csr(include_clock)
+        self.pin_vertex = pin_vertex
+        self.net_offsets = offsets
+        nets = design.nets
+        self.net_list = [nets[i] for i in sel_nets.tolist()]
 
     def coordinates(self, design: Design):
         """Fresh (x, y) vertex coordinate vectors."""
-        x = [inst.x for inst in design.instances]
-        y = [inst.y for inst in design.instances]
-        ports = design.ports
-        for name in self.port_names:
-            port = ports[name]
-            x.append(port.x)
-            y.append(port.y)
-        return np.asarray(x), np.asarray(y)
+        arrays = design.arrays()
+        n_inst = arrays.num_instances
+        n_total = n_inst + arrays.num_ports
+        x = np.empty(n_total)
+        y = np.empty(n_total)
+        xs, ys = arrays.current_positions()
+        x[:n_inst] = xs
+        y[:n_inst] = ys
+        px, py = arrays.current_port_xy()
+        x[n_inst + arrays.port_sorted_rank] = px
+        y[n_inst + arrays.port_sorted_rank] = py
+        return x, y
 
     def weights(self) -> np.ndarray:
         """Fresh per-net weight vector (weights mutate between calls)."""

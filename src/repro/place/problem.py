@@ -31,7 +31,9 @@ class PlacementProblem:
         net_indices: Original design net index per problem net.
     """
 
-    def __init__(self, design: Design, include_clock: bool = False) -> None:
+    def __init__(
+        self, design: Design, include_clock: bool = False, use_arrays: bool = True
+    ) -> None:
         self.design = design
         n_inst = design.num_instances
         port_names = sorted(design.ports)
@@ -44,6 +46,31 @@ class PlacementProblem:
         self.y = np.zeros(n_total)
         self.areas = np.zeros(n_total)
         self.fixed = np.zeros(n_total, dtype=bool)
+        if use_arrays:
+            arrays = design.arrays()
+            xs, ys = arrays.current_positions()
+            self.x[:n_inst] = xs
+            self.y[:n_inst] = ys
+            self.areas[:n_inst] = arrays.current_inst_areas()
+            instances = design.instances
+            self.fixed[:n_inst] = np.fromiter(
+                (i.fixed for i in instances), dtype=bool, count=n_inst
+            )
+            px, py = arrays.current_port_xy()
+            self.x[n_inst + arrays.port_sorted_rank] = px
+            self.y[n_inst + arrays.port_sorted_rank] = py
+            self.fixed[n_inst:] = True
+            pin_vertex, offsets, sel_nets = arrays.placement_csr(include_clock)
+            self.pin_vertex = pin_vertex
+            self.net_offsets = offsets
+            self.net_weights = arrays.current_net_weights()[sel_nets]
+            self.net_indices = sel_nets
+        else:
+            self._build_reference(design, include_clock)
+        self.num_movable_instances = n_inst
+
+    def _build_reference(self, design: Design, include_clock: bool) -> None:
+        """Object-graph construction (kept as the equivalence oracle)."""
         for inst in design.instances:
             self.x[inst.index] = inst.x
             self.y[inst.index] = inst.y
@@ -79,7 +106,6 @@ class PlacementProblem:
         self.net_offsets = np.asarray(offsets, dtype=np.int64)
         self.net_weights = np.asarray(weights)
         self.net_indices = np.asarray(net_indices, dtype=np.int64)
-        self.num_movable_instances = n_inst
 
     # ------------------------------------------------------------------
     @property

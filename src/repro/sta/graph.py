@@ -53,10 +53,30 @@ class TimingGraph:
     CELL = "cell"
     WIRE = "wire"
 
-    def __init__(self, design: Design) -> None:
-        self.design = design
-        self._node_of: Dict[Tuple[Optional[int], str], int] = {}
-        self._node_info: List[Tuple[Optional[Instance], str]] = []
+    def __init__(self, design, use_arrays: bool = True) -> None:
+        # ``design`` may be a Design or a bare NetlistArrays (the
+        # array-native generator emits the latter at scales where no
+        # object view exists).  Scalar/reference features that need the
+        # object graph raise when only arrays are available.
+        if isinstance(design, Design):
+            self.design = design
+            self._source_arrays = None
+        else:
+            self.design = None
+            self._source_arrays = design
+            if not use_arrays:
+                raise ValueError(
+                    "reference build requires the object view, got NetlistArrays"
+                )
+        # Node identity maps are lazy on the array-native path: the
+        # build records per-node (owner instance index, interned pin
+        # name) arrays, and the dict/list views materialize on first
+        # access (only the scalar reference engines need them).
+        self._node_of_map: Optional[Dict[Tuple[Optional[int], str], int]] = None
+        self._node_info_list: Optional[List[Tuple[Optional[Instance], str]]] = None
+        self._node_owner: Optional[np.ndarray] = None
+        self._node_pname: Optional[np.ndarray] = None
+        self._num_nodes = 0
         # Tuple adjacency is built lazily from the flat arrays — the
         # vectorized paths never touch it (see arcs/preds properties).
         self._arcs: Optional[List[List[Tuple[int, str, object]]]] = None
@@ -66,7 +86,7 @@ class TimingGraph:
         self.endpoints: List[int] = []
         self.topo_order: List[int] = []
         self.levels: Optional[np.ndarray] = None
-        # Flat arc arrays (filled by _build, wire arcs then cell arcs):
+        # Flat arc arrays (filled by the build, wire arcs then cell arcs):
         #: driver node per driven non-clock net, aligned with _w_net/_w_cnt.
         self._w_src: Optional[np.ndarray] = None
         self._w_dst: Optional[np.ndarray] = None  # per wire arc
@@ -77,16 +97,59 @@ class TimingGraph:
         self._c_out_net: Optional[np.ndarray] = None
         self._c_out_inst: Optional[np.ndarray] = None
         self._c_nin: Optional[np.ndarray] = None  # inputs per (inst, output)
-        self._build()
+        if use_arrays:
+            self._build_arrays()
+        else:
+            self._node_of_map = {}
+            self._node_info_list = []
+            self._build_reference()
+        self.levelize()
 
     # ------------------------------------------------------------------
+    @property
+    def _node_of(self) -> Dict[Tuple[Optional[int], str], int]:
+        if self._node_of_map is None:
+            self._materialize_node_maps()
+        return self._node_of_map
+
+    @property
+    def _node_info(self) -> List[Tuple[Optional[Instance], str]]:
+        if self._node_info_list is None:
+            self._materialize_node_maps()
+        return self._node_info_list
+
+    def _materialize_node_maps(self) -> None:
+        """Expand the per-node owner/name arrays into the dict/list views."""
+        if self.design is None:
+            raise RuntimeError(
+                "node maps require the object view; this graph was built "
+                "from a bare NetlistArrays"
+            )
+        pool = self.design.arrays().name_pool
+        instances = self.design.instances
+        info: List[Tuple[Optional[Instance], str]] = []
+        node_of: Dict[Tuple[Optional[int], str], int] = {}
+        for nid, (owner, nmi) in enumerate(
+            zip(self._node_owner.tolist(), self._node_pname.tolist())
+        ):
+            name = pool[nmi]
+            if owner >= 0:
+                info.append((instances[owner], name))
+                node_of[(owner, name)] = nid
+            else:
+                info.append((None, name))
+                node_of[(None, name)] = nid
+        self._node_info_list = info
+        self._node_of_map = node_of
+
     def node(self, inst: Optional[Instance], pin_name: str) -> int:
         """Get or create the node id for an instance pin / port."""
         key = (inst.index if inst is not None else None, pin_name)
-        node_id = self._node_of.get(key)
+        node_of = self._node_of
+        node_id = node_of.get(key)
         if node_id is None:
             node_id = len(self._node_info)
-            self._node_of[key] = node_id
+            node_of[key] = node_id
             self._node_info.append((inst, pin_name))
             if self._arcs is not None:
                 self._arcs.append([])
@@ -111,7 +174,9 @@ class TimingGraph:
     @property
     def num_nodes(self) -> int:
         """Number of pin nodes."""
-        return len(self._node_info)
+        if self._node_info_list is not None:
+            return len(self._node_info_list)
+        return self._num_nodes
 
     # ------------------------------------------------------------------
     @property
@@ -190,7 +255,171 @@ class TimingGraph:
             self._wire_in = (wsrc, wnet)
         return self._wire_in
 
-    def _build(self) -> None:
+    def _build_arrays(self) -> None:
+        """Array-native graph construction from the design's CSR form.
+
+        Reproduces :meth:`_build_reference` bit for bit — node ids,
+        arc order, startpoint/endpoint order — without touching the
+        object graph.  The trick is node-id assignment: the reference
+        numbers nodes by first occurrence in its visitation sequence
+        (all ports, then wire pins net-major with driver first, then
+        cell pins instance-major).  Inside one combinational instance
+        the reference's ``out0, in..., out1, in...(dup)`` walk has
+        first occurrences ``out0, in..., out1..`` — so the equivalent
+        flat sequence is built by ordering each instance's connected
+        pins by (section, declaration slot) with sections
+        ``first-out=0, inputs=1, remaining outs=2`` (sequential cells:
+        ``outs=0, inputs=1``).  One global ``np.unique`` then ranks
+        keys by first position to mint the identical ids.
+        """
+        from repro.netlist.arrays import DIR_INPUT, DIR_OUTPUT
+
+        design = self.design
+        arrays = design.arrays() if design is not None else self._source_arrays
+        clock_port = design.clock_port if design is not None else arrays.clock_port
+        pool_size = len(arrays.name_pool)
+        # Composite pin key: (owner + 1) * |pool| + pin-name id, with
+        # owner -1 (ports) mapping to code 0.  Unique per physical pin.
+        # (int32 owner columns upcast: the product overflows 32 bits.)
+        pin_key = (
+            arrays.pin_inst.astype(np.int64) + 1
+        ) * pool_size + arrays.pin_name_idx
+
+        # Phase A: every port gets a node, insertion order.
+        port_keys = arrays.port_name_idx.astype(np.int64)
+
+        # Phase B: wire pins of driven non-clock nets, net-major,
+        # driver first (the stored pin order).
+        wnet = np.flatnonzero(arrays.net_has_driver & ~arrays.net_is_clock)
+        wcounts = arrays.net_degree[wnet]
+        wire_keys = pin_key[_multi_arange(arrays.net_ptr[wnet], wcounts)]
+
+        # Phase C: cell pins.  Start from the instance->connection CSR
+        # (rows sorted by instance then declaration slot), dedupe
+        # multiply-connected pins keeping the *last* connection (the
+        # reference reads ``pin_nets``, where the last connect wins).
+        _iptr, irows = arrays.instance_pin_csr()
+        ri = arrays.pin_inst[irows]
+        rs = arrays.pin_slot[irows]
+        if len(irows):
+            keep_last = np.concatenate(
+                ((ri[1:] != ri[:-1]) | (rs[1:] != rs[:-1]), [True])
+            )
+        else:
+            keep_last = np.zeros(0, dtype=bool)
+        drows = irows[keep_last]
+        d_inst = ri[keep_last]
+        d_key = pin_key[drows]
+        d_dir = arrays.pin_dir[drows]
+        is_out = d_dir == DIR_OUTPUT
+        is_in = (d_dir == DIR_INPUT) & ~arrays.pin_is_clockpin[drows]
+        d_net = arrays.pin_net()[drows]
+        inst_seq = (
+            arrays.m_is_seq[arrays.inst_master]
+            if arrays.num_instances
+            else np.zeros(0, dtype=bool)
+        )
+        row_seq = inst_seq[d_inst] if len(d_inst) else np.zeros(0, dtype=bool)
+        n_out = np.bincount(
+            d_inst[is_out], minlength=arrays.num_instances
+        )
+        # Combinational instances without connected outputs contribute
+        # no nodes at all; clock pins / inouts never do.
+        keep = (is_out | is_in) & (row_seq | (n_out[d_inst] > 0))
+        k_inst = d_inst[keep]
+        k_key = d_key[keep]
+        k_out = is_out[keep]
+        k_seq = row_seq[keep]
+        k_net = d_net[keep]
+        # First connected output per instance (rows are slot-ordered;
+        # k_inst is sorted, so group starts are run boundaries).
+        oc = np.cumsum(k_out)
+        if len(k_inst):
+            new_group = np.concatenate(([True], k_inst[1:] != k_inst[:-1]))
+            group_start = np.flatnonzero(new_group)[np.cumsum(new_group) - 1]
+        else:
+            group_start = np.zeros(0, dtype=np.int64)
+        prior = np.where(group_start > 0, oc[np.maximum(group_start - 1, 0)], 0)
+        first_out = k_out & ((oc - prior) == 1)
+        section = np.where(
+            k_out & (k_seq | first_out), 0, np.where(k_out, 2, 1)
+        )
+        # Stable sort of the composite (instance, section) key ==
+        # lexsort((arange, section, k_inst)).
+        seq_order = np.argsort(
+            k_inst.astype(np.int64) * 4 + section, kind="stable"
+        )
+        cell_keys = k_key[seq_order]
+
+        # Global first-occurrence node ids over the full visitation
+        # sequence.
+        all_keys = np.concatenate((port_keys, wire_keys, cell_keys))
+        uniq, first_pos, inverse = np.unique(
+            all_keys, return_index=True, return_inverse=True
+        )
+        rank = np.argsort(first_pos, kind="stable")
+        id_of = np.empty(len(uniq), dtype=np.int64)
+        id_of[rank] = np.arange(len(uniq), dtype=np.int64)
+        all_ids = id_of[inverse]
+        n_port = len(port_keys)
+        n_wire = len(wire_keys)
+        port_ids = all_ids[:n_port]
+        #: Per-row node id of k_key (undo the seq_order permutation).
+        k_ids = np.empty(len(k_key), dtype=np.int64)
+        k_ids[seq_order] = all_ids[n_port + n_wire :]
+
+        self._num_nodes = len(uniq)
+        ordered_keys = uniq[rank]
+        self._node_owner = (ordered_keys // pool_size) - 1
+        self._node_pname = ordered_keys % pool_size
+
+        # Wire arc arrays.
+        wire_ids = all_ids[n_port : n_port + n_wire]
+        span_starts = np.concatenate(([0], np.cumsum(wcounts)))[:-1].astype(
+            np.int64
+        )
+        is_driver_pos = np.zeros(len(wire_keys), dtype=bool)
+        is_driver_pos[span_starts] = True
+        self._w_src = wire_ids[span_starts]
+        self._w_dst = wire_ids[~is_driver_pos]
+        self._w_net = wnet
+        self._w_cnt = wcounts - 1
+
+        # Cell arc arrays (combinational instances, output-major,
+        # inputs in declaration order — identical to the reference's
+        # nested loops).
+        comb_in = ~k_seq & ~k_out
+        comb_out = ~k_seq & k_out
+        in_ids = k_ids[comb_in]
+        in_counts = np.bincount(
+            k_inst[comb_in], minlength=arrays.num_instances
+        )
+        in_starts = np.concatenate(([0], np.cumsum(in_counts)))[:-1]
+        out_inst = k_inst[comb_out]
+        out_ids = k_ids[comb_out]
+        out_nets = k_net[comb_out]
+        self._c_src = in_ids[
+            _multi_arange(in_starts[out_inst], in_counts[out_inst])
+        ]
+        has_in = in_counts[out_inst] > 0
+        self._c_out_node = out_ids[has_in]
+        self._c_out_net = out_nets[has_in]
+        self._c_out_inst = out_inst[has_in]
+        self._c_nin = in_counts[out_inst][has_in]
+
+        # Startpoints / endpoints: sequential pins instance-major, then
+        # ports in insertion order (matching the reference's two loops).
+        self.startpoints = k_ids[k_seq & k_out].tolist()
+        self.endpoints = k_ids[k_seq & ~k_out].tolist()
+        is_input = arrays.port_dir == DIR_INPUT
+        not_clock = np.ones(arrays.num_ports, dtype=bool)
+        port_names = arrays.port_names
+        if clock_port is not None and clock_port in port_names:
+            not_clock[port_names.index(clock_port)] = False
+        self.startpoints.extend(port_ids[is_input & not_clock].tolist())
+        self.endpoints.extend(port_ids[~is_input].tolist())
+
+    def _build_reference(self) -> None:
         design = self.design
         node_of = self._node_of
         node_info = self._node_info
@@ -311,8 +540,6 @@ class TimingGraph:
         self._c_out_net = np.asarray(c_out_net, dtype=np.int64)
         self._c_out_inst = np.asarray(c_out_inst, dtype=np.int64)
         self._c_nin = np.asarray(c_nin, dtype=np.int64)
-
-        self.levelize()
 
     # ------------------------------------------------------------------
     def flat_arc_arrays(self) -> Tuple[np.ndarray, np.ndarray, int]:

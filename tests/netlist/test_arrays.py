@@ -1,0 +1,268 @@
+"""Array-native netlist core: equivalence, round-trips and caching.
+
+The contract under test (docs/performance.md "Array-native core &
+memory model"): :class:`repro.netlist.arrays.NetlistArrays` is the
+primary representation — every converted consumer must reproduce the
+object-walk reference bit for bit, round-trips must be digest-exact,
+and the structure-keyed caches must invalidate on mutation.
+"""
+
+import copy
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.cache import netlist_digest
+from repro.designs import DesignSpec, generate_design, load_benchmark
+from repro.designs.generator import generate_arrays
+from repro.netlist import NetlistArrays, design_from_snapshot, design_snapshot
+from repro.netlist.design import CellPin, PinDirection, PinRef
+from repro.netlist.hypergraph import Hypergraph
+from repro.place.hpwl import hpwl, net_hpwl
+from repro.place.problem import PlacementProblem
+from repro.sta.analysis import TimingAnalyzer
+from repro.sta.delay import PlacementWireModel
+from repro.sta.graph import TimingGraph
+
+BENCHES = ("aes", "ariane")
+
+
+@pytest.fixture(scope="module", params=BENCHES)
+def bench_pair(request):
+    """Two independently built copies of one benchmark design."""
+    name = request.param
+    return (
+        load_benchmark(name, use_cache=False),
+        load_benchmark(name, use_cache=False),
+    )
+
+
+class TestConsumerEquivalence:
+    """Arrays-path consumers match the object-walk reference exactly."""
+
+    def test_hypergraph_identical(self, bench_pair):
+        d_arr, d_ref = bench_pair
+        for kwargs in ({}, {"include_clock_nets": True}, {"max_edge_degree": 8}):
+            ha = Hypergraph.from_design(d_arr, use_arrays=True, **kwargs)
+            hr = Hypergraph.from_design(d_ref, use_arrays=False, **kwargs)
+            assert ha.edges == hr.edges
+            assert np.array_equal(ha.edge_weights, hr.edge_weights)
+            assert np.array_equal(ha.vertex_areas, hr.vertex_areas)
+            assert np.array_equal(ha.edge_net_indices, hr.edge_net_indices)
+            assert ha.num_edges == hr.num_edges
+            assert ha.num_pins == hr.num_pins
+
+    def test_placement_problem_identical(self, bench_pair):
+        d_arr, d_ref = bench_pair
+        pa = PlacementProblem(d_arr, use_arrays=True)
+        pr = PlacementProblem(d_ref, use_arrays=False)
+        for field, ref_value in vars(pr).items():
+            if isinstance(ref_value, np.ndarray):
+                assert np.array_equal(
+                    np.asarray(getattr(pa, field)), ref_value
+                ), field
+
+    def test_timing_graph_identical(self, bench_pair):
+        d_arr, d_ref = bench_pair
+        ga = TimingGraph(d_arr, use_arrays=True)
+        gr = TimingGraph(d_ref, use_arrays=False)
+        assert ga.num_nodes == gr.num_nodes
+        for built, reference in zip(ga.flat_arc_arrays(), gr.flat_arc_arrays()):
+            assert np.array_equal(np.asarray(built), np.asarray(reference))
+        assert ga.startpoints == gr.startpoints
+        assert ga.endpoints == gr.endpoints
+        assert ga.topo_order == gr.topo_order
+        assert np.array_equal(ga.levels, gr.levels)
+
+    def test_sta_slacks_identical(self, bench_pair):
+        d_arr, d_ref = bench_pair
+        ra = TimingAnalyzer(
+            TimingGraph(d_arr, use_arrays=True), PlacementWireModel(d_arr)
+        ).update()
+        rr = TimingAnalyzer(
+            TimingGraph(d_ref, use_arrays=False), PlacementWireModel(d_ref)
+        ).update()
+        assert ra.wns == rr.wns
+        assert ra.tns == rr.tns
+        assert ra.endpoint_slacks == rr.endpoint_slacks
+
+    def test_hpwl_matches_per_net_walk(self, bench_pair):
+        d_arr, _ = bench_pair
+        total = hpwl(d_arr)
+        walked = sum(
+            net_hpwl(d_arr, net) for net in d_arr.nets if not net.is_clock
+        )
+        assert total == pytest.approx(walked, rel=0, abs=1e-9)
+
+
+class TestRoundTrip:
+    """Design -> NetlistArrays -> Design is digest-exact."""
+
+    def test_digest_identity(self, bench_pair):
+        design, _ = bench_pair
+        rebuilt = design.arrays().to_design()
+        assert netlist_digest(rebuilt) == netlist_digest(design)
+
+    def test_rebuilt_design_equivalent_consumers(self, bench_pair):
+        design, _ = bench_pair
+        rebuilt = design.arrays().to_design()
+        ha = Hypergraph.from_design(design)
+        hb = Hypergraph.from_design(rebuilt)
+        assert ha.edges == hb.edges
+        assert hpwl(design) == hpwl(rebuilt)
+        ra = TimingAnalyzer(
+            TimingGraph(design), PlacementWireModel(design)
+        ).update()
+        rb = TimingAnalyzer(
+            TimingGraph(rebuilt), PlacementWireModel(rebuilt)
+        ).update()
+        assert ra.wns == rb.wns
+        assert ra.endpoint_slacks == rb.endpoint_slacks
+
+    def test_from_design_matches_rebuilt_arrays(self, bench_pair):
+        design, _ = bench_pair
+        first = design.arrays()
+        second = first.to_design().arrays()
+        for field in (
+            "inst_master",
+            "net_ptr",
+            "pin_inst",
+            "pin_port",
+            "pin_name_idx",
+            "pin_slot",
+            "net_has_driver",
+            "net_is_clock",
+            "port_name_idx",
+            "port_x",
+            "port_y",
+        ):
+            assert np.array_equal(
+                getattr(first, field), getattr(second, field)
+            ), field
+        assert first.name_pool == second.name_pool
+        assert first.master_names == second.master_names
+
+
+class TestSlotsAndPickling:
+    """__slots__ classes stay picklable and snapshot-safe."""
+
+    def test_cellpin_pickle_and_deepcopy(self):
+        pin = CellPin("A", PinDirection.INPUT, 1.5, False)
+        clone = pickle.loads(pickle.dumps(pin))
+        assert (clone.name, clone.direction, clone.capacitance, clone.is_clock) == (
+            "A",
+            PinDirection.INPUT,
+            1.5,
+            False,
+        )
+        deep = copy.deepcopy(pin)
+        assert deep.name == pin.name and deep.capacitance == pin.capacitance
+
+    def test_pinref_pickle_and_deepcopy(self):
+        ref = PinRef(None, "in0")
+        clone = pickle.loads(pickle.dumps(ref))
+        assert clone.instance is None and clone.pin_name == "in0"
+        assert copy.deepcopy(ref).pin_name == "in0"
+
+    def test_slots_have_no_dict(self):
+        pin = CellPin("A", PinDirection.INPUT)
+        ref = PinRef(None, "x")
+        assert not hasattr(pin, "__dict__")
+        assert not hasattr(ref, "__dict__")
+
+    def test_snapshot_roundtrip_digest(self):
+        design = generate_design(DesignSpec("snapshot_rt", 400, seed=5))
+        snapshot = pickle.loads(pickle.dumps(design_snapshot(design)))
+        rebuilt = design_from_snapshot(snapshot)
+        assert netlist_digest(rebuilt) == netlist_digest(design)
+
+
+class TestStructureCaches:
+    """signal_nets / net_degrees / arrays() invalidate on mutation."""
+
+    @pytest.fixture()
+    def design(self):
+        return generate_design(DesignSpec("cache_probe", 300, seed=9))
+
+    def test_signal_nets_cached_and_invalidated(self, design):
+        first = design.signal_nets()
+        assert design.signal_nets() is first
+        expected = [n for n in design.nets if not n.is_clock and n.degree >= 2]
+        assert first == expected
+        net = design.add_net("cache_probe_net")
+        design.connect_port(net, sorted(design.ports)[0])
+        second = design.signal_nets()
+        assert second is not first
+
+    def test_net_degrees_match_objects(self, design):
+        degrees, fanouts = design.net_degrees()
+        for net in design.nets:
+            assert degrees[net.index] == net.degree
+            assert fanouts[net.index] == net.fanout
+
+    def test_net_degrees_invalidated_on_connect(self, design):
+        degrees, _ = design.net_degrees()
+        net = design.nets[0]
+        master = next(
+            m for m in design.masters.values() if m.input_pins()
+        )
+        inst = design.add_instance("cache_probe_sink", master)
+        design.connect_instance_pin(net, inst, master.input_pins()[0].name)
+        new_degrees, _ = design.net_degrees()
+        assert new_degrees[net.index] == degrees[net.index] + 1
+
+    def test_arrays_cached_against_structure_key(self, design):
+        arrays = design.arrays()
+        assert design.arrays() is arrays
+        design.add_instance("cache_probe_u", next(iter(design.masters.values())))
+        assert design.arrays() is not arrays
+
+    def test_pickle_drops_caches(self, design):
+        design.signal_nets()
+        design.arrays()
+        state = design.__getstate__()
+        assert "_signal_nets_cache" not in state
+        assert "_netlist_arrays" not in state
+
+
+class TestGenerateArrays:
+    """The array-native generator fast path."""
+
+    @pytest.fixture(scope="class")
+    def arrays(self):
+        return generate_arrays(DesignSpec("fastgen", 3000, seed=13))
+
+    def test_shape_and_invariants(self, arrays):
+        assert isinstance(arrays, NetlistArrays)
+        assert arrays.num_instances == 3000
+        assert bool(arrays.net_has_driver.all())
+        assert bool(arrays.net_is_clock[-1]) and not arrays.net_is_clock[:-1].any()
+        # Every instance pin is connected to exactly one net.
+        inst_rows = arrays.pin_inst >= 0
+        keys = (
+            arrays.pin_inst[inst_rows].astype(np.int64) * len(arrays.mp_cap)
+            + arrays.pin_slot[inst_rows]
+        )
+        assert len(np.unique(keys)) == len(keys)
+
+    def test_timing_graph_from_bare_arrays(self, arrays):
+        graph = TimingGraph(arrays)
+        assert graph.num_nodes > 0
+        assert graph.levels.max() >= 1  # levelize succeeded -> acyclic
+
+    def test_materialized_design_round_trips(self, arrays):
+        design = arrays.to_design()
+        assert design.num_instances == arrays.num_instances
+        assert design.num_nets == arrays.num_nets
+        rebuilt = design.arrays()
+        for field in ("inst_master", "net_ptr", "pin_inst", "pin_slot"):
+            assert np.array_equal(getattr(arrays, field), getattr(rebuilt, field))
+        ga = TimingGraph(arrays)
+        gb = TimingGraph(design)
+        for built, reference in zip(ga.flat_arc_arrays(), gb.flat_arc_arrays()):
+            assert np.array_equal(np.asarray(built), np.asarray(reference))
+
+    def test_macros_rejected(self):
+        with pytest.raises(ValueError):
+            generate_arrays(DesignSpec("macros", 500, num_macros=2, seed=1))
