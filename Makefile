@@ -1,4 +1,4 @@
-.PHONY: install test bench tables clean lint perf-smoke resume-smoke bench-flow cache-smoke bench-scale bench-scale-full
+.PHONY: install test bench tables clean lint perf-smoke resume-smoke bench-flow cache-smoke bench-scale bench-scale-full monitor-smoke
 
 install:
 	pip install -e .
@@ -78,6 +78,19 @@ cache-smoke:
 	python -m repro report diff \
 		/tmp/repro-cache-smoke/cold/run.json \
 		/tmp/repro-cache-smoke/warm/run.json --rel 0 --abs 0
+
+# Live-monitor smoke (docs/observability.md "Live monitoring"): launch
+# a monitored flow as a subprocess, poll status.json until progress
+# visibly advances (asserting monotonicity at every poll), render
+# `repro top DIR --once` from a separate process mid-flight, then gate
+# the sampler+progress overhead at <=5% wall on aes with byte-identical
+# QoR / stream / shape hashes between the monitored and bare arms.
+monitor-smoke:
+	rm -rf monitor-smoke && mkdir -p monitor-smoke
+	timeout 300 python benchmarks/bench_monitor_overhead.py --live
+	timeout 600 python benchmarks/bench_monitor_overhead.py --gate \
+		--repeats 3 --max-overhead 0.05 \
+		--json monitor-smoke/BENCH_monitor.json
 
 # Crash-safety smoke: run a checkpointed flow, kill it mid-sweep with
 # an injected abort, resume, and require the resumed QoR to match an

@@ -36,7 +36,6 @@ import argparse
 import gc
 import json
 import os
-import resource
 import subprocess
 import sys
 import time
@@ -48,8 +47,10 @@ GATE_SIZE = 100_000
 
 
 def _peak_rss_mb() -> float:
-    """Process peak RSS in MiB (ru_maxrss is KiB on Linux)."""
-    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0
+    """Process peak RSS in MiB (shared probe with the live monitor)."""
+    from repro.perf import peak_rss_bytes
+
+    return peak_rss_bytes() / (1024.0 * 1024.0)
 
 
 def _spec(size: int):

@@ -8,8 +8,11 @@ Commands:
 * ``cluster`` — run PPA-aware clustering only and report the summary.
 * ``sta`` — timing/power report on a placed benchmark.
 * ``viz`` — render placement / cluster / congestion SVGs.
-* ``report`` — inspect or diff telemetry run reports (``run.json``);
-  ``report diff A B`` exits non-zero when a QoR stream regressed.
+* ``report`` — inspect or diff telemetry run reports (``run.json`` files
+  or the run directories holding them); ``report diff A B`` exits
+  non-zero when a QoR stream regressed.
+* ``top`` — live single-screen view of a monitored run directory
+  (``flow --telemetry DIR --monitor``), from any process.
 * ``cache`` — manage the cross-run V-P&R evaluation cache
   (``stats`` / ``gc`` / ``clear``); see ``flow --cache DIR``.
 
@@ -92,6 +95,14 @@ def _add_flow_parser(subparsers) -> None:
         "streams, structured events) and write DIR/run.json, "
         "DIR/report.html and DIR/events.jsonl",
     )
+    p.add_argument(
+        "--monitor",
+        action="store_true",
+        help="with --telemetry: run the live flight recorder — a "
+        "background RSS/CPU sampler, per-loop progress accounting and "
+        "an atomically-refreshed DIR/status.json that `repro top DIR` "
+        "renders from any process; see docs/observability.md",
+    )
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--report", help="write a QoR JSON report to this path")
     p.add_argument("--verilog", help=".v netlist (overrides --benchmark)")
@@ -129,8 +140,12 @@ def _add_simple_parsers(subparsers) -> None:
         help="compare two run.json files; exit 1 when a QoR stream "
         "regressed past the thresholds",
     )
-    d.add_argument("baseline", help="baseline run.json")
-    d.add_argument("candidate", help="candidate run.json")
+    d.add_argument(
+        "baseline", help="baseline run.json (or a run directory)"
+    )
+    d.add_argument(
+        "candidate", help="candidate run.json (or a run directory)"
+    )
     d.add_argument(
         "--rel",
         type=float,
@@ -152,9 +167,35 @@ def _add_simple_parsers(subparsers) -> None:
         "stream missing from either run counts as a regression)",
     )
     s = rsub.add_parser("show", help="summarise one run.json")
-    s.add_argument("path", help="run.json to summarise")
+    s.add_argument("path", help="run.json (or a run directory) to summarise")
     s.add_argument(
         "--html", help="also render a self-contained HTML report here"
+    )
+
+    t = subparsers.add_parser(
+        "top", help="live view of a monitored run directory"
+    )
+    t.add_argument(
+        "rundir",
+        help="run directory of a `flow --telemetry DIR --monitor` run",
+    )
+    t.add_argument(
+        "--once",
+        action="store_true",
+        help="render a single frame and exit (for scripts / CI logs)",
+    )
+    t.add_argument(
+        "--interval",
+        type=float,
+        default=1.0,
+        help="seconds between frames (default 1.0)",
+    )
+    t.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        help="stop after this many seconds even if the run is still "
+        "going (default: poll until the run leaves the running state)",
     )
 
     p = subparsers.add_parser(
@@ -229,6 +270,9 @@ def _cmd_flow(args) -> int:
 
     perf_path = getattr(args, "perf_report", None)
     telemetry_dir = getattr(args, "telemetry", None)
+    monitor_on = bool(getattr(args, "monitor", False))
+    if monitor_on and not telemetry_dir:
+        raise SystemExit("--monitor requires --telemetry DIR")
     if perf_path or telemetry_dir:
         # Telemetry runs embed the perf report in run.json.
         perf.enable()
@@ -268,33 +312,56 @@ def _cmd_flow(args) -> int:
 
     design = _load_design(args)
     run_routing = not args.no_routing
-    with profile_ctx:
-        if args.flow == "default":
-            result = default_flow(
-                design, tool=args.tool, run_routing=run_routing, seed=args.seed
-            )
-        elif args.flow == "blob":
-            result = blob_placement_flow(
-                design, run_routing=run_routing, seed=args.seed
-            )
-        else:
-            selector = None
-            if args.shapes == "uniform":
-                selector = UniformShapeSelector()
-            elif args.shapes == "random":
-                selector = RandomShapeSelector(seed=args.seed)
-            config = FlowConfig(
-                tool=args.tool,
-                clustering=args.clustering,
-                shape_selector=selector,
-                run_routing=run_routing,
-                jobs=args.jobs,
-                seed=args.seed,
-                checkpoint_dir=checkpoint_dir,
-                resume=args.resume,
-                cache_dir=cache_dir,
-            )
-            result = ClusteredPlacementFlow(config).run(design)
+    monitor_summary = None
+    if monitor_on:
+        from repro import monitor
+
+        monitor.enable(telemetry_dir)
+        monitor.set_meta(
+            design=design.name, flow=args.flow, jobs=args.jobs, seed=args.seed
+        )
+    try:
+        with profile_ctx:
+            if args.flow == "default":
+                result = default_flow(
+                    design, tool=args.tool, run_routing=run_routing, seed=args.seed
+                )
+            elif args.flow == "blob":
+                result = blob_placement_flow(
+                    design, run_routing=run_routing, seed=args.seed
+                )
+            else:
+                selector = None
+                if args.shapes == "uniform":
+                    selector = UniformShapeSelector()
+                elif args.shapes == "random":
+                    selector = RandomShapeSelector(seed=args.seed)
+                config = FlowConfig(
+                    tool=args.tool,
+                    clustering=args.clustering,
+                    shape_selector=selector,
+                    run_routing=run_routing,
+                    jobs=args.jobs,
+                    seed=args.seed,
+                    checkpoint_dir=checkpoint_dir,
+                    resume=args.resume,
+                    cache_dir=cache_dir,
+                )
+                result = ClusteredPlacementFlow(config).run(design)
+    except BaseException as exc:
+        # Leave a final "failed" status.json behind so `repro top` (and
+        # anything polling the run) sees why the updates stopped.
+        if monitor_on:
+            from repro import monitor
+
+            monitor.disable(state="failed", error=repr(exc))
+        raise
+    if monitor_on:
+        from repro import monitor
+
+        session = monitor.get_monitor()
+        monitor.disable(state="done")
+        monitor_summary = session.summary() if session is not None else None
 
     if perf_path:
         report = perf.report(
@@ -335,6 +402,7 @@ def _cmd_flow(args) -> int:
             },
             qor=flow_qor_summary(result),
             perf=perf.report().to_dict(),
+            monitor=monitor_summary,
         )
         run_path = os.path.join(telemetry_dir, "run.json")
         run.write(run_path)
@@ -475,13 +543,48 @@ def _cmd_viz(args) -> int:
     return 0
 
 
+def _resolve_run_json(path: str) -> str:
+    """Accept either a run.json path or the run directory holding one.
+
+    A directory without a ``run.json`` fails with a diagnosis instead
+    of a traceback: the event log (read tolerantly, so an in-flight
+    write cannot break the message) tells whether the run is still
+    going — in which case ``repro top`` is the right tool — or never
+    finished.
+    """
+    import os
+
+    if not os.path.isdir(path):
+        return path
+    candidate = os.path.join(path, "run.json")
+    if os.path.isfile(candidate):
+        return candidate
+    from repro.telemetry.events import iter_events
+
+    n_events = sum(
+        1 for _ in iter_events(os.path.join(path, "events.jsonl"))
+    )
+    hint = (
+        f" Its event log has {n_events} record(s), so a run started but "
+        f"has not written run.json — if it is still in flight, watch it "
+        f"with `repro top {path}`."
+        if n_events
+        else " No event log either — was this directory passed to "
+        "`flow --telemetry`?"
+    )
+    raise SystemExit(
+        f"error: no run.json in {path} (a completed `flow --telemetry` "
+        f"run writes one).{hint}"
+    )
+
+
 def _cmd_report(args) -> int:
     from repro.telemetry import RunReport, diff_runs, render_html
 
     if args.report_command == "diff":
         diff = diff_runs(
-            RunReport.load(args.baseline),
-            RunReport.load(args.candidate),
+            RunReport.load(_resolve_run_json(args.baseline)),
+            RunReport.load(_resolve_run_json(args.candidate)),
             rel_threshold=args.rel,
             abs_threshold=args.abs_threshold,
             streams=args.streams,
@@ -494,7 +597,7 @@ def _cmd_report(args) -> int:
         print("ok: no regressions")
         return 0
 
-    report = RunReport.load(args.path)
+    report = RunReport.load(_resolve_run_json(args.path))
     for key in sorted(report.meta):
         print(f"{key:<12}: {report.meta[key]}")
     print(f"{'spans':<12}: {len(report.spans)} ({len(report.span_tree())} roots)")
@@ -510,10 +613,36 @@ def _cmd_report(args) -> int:
         print("qor:")
         for key in sorted(report.qor):
             print(f"  {key:<24} {report.qor[key]:.6g}")
+    if report.monitor:
+        peak = report.monitor.get("peak_rss_bytes") or 0
+        print(
+            f"{'monitor':<12}: peak RSS {peak / (1024 * 1024):.1f} MiB "
+            f"over {report.monitor.get('samples', 0)} samples"
+        )
+        for name, stage_peak in sorted(
+            (report.monitor.get("stage_peak_rss_bytes") or {}).items()
+        ):
+            print(f"  {name:<24} peak {stage_peak / (1024 * 1024):.1f} MiB")
+        for task in report.monitor.get("progress") or []:
+            print(
+                f"  {task.get('name', '?'):<24} "
+                f"{task.get('done')}/{task.get('total')} {task.get('unit')}"
+            )
     if getattr(args, "html", None):
         render_html(report, args.html)
         print(f"wrote {args.html}")
     return 0
+
+
+def _cmd_top(args) -> int:
+    from repro.monitor.top import run_top
+
+    return run_top(
+        args.rundir,
+        once=args.once,
+        interval=args.interval,
+        timeout=args.timeout,
+    )
 
 
 def _cmd_cache(args) -> int:
@@ -548,6 +677,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "sta": _cmd_sta,
         "viz": _cmd_viz,
         "report": _cmd_report,
+        "top": _cmd_top,
         "cache": _cmd_cache,
     }
     return handlers[args.command](args)

@@ -19,6 +19,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro import monitor
 from repro.cluster.constraints import UNGROUPED, GroupingConstraints
 from repro.netlist.hypergraph import Hypergraph
 
@@ -334,9 +335,14 @@ def first_choice_clustering(
     working_scores = scores
     working_groups = constraints.group_of.copy()
 
+    # Coarsening depth is bounded by max_passes but usually exits early
+    # (target reached / pass stopped reducing); the progress task's
+    # total clamps down to the executed pass count on completion.
+    monitor.start_task("cluster.passes", config.max_passes, unit="passes")
     for _pass in range(config.max_passes):
         if working.num_vertices <= target:
             break
+        monitor.advance("cluster.passes")
         cluster_of = _fc_pass(
             working,
             working_scores,
@@ -368,6 +374,7 @@ def first_choice_clustering(
         working = coarse
         if num_clusters <= target:
             break
+    monitor.complete("cluster.passes")
     return assignment
 
 

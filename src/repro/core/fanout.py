@@ -112,6 +112,13 @@ def attach_state(token: StateToken) -> Dict[str, Any]:
     Fork workers read their inherited copy; spawn workers map the
     shared segment and unpickle it once, memoising the result for the
     rest of the process's life.
+
+    The returned dict is **worker-private**: under fork it is this
+    process's copy-on-write copy of the parent's global, under spawn
+    it is unpickled locally — either way mutations never leave the
+    worker.  The V-P&R worker initializer relies on this to stash
+    per-process handles (e.g. its monitor heartbeat writer) directly
+    in the attached state.
     """
     cached = _ATTACHED.get(tuple(token))
     if cached is not None:

@@ -17,7 +17,7 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
-from repro import perf, telemetry
+from repro import monitor, perf, telemetry
 from repro.cache import EvaluationCache
 from repro.cluster.best_choice import best_choice_clustering
 from repro.cluster.edge_coarsening import edge_coarsening
@@ -330,7 +330,8 @@ class ClusteredPlacementFlow:
         if store is not None and not store.restore_rng(name):
             store.capture_rng(name)
         faults.check("flow." + name)
-        payload = compute()
+        with monitor.stage(name):
+            payload = compute()
         if store is not None:
             store.save_stage(name, payload)
             telemetry.event("checkpoint.saved", stage=name)
@@ -350,6 +351,12 @@ class ClusteredPlacementFlow:
         runtimes: Dict[str, float] = {}
         telemetry.event(
             "flow.start",
+            design=design.name,
+            instances=design.num_instances,
+            clustering=config.clustering,
+            tool=config.tool,
+        )
+        monitor.set_meta(
             design=design.name,
             instances=design.num_instances,
             clustering=config.clustering,

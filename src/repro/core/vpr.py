@@ -80,7 +80,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro import perf, telemetry
+from repro import monitor, perf, telemetry
 from repro.cache import EvaluationCache, cache_key, netlist_digest
 from repro.core.fanout import StateToken, attach_state, publish_state
 from repro.core.shapes import ShapeCandidate, default_candidate_grid, uniform_shape
@@ -866,12 +866,14 @@ class VPRFramework:
                 checkpointed = self._checkpoint_lookup(cluster_id, k)
                 if checkpointed is not None:
                     evaluations.append(checkpointed[0])
+                    monitor.advance("vpr.items")
                     continue
                 cached = self._cache_lookup(sub, cell_area, cluster_id, k)
                 if cached is not None:
                     evaluation, seconds = cached
                     self._checkpoint_save(cluster_id, k, evaluation, seconds)
                     evaluations.append(evaluation)
+                    monitor.advance("vpr.items")
                     continue
                 evaluation, seconds = self._evaluate_item_guarded(
                     sub, cell_area, cluster_id, k
@@ -879,6 +881,7 @@ class VPRFramework:
                 self._checkpoint_save(cluster_id, k, evaluation, seconds)
                 self._cache_store(sub, cell_area, k, evaluation, seconds)
                 evaluations.append(evaluation)
+                monitor.advance("vpr.items")
         best = self._best_of(evaluations, cluster_id=cluster_id)
         sweep = VPRSweepResult(
             cluster_id=cluster_id,
@@ -906,19 +909,31 @@ class VPRFramework:
         method = self.config.start_method
         if method is None:
             method = "fork" if _fork_available() else "spawn"
-        if jobs > 1 and len(cluster_ids) > 0:
-            try:
-                return self._sweep_clusters_parallel(
-                    source, members, cluster_ids, jobs, method
-                )
-            except OSError:
-                # Process pools can be unavailable (restricted
-                # sandboxes); the serial path computes the same result.
-                pass
-        return [
-            self.sweep_cluster(source, members[c], cluster_id=c)
-            for c in cluster_ids
-        ]
+        # The sweep is the flow's dominant known-cardinality loop: every
+        # path below (serial, fork pool, chunked spawn pool) advances the
+        # same progress task per (cluster, candidate) item, so the final
+        # accounting record is path-independent.
+        monitor.start_task(
+            "vpr.items",
+            len(cluster_ids) * len(self.config.candidates),
+            unit="items",
+        )
+        try:
+            if jobs > 1 and len(cluster_ids) > 0:
+                try:
+                    return self._sweep_clusters_parallel(
+                        source, members, cluster_ids, jobs, method
+                    )
+                except OSError:
+                    # Process pools can be unavailable (restricted
+                    # sandboxes); the serial path computes the same result.
+                    pass
+            return [
+                self.sweep_cluster(source, members[c], cluster_id=c)
+                for c in cluster_ids
+            ]
+        finally:
+            monitor.complete("vpr.items")
 
     def _sweep_clusters_parallel(
         self,
@@ -959,6 +974,9 @@ class VPRFramework:
                     )
                 else:
                     pending.append((c, k))
+        served = len(cluster_ids) * n_cand - len(pending)
+        if served:
+            monitor.advance("vpr.items", served)
 
         # Publish the sweep state once: fork workers inherit it
         # copy-on-write; spawn workers map one shared-memory segment.
@@ -981,6 +999,7 @@ class VPRFramework:
             "perf_enabled": perf.is_enabled(),
             "telemetry_enabled": telemetry.is_enabled(),
             "cache_dir": str(self.cache.directory) if self.cache else None,
+            "monitor_dir": monitor.worker_dir(),
         }
         # Bundle work items into chunks so one pool task amortises the
         # per-future submission/result overhead over several items.
@@ -1033,6 +1052,10 @@ class VPRFramework:
                             for (c, k), result in zip(chunk, results):
                                 faults.check("vpr.collect", key=f"{c}/{k}")
                                 slots[c][k] = result
+                                if result[5] is None:
+                                    # Errored items only count once their
+                                    # parent-side retry resolves.
+                                    monitor.advance("vpr.items")
                     except BaseException:
                         # Escaping the executor context with sibling
                         # futures still queued would run them anyway
@@ -1100,6 +1123,7 @@ class VPRFramework:
                     evaluation.error,
                     False,
                 )
+                monitor.advance("vpr.items")
 
         sweeps: List[VPRSweepResult] = []
         for c in cluster_ids:
@@ -1218,6 +1242,13 @@ def _setup_worker(state: dict) -> VPRFramework:
     for c, (sub, _area) in state["clusters"].items():
         pins, offsets = state["score_arrays"][c]
         framework.seed_context(sub, pins, offsets)
+    if state.get("monitor_dir"):
+        # Liveness beats for the parent's status view: one append-only
+        # file per worker pid, merged parent-side into status.json so a
+        # hung item is visible before its SIGALRM timeout fires.
+        from repro.monitor.heartbeat import HeartbeatWriter
+
+        state["_heartbeat"] = HeartbeatWriter(state["monitor_dir"])
     state["_framework"] = framework
     return framework
 
@@ -1246,6 +1277,9 @@ def _candidate_worker(
     framework: VPRFramework = state["_framework"]
     sub, cell_area = state["clusters"][cluster_id]
     candidate = state["config"].candidates[candidate_index]
+    heartbeat = state.get("_heartbeat")
+    if heartbeat is not None:
+        heartbeat.beat("start", item=f"{cluster_id}/{candidate_index}")
     start = time.perf_counter()
     hpwl_cost = congestion_cost = float("nan")
     error: Optional[str] = None
@@ -1277,6 +1311,13 @@ def _candidate_worker(
         registry = perf.get_registry()
         counters = registry.snapshot()["counters"]
         registry.reset()
+    if heartbeat is not None:
+        heartbeat.beat(
+            "done",
+            item=f"{cluster_id}/{candidate_index}",
+            error=error,
+            cached=was_hit,
+        )
     return (
         hpwl_cost,
         congestion_cost,

@@ -1,0 +1,93 @@
+"""Live flight recorder: in-flight progress, resource sampling, ``repro top``.
+
+``repro.telemetry`` records what a run *did*; this package shows what a
+run *is doing*.  Four pieces, all dependency-free:
+
+* :mod:`repro.monitor.sampler` — a background thread sampling RSS/CPU
+  from procfs into ``monitor.rss`` / ``monitor.cpu`` metric streams and
+  per-stage peak-RSS counters;
+* :mod:`repro.monitor.progress` — done/total accounting for the flow's
+  bounded loops (V-P&R sweep items, GP iterations, clustering passes)
+  with rate + ETA;
+* :mod:`repro.monitor.status` — an atomically-replaced ``status.json``
+  (schema ``repro.monitor/1``) in the telemetry out-dir, refreshed on
+  every progress tick;
+* :mod:`repro.monitor.top` — the ``repro top RUNDIR`` renderer that
+  tails ``status.json`` + ``events.jsonl`` from any process.
+
+Off by default; one flag check per hook while disabled.  Enable with::
+
+    from repro import monitor, telemetry
+
+    telemetry.enable("/tmp/run0")
+    monitor.enable("/tmp/run0")
+    ...  # run the flow; `repro top /tmp/run0` works from another shell
+    block = monitor.summary()   # run.json "monitor" section
+    monitor.disable()
+"""
+
+from repro.monitor.heartbeat import (
+    HEARTBEAT_DIRNAME,
+    HeartbeatWriter,
+    clear_worker_beats,
+    heartbeat_dir,
+    read_worker_beats,
+)
+from repro.monitor.progress import ProgressTask, ProgressTracker
+from repro.monitor.sampler import ResourceSampler
+from repro.monitor.session import (
+    MonitorSession,
+    advance,
+    complete,
+    disable,
+    enable,
+    get_monitor,
+    is_enabled,
+    set_done,
+    set_meta,
+    stage,
+    start_task,
+    summary,
+    worker_dir,
+)
+from repro.monitor.status import (
+    STATUS_FILENAME,
+    STATUS_SCHEMA,
+    StatusWriter,
+    load_status,
+    status_path,
+)
+from repro.monitor.top import render, render_dir, run_top, sparkline
+
+__all__ = [
+    "HEARTBEAT_DIRNAME",
+    "STATUS_FILENAME",
+    "STATUS_SCHEMA",
+    "HeartbeatWriter",
+    "MonitorSession",
+    "ProgressTask",
+    "ProgressTracker",
+    "ResourceSampler",
+    "StatusWriter",
+    "advance",
+    "clear_worker_beats",
+    "complete",
+    "disable",
+    "enable",
+    "get_monitor",
+    "heartbeat_dir",
+    "is_enabled",
+    "load_status",
+    "read_worker_beats",
+    "render",
+    "render_dir",
+    "run_top",
+    "set_done",
+    "set_meta",
+    "sparkline",
+    "stage",
+    "start_task",
+    "status_path",
+    "summary",
+    "worker_dir",
+]

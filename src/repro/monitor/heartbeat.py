@@ -1,0 +1,123 @@
+"""Worker heartbeats: per-process liveness files the parent merges.
+
+The V-P&R pool returns results per *chunk*, so a worker grinding (or
+hung) inside a long item is invisible to the parent until the chunk
+resolves — or until the item's SIGALRM timeout fires, which can be
+minutes away (or disabled).  Heartbeats close that gap with the same
+file discipline the telemetry layer already uses:
+
+* each worker appends one flushed JSON line to its own
+  ``worker-<pid>.jsonl`` under the monitor directory when it *starts*
+  and *finishes* an item (no cross-process locks — one writer per
+  file);
+* the parent's status refresh reads the **last intact line** of every
+  worker file (via the tolerant :func:`repro.telemetry.events.iter_events`
+  reader, so a torn mid-append line is skipped, never an error) and
+  merges them into ``status.json``'s ``workers`` block with the age of
+  each worker's last beat.
+
+A worker whose last beat is ``phase: "start"`` and old is *visibly
+hung* in ``repro top`` long before its timeout ends it.  Heartbeats
+are best-effort by design: a worker that cannot write (disk full,
+torn directory) degrades to no liveness data, never to a failed item.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import Any, Dict, List, Optional
+
+from repro.telemetry.events import iter_events
+
+#: Subdirectory of the telemetry out-dir holding worker heartbeats.
+HEARTBEAT_DIRNAME = "monitor"
+
+_PREFIX = "worker-"
+_SUFFIX = ".jsonl"
+
+
+def heartbeat_dir(out_dir: str) -> str:
+    """The heartbeat directory under a telemetry out-dir."""
+    return os.path.join(out_dir, HEARTBEAT_DIRNAME)
+
+
+class HeartbeatWriter:
+    """One worker process's append-only heartbeat file."""
+
+    def __init__(self, directory: str) -> None:
+        self.directory = directory
+        self.pid = os.getpid()
+        self.path = os.path.join(directory, f"{_PREFIX}{self.pid}{_SUFFIX}")
+        self._handle = None
+        try:
+            os.makedirs(directory, exist_ok=True)
+            self._handle = open(self.path, "a")
+        except OSError:  # pragma: no cover - heartbeats are best-effort
+            self._handle = None
+
+    def beat(self, phase: str, **fields: Any) -> None:
+        """Append one beat (``phase`` is ``"start"`` / ``"done"``)."""
+        if self._handle is None:
+            return
+        record = {"pid": self.pid, "t": time.time(), "phase": phase}
+        record.update(fields)
+        try:
+            self._handle.write(json.dumps(record, sort_keys=True) + "\n")
+            self._handle.flush()
+        except OSError:  # pragma: no cover - best-effort
+            pass
+
+    def close(self) -> None:
+        if self._handle is not None:
+            try:
+                self._handle.close()
+            except OSError:  # pragma: no cover
+                pass
+            self._handle = None
+
+
+def read_worker_beats(
+    directory: str, now: Optional[float] = None
+) -> List[Dict[str, Any]]:
+    """The last intact beat of every worker file, parent-side.
+
+    Returns one record per worker, each with an ``age_s`` field (time
+    since the beat) so a stalled worker stands out.  Missing or torn
+    files contribute nothing — the reader shares the event log's
+    tolerance guarantees.
+    """
+    if now is None:
+        now = time.time()
+    beats: List[Dict[str, Any]] = []
+    try:
+        names = sorted(os.listdir(directory))
+    except OSError:
+        return beats
+    for name in names:
+        if not (name.startswith(_PREFIX) and name.endswith(_SUFFIX)):
+            continue
+        last = None
+        for record in iter_events(os.path.join(directory, name)):
+            last = record
+        if last is None:
+            continue
+        beat = dict(last)
+        beat["age_s"] = max(0.0, now - float(beat.get("t", now)))
+        beats.append(beat)
+    return beats
+
+
+def clear_worker_beats(directory: str) -> None:
+    """Remove stale heartbeat files (start-of-sweep hygiene)."""
+    try:
+        names = os.listdir(directory)
+    except OSError:
+        return
+    for name in names:
+        if name.startswith(_PREFIX) and name.endswith(_SUFFIX):
+            try:
+                os.unlink(os.path.join(directory, name))
+            except OSError:  # pragma: no cover - best-effort
+                pass

@@ -1,0 +1,266 @@
+"""The process-wide monitor session: sampler + progress + status.
+
+:class:`MonitorSession` is the flight recorder proper.  It owns
+
+* a :class:`~repro.monitor.sampler.ResourceSampler` feeding the
+  ``monitor.rss`` / ``monitor.cpu`` telemetry streams,
+* a :class:`~repro.monitor.progress.ProgressTracker` for the flow's
+  bounded loops,
+* a :class:`~repro.monitor.status.StatusWriter` publishing
+  ``status.json`` on every progress tick and sampler sample
+  (throttled, atomic),
+* the worker-heartbeat directory merged into the status document.
+
+Like :mod:`repro.telemetry` and :mod:`repro.perf`, the monitor is
+**off by default** behind a module-level session: every hook the flow
+calls (:func:`start_task`, :func:`advance`, :func:`stage`, ...) is one
+``None`` check while disabled, so the hot paths stay instrumented
+unconditionally.  Enabling requires a telemetry out-dir — the monitor
+is a view *onto* a recorded run, not a separate recording.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+import threading
+import time
+from typing import Any, Dict, Iterator, Optional
+
+from repro import perf, telemetry
+from repro.monitor.heartbeat import (
+    clear_worker_beats,
+    heartbeat_dir,
+    read_worker_beats,
+)
+from repro.monitor.progress import ProgressTracker
+from repro.monitor.sampler import ResourceSampler
+from repro.monitor.status import StatusWriter
+
+
+class MonitorSession:
+    """One run's live monitor state (see module docstring)."""
+
+    def __init__(
+        self,
+        out_dir: str,
+        interval: float = 0.25,
+        status_interval: float = 0.25,
+        timeline_points: int = 120,
+    ) -> None:
+        self.out_dir = out_dir
+        self.pid = os.getpid()
+        self.started_unix = time.time()
+        self._epoch = time.perf_counter()
+        self._lock = threading.Lock()
+        self._meta: Dict[str, Any] = {}
+        self._state = "running"
+        self._error: Optional[str] = None
+        self._stage_stack: list = []
+        self._stage_history: list = []
+        self.heartbeats = heartbeat_dir(out_dir)
+        self.status = StatusWriter(
+            out_dir, self._status_snapshot, min_interval=status_interval
+        )
+        self.progress = ProgressTracker(on_tick=self.status.refresh)
+        self.sampler = ResourceSampler(
+            observe=telemetry.observe,
+            stage_of=self.current_stage,
+            interval=interval,
+            timeline_points=timeline_points,
+            on_sample=self.status.refresh,
+        )
+
+    # -- lifecycle -----------------------------------------------------
+    def start(self) -> None:
+        clear_worker_beats(self.heartbeats)
+        self.sampler.start()
+        self.status.refresh(force=True)
+
+    def stop(self, state: str = "done", error: Optional[str] = None) -> None:
+        """Stop sampling and publish the final status document."""
+        self.sampler.stop()
+        with self._lock:
+            self._state = state
+            self._error = error
+        for name, _stage_peak in sorted(self.sampler.stage_peaks().items()):
+            perf.count(f"monitor.peak_rss.{name}", _stage_peak)
+        self.status.refresh(force=True)
+
+    # -- stages --------------------------------------------------------
+    @contextlib.contextmanager
+    def stage(self, name: str) -> Iterator[None]:
+        """Mark ``name`` as the active flow stage while the body runs.
+
+        The sampler attributes its per-sample peak-RSS accounting to
+        the innermost active stage; the status document shows the
+        stage path and per-stage wall-clock history.
+        """
+        started = time.perf_counter()
+        with self._lock:
+            self._stage_stack.append(name)
+            entry = {
+                "name": name,
+                "state": "running",
+                "elapsed_s": 0.0,
+                "_started": started,
+            }
+            self._stage_history.append(entry)
+        self.status.refresh(force=True)
+        try:
+            yield
+        finally:
+            with self._lock:
+                if name in self._stage_stack:
+                    self._stage_stack.remove(name)
+                entry["state"] = "done"
+                entry["elapsed_s"] = time.perf_counter() - started
+                peak = self.sampler.stage_peaks().get(name)
+                if peak is not None:
+                    entry["peak_rss_bytes"] = peak
+            self.status.refresh(force=True)
+
+    def current_stage(self) -> Optional[str]:
+        """The innermost active stage (the sampler's attribution key)."""
+        with self._lock:
+            return self._stage_stack[-1] if self._stage_stack else None
+
+    # -- metadata ------------------------------------------------------
+    def set_meta(self, **fields: Any) -> None:
+        """Attach run context (design, jobs, seed) to the status doc."""
+        with self._lock:
+            self._meta.update(fields)
+        self.status.refresh(force=True)
+
+    # -- views ---------------------------------------------------------
+    def _status_snapshot(self) -> Dict[str, Any]:
+        now = time.time()
+        with self._lock:
+            meta = dict(self._meta)
+            state = self._state
+            error = self._error
+            stage = self._stage_stack[-1] if self._stage_stack else None
+            stages = []
+            for stored in self._stage_history:
+                entry = dict(stored)
+                started = entry.pop("_started")
+                if entry["state"] == "running":
+                    # elapsed_s of a running stage is filled at snapshot
+                    # time (the stored entry only finalises on exit).
+                    entry["elapsed_s"] = time.perf_counter() - started
+                stages.append(entry)
+        doc: Dict[str, Any] = {
+            "pid": self.pid,
+            "state": state,
+            "started_unix": self.started_unix,
+            "elapsed_s": time.perf_counter() - self._epoch,
+            "meta": meta,
+            "stage": stage,
+            "stages": stages,
+            "progress": self.progress.snapshots(),
+            "resources": self.sampler.resources(),
+            "workers": read_worker_beats(self.heartbeats, now=now),
+        }
+        if error:
+            doc["error"] = error
+        return doc
+
+    def summary(self) -> Dict[str, Any]:
+        """The post-run block embedded in ``run.json`` / the report."""
+        out = self.sampler.summary()
+        out["progress"] = self.progress.records()
+        out["status_writes"] = self.status.writes
+        return out
+
+
+_MONITOR: Optional[MonitorSession] = None
+
+
+def get_monitor() -> Optional[MonitorSession]:
+    """The process-wide monitor session (None while disabled)."""
+    return _MONITOR
+
+
+def enable(
+    out_dir: str,
+    interval: float = 0.25,
+    status_interval: float = 0.25,
+    timeline_points: int = 120,
+) -> MonitorSession:
+    """Turn the monitor on for a run directory and start sampling."""
+    global _MONITOR
+    if _MONITOR is not None:
+        _MONITOR.stop()
+    _MONITOR = MonitorSession(
+        out_dir,
+        interval=interval,
+        status_interval=status_interval,
+        timeline_points=timeline_points,
+    )
+    _MONITOR.start()
+    return _MONITOR
+
+
+def disable(state: str = "done", error: Optional[str] = None) -> None:
+    """Stop the monitor, publishing a final ``state`` document."""
+    global _MONITOR
+    if _MONITOR is None:
+        return
+    _MONITOR.stop(state=state, error=error)
+    _MONITOR = None
+
+
+def is_enabled() -> bool:
+    return _MONITOR is not None
+
+
+# -- module-level hooks (the instrumented code calls these) -------------
+def start_task(name: str, total: int, unit: str = "items") -> None:
+    """Begin tracking a bounded loop (no-op while disabled)."""
+    if _MONITOR is not None:
+        _MONITOR.progress.start(name, total, unit=unit)
+
+
+def advance(name: str, n: int = 1) -> None:
+    """Add completed items to a loop (no-op while disabled)."""
+    if _MONITOR is not None:
+        _MONITOR.progress.advance(name, n)
+
+
+def set_done(name: str, done: int) -> None:
+    """Raise a loop's absolute completion count (no-op while disabled)."""
+    if _MONITOR is not None:
+        _MONITOR.progress.set_done(name, done)
+
+
+def complete(name: str) -> None:
+    """Finish a loop (no-op while disabled)."""
+    if _MONITOR is not None:
+        _MONITOR.progress.complete(name)
+
+
+def stage(name: str):
+    """Stage context for the flow (null context while disabled)."""
+    if _MONITOR is None:
+        return contextlib.nullcontext()
+    return _MONITOR.stage(name)
+
+
+def set_meta(**fields: Any) -> None:
+    if _MONITOR is not None:
+        _MONITOR.set_meta(**fields)
+
+
+def worker_dir() -> Optional[str]:
+    """The heartbeat directory workers should beat into (None while
+    disabled) — travels to pool workers inside the fan-out payload."""
+    if _MONITOR is None:
+        return None
+    return _MONITOR.heartbeats
+
+
+def summary() -> Optional[Dict[str, Any]]:
+    """The run.json monitor block (None while disabled)."""
+    if _MONITOR is None:
+        return None
+    return _MONITOR.summary()

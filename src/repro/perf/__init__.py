@@ -25,6 +25,7 @@ Typical use::
 
 from repro.perf.profile import cprofile_to
 from repro.perf.report import PerfReport
+from repro.perf.rss import cpu_seconds, peak_rss_bytes, rss_bytes
 from repro.perf.timers import (
     PerfRegistry,
     count,
@@ -54,12 +55,15 @@ __all__ = [
     "cprofile_to",
     "count",
     "counter_value",
+    "cpu_seconds",
     "disable",
     "enable",
     "get_registry",
     "is_enabled",
     "merge_counters",
+    "peak_rss_bytes",
     "report",
     "reset",
+    "rss_bytes",
     "stage",
 ]

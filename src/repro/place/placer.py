@@ -16,7 +16,7 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
-from repro import telemetry
+from repro import monitor, telemetry
 from repro.place.b2b import b2b_edges, solve_axis
 from repro.place.problem import PlacementProblem
 from repro.place.regions import RegionConstraint, clamp_regions
@@ -165,15 +165,33 @@ class GlobalPlacer:
         config = self.config
         mode = "incremental" if config.incremental else "full"
 
-        with telemetry.span(
-            "place.global",
-            mode=mode,
-            movable=int(problem.movable.sum()),
-        ):
-            if config.incremental:
-                result = self._run_incremental()
-            else:
-                result = self._run_full()
+        # Progress mirrors the QoR-stream muting: the V-P&R engine's
+        # hundreds of virtual-die placements (telemetry=None) stay
+        # invisible; only the flow-level gp/gp.cluster runs report.
+        # Rounds count the initial solve plus the bounded loop; an
+        # early convergence exit clamps the total on complete().
+        if config.telemetry is not None:
+            bound = (
+                config.incremental_iterations
+                if config.incremental
+                else config.max_iterations
+            )
+            monitor.start_task(
+                f"{config.telemetry}.iters", bound + 1, unit="rounds"
+            )
+        try:
+            with telemetry.span(
+                "place.global",
+                mode=mode,
+                movable=int(problem.movable.sum()),
+            ):
+                if config.incremental:
+                    result = self._run_incremental()
+                else:
+                    result = self._run_full()
+        finally:
+            if config.telemetry is not None:
+                monitor.complete(f"{config.telemetry}.iters")
 
         if config.telemetry is not None:
             converged = result.overflow < config.target_overflow
@@ -201,9 +219,11 @@ class GlobalPlacer:
     ) -> None:
         """Emit one iteration's QoR stream points (muted when
         ``config.telemetry`` is None or telemetry is disabled)."""
+        prefix = self.config.telemetry
+        if prefix is not None:
+            monitor.set_done(f"{prefix}.iters", iteration + 1)
         if not self._telemetry_on():
             return
-        prefix = self.config.telemetry
         telemetry.observe(f"{prefix}.hpwl", hpwl_value, step=iteration)
         if overflow is not None:
             telemetry.observe(f"{prefix}.overflow", overflow, step=iteration)

@@ -54,9 +54,11 @@ from repro.telemetry.session import (
 from repro.telemetry.trace import Span, Tracer, span_tree
 
 
-def run_report(meta=None, qor=None, perf=None) -> RunReport:
+def run_report(meta=None, qor=None, perf=None, monitor=None) -> RunReport:
     """Snapshot the default session into a :class:`RunReport`."""
-    return RunReport.from_session(get_session(), meta=meta, qor=qor, perf=perf)
+    return RunReport.from_session(
+        get_session(), meta=meta, qor=qor, perf=perf, monitor=monitor
+    )
 
 
 __all__ = [

@@ -21,10 +21,48 @@ from __future__ import annotations
 import json
 import threading
 import time
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, Iterator, List, Optional
 
 #: Schema tag stamped on every event (and on run.json).
 EVENT_SCHEMA = "repro.telemetry/1"
+
+
+def iter_events(path) -> Iterator[Dict[str, Any]]:
+    """Tolerantly iterate the records of an ``events.jsonl`` file.
+
+    The event log is appended one flushed line at a time, so a reader
+    racing the writer (``repro top``, a future ``repro serve``) can
+    observe a *torn trailing line* — the prefix of a record whose
+    write is still in flight.  This reader never raises on that: a
+    line that does not parse as a JSON object is skipped (it will be
+    complete on the next poll), and a missing or unreadable file
+    yields nothing.  Mid-file damage from a crashed run is skipped the
+    same way, so every intact record is still recovered.
+    """
+    try:
+        handle = open(path, "r")
+    except OSError:
+        return
+    with handle:
+        for line in handle:
+            if not line.endswith("\n"):
+                # Torn trailing line: the writer is mid-append (or the
+                # run crashed mid-record); never a complete record.
+                return
+            try:
+                record = json.loads(line)
+            except ValueError:
+                continue
+            if isinstance(record, dict):
+                yield record
+
+
+def tail_events(path, limit: int = 10) -> List[Dict[str, Any]]:
+    """The last ``limit`` intact records of an event log (see
+    :func:`iter_events` for the tolerance guarantees)."""
+    from collections import deque
+
+    return list(deque(iter_events(path), maxlen=max(0, int(limit))))
 
 
 class EventLog:

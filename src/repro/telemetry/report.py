@@ -10,8 +10,9 @@ recorded::
       "metrics": { "<stream>": {"steps": [...], "values": [...]}, ... },
       "events":  [ {schema, seq, t, type, ...}, ... ],
       "qor":     { ... },   # optional: repro.core.reporting QoR dict
-      "perf":    { ... }    # optional: repro.perf report dict
-    }
+      "perf":    { ... },   # optional: repro.perf report dict
+      "monitor": { ... }    # optional: repro.monitor summary (resource
+    }                       #   timeline peaks + final progress records)
 
 Two runs' reports can be diffed stream-by-stream (:func:`diff_runs`) —
 the regression gate behind ``repro report diff A B`` — and rendered to
@@ -48,6 +49,7 @@ class RunReport:
     events: List[Dict[str, Any]] = field(default_factory=list)
     qor: Optional[Dict[str, Any]] = None
     perf: Optional[Dict[str, Any]] = None
+    monitor: Optional[Dict[str, Any]] = None
 
     @classmethod
     def from_session(
@@ -56,6 +58,7 @@ class RunReport:
         meta: Optional[Dict[str, Any]] = None,
         qor: Optional[Dict[str, Any]] = None,
         perf: Optional[Dict[str, Any]] = None,
+        monitor: Optional[Dict[str, Any]] = None,
     ) -> "RunReport":
         """Snapshot a telemetry session into a report."""
         return cls(
@@ -65,6 +68,7 @@ class RunReport:
             events=session.events.export(),
             qor=qor,
             perf=perf,
+            monitor=monitor,
         )
 
     # -- (de)serialisation ---------------------------------------------
@@ -80,6 +84,8 @@ class RunReport:
             out["qor"] = self.qor
         if self.perf is not None:
             out["perf"] = self.perf
+        if self.monitor is not None:
+            out["monitor"] = self.monitor
         return out
 
     @classmethod
@@ -97,6 +103,7 @@ class RunReport:
             events=list(data.get("events") or []),
             qor=data.get("qor"),
             perf=data.get("perf"),
+            monitor=data.get("monitor"),
         )
 
     def to_json(self, indent: int = 2) -> str:
@@ -288,6 +295,40 @@ def render_html(report: RunReport, path: Optional[str] = None) -> str:
             title=f"{name} (final {values[-1]:.6g}, n={len(values)})",
         )
         lines.append(f"<div>{svg}</div>")
+
+    if report.monitor:
+        lines.append("<h2>Live monitor</h2>")
+        peak = report.monitor.get("peak_rss_bytes")
+        samples = report.monitor.get("samples")
+        if peak is not None:
+            lines.append(
+                f"<p>Peak RSS {peak / (1024 * 1024):.1f} MiB over "
+                f"{samples} samples "
+                f"(every {report.monitor.get('interval_s', 0)}s).</p>"
+            )
+        stage_peaks = report.monitor.get("stage_peak_rss_bytes") or {}
+        if stage_peaks:
+            lines.append("<table><tr><th>stage</th><th>peak RSS</th></tr>")
+            for name in sorted(stage_peaks):
+                lines.append(
+                    f"<tr><td>{_html.escape(str(name))}</td>"
+                    f"<td>{stage_peaks[name] / (1024 * 1024):.1f} MiB</td></tr>"
+                )
+            lines.append("</table>")
+        progress = report.monitor.get("progress") or []
+        if progress:
+            lines.append(
+                "<table><tr><th>loop</th><th>done</th><th>total</th>"
+                "<th>unit</th><th>finished</th></tr>"
+            )
+            for task in progress:
+                lines.append(
+                    f"<tr><td>{_html.escape(str(task.get('name')))}</td>"
+                    f"<td>{task.get('done')}</td><td>{task.get('total')}</td>"
+                    f"<td>{_html.escape(str(task.get('unit')))}</td>"
+                    f"<td>{task.get('finished')}</td></tr>"
+                )
+            lines.append("</table>")
 
     lines.append("<h2>Span tree</h2>")
     for root in report.span_tree():

@@ -1,0 +1,18 @@
+"""Monitor test isolation: the monitor session (and the telemetry
+session it records into) are process-global — every test leaves both
+disabled and empty."""
+
+import pytest
+
+from repro import monitor, telemetry
+
+
+@pytest.fixture(autouse=True)
+def clean_monitor():
+    monitor.disable()
+    telemetry.disable()
+    telemetry.reset()
+    yield
+    monitor.disable()
+    telemetry.disable()
+    telemetry.reset()

@@ -1,0 +1,75 @@
+"""The tolerant event-log readers: torn tails, garbage lines, tails.
+
+`repro top` and `repro report` both read ``events.jsonl`` while a flow
+may still be appending to it — a read racing a write must never raise
+and never yield a partial record.
+"""
+
+import json
+
+from repro.telemetry.events import iter_events, tail_events
+
+
+def _write_events(path, records, tail=""):
+    with open(path, "w") as handle:
+        for record in records:
+            handle.write(json.dumps(record) + "\n")
+        if tail:
+            handle.write(tail)
+
+
+class TestIterEvents:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        records = [{"type": "flow.start", "seq": i} for i in range(3)]
+        _write_events(path, records)
+        assert list(iter_events(path)) == records
+
+    def test_truncated_trailing_record_skipped(self, tmp_path):
+        """A record torn mid-append (no trailing newline) is the normal
+        race with a live writer — it must be skipped, not raised."""
+        path = tmp_path / "events.jsonl"
+        _write_events(
+            path,
+            [{"seq": 0}, {"seq": 1}],
+            tail='{"seq": 2, "type": "flow.sta',
+        )
+        assert [r["seq"] for r in iter_events(path)] == [0, 1]
+
+    def test_mid_file_garbage_skipped(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        with open(path, "w") as handle:
+            handle.write(json.dumps({"seq": 0}) + "\n")
+            handle.write("not json at all\n")
+            handle.write("[1, 2, 3]\n")  # valid JSON but not a record
+            handle.write(json.dumps({"seq": 1}) + "\n")
+        assert [r["seq"] for r in iter_events(path)] == [0, 1]
+
+    def test_missing_file_yields_nothing(self, tmp_path):
+        assert list(iter_events(tmp_path / "absent.jsonl")) == []
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        path.touch()
+        assert list(iter_events(path)) == []
+
+    def test_complete_file_final_newline_keeps_last(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        _write_events(path, [{"seq": 0}, {"seq": 1}])
+        assert [r["seq"] for r in iter_events(path)] == [0, 1]
+
+
+class TestTailEvents:
+    def test_limit_keeps_most_recent(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        _write_events(path, [{"seq": i} for i in range(10)])
+        tail = tail_events(path, limit=3)
+        assert [r["seq"] for r in tail] == [7, 8, 9]
+
+    def test_tail_shares_tolerance(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        _write_events(path, [{"seq": 0}], tail='{"seq": 1')
+        assert [r["seq"] for r in tail_events(path, limit=5)] == [0]
+
+    def test_tail_missing_file(self, tmp_path):
+        assert tail_events(tmp_path / "absent.jsonl") == []
