@@ -926,8 +926,16 @@ class VPRFramework:
                     )
                 except OSError:
                     # Process pools can be unavailable (restricted
-                    # sandboxes); the serial path computes the same result.
-                    pass
+                    # sandboxes); the serial path computes the same
+                    # result.  Restart the progress task first — the
+                    # parallel attempt may already have advanced it
+                    # (checkpoint-served items, resolved chunks), and
+                    # the serial re-run counts every item again.
+                    monitor.start_task(
+                        "vpr.items",
+                        len(cluster_ids) * len(self.config.candidates),
+                        unit="items",
+                    )
             return [
                 self.sweep_cluster(source, members[c], cluster_id=c)
                 for c in cluster_ids

@@ -11,10 +11,11 @@ file discipline the telemetry layer already uses:
   and *finishes* an item (no cross-process locks — one writer per
   file);
 * the parent's status refresh reads the **last intact line** of every
-  worker file (via the tolerant :func:`repro.telemetry.events.iter_events`
-  reader, so a torn mid-append line is skipped, never an error) and
-  merges them into ``status.json``'s ``workers`` block with the age of
-  each worker's last beat.
+  worker file (a fixed-size tail read with the same torn-line
+  tolerance as :func:`repro.telemetry.events.iter_events`, so the
+  poll cost stays constant however many items a long sweep appends)
+  and merges them into ``status.json``'s ``workers`` block with the
+  age of each worker's last beat.
 
 A worker whose last beat is ``phase: "start"`` and old is *visibly
 hung* in ``repro top`` long before its timeout ends it.  Heartbeats
@@ -29,13 +30,17 @@ import os
 import time
 from typing import Any, Dict, List, Optional
 
-from repro.telemetry.events import iter_events
-
 #: Subdirectory of the telemetry out-dir holding worker heartbeats.
 HEARTBEAT_DIRNAME = "monitor"
 
 _PREFIX = "worker-"
 _SUFFIX = ".jsonl"
+
+#: Bytes read from the end of a beat file per poll.  One beat record
+#: is well under 200 bytes, so this always covers the last line while
+#: keeping the per-poll cost independent of how many items the worker
+#: has completed (status refreshes poll at sampler rate).
+_TAIL_BYTES = 4096
 
 
 def heartbeat_dir(out_dir: str) -> str:
@@ -78,6 +83,39 @@ class HeartbeatWriter:
             self._handle = None
 
 
+def _last_beat(path: str) -> Optional[Dict[str, Any]]:
+    """The last intact JSON record of a beat file via a tail read.
+
+    Seeks to the final :data:`_TAIL_BYTES` of the file and parses
+    newline-terminated lines back-to-front, so the cost per poll is
+    constant regardless of file length.  A torn trailing line (writer
+    mid-append), a partial first line (the seek landed mid-record), or
+    an unreadable file all degrade to ``None`` / being skipped — the
+    same tolerance contract as the event log reader.
+    """
+    try:
+        with open(path, "rb") as handle:
+            handle.seek(0, os.SEEK_END)
+            size = handle.tell()
+            handle.seek(max(0, size - _TAIL_BYTES))
+            data = handle.read(_TAIL_BYTES)
+    except OSError:
+        return None
+    lines = data.split(b"\n")
+    if not data.endswith(b"\n"):
+        lines = lines[:-1]  # torn trailing line: never a complete record
+    for line in reversed(lines):
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except ValueError:
+            continue
+        if isinstance(record, dict):
+            return record
+    return None
+
+
 def read_worker_beats(
     directory: str, now: Optional[float] = None
 ) -> List[Dict[str, Any]]:
@@ -98,9 +136,7 @@ def read_worker_beats(
     for name in names:
         if not (name.startswith(_PREFIX) and name.endswith(_SUFFIX)):
             continue
-        last = None
-        for record in iter_events(os.path.join(directory, name)):
-            last = record
+        last = _last_beat(os.path.join(directory, name))
         if last is None:
             continue
         beat = dict(last)

@@ -105,6 +105,13 @@ class ResourceSampler:
         t = now - self._epoch
         rss = rss_bytes()
         cpu = cpu_seconds()
+        # Resolve the active stage BEFORE taking the sampler lock:
+        # stage_of() acquires the monitor session's lock, and the
+        # session calls back into stage_peaks() (which takes this
+        # lock) — nesting them here in the opposite order would be a
+        # lock-order inversion that can deadlock a stage exit racing
+        # a sample.
+        stage = self.stage_of()
         with self._lock:
             cpu_pct = 0.0
             if self._last_cpu is not None:
@@ -116,7 +123,6 @@ class ResourceSampler:
             self._samples += 1
             if rss > self._peak_rss:
                 self._peak_rss = rss
-            stage = self.stage_of()
             if stage is not None and rss > self._stage_peaks.get(stage, 0):
                 self._stage_peaks[stage] = rss
             self._timeline.append((t, rss, cpu_pct))

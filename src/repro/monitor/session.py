@@ -110,12 +110,22 @@ class MonitorSession:
         try:
             yield
         finally:
+            # Read the sampler's peaks BEFORE taking the session lock:
+            # stage_peaks() takes the sampler lock, and the sampler's
+            # sample() calls current_stage() (which takes this lock) —
+            # nesting them here in the opposite order is a lock-order
+            # inversion that can deadlock against a concurrent sample.
+            peak = self.sampler.stage_peaks().get(name)
             with self._lock:
-                if name in self._stage_stack:
-                    self._stage_stack.remove(name)
+                # Pop the *last* occurrence: re-entrant stages with the
+                # same name must unwind innermost-first, and list.remove
+                # would drop the outer entry instead.
+                for i in range(len(self._stage_stack) - 1, -1, -1):
+                    if self._stage_stack[i] == name:
+                        del self._stage_stack[i]
+                        break
                 entry["state"] = "done"
                 entry["elapsed_s"] = time.perf_counter() - started
-                peak = self.sampler.stage_peaks().get(name)
                 if peak is not None:
                     entry["peak_rss_bytes"] = peak
             self.status.refresh(force=True)

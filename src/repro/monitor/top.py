@@ -203,6 +203,7 @@ def run_top(
         out = sys.stdout
     deadline = None if timeout is None else time.monotonic() + timeout
     live = not once and out.isatty()
+    waiting_announced = False
     while True:
         frame = render_dir(run_dir)
         if frame is None:
@@ -210,6 +211,12 @@ def run_top(
                 print(f"no status.json under {run_dir} (is the run monitored?)",
                       file=out)
                 return 1
+            if not waiting_announced:
+                # One-time notice so a watch on a not-yet-monitored (or
+                # wrong) directory is visibly waiting, not silently hung.
+                print(f"waiting for status.json under {run_dir} ...", file=out)
+                out.flush()
+                waiting_announced = True
         else:
             if live:
                 out.write("\x1b[2J\x1b[H")  # clear + home between frames

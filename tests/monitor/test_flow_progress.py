@@ -85,6 +85,55 @@ class TestSweepProgress:
         parallel_items = [r for r in parallel if r["name"] == "vpr.items"]
         assert serial_items == parallel_items
 
+    def test_serial_fallback_resets_progress(
+        self, aes_clusters, tmp_path, monkeypatch
+    ):
+        """An OSError fallback to the serial path restarts the task:
+        items the failed parallel attempt already advanced (checkpoint
+        serves, resolved chunks) must not be counted a second time."""
+        design, members = aes_clusters
+        telemetry.enable(str(tmp_path))
+        session = monitor.enable(str(tmp_path), interval=60.0)
+        dones = []
+        refresh = session.progress.on_tick
+
+        def record_tick():
+            for record in session.progress.records():
+                if record["name"] == "vpr.items":
+                    dones.append(record["done"])
+            if refresh is not None:
+                refresh()
+
+        session.progress.on_tick = record_tick
+
+        def broken_pool(self, source, members, cluster_ids, jobs, method):
+            monitor.advance("vpr.items", 2)  # e.g. checkpoint-served items
+            raise OSError("pool unavailable")
+
+        from repro.core.vpr import VPRFramework
+
+        monkeypatch.setattr(
+            VPRFramework, "_sweep_clusters_parallel", broken_pool
+        )
+        config = VPRConfig(
+            min_cluster_instances=50,
+            max_vpr_clusters=2,
+            placer_iterations=3,
+            jobs=2,
+        )
+        clear_rsmt_cache()
+        VPRShapeSelector(config).select(design, members)
+        items = [
+            r for r in session.progress.records() if r["name"] == "vpr.items"
+        ]
+        monitor.disable()
+        telemetry.disable()
+        assert items[0]["done"] == items[0]["total"] > 0
+        # The restart is visible as done returning to 0 after the failed
+        # parallel attempt's advance — the serial pass counts from scratch.
+        first_advanced = next(i for i, d in enumerate(dones) if d > 0)
+        assert 0 in dones[first_advanced:]
+
     def test_chunked_parallel_records_identical(self, aes_clusters, tmp_path):
         if not _fork_available():
             pytest.skip("fork start method unavailable")

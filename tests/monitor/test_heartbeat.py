@@ -59,6 +59,35 @@ class TestHeartbeatTolerance:
         beats = read_worker_beats(str(tmp_path))
         assert beats[0]["phase"] == "done"  # last *intact* line wins
 
+    def test_long_file_reads_only_tail(self, tmp_path):
+        """A beat file much larger than the tail window still yields
+        the last record — the poll never re-parses the whole history."""
+        writer = HeartbeatWriter(str(tmp_path))
+        for i in range(2000):  # well past _TAIL_BYTES of history
+            writer.beat("done", item=f"c{i}/0")
+        writer.beat("start", item="c2000/0")
+        writer.close()
+        beats = read_worker_beats(str(tmp_path))
+        assert len(beats) == 1
+        assert beats[0]["phase"] == "start"
+        assert beats[0]["item"] == "c2000/0"
+
+    def test_tail_seek_mid_line_is_tolerated(self, tmp_path):
+        """When the tail seek lands inside a record, the partial first
+        line is skipped and a later intact line wins."""
+        from repro.monitor import heartbeat
+
+        path = os.path.join(tmp_path, "worker-7.jsonl")
+        with open(path, "w") as handle:
+            # One oversized record guarantees the seek lands mid-line.
+            handle.write(json.dumps({"pid": 7, "t": 1.0, "phase": "start",
+                                     "pad": "x" * heartbeat._TAIL_BYTES}) + "\n")
+            handle.write(json.dumps({"pid": 7, "t": 2.0,
+                                     "phase": "done"}) + "\n")
+        beats = read_worker_beats(str(tmp_path))
+        assert len(beats) == 1
+        assert beats[0]["phase"] == "done"
+
     def test_missing_directory_yields_nothing(self, tmp_path):
         assert read_worker_beats(str(tmp_path / "nope")) == []
 

@@ -195,6 +195,74 @@ class TestMonitorSession:
         assert stages["vpr"]["peak_rss_bytes"] > 0
         assert "_started" not in stages["vpr"]
 
+    def test_reentrant_stage_pops_innermost(self, tmp_path):
+        """Nested stages with the same name unwind innermost-first:
+        exiting the inner context must leave the outer one active."""
+        telemetry.enable(str(tmp_path))
+        session = monitor.enable(
+            str(tmp_path), interval=60.0, status_interval=0.0
+        )
+        with monitor.stage("vpr"):
+            with monitor.stage("vpr"):
+                assert session._stage_stack == ["vpr", "vpr"]
+            assert session.current_stage() == "vpr"
+            assert session._stage_stack == ["vpr"]
+        assert session.current_stage() is None
+        monitor.disable()
+
+    def test_stage_exit_never_deadlocks_against_sampler(self, tmp_path):
+        """Regression: stage() exit reads sampler peaks while a sample
+        reads the current stage — with inverted lock nesting (either
+        callback invoked while the caller's own lock is held) the two
+        threads deadlock.  The bare race window is a few bytecodes, so
+        hammering alone almost never trips it; widening it with a short
+        sleep inside ``stage_of`` makes the inversion deterministic:
+        if the sampler still called it under its lock, the stage-exit
+        thread would wedge against the sampler within one iteration."""
+        telemetry.enable(str(tmp_path))
+        session = monitor.enable(
+            str(tmp_path), interval=60.0, status_interval=60.0
+        )
+        inner_stage_of = session.sampler.stage_of
+
+        def slow_stage_of():
+            time.sleep(0.002)
+            return inner_stage_of()
+
+        session.sampler.stage_of = slow_stage_of
+        stop = threading.Event()
+
+        def spin_stages():
+            while not stop.is_set():
+                with monitor.stage("hot"):
+                    pass
+
+        def spin_samples():
+            while not stop.is_set():
+                session.sampler.sample()
+
+        threads = [
+            threading.Thread(target=spin_stages, daemon=True),
+            threading.Thread(target=spin_samples, daemon=True),
+        ]
+        for t in threads:
+            t.start()
+        time.sleep(0.5)
+        stop.set()
+        for t in threads:
+            t.join(timeout=5.0)
+        stuck = [t.name for t in threads if t.is_alive()]
+        if stuck:
+            # The wedged threads hold the session/sampler locks, so a
+            # normal disable() (and the conftest teardown behind it)
+            # would hang too — drop the global session without touching
+            # its locks, then fail loudly.
+            from repro.monitor import session as session_module
+
+            session_module._MONITOR = None
+            pytest.fail(f"deadlocked threads: {stuck}")
+        monitor.disable()
+
     def test_stage_peak_perf_counters_on_stop(self, tmp_path):
         perf.enable()
         perf.reset()

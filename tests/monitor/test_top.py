@@ -164,5 +164,13 @@ class TestRunTop:
                      out=out)
         assert rc == 1
 
+    def test_loop_without_status_announces_waiting_once(self, tmp_path):
+        out = io.StringIO()
+        run_top(str(tmp_path), once=False, interval=0.05, timeout=0.3,
+                out=out)
+        text = out.getvalue()
+        assert "waiting for status.json" in text
+        assert text.count("waiting for status.json") == 1  # one-time notice
+
     def test_render_dir_missing(self, tmp_path):
         assert render_dir(str(tmp_path)) is None
