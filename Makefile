@@ -1,4 +1,4 @@
-.PHONY: install test bench tables clean lint perf-smoke resume-smoke bench-flow cache-smoke bench-scale bench-scale-full monitor-smoke
+.PHONY: install test bench tables clean lint perf-smoke resume-smoke bench-flow cache-smoke bench-scale bench-scale-full monitor-smoke serve-smoke
 
 install:
 	pip install -e .
@@ -91,6 +91,18 @@ monitor-smoke:
 	timeout 600 python benchmarks/bench_monitor_overhead.py --gate \
 		--repeats 3 --max-overhead 0.05 \
 		--json monitor-smoke/BENCH_monitor.json
+
+# Job-server smoke (docs/serving.md): boot a real `repro serve` daemon
+# on an ephemeral port, drive it with concurrent closed-loop clients
+# (2 designs x 2 repeats each), and gate on: zero failed jobs, warm
+# cache hits > 0, p99 submit-to-done latency under 60s, warm jobs at
+# least 1.3x faster than cold, and a clean POST /shutdown exit.
+serve-smoke:
+	rm -rf serve-smoke && mkdir -p serve-smoke
+	timeout 600 python benchmarks/bench_serve_load.py --gate \
+		--clients 4 --designs 2 --repeats 2 --workers 2 \
+		--max-p99 60 --min-speedup 1.3 \
+		--json serve-smoke/BENCH_serve.json
 
 # Crash-safety smoke: run a checkpointed flow, kill it mid-sweep with
 # an injected abort, resume, and require the resumed QoR to match an

@@ -23,9 +23,20 @@ Design points:
   ``max_bytes`` bound the store; the parent-side writer triggers a GC
   sweep opportunistically every :data:`GC_WRITE_INTERVAL` puts, and
   ``repro cache gc`` runs one on demand.
-* **Single-writer discipline.**  Pool workers only call :meth:`get`;
-  all :meth:`put`/:meth:`gc` calls happen in the parent, so the hot
-  path has no file locks.  Concurrent *readers* are always safe.
+* **Multi-writer tolerant.**  Within one run, pool workers only call
+  :meth:`get` and all :meth:`put`/:meth:`gc` calls happen in the
+  parent, so the hot path has no file locks.  Across runs there is no
+  single parent: every concurrent flow (e.g. each job of a
+  ``repro serve`` daemon) is a parent-side writer on the shared
+  directory.  Writes are safe by construction (atomic rename of
+  content-addressed entries — two writers racing on one key write the
+  same bytes), and :meth:`gc`/:meth:`stats` treat entries that vanish
+  mid-sweep (``FileNotFoundError`` on stat or unlink) as already
+  collected by the concurrent writer: never an error, never an extra
+  eviction.  The per-instance opportunistic GC trigger fires every
+  :data:`GC_WRITE_INTERVAL` of *this* writer's puts, so a long-lived
+  daemon sharing the store among many short-lived writers should run
+  its own periodic :meth:`gc` (the serve worker pool does).
 """
 
 from __future__ import annotations
@@ -87,12 +98,17 @@ class EvaluationCache:
 
     def _entries(self) -> Iterator[Path]:
         root = self.directory / self.OBJECT_DIR
-        if not root.is_dir():
+        try:
+            shards = sorted(root.iterdir())
+        except (FileNotFoundError, NotADirectoryError):
             return
-        for shard in sorted(root.iterdir()):
+        for shard in shards:
             if not shard.is_dir():
                 continue
-            yield from sorted(shard.glob("*.json"))
+            try:
+                yield from sorted(shard.glob("*.json"))
+            except OSError:  # pragma: no cover - shard raced away
+                continue
 
     # -- read path (workers and parent) --------------------------------
     def get(self, key: str) -> Optional[Dict[str, Any]]:
@@ -188,6 +204,13 @@ class EvaluationCache:
         Bounds default to the store's configured limits; returns the
         number of entries evicted (``vpr.cache.evict`` counts them
         too).  A bound of None is unlimited.
+
+        Safe under concurrent writers: an entry another process
+        removed between our directory walk and our unlink counts as
+        already collected — it still reduces the store towards the
+        bound, but is not reported (or counted) as one of our
+        evictions, so two racing sweeps never evict more live entries
+        than one sweep would.
         """
         if max_entries is None:
             max_entries = self.max_entries
@@ -200,7 +223,7 @@ class EvaluationCache:
         for path in self._entries():
             try:
                 stat = path.stat()
-            except OSError:  # pragma: no cover - entry raced away
+            except OSError:  # entry raced away under a concurrent writer
                 continue
             aged.append((stat.st_mtime, stat.st_size, path))
             total += stat.st_size
@@ -212,10 +235,15 @@ class EvaluationCache:
             over_bytes = max_bytes is not None and total > max_bytes
             if not (over_count or over_bytes):
                 break
-            self._discard(path)
+            try:
+                path.unlink()
+                evicted += 1
+            except FileNotFoundError:
+                pass  # a concurrent gc/corruption-discard beat us to it
+            except OSError:  # pragma: no cover - permission races
+                continue  # undeletable: leave it out of the accounting
             count -= 1
             total -= size
-            evicted += 1
         if evicted:
             perf.count("vpr.cache.evict", evicted)
         return evicted

@@ -15,6 +15,9 @@ Commands:
   (``flow --telemetry DIR --monitor``), from any process.
 * ``cache`` — manage the cross-run V-P&R evaluation cache
   (``stats`` / ``gc`` / ``clear``); see ``flow --cache DIR``.
+* ``serve`` — long-lived flow job server: an async job queue over a
+  bounded worker pool, every job sharing one evaluation cache; see
+  ``docs/serving.md``.
 
 All commands accept ``--seed`` for determinism.  See ``--help`` of each
 subcommand.
@@ -109,6 +112,13 @@ def _add_flow_parser(subparsers) -> None:
     p.add_argument("--liberty", help=".lib library (with --verilog)")
     p.add_argument("--def", dest="def_file", help=".def floorplan")
     p.add_argument("--sdc", help=".sdc constraints")
+    p.add_argument(
+        "--generator",
+        metavar="JSON",
+        help="generate the design from DesignSpec parameters given as a "
+        "JSON object (overrides --benchmark), e.g. "
+        '\'{"name": "tiny", "num_instances": 600}\'',
+    )
 
 
 def _add_simple_parsers(subparsers) -> None:
@@ -223,6 +233,47 @@ def _add_simple_parsers(subparsers) -> None:
     c = csub.add_parser("clear", help="remove every cached entry")
     c.add_argument("directory", help="cache directory")
 
+    p = subparsers.add_parser(
+        "serve",
+        help="long-lived flow job server on a shared evaluation cache",
+    )
+    p.add_argument(
+        "--run-root",
+        default="serve-run",
+        help="directory for server.json and per-job telemetry dirs "
+        "(default ./serve-run)",
+    )
+    p.add_argument(
+        "--cache",
+        metavar="DIR",
+        default=None,
+        help="shared evaluation cache all jobs read and write "
+        "(default RUN_ROOT/cache); content-addressed keys make it "
+        "naturally multi-tenant",
+    )
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        help="flow-worker pool width = max concurrent jobs (each job "
+        "runs in its own runner subprocess; default 2)",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument(
+        "--port",
+        type=int,
+        default=8181,
+        help="TCP port (0 picks an ephemeral port, published in "
+        "RUN_ROOT/server.json)",
+    )
+    p.add_argument(
+        "--job-timeout",
+        type=float,
+        default=None,
+        help="kill a runner exceeding this many seconds and mark the "
+        "job failed (default: unbounded)",
+    )
+
 
 def build_parser() -> argparse.ArgumentParser:
     """The top-level argument parser."""
@@ -238,6 +289,25 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _load_design(args):
+    if getattr(args, "generator", None):
+        import dataclasses
+        import json
+
+        from repro.designs.generator import DesignSpec, generate_design
+
+        try:
+            params = json.loads(args.generator)
+        except ValueError as exc:
+            raise SystemExit(f"--generator: invalid JSON: {exc}")
+        if not isinstance(params, dict):
+            raise SystemExit("--generator expects a JSON object")
+        known = {f.name for f in dataclasses.fields(DesignSpec)}
+        unknown = sorted(set(params) - known)
+        if unknown:
+            raise SystemExit(
+                f"--generator: unknown DesignSpec field(s): {unknown}"
+            )
+        return generate_design(DesignSpec(**params))
     if getattr(args, "verilog", None):
         from repro.db import load_design_files
 
@@ -667,6 +737,19 @@ def _cmd_cache(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    from repro.serve import run_serve
+
+    return run_serve(
+        args.run_root,
+        cache_dir=args.cache,
+        workers=args.workers,
+        host=args.host,
+        port=args.port,
+        job_timeout=args.job_timeout,
+    )
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point."""
     args = build_parser().parse_args(argv)
@@ -679,6 +762,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "report": _cmd_report,
         "top": _cmd_top,
         "cache": _cmd_cache,
+        "serve": _cmd_serve,
     }
     return handlers[args.command](args)
 

@@ -26,9 +26,10 @@ retry path — the segment itself is owned (and unlinked) by the parent.
 
 from __future__ import annotations
 
+import itertools
 import pickle
 from dataclasses import dataclass
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, Dict, Tuple
 
 from repro import perf
 from repro.recovery import faults
@@ -39,15 +40,26 @@ except ImportError:  # pragma: no cover
     shared_memory = None  # type: ignore[assignment]
 
 #: A token a worker can resolve to the published payload.
-#: ``("inherit",)`` for fork-inherited globals;
+#: ``("inherit", publication_id)`` for fork-inherited globals;
 #: ``("shm", name, size)`` for a shared-memory segment.
 StateToken = Tuple[str, ...]
 
-#: Fork-inherited payload (parent side; workers read their COW copy).
-_INHERITED: Optional[Dict[str, Any]] = None
+#: Fork-inherited payloads keyed by publication id (parent side;
+#: workers read their COW copy).  Keyed — not a single slot — so two
+#: concurrent publishers in one process (e.g. two sweeps under
+#: ``repro serve``) cannot clobber each other: ``close()`` removes only
+#: its own entry.
+_INHERITED: Dict[str, Dict[str, Any]] = {}
+
+#: Monotonic publication ids (process-global; an id never repeats, so a
+#: stale token can never resolve to a newer publication's payload).
+_PUBLICATION_IDS = itertools.count()
 
 #: Worker-side memo: the payload this process already attached, keyed
-#: by token, so every item after the first resolves it for free.
+#: by token, so every item after the first resolves it for free.  At
+#: most ONE live payload is kept: attaching a new token evicts the
+#: previous entry, so a persistent worker serving many sweeps does not
+#: leak every payload it ever saw.
 _ATTACHED: Dict[StateToken, Dict[str, Any]] = {}
 
 
@@ -64,7 +76,7 @@ class StatePublisher:
     """
 
     token: StateToken
-    _shm: Optional[object] = None
+    _shm: Any = None
 
     def __enter__(self) -> StateToken:
         return self.token
@@ -73,9 +85,11 @@ class StatePublisher:
         self.close()
 
     def close(self) -> None:
-        global _INHERITED
         if self.token and self.token[0] == "inherit":
-            _INHERITED = None
+            # Pop only this publication's payload: a concurrent
+            # publisher's entry (another sweep in the same process)
+            # stays live until *its* close().
+            _INHERITED.pop(self.token[1], None)
         if self._shm is not None:
             try:
                 self._shm.close()
@@ -92,9 +106,9 @@ def publish_state(payload: Dict[str, Any], method: str) -> StatePublisher:
     (``"fork"`` or ``"spawn"``).
     """
     if method == "fork":
-        global _INHERITED
-        _INHERITED = payload
-        return StatePublisher(token=("inherit",))
+        publication_id = str(next(_PUBLICATION_IDS))
+        _INHERITED[publication_id] = payload
+        return StatePublisher(token=("inherit", publication_id))
     if shared_memory is None:  # pragma: no cover - exotic build
         raise OSError("multiprocessing.shared_memory unavailable")
     blob = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
@@ -120,19 +134,21 @@ def attach_state(token: StateToken) -> Dict[str, Any]:
     per-process handles (e.g. its monitor heartbeat writer) directly
     in the attached state.
     """
-    cached = _ATTACHED.get(tuple(token))
+    token = tuple(token)
+    cached = _ATTACHED.get(token)
     if cached is not None:
         return cached
     # Fault site: a worker can be killed here to prove a crash while
     # reading the shared buffer degrades to the parent-side retry path.
     faults.check("fanout.attach", key=token[0])
     if token[0] == "inherit":
-        if _INHERITED is None:
+        payload = _INHERITED.get(token[1]) if len(token) > 1 else None
+        if payload is None:
             raise RuntimeError(
-                "no fork-inherited sweep state in this process (the parent "
-                "must publish before creating the pool)"
+                "no fork-inherited sweep state in this process for "
+                f"token {token!r} (the parent must publish before "
+                "creating the pool, and close() must not have run yet)"
             )
-        payload = _INHERITED
     elif token[0] == "shm":
         if shared_memory is None:  # pragma: no cover - exotic build
             raise OSError("multiprocessing.shared_memory unavailable")
@@ -144,7 +160,11 @@ def attach_state(token: StateToken) -> Dict[str, Any]:
             segment.close()
     else:
         raise ValueError(f"unknown fan-out token {token!r}")
-    _ATTACHED[tuple(token)] = payload
+    # One live payload per worker: a pool process only ever serves one
+    # publication at a time, so a new token supersedes whatever this
+    # process attached before (bounds the memo across many sweeps).
+    _ATTACHED.clear()
+    _ATTACHED[token] = payload
     return payload
 
 

@@ -1194,7 +1194,15 @@ def _fork_available() -> bool:
 def _item_alarm(timeout: Optional[float]):
     """Bound a work item's wall-clock via SIGALRM (pool workers only;
     fork workers run their items on the main thread, where signal
-    delivery is guaranteed)."""
+    delivery is guaranteed).
+
+    Nests correctly: a caller's pending ``ITIMER_REAL`` is captured on
+    entry (``setitimer`` returns the old value) and re-armed on exit
+    with the elapsed time deducted, so an outer timeout keeps ticking
+    instead of being silently cancelled.  An outer timer that would
+    have expired while this one was armed fires immediately after the
+    outer handler is restored.
+    """
     if not timeout or timeout <= 0:
         yield
         return
@@ -1203,12 +1211,22 @@ def _item_alarm(timeout: Optional[float]):
         raise TimeoutError(f"V-P&R item exceeded item_timeout={timeout:g}s")
 
     previous = signal.signal(signal.SIGALRM, _on_alarm)
-    signal.setitimer(signal.ITIMER_REAL, timeout)
+    outer_delay, outer_interval = signal.setitimer(
+        signal.ITIMER_REAL, timeout
+    )
+    armed_at = time.monotonic()
     try:
         yield
     finally:
         signal.setitimer(signal.ITIMER_REAL, 0.0)
         signal.signal(signal.SIGALRM, previous)
+        if outer_delay > 0.0:
+            remaining = outer_delay - (time.monotonic() - armed_at)
+            # Already-overdue outer timers get an epsilon delay (zero
+            # would disarm the timer entirely).
+            signal.setitimer(
+                signal.ITIMER_REAL, max(remaining, 1e-6), outer_interval
+            )
 
 
 def _setup_worker(state: dict) -> VPRFramework:

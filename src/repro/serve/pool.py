@@ -1,0 +1,225 @@
+"""Bounded flow-worker pool: the execution half of the job server.
+
+Each worker thread pops one job at a time off the shared queue and
+supervises a **runner subprocess**
+(``python -m repro.serve.runner <job_dir>``).  One process per job is
+the containment boundary the tentpole requires:
+
+* a flow that raises, aborts, is OOM-killed or injected with
+  ``REPRO_FAULTS`` takes down only its own process — the daemon marks
+  the job ``failed`` and serves the next one;
+* the process-global perf/telemetry/monitor registries stay
+  single-run, so each job's ``status.json`` / ``events.jsonl`` /
+  ``run.json`` are exactly what the one-shot CLI would have written
+  into the same directory (the byte-identity guarantee rides on this);
+* N workers bound the machine to N concurrent flows no matter how
+  deep the queue grows.
+
+All jobs share one content-addressed :class:`EvaluationCache`
+directory; keys are digests of (sub-netlist, shape, config), so
+concurrent writers are naturally safe and repeat traffic on popular
+designs is served warm.  Because the per-writer opportunistic GC
+trigger fires every ``GC_WRITE_INTERVAL`` puts *of one short-lived
+writer* — which a job rarely reaches — the pool runs its own janitor
+sweep after every finished job.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import queue
+import subprocess
+import sys
+import threading
+from typing import Dict, List, Optional
+
+from repro.cache import EvaluationCache
+from repro.serve.registry import Job, JobRegistry
+from repro.serve.schemas import ERROR_FILENAME, RUNNER_LOG_FILENAME
+
+_STOP = object()
+
+
+def _runner_env(job: Job) -> Dict[str, str]:
+    """The runner subprocess environment.
+
+    Inherits the daemon's environment, guarantees the repro package is
+    importable (the daemon may run from a source tree without an
+    installed package), and applies the spec's allow-listed overrides
+    (fault injection).
+    """
+    env = dict(os.environ)
+    import repro
+
+    package_root = os.path.dirname(os.path.dirname(repro.__file__))
+    existing = env.get("PYTHONPATH")
+    if package_root not in (existing or "").split(os.pathsep):
+        env["PYTHONPATH"] = (
+            package_root + os.pathsep + existing if existing else package_root
+        )
+    env.update(job.spec.env)
+    return env
+
+
+def _runner_error(job: Job, returncode: int) -> str:
+    """Best diagnosis of a failed runner, most specific source first."""
+    try:
+        payload = json.loads((job.dir / ERROR_FILENAME).read_text())
+        if payload.get("error"):
+            return str(payload["error"])
+    except (OSError, ValueError):
+        pass
+    from repro.monitor import load_status
+
+    status = load_status(str(job.dir))
+    if status and status.get("error"):
+        return str(status["error"])
+    return f"runner exited with code {returncode}"
+
+
+def _finished_counters(job: Job) -> Dict[str, int]:
+    """Perf counters from the job's run.json (empty when unreadable)."""
+    try:
+        run = json.loads((job.dir / "run.json").read_text())
+        counters = run.get("perf", {}).get("counters", {})
+        return {
+            k: int(v)
+            for k, v in counters.items()
+            if isinstance(v, (int, float))
+        }
+    except (OSError, ValueError):
+        return {}
+
+
+class FlowWorkerPool:
+    """N worker threads supervising one runner subprocess each."""
+
+    def __init__(
+        self,
+        registry: JobRegistry,
+        cache: Optional[EvaluationCache],
+        workers: int = 2,
+        job_timeout: Optional[float] = None,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.registry = registry
+        self.cache = cache
+        self.job_timeout = job_timeout
+        self._queue: "queue.Queue" = queue.Queue()
+        self._busy = 0
+        self._busy_lock = threading.Lock()
+        self._closed = False
+        self._threads = [
+            threading.Thread(
+                target=self._worker_loop,
+                name=f"flow-worker-{i}",
+                daemon=True,
+            )
+            for i in range(workers)
+        ]
+        for thread in self._threads:
+            thread.start()
+
+    # -- introspection (the /stats endpoint) ---------------------------
+    @property
+    def workers(self) -> int:
+        return len(self._threads)
+
+    @property
+    def busy(self) -> int:
+        with self._busy_lock:
+            return self._busy
+
+    @property
+    def queue_depth(self) -> int:
+        return self._queue.qsize()
+
+    # -- submission ----------------------------------------------------
+    def submit(self, job: Job) -> None:
+        if self._closed:
+            raise RuntimeError("pool is shut down")
+        self._queue.put(job)
+
+    # -- shutdown ------------------------------------------------------
+    def shutdown(self, timeout: Optional[float] = None) -> List[Job]:
+        """Stop accepting work and drain: running jobs finish, jobs
+        still queued are failed as cancelled.  Returns the cancelled
+        jobs."""
+        self._closed = True
+        cancelled: List[Job] = []
+        while True:
+            try:
+                job = self._queue.get_nowait()
+            except queue.Empty:
+                break
+            self.registry.mark_failed(job, "cancelled: server shutting down")
+            cancelled.append(job)
+        for _ in self._threads:
+            self._queue.put(_STOP)
+        for thread in self._threads:
+            thread.join(timeout=timeout)
+        return cancelled
+
+    # -- the worker loop -----------------------------------------------
+    def _worker_loop(self) -> None:
+        while True:
+            job = self._queue.get()
+            if job is _STOP:
+                return
+            with self._busy_lock:
+                self._busy += 1
+            try:
+                self._run_job(job)
+            except Exception as exc:  # never kill the worker thread
+                self.registry.mark_failed(job, f"worker error: {exc!r}")
+            finally:
+                with self._busy_lock:
+                    self._busy -= 1
+                self._janitor_gc()
+
+    def _run_job(self, job: Job) -> None:
+        self.registry.mark_running(job)
+        command = [
+            sys.executable,
+            "-m",
+            "repro.serve.runner",
+            str(job.dir),
+        ]
+        log_path = job.dir / RUNNER_LOG_FILENAME
+        with open(log_path, "ab") as log:
+            try:
+                process = subprocess.Popen(
+                    command,
+                    stdout=log,
+                    stderr=subprocess.STDOUT,
+                    env=_runner_env(job),
+                    cwd=str(job.dir),
+                )
+                returncode = process.wait(timeout=self.job_timeout)
+            except subprocess.TimeoutExpired:
+                process.kill()
+                process.wait()
+                self.registry.mark_failed(
+                    job, f"job exceeded timeout of {self.job_timeout:g}s"
+                )
+                return
+        if returncode == 0 and (job.dir / "result.json").is_file():
+            self.registry.mark_done(job, _finished_counters(job))
+        else:
+            self.registry.mark_failed(job, _runner_error(job, returncode))
+
+    def _janitor_gc(self) -> None:
+        """Daemon-side LRU sweep of the shared cache.
+
+        Individual jobs are short-lived writers that rarely reach the
+        per-instance opportunistic GC trigger, so the long-lived pool
+        owns keeping the shared store within bounds.
+        """
+        if self.cache is None:
+            return
+        try:
+            self.cache.gc()
+        except Exception:  # pragma: no cover - GC is best-effort
+            pass

@@ -1,0 +1,77 @@
+"""The per-job runner process: ``python -m repro.serve.runner JOBDIR``.
+
+Reads the job directory's ``job.json`` (validated spec + shared cache
+directory), compiles it to CLI argv and calls :func:`repro.cli.main` —
+so a served job executes the *identical* code path as
+``python -m repro flow ...`` and its QoR report is byte-identical
+(modulo wall-clock fields) to a CLI run of the same spec.
+
+The runner is also the crash-containment boundary: any failure —
+spec rot, a flow exception, an injected ``REPRO_FAULTS`` abort — ends
+this process with a non-zero exit code and, when possible, a
+``job_error.json`` diagnosis, while the daemon that spawned it keeps
+serving.  The flow's ``--monitor`` flag additionally leaves a final
+``failed`` ``status.json`` behind for pollers.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+from repro.ioutil import atomic_write_bytes
+from repro.serve.schemas import (
+    ERROR_FILENAME,
+    JOB_FILENAME,
+    SCHEMA,
+    parse_job_spec,
+    spec_to_argv,
+)
+
+
+def _write_error(job_dir: Path, message: str) -> None:
+    try:
+        atomic_write_bytes(
+            job_dir / ERROR_FILENAME,
+            json.dumps(
+                {"schema": SCHEMA, "error": message}, sort_keys=True
+            ).encode(),
+            durable=False,
+        )
+    except OSError:  # pragma: no cover - diagnosis is best-effort
+        pass
+
+
+def main(argv=None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if len(argv) != 1:
+        print("usage: python -m repro.serve.runner JOBDIR", file=sys.stderr)
+        return 2
+    job_dir = Path(argv[0])
+    try:
+        payload = json.loads((job_dir / JOB_FILENAME).read_text())
+        spec = parse_job_spec(payload["spec"])
+        flow_argv = spec_to_argv(
+            spec, str(job_dir), payload.get("cache_dir")
+        )
+    except Exception as exc:
+        _write_error(job_dir, f"bad job spec: {exc!r}")
+        return 2
+
+    from repro.cli import main as cli_main
+
+    try:
+        return int(cli_main(flow_argv) or 0)
+    except SystemExit as exc:
+        code = exc.code if isinstance(exc.code, int) else 1
+        if code != 0:
+            _write_error(job_dir, f"flow exited: {exc.code!r}")
+        return code
+    except BaseException as exc:
+        _write_error(job_dir, repr(exc))
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

@@ -20,14 +20,14 @@ def _clean_attachments():
     reset_attachments()
     yield
     reset_attachments()
-    fanout._INHERITED = None
+    fanout._INHERITED.clear()
 
 
 class TestForkPublication:
     def test_publish_parks_payload_in_global(self):
         with publish_state(PAYLOAD, "fork") as token:
-            assert token == ("inherit",)
-            assert fanout._INHERITED is PAYLOAD
+            assert token[0] == "inherit"
+            assert fanout._INHERITED[token[1]] is PAYLOAD
 
     def test_attach_resolves_inherited_payload(self):
         with publish_state(PAYLOAD, "fork") as token:
@@ -36,11 +36,74 @@ class TestForkPublication:
     def test_close_releases_global(self):
         with publish_state(PAYLOAD, "fork"):
             pass
-        assert fanout._INHERITED is None
+        assert not fanout._INHERITED
 
     def test_attach_without_publication_raises(self):
         with pytest.raises(RuntimeError, match="no fork-inherited"):
-            attach_state(("inherit",))
+            attach_state(("inherit", "12345"))
+
+    def test_legacy_unkeyed_token_raises(self):
+        with publish_state(PAYLOAD, "fork"):
+            with pytest.raises(RuntimeError, match="no fork-inherited"):
+                attach_state(("inherit",))
+
+
+class TestInterleavedPublishers:
+    """Two concurrent sweeps in one process (the `repro serve` shape)."""
+
+    def test_close_clears_only_own_payload(self):
+        payload_a = {"sweep": "a"}
+        payload_b = {"sweep": "b"}
+        publisher_a = publish_state(payload_a, "fork")
+        publisher_b = publish_state(payload_b, "fork")
+        # Closing A mid-flight must not destroy B's published payload.
+        publisher_a.close()
+        assert attach_state(publisher_b.token) is payload_b
+        with pytest.raises(RuntimeError, match="no fork-inherited"):
+            reset_attachments()
+            attach_state(publisher_a.token)
+        publisher_b.close()
+        assert not fanout._INHERITED
+
+    def test_publications_get_distinct_tokens(self):
+        publisher_a = publish_state({"sweep": "a"}, "fork")
+        publisher_b = publish_state({"sweep": "b"}, "fork")
+        try:
+            assert publisher_a.token != publisher_b.token
+        finally:
+            publisher_a.close()
+            publisher_b.close()
+
+    def test_double_close_does_not_touch_others(self):
+        payload_b = {"sweep": "b"}
+        publisher_a = publish_state({"sweep": "a"}, "fork")
+        publisher_b = publish_state(payload_b, "fork")
+        publisher_a.close()
+        publisher_a.close()  # idempotent, still leaves B alone
+        assert attach_state(publisher_b.token) is payload_b
+        publisher_b.close()
+
+
+class TestAttachMemoBound:
+    def test_memo_stays_bounded_across_cycles(self):
+        for cycle in range(8):
+            with publish_state({"cycle": cycle}, "fork") as token:
+                assert attach_state(token)["cycle"] == cycle
+                assert len(fanout._ATTACHED) <= 1
+
+    def test_memo_stays_bounded_across_spawn_cycles(self):
+        for cycle in range(4):
+            with publish_state({"cycle": cycle}, "spawn") as token:
+                assert attach_state(token)["cycle"] == cycle
+                assert len(fanout._ATTACHED) <= 1
+
+    def test_new_attach_evicts_stale_entry(self):
+        with publish_state({"cycle": 0}, "fork") as first:
+            attach_state(first)
+        with publish_state({"cycle": 1}, "fork") as second:
+            attach_state(second)
+            assert tuple(first) not in fanout._ATTACHED
+            assert fanout._ATTACHED[tuple(second)]["cycle"] == 1
 
 
 class TestSpawnPublication:

@@ -195,7 +195,7 @@ class TestParallelRecovery:
         serial = self._select(design, members, _config())
         faults.configure("oserror:vpr.collect")
         parallel = self._select(design, members, _config(jobs=2))
-        assert fanout._INHERITED is None
+        assert not fanout._INHERITED
         assert parallel.shapes == serial.shapes
         for s, p in zip(serial.sweeps, parallel.sweeps):
             for es, ep in zip(s.evaluations, p.evaluations):
@@ -205,7 +205,7 @@ class TestParallelRecovery:
     def test_published_state_released_after_clean_run(self, small_clusters):
         design, members = small_clusters
         self._select(design, members, _config(jobs=2))
-        assert fanout._INHERITED is None
+        assert not fanout._INHERITED
 
 
 class TestConfigValidation:

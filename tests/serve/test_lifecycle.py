@@ -1,0 +1,184 @@
+"""Job lifecycle through the API: queued -> running -> done | failed.
+
+Every test runs real runner subprocesses under an in-process
+:class:`ServeApp`; see ``conftest.py`` for the tiny design that keeps
+each job around a second.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serve import parse_job_spec
+from repro.serve.schemas import ERROR_FILENAME, RUNNER_LOG_FILENAME
+
+from tests.serve.conftest import TINY_SPEC, request, submit, wait_job
+
+
+class TestHappyPath:
+    def test_submit_and_complete(self, make_app):
+        app = make_app(workers=1)
+        status, body = request(app, "POST", "/jobs", dict(TINY_SPEC))
+        assert status == 202
+        assert body["state"] == "queued"
+        job_id = body["job_id"]
+        assert body["links"]["result"] == f"/jobs/{job_id}/result"
+
+        record = wait_job(app, job_id)
+        assert record["state"] == "done"
+        assert record["design"] == "gen:tiny"
+        assert record["created_unix"] <= record["started_unix"]
+        assert record["started_unix"] <= record["finished_unix"]
+        assert record["wall_s"] >= 0.0
+        # The live view is the runner's final monitor snapshot.
+        assert record["status"] is not None
+        assert record["status"]["state"] == "done"
+
+        status, result = request(app, "GET", f"/jobs/{job_id}/result")
+        assert status == 200
+        assert result["qor"]["metrics"]["hpwl_um"] > 0
+        assert "vpr.cache.miss" in result["counters"]
+
+    def test_job_listing_and_describe(self, make_app):
+        app = make_app(workers=1)
+        job_id = submit(app, dict(TINY_SPEC))
+        wait_job(app, job_id)
+
+        status, body = request(app, "GET", "/jobs")
+        assert status == 200
+        assert [job["id"] for job in body["jobs"]] == [job_id]
+
+        status, body = request(app, "GET", "/")
+        assert status == 200
+        assert "POST /jobs" in body["endpoints"]
+
+    def test_events_tail_windows(self, make_app):
+        app = make_app(workers=1)
+        job_id = submit(app, dict(TINY_SPEC))
+        wait_job(app, job_id)
+
+        status, page = request(
+            app, "GET", f"/jobs/{job_id}/events?offset=0&limit=5"
+        )
+        assert status == 200
+        assert len(page["events"]) == 5
+        total = page["next_offset"]
+        assert total > 5
+
+        # Tail semantics: asking beyond the head returns the newest
+        # window and next_offset is the resume cursor.
+        status, tail = request(
+            app, "GET", f"/jobs/{job_id}/events?offset={total}&limit=5"
+        )
+        assert status == 200
+        assert tail["events"] == []
+        assert tail["next_offset"] == total
+
+        status, body = request(
+            app, "GET", f"/jobs/{job_id}/events?offset=no&limit=5"
+        )
+        assert status == 400
+
+
+class TestValidationAndRouting:
+    def test_bad_specs_are_400(self, make_app):
+        app = make_app(workers=1)
+        for payload in (
+            {"design": "no-such-bench"},
+            {"design": "aes", "turbo": True},
+            {"design": "aes", "env": {"PATH": "/evil"}},
+        ):
+            status, body = request(app, "POST", "/jobs", payload)
+            assert status == 400
+            assert "error" in body
+        # Nothing reached the registry or the pool.
+        status, body = request(app, "GET", "/jobs")
+        assert body["jobs"] == []
+
+    def test_unknown_routes_are_404(self, make_app):
+        app = make_app(workers=1)
+        for method, path in (
+            ("GET", "/jobs/j99999"),
+            ("GET", "/nope"),
+            ("POST", "/jobs/j00001/result"),
+        ):
+            status, _ = request(app, method, path)
+            assert status == 404
+
+    def test_result_conflict_while_queued(self, make_app):
+        app = make_app(workers=1)
+        # Create a registry entry without handing it to the pool, so
+        # its state is stably "queued".
+        job = app.registry.create(
+            parse_job_spec(dict(TINY_SPEC)), app.cache_dir
+        )
+        status, body = request(app, "GET", f"/jobs/{job.id}/result")
+        assert status == 409
+        assert body["state"] == "queued"
+
+
+class TestCrashContainment:
+    def test_injected_fault_fails_job_not_daemon(self, make_app):
+        app = make_app(workers=1)
+        crash = dict(TINY_SPEC)
+        crash["env"] = {"REPRO_FAULTS": "raise:flow.clustering"}
+        crash_id = submit(app, crash)
+
+        record = wait_job(app, crash_id)
+        assert record["state"] == "failed"
+        assert record["error"]
+        job_dir = app.registry.get(crash_id).dir
+        assert (job_dir / ERROR_FILENAME).exists()
+        assert (job_dir / RUNNER_LOG_FILENAME).exists()
+
+        status, body = request(app, "GET", f"/jobs/{crash_id}/result")
+        assert status == 410
+
+        # The daemon keeps serving: the next job on the same pool runs
+        # to completion.
+        ok_id = submit(app, dict(TINY_SPEC))
+        assert wait_job(app, ok_id)["state"] == "done"
+        counts = app.registry.counts()
+        assert counts["failed"] == 1 and counts["done"] == 1
+
+    def test_hard_abort_is_contained_too(self, make_app):
+        app = make_app(workers=1)
+        crash = dict(TINY_SPEC)
+        # os._exit inside the runner: no traceback, no job_error.json,
+        # only an exit code — the pool must still fail the job cleanly.
+        crash["env"] = {"REPRO_FAULTS": "abort:vpr.item:#0"}
+        crash_id = submit(app, crash)
+        record = wait_job(app, crash_id)
+        assert record["state"] == "failed"
+
+        ok_id = submit(app, dict(TINY_SPEC))
+        assert wait_job(app, ok_id)["state"] == "done"
+
+
+class TestShutdown:
+    def test_shutdown_endpoint_drains(self, make_app):
+        app = make_app(workers=1)
+        job_id = submit(app, dict(TINY_SPEC))
+        status, body = request(app, "POST", "/shutdown")
+        assert status == 202
+        assert app.shutdown_event.is_set()
+
+        # New submissions are refused while stopping.
+        status, body = request(app, "POST", "/jobs", dict(TINY_SPEC))
+        assert status == 503
+
+        # close() waits for the in-flight job rather than killing it.
+        app.close(timeout=120.0)
+        assert app.registry.get(job_id).state in ("done", "failed")
+
+    def test_queued_jobs_cancelled_on_close(self, make_app):
+        app = make_app(workers=1)
+        ids = [submit(app, dict(TINY_SPEC)) for _ in range(3)]
+        app.close(timeout=120.0)
+        states = [app.registry.get(job_id).state for job_id in ids]
+        # The backlog is failed as cancelled; whatever was in flight
+        # (or finished before close) may be done.
+        assert states.count("failed") >= 1
+        for job_id, state in zip(ids, states):
+            if state == "failed":
+                assert "cancelled" in app.registry.get(job_id).error
