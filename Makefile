@@ -1,4 +1,4 @@
-.PHONY: install test bench tables clean lint perf-smoke resume-smoke bench-flow cache-smoke bench-scale bench-scale-full monitor-smoke serve-smoke
+.PHONY: install test bench tables clean lint perf-smoke resume-smoke bench-flow cache-smoke bench-scale bench-scale-full monitor-smoke serve-smoke fleet-smoke
 
 install:
 	pip install -e .
@@ -103,6 +103,18 @@ serve-smoke:
 		--clients 4 --designs 2 --repeats 2 --workers 2 \
 		--max-p99 60 --min-speedup 1.3 \
 		--json serve-smoke/BENCH_serve.json
+
+# Distributed-sweep smoke (docs/performance.md, "Distributed sweep"):
+# run the shape sweep serially, on 1 fleet worker, on 2 fleet workers,
+# and on 2 workers with one armed to die mid-item, then gate on: all
+# four QoR SHA-256 hashes byte-identical, fleet x2 at least 1.6x
+# faster than fleet x1, the killed worker re-dispatched, and every
+# worker process reaped at close (clean shutdown).
+fleet-smoke:
+	rm -rf fleet-smoke && mkdir -p fleet-smoke
+	timeout 600 python benchmarks/bench_fleet_scaling.py --gate --kill \
+		--min-speedup 1.6 \
+		--json fleet-smoke/BENCH_fleet.json
 
 # Crash-safety smoke: run a checkpointed flow, kill it mid-sweep with
 # an injected abort, resume, and require the resumed QoR to match an

@@ -26,7 +26,11 @@ from repro.cache.keys import (
     config_fingerprint,
     netlist_digest,
 )
-from repro.cache.store import CacheStats, EvaluationCache
+from repro.cache.store import (
+    CacheStats,
+    EvaluationCache,
+    derive_cache_summary,
+)
 
 __all__ = [
     "SCHEMA",
@@ -34,5 +38,6 @@ __all__ = [
     "EvaluationCache",
     "cache_key",
     "config_fingerprint",
+    "derive_cache_summary",
     "netlist_digest",
 ]

@@ -74,11 +74,35 @@ class CacheStats:
         return {"entries": self.entries, "total_bytes": self.total_bytes}
 
 
+def derive_cache_summary(
+    hits: int, misses: int, stores: int, stats: CacheStats
+) -> Dict[str, Any]:
+    """Raw counters + size → the shared cache-summary dict.
+
+    One derivation used everywhere a cache is summarised — the sweep
+    parent's end-of-sweep ``vpr.cache.summary`` event, ``repro cache
+    stats``, and the serve daemon's ``GET /stats`` — so ``hit_ratio``
+    and ``bytes_on_disk`` mean the same thing in all three places.
+    ``hit_ratio`` is hits over *lookups* (hits + misses), 0.0 when
+    nothing was looked up.
+    """
+    lookups = hits + misses
+    return {
+        "hits": hits,
+        "misses": misses,
+        "stores": stores,
+        "hit_ratio": (hits / lookups) if lookups else 0.0,
+        "entries": stats.entries,
+        "bytes_on_disk": stats.total_bytes,
+    }
+
+
 class EvaluationCache:
     """Content-addressed store of V-P&R candidate evaluations."""
 
     MARKER = "CACHE.json"
     OBJECT_DIR = "objects"
+    TOTALS = "TOTALS.json"
 
     def __init__(
         self,
@@ -91,6 +115,13 @@ class EvaluationCache:
         self.max_bytes = max_bytes
         self._writes_since_gc = 0
         self._marker_written = False
+        # In-process traffic counters for this store handle ("session"
+        # scope).  Parent-side get/put bump them directly; worker-side
+        # lookups (other processes) are folded in via
+        # :meth:`note_lookup` when their results come back.
+        self.session_hits = 0
+        self.session_misses = 0
+        self.session_stores = 0
 
     # -- paths ---------------------------------------------------------
     def _entry_path(self, key: str) -> Path:
@@ -126,10 +157,12 @@ class EvaluationCache:
             record = json.loads(path.read_text())
         except FileNotFoundError:
             perf.count("vpr.cache.miss")
+            self.session_misses += 1
             return None
         except (OSError, json.JSONDecodeError, UnicodeDecodeError):
             perf.count("vpr.cache.corrupt")
             perf.count("vpr.cache.miss")
+            self.session_misses += 1
             self._discard(path)
             return None
         if record.get("schema") != SCHEMA or not all(
@@ -137,14 +170,31 @@ class EvaluationCache:
         ):
             perf.count("vpr.cache.corrupt")
             perf.count("vpr.cache.miss")
+            self.session_misses += 1
             self._discard(path)
             return None
         perf.count("vpr.cache.hit")
+        self.session_hits += 1
         try:
             os.utime(path)
         except OSError:  # pragma: no cover - entry raced away
             pass
         return record
+
+    def note_lookup(self, hit: bool) -> None:
+        """Fold one *remote* lookup into the session counters.
+
+        Pool and fleet workers read the store from their own
+        processes; the parent calls this once per returned work item
+        (with the worker's cached flag) so its session counters — and
+        therefore the end-of-sweep summary and the persisted lifetime
+        totals — cover the whole fleet's traffic, not just the
+        parent's own probes.
+        """
+        if hit:
+            self.session_hits += 1
+        else:
+            self.session_misses += 1
 
     @staticmethod
     def _discard(path: Path) -> None:
@@ -164,6 +214,7 @@ class EvaluationCache:
             durable=False,
         )
         perf.count("vpr.cache.store")
+        self.session_stores += 1
         if not self._marker_written:
             self._write_marker()
         self._writes_since_gc += 1
@@ -180,6 +231,54 @@ class EvaluationCache:
                 durable=False,
             )
         self._marker_written = True
+
+    # -- lifetime traffic totals ---------------------------------------
+    def read_totals(self) -> Dict[str, int]:
+        """Cumulative hit/miss/store counters persisted in the store.
+
+        Every sweep parent folds its session traffic in at the end of
+        the sweep (:meth:`bump_totals`), so ``repro cache stats`` can
+        derive a lifetime hit ratio for a cold directory.  Shares the
+        read path's corruption tolerance: an unreadable or torn totals
+        file reads as all-zero.
+        """
+        try:
+            record = json.loads((self.directory / self.TOTALS).read_text())
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+            return {"hits": 0, "misses": 0, "stores": 0}
+        if not isinstance(record, dict):
+            return {"hits": 0, "misses": 0, "stores": 0}
+        totals = {}
+        for field in ("hits", "misses", "stores"):
+            try:
+                totals[field] = max(0, int(record.get(field, 0)))
+            except (TypeError, ValueError):
+                totals[field] = 0
+        return totals
+
+    def bump_totals(
+        self, hits: int = 0, misses: int = 0, stores: int = 0
+    ) -> Dict[str, int]:
+        """Add one session's traffic to the persisted lifetime totals.
+
+        Best-effort read-modify-write through the atomic rename
+        primitive: two parents finishing simultaneously can lose one
+        increment (the counters are observability, not accounting —
+        the same trade the mtime-based LRU already makes), but a
+        reader never sees a torn record.  Returns the new totals.
+        """
+        totals = self.read_totals()
+        totals["hits"] += max(0, int(hits))
+        totals["misses"] += max(0, int(misses))
+        totals["stores"] += max(0, int(stores))
+        payload = {"schema": SCHEMA}
+        payload.update(totals)
+        atomic_write_bytes(
+            self.directory / self.TOTALS,
+            json.dumps(payload, sort_keys=True).encode(),
+            durable=False,
+        )
+        return totals
 
     # -- maintenance ---------------------------------------------------
     def stats(self) -> CacheStats:

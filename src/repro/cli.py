@@ -15,6 +15,9 @@ Commands:
   (``flow --telemetry DIR --monitor``), from any process.
 * ``cache`` — manage the cross-run V-P&R evaluation cache
   (``stats`` / ``gc`` / ``clear``); see ``flow --cache DIR``.
+* ``worker`` — fleet worker process for a distributed V-P&R sweep:
+  dials a ``flow --fleet`` parent and evaluates sweep chunks remotely;
+  see ``docs/performance.md``, "Distributed sweep".
 * ``serve`` — long-lived flow job server: an async job queue over a
   bounded worker pool, every job sharing one evaluation cache; see
   ``docs/serving.md``.
@@ -84,6 +87,30 @@ def _add_flow_parser(subparsers) -> None:
         default=1,
         help="process-pool width for the V-P&R sweep (results are "
         "identical to a serial run)",
+    )
+    p.add_argument(
+        "--fleet",
+        type=int,
+        default=0,
+        metavar="N",
+        help="run the V-P&R sweep on a distributed worker fleet of N "
+        "workers instead of the in-process pool (QoR is byte-identical "
+        "either way); see docs/performance.md, 'Distributed sweep'",
+    )
+    p.add_argument(
+        "--fleet-listen",
+        metavar="HOST:PORT",
+        default=None,
+        help="address the fleet parent listens on (default "
+        "127.0.0.1:0 — loopback, ephemeral port; bind a routable "
+        "address to accept workers from other hosts)",
+    )
+    p.add_argument(
+        "--fleet-external",
+        action="store_true",
+        help="with --fleet: do not spawn local workers — wait for N "
+        "externally launched `repro worker --connect HOST:PORT` "
+        "processes (e.g. over ssh) to dial in",
     )
     p.add_argument(
         "--perf-report",
@@ -234,6 +261,45 @@ def _add_simple_parsers(subparsers) -> None:
     c.add_argument("directory", help="cache directory")
 
     p = subparsers.add_parser(
+        "worker",
+        help="fleet worker for a distributed V-P&R sweep "
+        "(dials a `flow --fleet` parent)",
+    )
+    p.add_argument(
+        "--connect",
+        required=True,
+        metavar="HOST:PORT",
+        help="the sweep parent's fleet listener (printed by "
+        "`flow --fleet ... --fleet-listen`)",
+    )
+    p.add_argument(
+        "--cache",
+        metavar="DIR",
+        default=None,
+        help="read V-P&R evaluations from this cache directory instead "
+        "of the parent's path (use '' to disable the cache on this "
+        "worker); workers only read — the parent is the single writer",
+    )
+    p.add_argument(
+        "--reconnect",
+        type=int,
+        default=0,
+        metavar="N",
+        help="extra connection attempts after a refused dial or a "
+        "dropped parent (default 0)",
+    )
+    p.add_argument(
+        "--reconnect-delay",
+        type=float,
+        default=1.0,
+        metavar="S",
+        help="seconds between connection attempts (default 1.0)",
+    )
+    p.add_argument(
+        "--quiet", action="store_true", help="suppress status lines"
+    )
+
+    p = subparsers.add_parser(
         "serve",
         help="long-lived flow job server on a shared evaluation cache",
     )
@@ -379,6 +445,8 @@ def _cmd_flow(args) -> int:
     cache_dir = getattr(args, "cache", None)
     if cache_dir and args.flow != "ours":
         raise SystemExit("--cache is only supported with --flow ours")
+    if getattr(args, "fleet", 0) and args.flow != "ours":
+        raise SystemExit("--fleet is only supported with --flow ours")
 
     design = _load_design(args)
     run_routing = not args.no_routing
@@ -416,6 +484,9 @@ def _cmd_flow(args) -> int:
                     checkpoint_dir=checkpoint_dir,
                     resume=args.resume,
                     cache_dir=cache_dir,
+                    fleet_workers=max(0, getattr(args, "fleet", 0)),
+                    fleet_listen=getattr(args, "fleet_listen", None),
+                    fleet_spawn=not getattr(args, "fleet_external", False),
                 )
                 result = ClusteredPlacementFlow(config).run(design)
     except BaseException as exc:
@@ -716,14 +787,22 @@ def _cmd_top(args) -> int:
 
 
 def _cmd_cache(args) -> int:
-    from repro.cache import EvaluationCache
+    from repro.cache import EvaluationCache, derive_cache_summary
 
     cache = EvaluationCache(args.directory)
     if args.cache_command == "stats":
         stats = cache.stats()
-        print(f"directory   : {args.directory}")
-        print(f"entries     : {stats.entries}")
-        print(f"total bytes : {stats.total_bytes}")
+        totals = cache.read_totals()
+        summary = derive_cache_summary(
+            totals["hits"], totals["misses"], totals["stores"], stats
+        )
+        print(f"directory     : {args.directory}")
+        print(f"entries       : {summary['entries']}")
+        print(f"bytes on disk : {summary['bytes_on_disk']}")
+        print(f"hits          : {summary['hits']}")
+        print(f"misses        : {summary['misses']}")
+        print(f"stores        : {summary['stores']}")
+        print(f"hit ratio     : {summary['hit_ratio']:.3f}")
         return 0
     if args.cache_command == "gc":
         evicted = cache.gc(
@@ -735,6 +814,18 @@ def _cmd_cache(args) -> int:
     removed = cache.clear()
     print(f"removed {removed} entries")
     return 0
+
+
+def _cmd_worker(args) -> int:
+    from repro.core.worker import run_worker
+
+    return run_worker(
+        args.connect,
+        cache_dir=args.cache,
+        reconnect=args.reconnect,
+        reconnect_delay=args.reconnect_delay,
+        quiet=args.quiet,
+    )
 
 
 def _cmd_serve(args) -> int:
@@ -762,6 +853,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "report": _cmd_report,
         "top": _cmd_top,
         "cache": _cmd_cache,
+        "worker": _cmd_worker,
         "serve": _cmd_serve,
     }
     return handlers[args.command](args)

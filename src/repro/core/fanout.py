@@ -26,12 +26,32 @@ retry path — the segment itself is owned (and unlinked) by the parent.
 
 from __future__ import annotations
 
+import hashlib
 import itertools
+import multiprocessing
+import os
 import pickle
+import select
+import socket
+import subprocess
+import sys
+import time
+from collections import deque
+from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass
-from typing import Any, Dict, Tuple
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
-from repro import perf
+from repro import perf, telemetry
+from repro.core import wire
 from repro.recovery import faults
 
 try:  # pragma: no cover - stdlib since 3.8; guarded for exotic builds
@@ -171,3 +191,682 @@ def attach_state(token: StateToken) -> Dict[str, Any]:
 def reset_attachments() -> None:
     """Drop worker-side memoised payloads (tests only)."""
     _ATTACHED.clear()
+
+
+# ----------------------------------------------------------------------
+# Sweep executors: where the published state's chunks actually run
+# ----------------------------------------------------------------------
+#: One lost work item in :data:`repro.core.vpr._WorkerResult` shape —
+#: NaN costs, no counters/telemetry, ``error`` set, not a cache hit —
+#: so transport-level losses (dead pool process, vanished fleet
+#: worker) flow into the exact same parent-side retry path as an
+#: in-worker exception.
+def _lost_result(error: str) -> Tuple:
+    return (float("nan"), float("nan"), 0.0, None, None, error, False)
+
+
+class SweepExecutor:
+    """Where the V-P&R sweep's chunks run.
+
+    The sweep (:meth:`repro.core.vpr.VPRFramework._sweep_clusters_parallel`)
+    publishes one state payload and a list of (cluster, candidate)
+    chunks; an executor decides where those chunks evaluate —
+    in-process pool workers (:class:`LocalPoolExecutor`) or a socket
+    fleet of remote processes (:class:`FleetExecutor`).  The contract
+    every implementation honours:
+
+    * :meth:`map_chunks` yields ``(chunk_index, results)`` pairs in
+      completion order, ``results`` being one
+      :data:`~repro.core.vpr._WorkerResult` per item of that chunk.
+      Every chunk index is yielded exactly once.
+    * A crashed / vanished / timed-out worker never loses work
+      silently: its items come back as error results (NaN costs,
+      ``error`` set) and the parent's bounded retry path re-evaluates
+      them — results therefore stay byte-identical to a serial sweep
+      no matter what the execution substrate did.
+    * Executor *infrastructure* failure (no pool, no bindable port,
+      zero workers connected) raises :class:`OSError`, which the sweep
+      maps to its serial fallback.
+    * The parent keeps all of its single-writer roles: executors never
+      touch the cache, checkpoint, or telemetry files.
+
+    ``requires_snapshots`` tells the sweep whether the payload's
+    designs must be flat snapshots (anything that crosses a pickle
+    boundary) or may be live objects (fork's copy-on-write pages).
+    """
+
+    name = "base"
+    requires_snapshots = False
+
+    def width(self) -> int:
+        """Worker parallelism (used to auto-size chunks)."""
+        raise NotImplementedError
+
+    def map_chunks(
+        self,
+        payload: Dict[str, Any],
+        chunks: Sequence[Sequence[Tuple[int, int]]],
+        chunk_fn: Callable,
+    ) -> Iterator[Tuple[int, List[Tuple]]]:
+        """Run every chunk; yield ``(chunk_index, results)`` as done."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release executor resources (idempotent)."""
+
+
+class LocalPoolExecutor(SweepExecutor):
+    """The single-host process pool — byte-identical to the pre-fleet
+    sweep: publish once (fork COW / spawn shared memory), submit one
+    future per chunk, collect in completion order, and convert a dead
+    worker's chunk into error results for the parent retry path."""
+
+    name = "local"
+
+    def __init__(self, jobs: int, start_method: str) -> None:
+        self.jobs = max(1, int(jobs))
+        self.start_method = start_method
+        # Spawn workers rebuild designs from flat snapshots (the live
+        # object graph recurses past the pickle limit on real
+        # netlists); fork workers read the parent's pages directly.
+        self.requires_snapshots = start_method == "spawn"
+
+    def width(self) -> int:
+        return self.jobs
+
+    def map_chunks(self, payload, chunks, chunk_fn):
+        context = multiprocessing.get_context(self.start_method)
+        with publish_state(payload, self.start_method) as token, \
+                ProcessPoolExecutor(
+                    max_workers=self.jobs, mp_context=context
+                ) as pool:
+            futures = {
+                pool.submit(chunk_fn, token, chunk): index
+                for index, chunk in enumerate(chunks)
+            }
+            try:
+                for future in as_completed(futures):
+                    index = futures[future]
+                    try:
+                        results = future.result()
+                    except OSError:
+                        raise  # pool infrastructure failure
+                    except Exception as exc:
+                        # The worker process died mid-chunk (e.g.
+                        # OOM-killed): no payload came back for any of
+                        # its items.
+                        results = [_lost_result(repr(exc))] * len(
+                            chunks[index]
+                        )
+                    yield index, results
+            except BaseException:
+                # Escaping the executor context with sibling futures
+                # still queued would run them anyway during shutdown's
+                # drain; cancel everything not yet started before
+                # propagating.  (This also covers the consumer
+                # abandoning the generator: close() raises GeneratorExit
+                # here.)
+                for future in futures:
+                    future.cancel()
+                pool.shutdown(wait=False, cancel_futures=True)
+                raise
+
+
+@dataclass
+class _FleetWorker:
+    """Parent-side record of one connected fleet worker."""
+
+    sock: socket.socket
+    pid: int
+    host: str
+    label: str
+    writer: Any = None
+    digest: Optional[str] = None
+    chunk: Optional[int] = None
+    dispatched_at: float = 0.0
+    deadline: Optional[float] = None
+    alive: bool = True
+
+
+class FleetExecutor(SweepExecutor):
+    """Distribute sweep chunks to socket-connected worker processes.
+
+    The parent binds ``listen`` (loopback + ephemeral port by
+    default), optionally spawns ``workers`` local
+    ``python -m repro.core.worker`` processes pointed at it (operators
+    can instead start workers by hand or over SSH against an explicit
+    ``--fleet-listen`` endpoint), ships the pickled sweep payload once
+    per worker — content-digest-keyed, so a worker that already holds
+    the state (a reconnect, or a second sweep over the same payload)
+    gets a ``state_ref`` instead of the blob — then runs a select
+    loop: dispatch a chunk to every idle worker, fold back ``result``
+    messages, relay ``beat`` messages into the monitor heartbeat
+    directory, and police per-chunk deadlines.
+
+    Fault containment mirrors the pool path exactly:
+
+    * a worker whose socket dies / times out / trips the
+      ``fleet.recv`` fault site is *lost*: its in-flight chunk is
+      re-queued for another worker (at most ``max_dispatch`` total
+      dispatches per chunk), and past that cap — or with no workers
+      left — the chunk degrades to error results for the parent's
+      retry path;
+    * a handshake failure (or the ``fleet.connect`` fault site) drops
+      only that worker; zero surviving workers raises :class:`OSError`
+      → the sweep's serial fallback;
+    * once every queued chunk is dispatched, an idle worker duplicates
+      the longest-running in-flight chunk (straggler re-dispatch,
+      first result wins — items are idempotent by construction).
+
+    Workers only read the evaluation cache; every durable write stays
+    in the parent, so a fleet sweep's results are byte-identical to
+    the serial and pool paths (gated by ``make fleet-smoke``).
+    """
+
+    name = "fleet"
+    requires_snapshots = True
+
+    #: Extra seconds of per-chunk deadline beyond the worker's own
+    #: item-timeout budget (covers transfer + rebuild + scheduling).
+    DEADLINE_GRACE_S = 30.0
+
+    def __init__(
+        self,
+        workers: int = 2,
+        listen: str = "127.0.0.1:0",
+        spawn: bool = True,
+        connect_timeout: float = 60.0,
+        item_timeout: Optional[float] = None,
+        heartbeat_dir: Optional[str] = None,
+        worker_env: Optional[Sequence[Optional[Dict[str, str]]]] = None,
+        max_dispatch: int = 2,
+        straggler_factor: Optional[float] = 4.0,
+    ) -> None:
+        self.workers = max(1, int(workers))
+        self.listen = listen
+        self.spawn = spawn
+        self.connect_timeout = connect_timeout
+        self.item_timeout = item_timeout
+        self.heartbeat_dir = heartbeat_dir
+        self.worker_env = worker_env
+        self.max_dispatch = max(1, int(max_dispatch))
+        self.straggler_factor = straggler_factor
+        host, port = self._parse_listen(listen)
+        # Bind eagerly: an unbindable endpoint is infrastructure
+        # failure (OSError) before any sweep work happens.
+        self._server = socket.create_server((host, port))
+        self._procs: List[subprocess.Popen] = []
+        self._fleet: List[_FleetWorker] = []
+        self._spawned = False
+        self._closed = False
+        #: Exit codes of spawned workers, recorded by :meth:`close`
+        #: (``None`` = had to be killed); benchmarks assert on these.
+        self.worker_exit_codes: List[Optional[int]] = []
+
+    @staticmethod
+    def _parse_listen(text: str) -> Tuple[str, int]:
+        host, sep, port_text = text.rpartition(":")
+        if not sep or not host:
+            raise OSError(f"fleet listen endpoint must be HOST:PORT, got {text!r}")
+        try:
+            return host.strip("[]"), int(port_text)
+        except ValueError:
+            raise OSError(f"invalid port in fleet endpoint {text!r}")
+
+    @property
+    def endpoint(self) -> str:
+        """The bound ``host:port`` workers should ``--connect`` to."""
+        host, port = self._server.getsockname()[:2]
+        return f"{host}:{port}"
+
+    def width(self) -> int:
+        return self.workers
+
+    # -- worker lifecycle ----------------------------------------------
+    def _spawn_local_workers(self) -> None:
+        import repro
+
+        # The spawned interpreter must import this exact repro tree
+        # even when the parent reached it via sys.path manipulation
+        # (benchmarks) rather than an installed package.
+        package_root = os.path.dirname(
+            os.path.dirname(os.path.abspath(repro.__file__))
+        )
+        for index in range(self.workers):
+            env = dict(os.environ)
+            existing = env.get("PYTHONPATH")
+            env["PYTHONPATH"] = package_root + (
+                os.pathsep + existing if existing else ""
+            )
+            if self.worker_env and index < len(self.worker_env):
+                env.update(self.worker_env[index] or {})
+            self._procs.append(
+                subprocess.Popen(
+                    [
+                        sys.executable,
+                        "-m",
+                        "repro.core.worker",
+                        "--connect",
+                        self.endpoint,
+                        "--quiet",
+                    ],
+                    env=env,
+                )
+            )
+        self._spawned = True
+
+    def _handshake(
+        self, conn: socket.socket, blob: bytes, digest: str
+    ) -> Optional[_FleetWorker]:
+        """Hello + state transfer for one new connection; returns the
+        worker record, or None (connection dropped) on any failure —
+        one bad peer never poisons the fleet."""
+        label = "?"
+        try:
+            conn.settimeout(self.connect_timeout)
+            hello = wire.recv_msg(conn)
+            if (
+                hello.get("type") != "hello"
+                or hello.get("schema") != wire.SCHEMA
+            ):
+                raise wire.WireError(
+                    f"unexpected handshake {hello.get('type')!r} "
+                    f"(schema {hello.get('schema')!r}, "
+                    f"expected {wire.SCHEMA!r})"
+                )
+            pid = int(hello.get("pid", 0))
+            host = str(hello.get("host", "?"))
+            label = f"{host}:{pid}"
+            # Fault site: prove a failed handshake drops one worker
+            # (and that zero survivors degrade to the serial sweep).
+            faults.check("fleet.connect", key=label)
+            worker = _FleetWorker(sock=conn, pid=pid, host=host, label=label)
+            if digest in hello.get("have", ()):
+                worker.digest = digest
+            self._sync_state(worker, blob, digest)
+            if not worker.alive:
+                raise wire.WireError("state transfer failed")
+            conn.settimeout(None)
+        except Exception as exc:
+            perf.count("vpr.fleet.connect_failed")
+            telemetry.event(
+                "fleet.connect_failed", worker=label, error=repr(exc)
+            )
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover
+                pass
+            return None
+        if self.heartbeat_dir:
+            from repro.monitor.heartbeat import HeartbeatWriter
+
+            worker.writer = HeartbeatWriter(
+                self.heartbeat_dir,
+                name=f"{host}-{pid}",
+                pid=pid,
+                host=host,
+            )
+            worker.writer.beat("connect")
+        telemetry.event("fleet.worker_connected", worker=label)
+        return worker
+
+    def _sync_state(
+        self, worker: _FleetWorker, blob: bytes, digest: str
+    ) -> None:
+        """Ship the sweep state (or just its digest) to one worker."""
+        try:
+            if worker.digest == digest:
+                wire.send_msg(
+                    worker.sock, {"type": "state_ref", "digest": digest}
+                )
+                perf.count("vpr.fleet.state_reused")
+            else:
+                wire.send_msg(
+                    worker.sock,
+                    {"type": "state", "digest": digest, "blob": blob},
+                )
+                worker.digest = digest
+                perf.count("vpr.fleet.state_sent")
+                perf.count("vpr.fleet.state_bytes", len(blob))
+        except (wire.WireError, OSError) as exc:
+            worker.alive = False
+            telemetry.event(
+                "fleet.worker_lost", worker=worker.label, error=repr(exc)
+            )
+
+    def _accept_workers(self, blob: bytes, digest: str) -> None:
+        """Accept handshakes until the fleet is at strength (or the
+        connect timeout passes with at least one worker)."""
+        deadline = time.monotonic() + self.connect_timeout
+        self._server.settimeout(0.2)
+        while len([w for w in self._fleet if w.alive]) < self.workers:
+            if time.monotonic() >= deadline:
+                break
+            if (
+                self.spawn
+                and self._procs
+                and all(p.poll() is not None for p in self._procs)
+            ):
+                break  # every local worker already exited: stop waiting
+            try:
+                conn, _addr = self._server.accept()
+            except TimeoutError:
+                continue
+            worker = self._handshake(conn, blob, digest)
+            if worker is not None:
+                self._fleet.append(worker)
+
+    # -- dispatch loop -------------------------------------------------
+    def map_chunks(self, payload, chunks, chunk_fn):
+        del chunk_fn  # fleet workers run their own evaluation loop
+        if self._closed:
+            raise OSError("FleetExecutor is closed")
+        blob = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+        digest = hashlib.sha256(blob).hexdigest()
+        if self.spawn and not self._spawned:
+            self._spawn_local_workers()
+        # Workers connected during a previous sweep need this sweep's
+        # state too (digest-keyed: an identical payload ships as a ref).
+        for worker in self._fleet:
+            if worker.alive:
+                self._sync_state(worker, blob, digest)
+        self._accept_workers(blob, digest)
+        fleet = [w for w in self._fleet if w.alive]
+        if not fleet:
+            raise OSError(
+                f"no fleet worker completed the handshake on "
+                f"{self.endpoint} within {self.connect_timeout:g}s"
+            )
+        telemetry.event(
+            "fleet.sweep_start",
+            workers=len(fleet),
+            chunks=len(chunks),
+            endpoint=self.endpoint,
+        )
+        yield from self._run_chunks(chunks)
+
+    def _chunk_budget(self, chunk: Sequence) -> Optional[float]:
+        """Wall-clock deadline for one chunk on one worker, or None.
+
+        The worker already bounds each *item* with SIGALRM; the
+        parent-side deadline is the backstop for a worker that died or
+        hung outside an item (deadline tracking replaces SIGALRM at
+        this boundary — there is no signal to deliver to a remote
+        process).  Budget = every item hitting its timeout, plus grace.
+        """
+        if not self.item_timeout or self.item_timeout <= 0:
+            return None
+        return self.item_timeout * max(1, len(chunk)) + self.DEADLINE_GRACE_S
+
+    def _lose_worker(
+        self,
+        worker: _FleetWorker,
+        reason: str,
+        pending: deque,
+        attempts: List[int],
+        done: List[bool],
+        abandoned: List[int],
+    ) -> None:
+        """Drop a worker; re-queue or abandon its in-flight chunk."""
+        worker.alive = False
+        try:
+            worker.sock.close()
+        except OSError:  # pragma: no cover
+            pass
+        perf.count("vpr.fleet.worker_lost")
+        telemetry.event(
+            "fleet.worker_lost",
+            worker=worker.label,
+            error=reason,
+            chunk=worker.chunk,
+        )
+        if worker.writer is not None:
+            worker.writer.beat("lost", error=reason)
+        index = worker.chunk
+        worker.chunk = None
+        if index is None or done[index]:
+            return
+        still_running = any(
+            o.alive and o.chunk == index for o in self._fleet
+        )
+        if still_running:
+            return  # a duplicate dispatch is still computing it
+        survivors = any(o.alive for o in self._fleet)
+        if survivors and attempts[index] < self.max_dispatch:
+            pending.appendleft(index)
+            perf.count("vpr.fleet.redispatch")
+            telemetry.event("fleet.redispatch", chunk=index)
+        else:
+            abandoned.append(index)
+
+    def _pick_chunk(
+        self,
+        pending: deque,
+        attempts: List[int],
+        done: List[bool],
+        chunk_walls: List[float],
+        worker: _FleetWorker,
+        now: float,
+    ) -> Optional[int]:
+        """Next chunk for an idle worker: queued work first, then a
+        straggler duplicate once the queue is dry."""
+        while pending:
+            index = pending.popleft()
+            if not done[index]:
+                return index
+        if self.straggler_factor is None or len(chunk_walls) < 3:
+            return None
+        walls = sorted(chunk_walls)
+        median = walls[len(walls) // 2]
+        threshold = max(1.0, self.straggler_factor * median)
+        best: Optional[_FleetWorker] = None
+        for other in self._fleet:
+            index = other.chunk
+            if not other.alive or index is None or done[index]:
+                continue
+            if other is worker or attempts[index] >= self.max_dispatch:
+                continue
+            if now - other.dispatched_at < threshold:
+                continue
+            if best is None or other.dispatched_at < best.dispatched_at:
+                best = other
+        if best is None:
+            return None
+        perf.count("vpr.fleet.straggler_dup")
+        telemetry.event(
+            "fleet.straggler_dup", chunk=best.chunk, slow_worker=best.label
+        )
+        return best.chunk
+
+    def _run_chunks(self, chunks):
+        pending: deque = deque(range(len(chunks)))
+        attempts = [0] * len(chunks)
+        done = [False] * len(chunks)
+        chunk_walls: List[float] = []
+        abandoned: List[int] = []
+        remaining = len(chunks)
+        while remaining > 0:
+            now = time.monotonic()
+            alive = [w for w in self._fleet if w.alive]
+            if not alive:
+                # Every worker is gone: degrade the rest of the sweep
+                # to error results for the parent's retry path.
+                for index in range(len(chunks)):
+                    if not done[index]:
+                        done[index] = True
+                        yield index, [
+                            _lost_result("fleet: all workers lost")
+                        ] * len(chunks[index])
+                        remaining -= 1
+                return
+            # Dispatch to every idle worker.
+            for worker in alive:
+                if worker.chunk is not None:
+                    continue
+                index = self._pick_chunk(
+                    pending, attempts, done, chunk_walls, worker, now
+                )
+                if index is None:
+                    continue
+                attempts[index] += 1
+                budget = self._chunk_budget(chunks[index])
+                try:
+                    wire.send_msg(
+                        worker.sock,
+                        {
+                            "type": "chunk",
+                            "id": index,
+                            "items": list(chunks[index]),
+                        },
+                    )
+                except (wire.WireError, OSError) as exc:
+                    worker.chunk = index  # charge the loss path
+                    self._lose_worker(
+                        worker, repr(exc), pending, attempts, done, abandoned
+                    )
+                    continue
+                worker.chunk = index
+                worker.dispatched_at = now
+                worker.deadline = None if budget is None else now + budget
+                if worker.writer is not None:
+                    fields = {"chunk": index, "items": len(chunks[index])}
+                    if budget is not None:
+                        fields["deadline_s"] = budget
+                    worker.writer.beat("dispatch", **fields)
+            # Drain abandoned chunks (loss path may have added some).
+            for index in abandoned:
+                if not done[index]:
+                    done[index] = True
+                    yield index, [
+                        _lost_result("fleet: chunk dispatch budget exhausted")
+                    ] * len(chunks[index])
+                    remaining -= 1
+            abandoned.clear()
+            busy = [w for w in self._fleet if w.alive]
+            if not busy:
+                continue
+            readable, _w, _x = select.select(
+                [w.sock for w in busy], [], [], 0.25
+            )
+            ready = {id(w.sock): w for w in busy}
+            for sock in readable:
+                worker = ready[id(sock)]
+                try:
+                    message = wire.recv_msg(sock)
+                    if message.get("type") == "result":
+                        # Fault site: an injected receive failure is
+                        # indistinguishable from a torn stream — the
+                        # chunk must re-dispatch elsewhere.
+                        faults.check(
+                            "fleet.recv", key=str(message.get("id"))
+                        )
+                except (wire.WireError, OSError, faults.FaultInjected) as exc:
+                    self._lose_worker(
+                        worker, repr(exc), pending, attempts, done, abandoned
+                    )
+                    continue
+                mtype = message.get("type")
+                if mtype == "beat":
+                    if worker.writer is not None:
+                        fields = {
+                            k: v
+                            for k, v in message.items()
+                            if k not in ("type", "phase", "pid", "host", "t")
+                        }
+                        if worker.chunk is not None:
+                            fields.setdefault("chunk", worker.chunk)
+                            if worker.deadline is not None:
+                                fields.setdefault(
+                                    "deadline_s",
+                                    max(0.0, worker.deadline - time.monotonic()),
+                                )
+                        worker.writer.beat(
+                            message.get("phase", "?"), **fields
+                        )
+                elif mtype == "result":
+                    index = int(message.get("id", -1))
+                    results = message.get("results") or []
+                    wall = time.monotonic() - worker.dispatched_at
+                    worker.chunk = None
+                    worker.deadline = None
+                    if worker.writer is not None:
+                        worker.writer.beat("idle", last_chunk=index)
+                    if 0 <= index < len(chunks) and not done[index]:
+                        if len(results) != len(chunks[index]):
+                            # A malformed result is a lost chunk, not
+                            # corrupt data in the sweep.
+                            results = [
+                                _lost_result(
+                                    "fleet: malformed result from "
+                                    + worker.label
+                                )
+                            ] * len(chunks[index])
+                        chunk_walls.append(wall)
+                        done[index] = True
+                        yield index, results
+                        remaining -= 1
+                    # else: duplicate from a straggler race — ignored.
+                elif mtype == "error":
+                    self._lose_worker(
+                        worker,
+                        str(message.get("error", "worker error")),
+                        pending,
+                        attempts,
+                        done,
+                        abandoned,
+                    )
+            # Deadline police: a silent worker past its chunk budget is
+            # as good as dead — re-dispatch its work elsewhere.
+            now = time.monotonic()
+            for worker in [w for w in self._fleet if w.alive]:
+                if (
+                    worker.chunk is not None
+                    and worker.deadline is not None
+                    and now > worker.deadline
+                ):
+                    self._lose_worker(
+                        worker,
+                        f"fleet: chunk {worker.chunk} exceeded its "
+                        f"deadline",
+                        pending,
+                        attempts,
+                        done,
+                        abandoned,
+                    )
+
+    # -- teardown ------------------------------------------------------
+    def close(self) -> None:
+        """Shut the fleet down: polite shutdown message, close
+        sockets, reap local worker processes (terminate on timeout)."""
+        if self._closed:
+            return
+        self._closed = True
+        for worker in self._fleet:
+            if worker.alive:
+                try:
+                    wire.send_msg(worker.sock, {"type": "shutdown"})
+                except Exception:
+                    pass
+            try:
+                worker.sock.close()
+            except OSError:  # pragma: no cover
+                pass
+            if worker.writer is not None:
+                worker.writer.beat("shutdown")
+                worker.writer.close()
+        self._fleet.clear()
+        try:
+            self._server.close()
+        except OSError:  # pragma: no cover
+            pass
+        for proc in self._procs:
+            try:
+                proc.wait(timeout=10.0)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+                try:
+                    proc.wait(timeout=10.0)
+                except subprocess.TimeoutExpired:  # pragma: no cover
+                    pass
+            self.worker_exit_codes.append(proc.poll())
+        self._procs.clear()

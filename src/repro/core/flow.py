@@ -120,6 +120,17 @@ class FlowConfig:
             state), the cache is shared by *any* run whose (sub-netlist,
             shape, config) items match; warm results are byte-identical
             to cold.  See ``docs/performance.md``.
+        fleet_workers: When > 0, run the V-P&R sweep on the distributed
+            worker fleet (``vpr_config.executor = "fleet"``) with this
+            many workers instead of the in-process pool.  Fleet and
+            pool runs produce byte-identical QoR.  See
+            ``docs/performance.md``, "Distributed sweep".
+        fleet_listen: ``HOST:PORT`` the fleet parent listens on
+            (default loopback with an ephemeral port; bind a routable
+            address to accept workers from other hosts).
+        fleet_spawn: Spawn ``fleet_workers`` local worker processes
+            (the default).  False waits for externally-launched
+            ``repro worker --connect`` processes instead.
     """
 
     tool: str = "openroad"
@@ -139,10 +150,19 @@ class FlowConfig:
     checkpoint_dir: Optional[str] = None
     resume: bool = False
     cache_dir: Optional[str] = None
+    fleet_workers: int = 0
+    fleet_listen: Optional[str] = None
+    fleet_spawn: bool = True
 
     def __post_init__(self) -> None:
         if self.jobs != 1 and self.vpr_config.jobs == 1:
             self.vpr_config.jobs = self.jobs
+        if self.fleet_workers > 0:
+            self.vpr_config.executor = "fleet"
+            self.vpr_config.fleet_workers = self.fleet_workers
+            self.vpr_config.fleet_spawn = self.fleet_spawn
+            if self.fleet_listen:
+                self.vpr_config.fleet_listen = self.fleet_listen
         if self.resume and not self.checkpoint_dir:
             raise ValueError("FlowConfig.resume requires checkpoint_dir")
 

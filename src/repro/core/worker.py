@@ -1,0 +1,289 @@
+"""Fleet worker: a remote evaluation process for the V-P&R sweep.
+
+``python -m repro.core.worker --connect HOST:PORT`` dials the sweep
+parent's :class:`~repro.core.fanout.FleetExecutor` listener and then
+follows the ``repro.fleet/1`` protocol (:mod:`repro.core.wire`):
+
+1. **hello** — the worker introduces itself (pid, hostname, and the
+   content digests of any sweep states it already holds from a
+   previous connection, so a reconnecting worker skips the transfer);
+2. **state / state_ref** — the parent ships the pickled sweep payload
+   once (flat :mod:`repro.netlist.snapshot` designs, scoring arrays,
+   config), or just its digest when the worker advertised it; the
+   worker rebuilds the designs and seeds a
+   :class:`~repro.core.vpr.VPRFramework` exactly like a spawn-pool
+   worker (:func:`repro.core.vpr._setup_worker`);
+3. **chunk → result** — each chunk of (cluster, candidate) items is
+   evaluated with the same per-item containment as the pool path
+   (:func:`repro.core.vpr._candidate_worker`: cache lookup first,
+   SIGALRM item timeout, exceptions become error results), and the
+   :data:`~repro.core.vpr._WorkerResult` tuples stream back;
+4. **beat** — item start/done heartbeats go over the same socket; the
+   parent relays them into its monitor directory so ``repro top``
+   shows remote workers next to local ones;
+5. **shutdown** — clean exit (code 0).
+
+The worker holds **one** live sweep state (a new ``state`` message
+evicts the previous one — the same bound as the pool's attach memo),
+only ever *reads* the evaluation cache, and never touches the parent's
+checkpoint/telemetry files: every write stays parent-side, so the
+bit-identity and crash-containment story of the local pool carries
+over verbatim.  A worker SIGKILLed mid-chunk just disappears from the
+socket; the parent re-dispatches the chunk elsewhere.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import pickle
+import socket
+import sys
+import time
+from typing import Any, Dict, Optional, Tuple
+
+from repro.core import wire
+
+#: The single held sweep state, keyed by content digest (bounded to
+#: one entry — a new state evicts the old, like ``fanout._ATTACHED``).
+_STATES: Dict[str, Dict[str, Any]] = {}
+
+
+class _SocketHeartbeat:
+    """Heartbeat adapter: beats go over the wire instead of to a file.
+
+    Drop-in for :class:`repro.monitor.heartbeat.HeartbeatWriter` (the
+    V-P&R worker loop only calls ``.beat``); the parent relays each
+    record into its own heartbeat directory.  Best-effort like the
+    file writer: a send failure never fails an item — the broken
+    socket will surface on the next result send instead.
+    """
+
+    def __init__(self, sock: socket.socket) -> None:
+        self.sock = sock
+
+    def beat(self, phase: str, **fields: Any) -> None:
+        record = {"type": "beat", "phase": phase, "t": time.time()}
+        record.update(fields)
+        try:
+            wire.send_msg(self.sock, record)
+        except Exception:
+            pass
+
+    def close(self) -> None:  # pragma: no cover - interface parity
+        pass
+
+
+def parse_endpoint(text: str) -> Tuple[str, int]:
+    """``HOST:PORT`` → ``(host, port)`` (bracketed IPv6 accepted)."""
+    host, sep, port_text = text.rpartition(":")
+    if not sep or not host:
+        raise ValueError(f"endpoint must be HOST:PORT, got {text!r}")
+    host = host.strip("[]")
+    try:
+        port = int(port_text)
+    except ValueError:
+        raise ValueError(f"invalid port in endpoint {text!r}")
+    return host, port
+
+
+def _install_state(
+    digest: str, blob: bytes, cache_dir: Optional[str]
+) -> Dict[str, Any]:
+    """Unpickle and set up one shipped sweep state (evicting the old).
+
+    ``cache_dir`` overrides the parent's cache directory (a worker on
+    another host reads its own local/NFS copy); the empty string
+    disables the cache for this worker entirely.
+    """
+    from repro.core import vpr
+
+    state = pickle.loads(blob)
+    if cache_dir is not None:
+        state["cache_dir"] = cache_dir or None
+    # Remote workers never write into the parent's monitor directory;
+    # their liveness travels back over the socket as beat messages.
+    state["monitor_dir"] = None
+    vpr._setup_worker(state)
+    _STATES.clear()
+    _STATES[digest] = state
+    return state
+
+
+def _serve_connection(sock: socket.socket, cache_dir: Optional[str]) -> str:
+    """Run the worker side of one connection; returns the outcome
+    (``"shutdown"`` for a clean parent-initiated exit, ``"eof"`` when
+    the parent vanished, ``"error"`` after a protocol failure)."""
+    from repro.core import vpr
+
+    wire.send_msg(
+        sock,
+        {
+            "type": "hello",
+            "schema": wire.SCHEMA,
+            "pid": os.getpid(),
+            "host": socket.gethostname(),
+            "have": sorted(_STATES),
+        },
+    )
+    heartbeat = _SocketHeartbeat(sock)
+    state: Optional[Dict[str, Any]] = None
+    while True:
+        try:
+            message = wire.recv_msg(sock)
+        except wire.WireClosed:
+            return "eof"
+        mtype = message.get("type")
+        if mtype == "shutdown":
+            return "shutdown"
+        if mtype == "state":
+            try:
+                state = _install_state(
+                    message["digest"], message["blob"], cache_dir
+                )
+            except Exception as exc:
+                wire.send_msg(sock, {"type": "error", "error": repr(exc)})
+                return "error"
+            state["_heartbeat"] = heartbeat
+        elif mtype == "state_ref":
+            state = _STATES.get(message.get("digest", ""))
+            if state is None:
+                wire.send_msg(
+                    sock,
+                    {
+                        "type": "error",
+                        "error": "state_ref for a digest this worker "
+                        "does not hold",
+                    },
+                )
+                return "error"
+            # Re-bind beats to this connection (the previous one died).
+            state["_heartbeat"] = heartbeat
+        elif mtype == "chunk":
+            if state is None:
+                wire.send_msg(
+                    sock,
+                    {"type": "error", "error": "chunk before sweep state"},
+                )
+                return "error"
+            results = [
+                vpr._candidate_worker(state, c, k)
+                for c, k in message["items"]
+            ]
+            wire.send_msg(
+                sock,
+                {"type": "result", "id": message["id"], "results": results},
+            )
+        elif mtype == "ping":
+            wire.send_msg(sock, {"type": "pong"})
+        # Unknown message types are skipped (forward compatibility).
+
+
+def run_worker(
+    connect: str,
+    cache_dir: Optional[str] = None,
+    reconnect: int = 0,
+    reconnect_delay: float = 1.0,
+    connect_timeout: float = 30.0,
+    quiet: bool = False,
+) -> int:
+    """Dial the parent and serve sweep chunks until shutdown.
+
+    ``reconnect`` extra connection attempts cover both a slow-starting
+    parent (dial refused) and a parent that went away mid-sweep (EOF);
+    a held sweep state survives reconnects, so the new connection's
+    hello lets the parent skip the state transfer.  Returns a process
+    exit code: 0 after a clean ``shutdown`` message, 1 otherwise.
+    """
+    endpoint = parse_endpoint(connect)
+    attempts_left = max(0, int(reconnect))
+    outcome = "eof"
+    while True:
+        try:
+            sock = socket.create_connection(endpoint, timeout=connect_timeout)
+        except OSError as exc:
+            if attempts_left > 0:
+                attempts_left -= 1
+                time.sleep(reconnect_delay)
+                continue
+            if not quiet:
+                print(
+                    f"repro worker: cannot reach {connect}: {exc}",
+                    file=sys.stderr,
+                )
+            return 1
+        sock.settimeout(None)
+        if not quiet:
+            print(
+                f"repro worker pid={os.getpid()} connected to {connect}",
+                file=sys.stderr,
+            )
+        try:
+            outcome = _serve_connection(sock, cache_dir)
+        except (wire.WireError, OSError):
+            outcome = "eof"
+        finally:
+            try:
+                sock.close()
+            except OSError:  # pragma: no cover - already gone
+                pass
+        if outcome == "shutdown":
+            return 0
+        if attempts_left > 0:
+            attempts_left -= 1
+            time.sleep(reconnect_delay)
+            continue
+        return 1
+
+
+def main(argv: Optional[list] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro worker",
+        description="fleet worker for the distributed V-P&R sweep "
+        "(see docs/performance.md, 'Distributed sweep')",
+    )
+    parser.add_argument(
+        "--connect",
+        required=True,
+        metavar="HOST:PORT",
+        help="the sweep parent's fleet listener endpoint",
+    )
+    parser.add_argument(
+        "--cache",
+        metavar="DIR",
+        default=None,
+        help="read V-P&R evaluations from this cache directory instead "
+        "of the parent's (use '' to disable the cache on this worker); "
+        "workers only ever read — the parent is the single writer",
+    )
+    parser.add_argument(
+        "--reconnect",
+        type=int,
+        default=0,
+        metavar="N",
+        help="extra connection attempts after a refused dial or a "
+        "dropped parent (default 0); a held sweep state survives "
+        "reconnects so the transfer is skipped",
+    )
+    parser.add_argument(
+        "--reconnect-delay",
+        type=float,
+        default=1.0,
+        metavar="S",
+        help="seconds between connection attempts (default 1.0)",
+    )
+    parser.add_argument(
+        "--quiet", action="store_true", help="suppress status lines"
+    )
+    args = parser.parse_args(argv)
+    return run_worker(
+        args.connect,
+        cache_dir=args.cache,
+        reconnect=args.reconnect,
+        reconnect_delay=args.reconnect_delay,
+        quiet=args.quiet,
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

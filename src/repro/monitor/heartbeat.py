@@ -49,12 +49,29 @@ def heartbeat_dir(out_dir: str) -> str:
 
 
 class HeartbeatWriter:
-    """One worker process's append-only heartbeat file."""
+    """One worker's append-only heartbeat file.
 
-    def __init__(self, directory: str) -> None:
+    By default the writer describes *this* process (``worker-<pid>``,
+    the pool-worker case).  The fleet parent also instantiates one per
+    **remote** worker to relay the beats arriving over the socket into
+    the same directory — ``name`` keeps two remote workers (possibly
+    with colliding pids on different hosts) in distinct files, and
+    ``pid`` / ``host`` stamp the relayed records with the remote
+    identity so ``repro top`` can render ``host:pid``.
+    """
+
+    def __init__(
+        self,
+        directory: str,
+        name: Optional[str] = None,
+        pid: Optional[int] = None,
+        host: Optional[str] = None,
+    ) -> None:
         self.directory = directory
-        self.pid = os.getpid()
-        self.path = os.path.join(directory, f"{_PREFIX}{self.pid}{_SUFFIX}")
+        self.pid = pid if pid is not None else os.getpid()
+        self.host = host
+        stem = name if name is not None else str(self.pid)
+        self.path = os.path.join(directory, f"{_PREFIX}{stem}{_SUFFIX}")
         self._handle = None
         try:
             os.makedirs(directory, exist_ok=True)
@@ -67,6 +84,8 @@ class HeartbeatWriter:
         if self._handle is None:
             return
         record = {"pid": self.pid, "t": time.time(), "phase": phase}
+        if self.host is not None:
+            record["host"] = self.host
         record.update(fields)
         try:
             self._handle.write(json.dumps(record, sort_keys=True) + "\n")

@@ -145,15 +145,36 @@ def render(
     workers = status.get("workers") or []
     if workers:
         lines.append("workers:")
-        for beat in sorted(workers, key=lambda b: b.get("pid", 0)):
+        for beat in sorted(
+            workers, key=lambda b: (str(b.get("host", "")), b.get("pid", 0))
+        ):
             age = float(beat.get("age_s", 0.0))
             phase = beat.get("phase", "?")
-            hung = phase == "start" and age > hang_after_s
+            # Remote fleet workers are labelled host:pid (relayed beats
+            # carry the remote identity); local pool workers stay pid.
+            host = beat.get("host")
+            label = (
+                f"{host}:{beat.get('pid', '?')}"
+                if host
+                else f"pid {beat.get('pid', '?')}"
+            )
+            # A worker is "silent" when it went quiet mid-work: inside
+            # an item (phase start) or holding a dispatched chunk.  A
+            # beat that carries the chunk's remaining deadline tightens
+            # the threshold so the flag shows *before* the parent's
+            # deadline police re-dispatches the chunk.
+            threshold = hang_after_s
+            deadline_s = beat.get("deadline_s")
+            if isinstance(deadline_s, (int, float)) and deadline_s > 0:
+                threshold = min(threshold, 0.8 * float(deadline_s))
+            hung = phase in ("start", "dispatch") and age > threshold
             flag = "  ⚠ possibly hung" if hung else ""
             item = beat.get("item")
             item_str = f" item={item}" if item is not None else ""
+            chunk = beat.get("chunk")
+            chunk_str = f" chunk={chunk}" if chunk is not None else ""
             lines.append(
-                f"  pid {beat.get('pid', '?')}: {phase}{item_str}"
+                f"  {label}: {phase}{chunk_str}{item_str}"
                 f" ({_fmt_duration(age)} ago){flag}"
             )
 

@@ -45,7 +45,7 @@ from typing import Any, Dict, Optional, Tuple
 from urllib.parse import parse_qs, urlsplit
 
 from repro._version import __version__
-from repro.cache import EvaluationCache
+from repro.cache import EvaluationCache, derive_cache_summary
 from repro.ioutil import atomic_write_bytes
 from repro.serve.pool import FlowWorkerPool
 from repro.serve.registry import Job, JobRegistry
@@ -261,6 +261,22 @@ class ServeApp:
         totals = self.registry.totals()
         hits = totals.get("vpr.cache.hit", 0)
         misses = totals.get("vpr.cache.miss", 0)
+        # One summary derivation shared with ``repro cache stats`` and
+        # the sweep parent's end-of-sweep event, so hit_ratio /
+        # bytes_on_disk mean the same thing everywhere.  The historical
+        # warm_hit_ratio key stays (same value) for existing clients.
+        summary = derive_cache_summary(
+            hits,
+            misses,
+            totals.get("vpr.cache.store", 0),
+            cache_stats,
+        )
+        cache_block = {
+            "directory": self.cache_dir,
+            "total_bytes": cache_stats.total_bytes,
+            "warm_hit_ratio": summary["hit_ratio"],
+        }
+        cache_block.update(summary)
         return _response(
             200,
             {
@@ -270,17 +286,7 @@ class ServeApp:
                 "workers": self.pool.workers,
                 "busy_workers": self.pool.busy,
                 "jobs": self.registry.counts(),
-                "cache": {
-                    "directory": self.cache_dir,
-                    "entries": cache_stats.entries,
-                    "total_bytes": cache_stats.total_bytes,
-                    "hits": hits,
-                    "misses": misses,
-                    "stores": totals.get("vpr.cache.store", 0),
-                    "warm_hit_ratio": (
-                        hits / (hits + misses) if hits + misses else 0.0
-                    ),
-                },
+                "cache": cache_block,
             },
         )
 

@@ -1,0 +1,164 @@
+"""Overlapped retry backoff in the parallel sweep's parent retry loop.
+
+Regression guard for the event-driven scheduler in
+``VPRFramework._retry_failed_items``: backoff windows for distinct
+failed items must run *concurrently* (total stall bounded by the
+longest single item's backoff chain), not serially (sum of all
+windows).  Time is virtualised through the ``vpr._SLEEP`` /
+``vpr._CLOCK`` module hooks, so these tests are instant and exact.
+"""
+
+import pytest
+
+from repro.core import vpr
+from repro.core.vpr import (
+    CandidateEvaluation,
+    VPRConfig,
+    VPRFramework,
+    VPRSweepError,
+)
+
+
+class FakeTimer:
+    """Virtual clock: sleeping advances time, nothing else does."""
+
+    def __init__(self):
+        self.now = 0.0
+        self.sleeps = []
+
+    def clock(self):
+        return self.now
+
+    def sleep(self, seconds):
+        self.sleeps.append(seconds)
+        self.now += seconds
+
+    @property
+    def total_slept(self):
+        return sum(self.sleeps)
+
+
+class FlakyEvaluator:
+    """Fails each item a scripted number of times, then succeeds."""
+
+    def __init__(self, config, failures_per_item):
+        self.config = config
+        self.remaining = dict(failures_per_item)
+        self.calls = []
+
+    def __call__(self, sub, cell_area, candidate, cluster_id=None):
+        key = (cluster_id, self.config.candidates.index(candidate))
+        self.calls.append(key)
+        if self.remaining.get(key, 0) > 0:
+            self.remaining[key] -= 1
+            raise RuntimeError(f"transient failure for {key}")
+        return CandidateEvaluation(
+            candidate=candidate, hpwl_cost=1.0, congestion_cost=1.0
+        )
+
+
+def _harness(monkeypatch, failures_per_item, retry_limit=3, backoff=1.0):
+    """A framework wired to a fake clock and a scripted evaluator."""
+    timer = FakeTimer()
+    monkeypatch.setattr(vpr, "_CLOCK", timer.clock)
+    monkeypatch.setattr(vpr, "_SLEEP", timer.sleep)
+
+    config = VPRConfig(retry_limit=retry_limit, retry_backoff=backoff)
+    framework = VPRFramework(config)
+    evaluator = FlakyEvaluator(config, failures_per_item)
+    monkeypatch.setattr(framework, "evaluate_candidate", evaluator)
+    monkeypatch.setattr(
+        framework, "_cache_lookup", lambda *a, **k: None
+    )
+    monkeypatch.setattr(
+        framework, "_cache_store", lambda *a, **k: None
+    )
+    monkeypatch.setattr(
+        framework, "_checkpoint_save", lambda *a, **k: None
+    )
+
+    failed = sorted({(c, k) for c, k in failures_per_item})
+    clusters = {c: (object(), 100.0) for c, _ in failed}
+    slots = {
+        c: [None] * len(config.candidates) for c, _ in failed
+    }
+    return framework, timer, evaluator, failed, clusters, slots
+
+
+class TestOverlappedBackoff:
+    def test_backoff_windows_overlap_not_sum(self, monkeypatch):
+        # Three items each fail once with a 1s backoff.  The old
+        # blocking loop slept 3s (1s per item, serially); the
+        # scheduler takes every first attempt immediately, parks all
+        # three 1s windows concurrently, and sleeps once.
+        failures = {(0, 0): 1, (0, 1): 1, (0, 2): 1}
+        framework, timer, _, failed, clusters, slots = _harness(
+            monkeypatch, failures, backoff=1.0
+        )
+        framework._retry_failed_items(failed, clusters, slots)
+
+        assert timer.total_slept == pytest.approx(1.0)
+        for _, k in failed:
+            assert slots[0][k] is not None
+            assert slots[0][k][5] is None  # no error recorded
+
+    def test_stall_bounded_by_longest_chain(self, monkeypatch):
+        # Item A fails twice (backoff 1s then 2s -> 3s chain); B and C
+        # fail once (1s each).  Serial backoff would stall 1+2+1+1=5s;
+        # overlapped, the total stall is A's chain alone.
+        failures = {(0, 0): 2, (0, 1): 1, (0, 2): 1}
+        framework, timer, _, failed, clusters, slots = _harness(
+            monkeypatch, failures, backoff=1.0
+        )
+        framework._retry_failed_items(failed, clusters, slots)
+
+        assert timer.total_slept == pytest.approx(3.0)
+        assert all(slots[0][k] is not None for _, k in failed)
+
+    def test_exponential_schedule_per_item(self, monkeypatch):
+        # One item failing three times waits 1s, 2s, then 4s.
+        failures = {(0, 0): 3}
+        framework, timer, _, failed, clusters, slots = _harness(
+            monkeypatch, failures, retry_limit=3, backoff=1.0
+        )
+        framework._retry_failed_items(failed, clusters, slots)
+
+        assert timer.sleeps == pytest.approx([1.0, 2.0, 4.0])
+        assert slots[0][0] is not None
+
+    def test_all_items_evaluated_exactly_once_after_success(
+        self, monkeypatch
+    ):
+        failures = {(0, 0): 0, (0, 1): 2}
+        framework, timer, evaluator, failed, clusters, slots = _harness(
+            monkeypatch, failures, backoff=0.5
+        )
+        framework._retry_failed_items(failed, clusters, slots)
+
+        # (0,0) succeeds on its immediate first attempt; (0,1) takes
+        # two failures plus the final success.
+        assert evaluator.calls.count((0, 0)) == 1
+        assert evaluator.calls.count((0, 1)) == 3
+        assert timer.total_slept == pytest.approx(0.5 + 1.0)
+
+    def test_terminal_failure_still_raises(self, monkeypatch):
+        failures = {(0, 0): 99}
+        framework, timer, _, failed, clusters, slots = _harness(
+            monkeypatch, failures, retry_limit=2, backoff=1.0
+        )
+        with pytest.raises(VPRSweepError):
+            framework._retry_failed_items(failed, clusters, slots)
+        # Attempts: immediate + 2 retries -> backoffs 1s and 2s.
+        assert timer.total_slept == pytest.approx(3.0)
+
+    def test_terminal_failure_recorded_when_configured(self, monkeypatch):
+        failures = {(0, 0): 99}
+        framework, timer, _, failed, clusters, slots = _harness(
+            monkeypatch, failures, retry_limit=1, backoff=1.0
+        )
+        framework.config.on_terminal_failure = "record"
+        framework._retry_failed_items(failed, clusters, slots)
+
+        result = slots[0][0]
+        assert result is not None
+        assert result[5] is not None  # error string recorded

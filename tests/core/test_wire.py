@@ -1,0 +1,124 @@
+"""Framing guarantees of the fleet wire protocol.
+
+The contract the fleet's fault tolerance stands on: a receiver either
+gets a whole message dict or a typed error — a torn stream, a stray
+client, or a corrupt length field can never surface as data
+(``src/repro/core/wire.py``).
+"""
+
+import pickle
+import socket
+import struct
+
+import pytest
+
+from repro.core.wire import (
+    MAGIC,
+    MAX_FRAME_BYTES,
+    WireClosed,
+    WireError,
+    WireTruncated,
+    recv_msg,
+    send_msg,
+)
+
+_HEADER = struct.Struct(">4sQ")
+
+
+@pytest.fixture()
+def pair():
+    left, right = socket.socketpair()
+    yield left, right
+    left.close()
+    right.close()
+
+
+class TestRoundTrip:
+    def test_single_message(self, pair):
+        left, right = pair
+        message = {"type": "chunk", "index": 3, "items": [(0, 1), (0, 2)]}
+        send_msg(left, message)
+        assert recv_msg(right) == message
+
+    def test_many_messages_in_order(self, pair):
+        left, right = pair
+        sent = [{"type": "beat", "seq": i, "blob": b"x" * i} for i in range(20)]
+        for message in sent:
+            send_msg(left, message)
+        received = [recv_msg(right) for _ in sent]
+        assert received == sent
+
+    def test_large_payload(self, pair):
+        left, right = pair
+        import threading
+
+        message = {"type": "state", "blob": b"\x00" * (4 << 20)}
+        writer = threading.Thread(target=send_msg, args=(left, message))
+        writer.start()
+        assert recv_msg(right)["blob"] == message["blob"]
+        writer.join()
+
+
+class TestTornStreams:
+    def test_clean_close_between_frames(self, pair):
+        left, right = pair
+        send_msg(left, {"type": "ping"})
+        assert recv_msg(right) == {"type": "ping"}
+        left.close()
+        with pytest.raises(WireClosed):
+            recv_msg(right)
+
+    def test_eof_mid_header_is_truncation(self, pair):
+        left, right = pair
+        left.sendall(MAGIC + b"\x00\x00")  # 6 of 12 header bytes
+        left.close()
+        with pytest.raises(WireTruncated):
+            recv_msg(right)
+
+    def test_eof_mid_payload_is_truncation(self, pair):
+        left, right = pair
+        payload = pickle.dumps({"type": "result"})
+        left.sendall(_HEADER.pack(MAGIC, len(payload)) + payload[:-3])
+        left.close()
+        with pytest.raises(WireTruncated):
+            recv_msg(right)
+
+    def test_truncated_is_not_clean_close(self, pair):
+        left, right = pair
+        payload = pickle.dumps({"type": "result"})
+        left.sendall(_HEADER.pack(MAGIC, len(payload)))
+        left.close()
+        # EOF after a complete header: torn frame, not WireClosed.
+        with pytest.raises(WireTruncated):
+            recv_msg(right)
+        assert issubclass(WireTruncated, WireError)
+        assert issubclass(WireClosed, WireError)
+
+
+class TestGarbageRejection:
+    def test_bad_magic(self, pair):
+        left, right = pair
+        payload = pickle.dumps({"type": "hello"})
+        left.sendall(_HEADER.pack(b"HTTP", len(payload)) + payload)
+        with pytest.raises(WireError, match="magic"):
+            recv_msg(right)
+
+    def test_oversize_declared_length_refused(self, pair):
+        left, right = pair
+        left.sendall(_HEADER.pack(MAGIC, MAX_FRAME_BYTES + 1))
+        with pytest.raises(WireError, match="exceeds"):
+            recv_msg(right)
+
+    def test_undecodable_payload(self, pair):
+        left, right = pair
+        junk = b"\xde\xad\xbe\xef"
+        left.sendall(_HEADER.pack(MAGIC, len(junk)) + junk)
+        with pytest.raises(WireError, match="undecodable"):
+            recv_msg(right)
+
+    def test_non_dict_payload(self, pair):
+        left, right = pair
+        payload = pickle.dumps([1, 2, 3])
+        left.sendall(_HEADER.pack(MAGIC, len(payload)) + payload)
+        with pytest.raises(WireError, match="expected dict"):
+            recv_msg(right)

@@ -106,7 +106,7 @@ class TestSweepProgress:
 
         session.progress.on_tick = record_tick
 
-        def broken_pool(self, source, members, cluster_ids, jobs, method):
+        def broken_pool(self, source, members, cluster_ids):
             monitor.advance("vpr.items", 2)  # e.g. checkpoint-served items
             raise OSError("pool unavailable")
 

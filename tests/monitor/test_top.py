@@ -174,3 +174,65 @@ class TestRunTop:
 
     def test_render_dir_missing(self, tmp_path):
         assert render_dir(str(tmp_path)) is None
+
+
+class TestRemoteWorkers:
+    """Fleet workers in the pane: host:pid labels, chunk-in-flight,
+    and the deadline-tightened silence flag (relayed beats carry the
+    remote identity and the dispatched chunk's budget)."""
+
+    def test_remote_worker_labelled_host_pid(self):
+        status = _status(workers=[
+            {"pid": 41, "host": "rack7", "phase": "item",
+             "item": "c0/3", "chunk": 2, "age_s": 1.0},
+        ])
+        frame = render(status)
+        assert "rack7:41" in frame
+        assert "chunk=2" in frame
+        assert "item=c0/3" in frame
+        assert "pid 41" not in frame
+
+    def test_local_worker_keeps_pid_label(self):
+        status = _status(workers=[
+            {"pid": 42, "phase": "item", "item": "c0/0", "age_s": 0.2},
+        ])
+        frame = render(status)
+        assert "pid 42" in frame
+
+    def test_remote_sorted_by_host_then_pid(self):
+        status = _status(workers=[
+            {"pid": 9, "host": "rackB", "phase": "item", "age_s": 0.1},
+            {"pid": 200, "host": "rackA", "phase": "item", "age_s": 0.1},
+            {"pid": 5, "host": "rackA", "phase": "item", "age_s": 0.1},
+        ])
+        frame = render(status)
+        assert (
+            frame.index("rackA:5")
+            < frame.index("rackA:200")
+            < frame.index("rackB:9")
+        )
+
+    def test_deadline_tightens_silence_threshold(self):
+        # Quiet for 9s against a 10s chunk budget: below the global
+        # hang threshold, but past 80% of the chunk's deadline — the
+        # flag must show before the parent re-dispatches the chunk.
+        assert 9.0 < HANG_AFTER_S
+        status = _status(workers=[
+            {"pid": 8, "host": "rack1", "phase": "dispatch", "chunk": 0,
+             "deadline_s": 10.0, "age_s": 9.0},
+        ])
+        assert "possibly hung" in render(status)
+
+    def test_within_deadline_not_flagged(self):
+        status = _status(workers=[
+            {"pid": 8, "host": "rack1", "phase": "dispatch", "chunk": 0,
+             "deadline_s": 10.0, "age_s": 5.0},
+        ])
+        assert "possibly hung" not in render(status)
+
+    def test_silent_dispatch_without_deadline_uses_global_threshold(self):
+        status = _status(workers=[
+            {"pid": 8, "host": "rack1", "phase": "dispatch", "chunk": 1,
+             "age_s": HANG_AFTER_S + 1.0},
+        ])
+        assert "possibly hung" in render(status)

@@ -1,0 +1,85 @@
+"""Design snapshots over the fleet wire: the remote state transfer.
+
+The distributed sweep ships flat design snapshots to workers as
+pickled, length-prefixed frames (``repro.core.wire``).  These tests
+round-trip a real snapshot over a real ``socket.socketpair()`` and pin
+the property the fleet's bit-identity contract needs: a design
+rebuilt on the far side is content-identical, and a torn transfer is
+rejected with a typed error instead of yielding a partial design.
+"""
+
+import pickle
+import socket
+import struct
+import threading
+
+import pytest
+
+from repro.cache import netlist_digest
+from repro.core import wire
+from repro.designs import DesignSpec, generate_design
+from repro.netlist import design_from_snapshot, design_snapshot
+
+_HEADER = struct.Struct(">4sQ")
+
+
+@pytest.fixture(scope="module")
+def design():
+    return generate_design(
+        DesignSpec(name="wiresnap", num_instances=300, seed=11)
+    )
+
+
+@pytest.fixture()
+def pair():
+    left, right = socket.socketpair()
+    yield left, right
+    left.close()
+    right.close()
+
+
+class TestSnapshotOverSocket:
+    def test_rebuilt_design_is_content_identical(self, design, pair):
+        left, right = pair
+        message = {
+            "type": "state",
+            "digest": netlist_digest(design),
+            "blob": design_snapshot(design),
+        }
+        # A real snapshot frame is larger than the socketpair buffer;
+        # send from a thread exactly as parent and worker overlap.
+        writer = threading.Thread(target=wire.send_msg, args=(left, message))
+        writer.start()
+        received = wire.recv_msg(right)
+        writer.join()
+
+        rebuilt = design_from_snapshot(received["blob"])
+        assert netlist_digest(rebuilt) == netlist_digest(design)
+        assert received["digest"] == netlist_digest(design)
+        assert len(rebuilt.instances) == len(design.instances)
+        assert len(rebuilt.nets) == len(design.nets)
+
+    def test_truncated_snapshot_stream_is_rejected(self, design, pair):
+        left, right = pair
+        payload = pickle.dumps(
+            {"type": "state", "blob": design_snapshot(design)},
+            protocol=pickle.HIGHEST_PROTOCOL,
+        )
+        cut = len(payload) // 2
+
+        def torn_writer():
+            left.sendall(_HEADER.pack(wire.MAGIC, len(payload)))
+            left.sendall(payload[:cut])
+            left.close()  # the worker died mid-transfer
+
+        writer = threading.Thread(target=torn_writer)
+        writer.start()
+        with pytest.raises(wire.WireTruncated):
+            wire.recv_msg(right)
+        writer.join()
+
+    def test_clean_close_before_snapshot_is_not_truncation(self, pair):
+        left, right = pair
+        left.close()
+        with pytest.raises(wire.WireClosed):
+            wire.recv_msg(right)

@@ -190,8 +190,9 @@ class TestCacheCommands:
         self._seed_cache(tmp_path, ["aa" + "0" * 62, "bb" + "0" * 62])
         assert main(["cache", "stats", str(tmp_path)]) == 0
         out = capsys.readouterr().out
-        assert "entries     : 2" in out
-        assert "total bytes" in out
+        assert "entries       : 2" in out
+        assert "bytes on disk" in out
+        assert "hit ratio" in out
 
     def test_cache_gc(self, tmp_path, capsys):
         import os
@@ -214,7 +215,7 @@ class TestCacheCommands:
         assert main(["cache", "clear", str(tmp_path)]) == 0
         assert "removed 1 entries" in capsys.readouterr().out
         assert main(["cache", "stats", str(tmp_path)]) == 0
-        assert "entries     : 0" in capsys.readouterr().out
+        assert "entries       : 0" in capsys.readouterr().out
 
     def test_flow_cache_requires_ours(self):
         with pytest.raises(SystemExit, match="--flow ours"):
@@ -251,3 +252,48 @@ class TestVizCommand:
             "aes_clusters.svg",
             "aes_congestion.svg",
         }
+
+
+class TestFleetCli:
+    def test_flow_fleet_flags_parsed(self):
+        args = build_parser().parse_args(
+            ["flow", "--fleet", "2", "--fleet-listen", "0.0.0.0:7000",
+             "--fleet-external"]
+        )
+        assert args.fleet == 2
+        assert args.fleet_listen == "0.0.0.0:7000"
+        assert args.fleet_external is True
+
+    def test_flow_fleet_defaults_off(self):
+        args = build_parser().parse_args(["flow"])
+        assert args.fleet == 0
+        assert args.fleet_listen is None
+        assert args.fleet_external is False
+
+    def test_fleet_requires_ours_flow(self):
+        with pytest.raises(SystemExit, match="--flow ours"):
+            main(["flow", "--flow", "default", "--fleet", "2"])
+
+    def test_worker_subcommand_parsed(self):
+        args = build_parser().parse_args(
+            ["worker", "--connect", "parent:7000", "--cache", "/tmp/c",
+             "--reconnect", "3", "--reconnect-delay", "0.5", "--quiet"]
+        )
+        assert args.command == "worker"
+        assert args.connect == "parent:7000"
+        assert args.cache == "/tmp/c"
+        assert args.reconnect == 3
+        assert args.reconnect_delay == 0.5
+        assert args.quiet is True
+
+    def test_worker_requires_connect(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["worker"])
+
+    def test_worker_bad_endpoint_rejected(self):
+        from repro.core.worker import parse_endpoint
+
+        with pytest.raises(ValueError):
+            parse_endpoint("no-port-here")
+        assert parse_endpoint("[::1]:70") == ("::1", 70)
+        assert parse_endpoint("h:7000") == ("h", 7000)
