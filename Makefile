@@ -1,4 +1,4 @@
-.PHONY: install test bench tables clean lint perf-smoke resume-smoke bench-flow cache-smoke bench-scale bench-scale-full monitor-smoke serve-smoke fleet-smoke
+.PHONY: install test bench tables clean lint perf-smoke resume-smoke bench-flow cache-smoke bench-scale bench-scale-full monitor-smoke serve-smoke fleet-smoke eco-smoke
 
 install:
 	pip install -e .
@@ -115,6 +115,17 @@ fleet-smoke:
 	timeout 600 python benchmarks/bench_fleet_scaling.py --gate --kill \
 		--min-speedup 1.6 \
 		--json fleet-smoke/BENCH_fleet.json
+
+# Incremental-ECO smoke (docs/performance.md "Incremental ECO"): one
+# cold checkpointed base run, then a single-cell resize replayed two
+# ways — a cold flow on the edited design vs `repro eco` over the
+# checkpoint — gating on >=10x ECO speedup for an edit touching <1%
+# of instances, <=5% HPWL drift between the two answers, and a no-op
+# edit script reproducing the base run's metrics bit for bit.
+eco-smoke:
+	rm -rf eco-smoke && mkdir -p eco-smoke
+	timeout 600 python benchmarks/bench_eco.py --gate \
+		--json eco-smoke/BENCH_eco.json
 
 # Crash-safety smoke: run a checkpointed flow, kill it mid-sweep with
 # an injected abort, resume, and require the resumed QoR to match an

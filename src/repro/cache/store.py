@@ -181,6 +181,24 @@ class EvaluationCache:
             pass
         return record
 
+    def touch(self, key: str) -> bool:
+        """Refresh ``key``'s mtime without reading it; True when present.
+
+        The LRU recency bump that :meth:`get` performs implicitly, as a
+        standalone operation: the ECO engine calls this for every
+        (cluster, shape) evaluation it *reuses from a checkpoint* — a
+        reuse that never issues a :meth:`get` — so hot entries backing
+        an interactive editing session stay at the warm end of the
+        mtime order and survive concurrent :meth:`gc` passes that evict
+        colder entries.
+        """
+        try:
+            os.utime(self._entry_path(key))
+        except OSError:
+            return False
+        perf.count("vpr.cache.touch")
+        return True
+
     def note_lookup(self, hit: bool) -> None:
         """Fold one *remote* lookup into the session counters.
 

@@ -261,6 +261,55 @@ def _add_simple_parsers(subparsers) -> None:
     c.add_argument("directory", help="cache directory")
 
     p = subparsers.add_parser(
+        "eco",
+        help="incremental ECO: apply a netlist edit script to a "
+        "checkpointed run and recompute QoR in seconds",
+    )
+    p.add_argument(
+        "checkpoint",
+        help="checkpoint directory of a *finished* `flow ours "
+        "--checkpoint DIR` run (must contain the eco_base snapshot)",
+    )
+    p.add_argument(
+        "--edits",
+        required=True,
+        metavar="FILE",
+        help="JSON edit script (schema repro.eco/1): resize / swap / "
+        "add / remove cell, reconnect pin; an empty list replays the "
+        "checkpointed metrics bit-identically",
+    )
+    p.add_argument(
+        "--cache",
+        metavar="DIR",
+        default=None,
+        help="evaluation cache the base run used; unchanged-cluster "
+        "sweeps become pure cache hits and hot entries are "
+        "mtime-touched so GC keeps them warm",
+    )
+    p.add_argument(
+        "--report",
+        metavar="FILE",
+        help="write the updated metrics + reuse summary as JSON",
+    )
+    p.add_argument(
+        "--perf-report",
+        help="write a repro.perf JSON report (eco.* counters, stage "
+        "timings) to this path",
+    )
+    p.add_argument(
+        "--telemetry",
+        metavar="DIR",
+        help="write eco.* spans/events + run.json to DIR (same layout "
+        "as flow --telemetry)",
+    )
+    p.add_argument(
+        "--monitor",
+        action="store_true",
+        help="with --telemetry: live status.json progress (eco.edits / "
+        "vpr.items / eco.gp.iters tasks) for `repro top DIR`",
+    )
+
+    p = subparsers.add_parser(
         "worker",
         help="fleet worker for a distributed V-P&R sweep "
         "(dials a `flow --fleet` parent)",
@@ -816,6 +865,97 @@ def _cmd_cache(args) -> int:
     return 0
 
 
+def _cmd_eco(args) -> int:
+    import json
+    import os
+
+    from repro import perf
+    from repro.eco import EcoError, load_edit_script, run_eco
+    from repro.recovery import CheckpointError
+
+    telemetry_dir = getattr(args, "telemetry", None)
+    monitor_on = bool(getattr(args, "monitor", False))
+    if monitor_on and not telemetry_dir:
+        raise SystemExit("--monitor requires --telemetry DIR")
+    if args.perf_report or telemetry_dir:
+        perf.enable()
+        perf.reset()
+    if telemetry_dir:
+        from repro import telemetry
+
+        telemetry.enable(telemetry_dir)
+        telemetry.event(
+            "run.config", command="eco", checkpoint=args.checkpoint
+        )
+    if monitor_on:
+        from repro import monitor
+
+        monitor.enable(telemetry_dir)
+        monitor.set_meta(command="eco", checkpoint=args.checkpoint)
+    try:
+        edits = load_edit_script(args.edits)
+        result = run_eco(args.checkpoint, edits, cache_dir=args.cache)
+    except (EcoError, CheckpointError) as exc:
+        if monitor_on:
+            from repro import monitor
+
+            monitor.disable(state="failed", error=repr(exc))
+        raise SystemExit(f"eco: {exc}")
+    except BaseException as exc:
+        if monitor_on:
+            from repro import monitor
+
+            monitor.disable(state="failed", error=repr(exc))
+        raise
+    if monitor_on:
+        from repro import monitor
+
+        monitor.disable(state="done")
+
+    summary = result.summary()
+    if telemetry_dir:
+        from repro import telemetry
+
+        run = telemetry.run_report(
+            meta={"command": "eco", "checkpoint": args.checkpoint,
+                  "edits": len(edits)},
+            qor=result.qor_summary(),
+            perf=perf.report().to_dict(),
+        )
+        run.write(os.path.join(telemetry_dir, "run.json"))
+        telemetry.disable()
+    if args.report:
+        with open(args.report, "w") as fh:
+            json.dump(summary, fh, indent=2, sort_keys=True)
+        print(f"wrote ECO report to {args.report}")
+    if args.perf_report:
+        report = perf.report(
+            meta={"checkpoint": args.checkpoint, "edits": len(edits)}
+        )
+        report.write(args.perf_report)
+        print(f"wrote perf report to {args.perf_report}")
+
+    m = result.metrics
+    print(f"edits         : {len(edits)}" + (" (no-op)" if result.noop else ""))
+    if not result.noop:
+        print(
+            f"clusters      : {len(result.dirty_clusters)} dirty, "
+            f"{result.reused_clusters} reused "
+            f"(re-swept: {len(result.resweep_clusters)})"
+        )
+        print(
+            f"instances     : {result.free_instances} re-placed / "
+            f"{result.total_instances}"
+        )
+    print(f"HPWL          : {m.hpwl:.1f} um")
+    if m.rwl:
+        print(f"routed WL     : {m.rwl:.1f} um")
+        print(f"WNS / TNS     : {m.wns:.4f} / {m.tns:.4f} ns")
+        print(f"power         : {m.power:.3f} mW")
+    print(f"eco runtime   : {result.runtimes.get('eco_total', 0.0):.2f} s")
+    return 0
+
+
 def _cmd_worker(args) -> int:
     from repro.core.worker import run_worker
 
@@ -853,6 +993,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "report": _cmd_report,
         "top": _cmd_top,
         "cache": _cmd_cache,
+        "eco": _cmd_eco,
         "worker": _cmd_worker,
         "serve": _cmd_serve,
     }

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -317,6 +317,7 @@ class ClusteredPlacementFlow:
             "min_cluster_instances": vpr.min_cluster_instances,
             "max_vpr_clusters": vpr.max_vpr_clusters,
             "placer_iterations": vpr.placer_iterations,
+            "vpr_seed": vpr.seed,
             "candidates": [
                 [c.aspect_ratio, c.utilization] for c in vpr.candidates
             ],
@@ -419,6 +420,25 @@ class ClusteredPlacementFlow:
         selection, _ = self._stage(store, "vpr", _compute_selection)
         runtimes["vpr"] = time.perf_counter() - t0
 
+        # Per-cluster content digests for the eligible (capped) set:
+        # the ECO path uses these to address unchanged clusters' cache
+        # entries without re-inducing their sub-netlists.  Right after
+        # a sweep the framework's induce/digest memos are warm, so
+        # this costs microseconds; on resume it is recomputed once.
+        if store is not None and framework is not None:
+
+            def _compute_digests() -> Dict[int, Tuple[str, float]]:
+                eligible = framework.eligible_clusters(members)
+                cap = config.vpr_config.max_vpr_clusters
+                if cap is not None:
+                    eligible = eligible[:cap]
+                return {
+                    cid: framework.cluster_digest(design, members[cid])
+                    for cid in eligible
+                }
+
+            self._stage(store, "vpr_digests", _compute_digests)
+
         # Lines 15-25: seeded placement.  The flat refinement also
         # sees the criticality weights (standing in for the tools'
         # timing-driven placement mode; restored afterwards so later
@@ -489,6 +509,20 @@ class ClusteredPlacementFlow:
         if seeded_resumed:
             restore_placement_state(design, seeded_state)
         runtimes.update(seeded_state["runtimes"])
+
+        # ECO base snapshot: with checkpointing on, persist the placed
+        # design (flat snapshot form) alongside the stage records, so
+        # `repro eco <ckpt> --edits ...` is self-contained — it can
+        # rebuild the exact post-seeded design without the original
+        # input files (docs/performance.md, "Incremental ECO").
+        if store is not None and not store.has_stage("eco_base"):
+            from repro.netlist.snapshot import design_snapshot
+
+            with perf.stage("flow/eco_base"):
+                store.save_stage(
+                    "eco_base", {"design": design_snapshot(design)}
+                )
+            telemetry.event("checkpoint.saved", stage="eco_base")
 
         # Line 13 artefacts: cluster .lef + seed/final .def on request.
         # Written by the run that actually executed the seeded stage

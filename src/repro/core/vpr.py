@@ -774,6 +774,20 @@ class VPRFramework:
             self._digests.popitem(last=False)
         return digest
 
+    def cluster_digest(
+        self, source: Design, member_indices: Sequence[int]
+    ) -> Tuple[str, float]:
+        """``(content digest, cell area)`` of one cluster's sub-netlist.
+
+        Served from the induce/digest memos when the cluster was just
+        swept, so calling this right after a sweep is nearly free.  The
+        flow persists these per eligible cluster so the ECO path can
+        address unchanged clusters' cache entries without re-inducing
+        their sub-netlists.
+        """
+        sub, cell_area = self.induce(source, member_indices)
+        return self._netlist_digest(sub), cell_area
+
     def _cache_key(
         self, sub: Design, cell_area: float, candidate_index: int
     ) -> str:

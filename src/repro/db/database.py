@@ -23,33 +23,47 @@ from repro.netlist.verilog import parse_verilog
 class DesignDatabase:
     """Bundles a design with its derived structural views.
 
-    Both views are built lazily and cached; mutating the design
-    invalidates them via :meth:`invalidate`.
+    Both views are built lazily and cached against
+    :meth:`Design.structure_key`, so any mutation made through the
+    construction or ECO APIs (``add_instance`` / ``connect`` /
+    ``reconnect_pin`` / ``remove_instance`` / …) transparently rebuilds
+    them on next access — the memoised ``Hypergraph.incidence`` can
+    never serve pre-edit connectivity.  :meth:`invalidate` remains for
+    out-of-API mutations that also bypass
+    :meth:`Design.bump_structure_version`.
     """
 
     def __init__(self, design: Design) -> None:
         self.design = design
         self._hypergraph: Optional[Hypergraph] = None
+        self._hypergraph_key: Optional[tuple] = None
         self._hierarchy: Optional[HierarchyTree] = None
+        self._hierarchy_key: Optional[tuple] = None
 
     @property
     def hypergraph(self) -> Hypergraph:
         """The clustering hypergraph (clock nets excluded)."""
-        if self._hypergraph is None:
+        key = self.design.structure_key()
+        if self._hypergraph is None or self._hypergraph_key != key:
             self._hypergraph = Hypergraph.from_design(self.design)
+            self._hypergraph_key = key
         return self._hypergraph
 
     @property
     def hierarchy(self) -> HierarchyTree:
         """The logical hierarchy tree ``T(V', E')``."""
-        if self._hierarchy is None:
+        key = self.design.structure_key()
+        if self._hierarchy is None or self._hierarchy_key != key:
             self._hierarchy = HierarchyTree(self.design)
+            self._hierarchy_key = key
         return self._hierarchy
 
     def invalidate(self) -> None:
         """Drop cached views after the design is modified."""
         self._hypergraph = None
+        self._hypergraph_key = None
         self._hierarchy = None
+        self._hierarchy_key = None
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"DesignDatabase({self.design!r})"

@@ -1,0 +1,207 @@
+"""The validated ECO edit schema.
+
+An edit script is a JSON document::
+
+    {"schema": "repro.eco/1",
+     "edits": [
+       {"kind": "resize",    "instance": "u_core/U12", "master": "NAND2_X2"},
+       {"kind": "swap",      "instance": "u_core/U13", "master": "NOR2_X1"},
+       {"kind": "remove",    "instance": "u_core/U14"},
+       {"kind": "add",       "instance": "u_core/U_new", "master": "BUF_X1",
+        "connections": {"A": "n42", "Z": "n_new"}, "x": 10.0, "y": 12.5},
+       {"kind": "reconnect", "instance": "u_core/U15", "pin": "A",
+        "net": "n_new"}
+     ]}
+
+(a bare JSON list of edit objects is also accepted).  Every field is
+validated here with actionable messages — name resolution against a
+concrete design happens later, in :func:`repro.eco.apply.apply_edits`.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+__all__ = ["SCHEMA", "KINDS", "EcoEdit", "EcoError", "parse_edits", "load_edit_script"]
+
+#: Schema tag of edit-script documents.
+SCHEMA = "repro.eco/1"
+
+#: Supported edit kinds.  "resize" and "swap" are synonyms at the
+#: engine level (both replace an instance's master in place); the two
+#: names are kept so scripts read naturally (resize within a family,
+#: swap across functions).
+KINDS = ("resize", "swap", "add", "remove", "reconnect")
+
+
+class EcoError(ValueError):
+    """An edit script is malformed or cannot be applied.
+
+    The message always names the offending edit (by position and
+    instance) and what to change.
+    """
+
+
+@dataclass(frozen=True)
+class EcoEdit:
+    """One validated netlist edit.
+
+    Attributes:
+        kind: One of :data:`KINDS`.
+        instance: Hierarchical instance name the edit targets.
+        master: New master-cell name (resize / swap / add).
+        pin: Pin name being moved (reconnect).
+        net: Target net name (reconnect); created when absent.
+        connections: pin -> net name map for a new cell (add); nets are
+            created when absent.
+        x, y: Optional seed coordinates for a new cell (add); defaults
+            to the centroid of the cluster the cell joins.
+    """
+
+    kind: str
+    instance: str
+    master: Optional[str] = None
+    pin: Optional[str] = None
+    net: Optional[str] = None
+    connections: Optional[Tuple[Tuple[str, str], ...]] = None
+    x: Optional[float] = None
+    y: Optional[float] = None
+
+    def to_payload(self) -> Dict[str, Any]:
+        """The JSON form of this edit (inverse of :func:`parse_edits`)."""
+        out: Dict[str, Any] = {"kind": self.kind, "instance": self.instance}
+        if self.master is not None:
+            out["master"] = self.master
+        if self.pin is not None:
+            out["pin"] = self.pin
+        if self.net is not None:
+            out["net"] = self.net
+        if self.connections is not None:
+            out["connections"] = dict(self.connections)
+        if self.x is not None:
+            out["x"] = self.x
+        if self.y is not None:
+            out["y"] = self.y
+        return out
+
+
+_FIELDS = ("kind", "instance", "master", "pin", "net", "connections", "x", "y")
+
+#: Per-kind (required, allowed) optional fields beyond kind/instance.
+_KIND_RULES: Dict[str, Tuple[Tuple[str, ...], Tuple[str, ...]]] = {
+    "resize": (("master",), ("master",)),
+    "swap": (("master",), ("master",)),
+    "add": (("master",), ("master", "connections", "x", "y")),
+    "remove": ((), ()),
+    "reconnect": (("pin", "net"), ("pin", "net")),
+}
+
+
+def _parse_one(position: int, raw: Any) -> EcoEdit:
+    where = f"edit #{position}"
+    if not isinstance(raw, dict):
+        raise EcoError(f"{where}: expected an object, got {type(raw).__name__}")
+    unknown = sorted(set(raw) - set(_FIELDS))
+    if unknown:
+        raise EcoError(
+            f"{where}: unknown field(s) {', '.join(unknown)} "
+            f"(allowed: {', '.join(_FIELDS)})"
+        )
+    kind = raw.get("kind")
+    if kind not in KINDS:
+        raise EcoError(
+            f"{where}: kind must be one of {', '.join(KINDS)}, got {kind!r}"
+        )
+    instance = raw.get("instance")
+    if not isinstance(instance, str) or not instance:
+        raise EcoError(f"{where} ({kind}): 'instance' must be a non-empty string")
+    where = f"edit #{position} ({kind} {instance})"
+    required, allowed = _KIND_RULES[kind]
+    for name in required:
+        if raw.get(name) is None:
+            raise EcoError(f"{where}: missing required field {name!r}")
+    for name in ("master", "pin", "net", "connections", "x", "y"):
+        if raw.get(name) is not None and name not in allowed:
+            raise EcoError(f"{where}: field {name!r} is not valid for kind {kind!r}")
+    for name in ("master", "pin", "net"):
+        value = raw.get(name)
+        if value is not None and (not isinstance(value, str) or not value):
+            raise EcoError(f"{where}: {name!r} must be a non-empty string")
+    connections: Optional[Tuple[Tuple[str, str], ...]] = None
+    raw_conn = raw.get("connections")
+    if raw_conn is not None:
+        if not isinstance(raw_conn, Mapping) or not all(
+            isinstance(k, str) and k and isinstance(v, str) and v
+            for k, v in raw_conn.items()
+        ):
+            raise EcoError(
+                f"{where}: 'connections' must map pin names to net names"
+            )
+        connections = tuple(sorted(raw_conn.items()))
+    coords = {}
+    for name in ("x", "y"):
+        value = raw.get(name)
+        if value is not None:
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                raise EcoError(f"{where}: {name!r} must be a number")
+            coords[name] = float(value)
+    return EcoEdit(
+        kind=kind,
+        instance=instance,
+        master=raw.get("master"),
+        pin=raw.get("pin"),
+        net=raw.get("net"),
+        connections=connections,
+        x=coords.get("x"),
+        y=coords.get("y"),
+    )
+
+
+def parse_edits(payload: Any) -> List[EcoEdit]:
+    """Validate a JSON payload into a list of :class:`EcoEdit`.
+
+    Accepts either the documented ``{"schema", "edits": [...]}``
+    envelope or a bare list of edit objects.  An empty list is a valid
+    no-op script (the engine serves the checkpointed metrics verbatim).
+    """
+    if isinstance(payload, dict):
+        schema = payload.get("schema", SCHEMA)
+        if schema != SCHEMA:
+            raise EcoError(
+                f"edit script has schema {schema!r} but this build expects "
+                f"{SCHEMA!r}"
+            )
+        unknown = sorted(set(payload) - {"schema", "edits"})
+        if unknown:
+            raise EcoError(
+                f"edit script has unknown top-level field(s): {', '.join(unknown)}"
+            )
+        edits = payload.get("edits")
+        if edits is None:
+            raise EcoError("edit script is missing the 'edits' list")
+    else:
+        edits = payload
+    if not isinstance(edits, list):
+        raise EcoError(
+            f"'edits' must be a list of edit objects, got {type(edits).__name__}"
+        )
+    return [_parse_one(i, raw) for i, raw in enumerate(edits)]
+
+
+def load_edit_script(path: str) -> List[EcoEdit]:
+    """Read and validate an edit-script file."""
+    script_path = Path(path)
+    try:
+        text = script_path.read_text()
+    except OSError as exc:
+        raise EcoError(f"cannot read edit script {script_path}: {exc}") from exc
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise EcoError(
+            f"edit script {script_path} is not valid JSON ({exc})"
+        ) from exc
+    return parse_edits(payload)

@@ -1,0 +1,581 @@
+"""The incremental ECO engine: checkpoint in, updated QoR out.
+
+:class:`EcoSession` opens a finished checkpointed run (the flow's
+``eco_base`` design snapshot plus its clustering / shape / metrics
+stage records) and applies edit scripts against it, recomputing only
+what each edit touched:
+
+========== ======================= ========== ============ =============
+edit kind  clustering              V-P&R      placement    STA
+========== ======================= ========== ============ =============
+resize /   kept (remapped)         dirty      dirty        dirty nets
+swap                               clusters   clusters     (cone update)
+add        neighbour-majority      dirty      dirty        graph
+           assignment              clusters   clusters     recompile
+remove     kept (remapped)         dirty      dirty        graph
+                                   clusters   clusters     recompile
+reconnect  kept (remapped)         dirty      dirty        graph
+                                   clusters   clusters     recompile
+========== ======================= ========== ============ =============
+
+Untouched (cluster, shape) evaluations keep the checkpointed shapes
+and their content-addressed cache entries are mtime-touched
+(:meth:`EvaluationCache.touch`) so a concurrent GC evicts colder
+entries first.  An empty edit script is served straight from the
+checkpointed metrics stage — byte-identical to the base run, by
+construction.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro import monitor, perf, telemetry
+from repro.cache import EvaluationCache, cache_key
+from repro.core.metrics import PPAMetrics
+from repro.core.shapes import ShapeCandidate
+from repro.core.vpr import VPRConfig, VPRFramework
+from repro.eco.apply import EcoImpact, apply_edits
+from repro.eco.edits import EcoEdit
+from repro.netlist.design import Design
+from repro.netlist.snapshot import design_from_snapshot
+from repro.place.hpwl import hpwl
+from repro.place.placer import GlobalPlacer, PlacerConfig
+from repro.place.problem import PlacementProblem
+from repro.recovery.checkpoint import CheckpointError, CheckpointStore
+from repro.route.cts import synthesize_clock_tree
+from repro.route.global_route import GlobalRouter
+from repro.sta.activity import propagate_activity
+from repro.sta.analysis import TimingAnalyzer
+from repro.sta.delay import RoutedWireModel
+from repro.sta.graph import timing_graph_for
+from repro.sta.hold import analyze_hold
+from repro.sta.power import analyze_power
+
+__all__ = ["EcoResult", "EcoSession", "run_eco"]
+
+
+@dataclass
+class EcoResult:
+    """Outcome of one applied edit script.
+
+    Attributes:
+        metrics: Updated PPA metric record (for a no-op script, the
+            checkpointed base metrics verbatim).
+        noop: True when the script was empty and the checkpointed
+            metrics were served without recomputation.
+        dirty_clusters: Cluster ids the edits touched (re-swept /
+            re-placed).
+        reused_clusters: Swept clusters served from the checkpointed
+            shapes without re-evaluation.
+        resweep_clusters: Dirty eligible clusters whose shape sweep
+            re-ran (through the evaluation cache when attached).
+        free_instances: Instances the incremental placer was allowed
+            to move.
+        total_instances: Post-edit instance count.
+        runtimes: Phase -> wall-clock seconds.
+        shapes: The updated cluster-shape selection.
+    """
+
+    metrics: PPAMetrics
+    noop: bool = False
+    dirty_clusters: List[int] = field(default_factory=list)
+    reused_clusters: int = 0
+    resweep_clusters: List[int] = field(default_factory=list)
+    free_instances: int = 0
+    total_instances: int = 0
+    runtimes: Dict[str, float] = field(default_factory=dict)
+    shapes: Dict[int, ShapeCandidate] = field(default_factory=dict)
+
+    def summary(self) -> Dict[str, object]:
+        """JSON-friendly report (CLI ``--report`` / serve result payloads).
+
+        The ``metrics`` block uses the same key names as
+        :func:`repro.core.reporting.flow_result_to_dict`, so an ECO
+        job's result is directly comparable to its parent flow job's.
+        """
+        metrics = self.metrics
+        out: Dict[str, object] = {
+            "noop": self.noop,
+            "clusters": {
+                "dirty": list(self.dirty_clusters),
+                "reused": self.reused_clusters,
+                "resweep": list(self.resweep_clusters),
+            },
+            "instances": {
+                "free": self.free_instances,
+                "total": self.total_instances,
+            },
+            "runtimes_s": dict(self.runtimes),
+            "metrics": {
+                "hpwl_um": metrics.hpwl,
+                "routed_wirelength_um": metrics.rwl,
+                "wns_ns": metrics.wns,
+                "tns_ns": metrics.tns,
+                "power_mw": metrics.power,
+                "hold_wns_ns": metrics.hold_wns,
+                "hold_tns_ns": metrics.hold_tns,
+            },
+        }
+        return out
+
+    def qor_summary(self) -> Dict[str, float]:
+        """Flat scalar QoR dict for telemetry run reports.
+
+        Dotted keys match :func:`repro.core.reporting.flow_qor_summary`
+        so ``repro report diff`` can compare an ECO run against the
+        cold run it shortcuts.
+        """
+        m = self.metrics
+        out: Dict[str, object] = {
+            "qor.hpwl": m.hpwl,
+            "qor.rwl": m.rwl,
+            "qor.wns": m.wns,
+            "qor.tns": m.tns,
+            "qor.power": m.power,
+            "qor.hold_wns": m.hold_wns,
+            "qor.hold_tns": m.hold_tns,
+            "eco.dirty_clusters": len(self.dirty_clusters),
+            "eco.reused_clusters": self.reused_clusters,
+            "eco.free_instances": self.free_instances,
+            "eco.runtime_s": self.runtimes.get("eco_total"),
+        }
+        return {k: v for k, v in out.items() if v is not None}
+
+
+class EcoSession:
+    """A persistent delta-evaluation session over one checkpointed run.
+
+    Opening a session materialises the base design from the
+    checkpoint's ``eco_base`` snapshot; each :meth:`apply` call mutates
+    that design and refreshes the session's cluster assignment, shape
+    selection and (in routing mode) the persistent timing analyzer —
+    so a *sequence* of edit scripts pays incremental cost at every
+    step, which is what makes the serve endpoint's interactive loop
+    fast.
+    """
+
+    def __init__(
+        self,
+        checkpoint_dir: str,
+        cache_dir: Optional[str] = None,
+    ) -> None:
+        self.store = CheckpointStore(checkpoint_dir)
+        self.fingerprint = self.store.open_existing()
+        for stage in ("clustering", "vpr", "eco_base"):
+            if not self.store.has_stage(stage):
+                raise CheckpointError(
+                    f"checkpoint {checkpoint_dir} has no {stage!r} stage; "
+                    "re-run the base flow with --checkpoint to completion"
+                )
+        base = self.store.load_stage("eco_base")
+        self.design: Design = design_from_snapshot(base["design"])
+        clustering = self.store.load_stage("clustering")
+        self.cluster_of = np.asarray(clustering.cluster_of, dtype=np.int64).copy()
+        if len(self.cluster_of) != self.design.num_instances:
+            raise CheckpointError(
+                f"checkpoint {checkpoint_dir} is inconsistent: clustering "
+                f"covers {len(self.cluster_of)} instances but the eco_base "
+                f"snapshot has {self.design.num_instances}"
+            )
+        selection = self.store.load_stage("vpr")
+        self.shapes: Dict[int, ShapeCandidate] = dict(selection.shapes)
+        # Per-cluster (digest, cell_area) pairs saved by the base run:
+        # lets the touch path address unchanged clusters' cache entries
+        # without re-inducing their sub-netlists.  Older checkpoints
+        # lack the stage; digests are then recomputed on first use.
+        self.cluster_digests: Dict[int, Tuple[str, float]] = (
+            dict(self.store.load_stage("vpr_digests"))
+            if self.store.has_stage("vpr_digests")
+            else {}
+        )
+        self.vpr_config = self._vpr_config_from_fingerprint()
+        self.cache = EvaluationCache(cache_dir) if cache_dir else None
+        self.run_routing = bool(self.fingerprint.get("run_routing", True))
+        self.seed = int(self.fingerprint.get("seed", 0))
+        self._analyzer: Optional[TimingAnalyzer] = None
+        self._wire_model: Optional[RoutedWireModel] = None
+        self.applied_scripts = 0
+
+    # ------------------------------------------------------------------
+    def _vpr_config_from_fingerprint(self) -> VPRConfig:
+        """Rebuild the result-affecting V-P&R knobs from the manifest.
+
+        The checkpoint fingerprint records every knob that influences a
+        (cluster, candidate) evaluation except ``route_target_cells`` /
+        ``die_margin`` (defaults in practice); cache keys therefore
+        match the base run's for unchanged clusters.
+        """
+        fp = self.fingerprint
+        config = VPRConfig()
+        for name in (
+            "delta",
+            "top_x_percent",
+            "min_cluster_instances",
+            "max_vpr_clusters",
+            "placer_iterations",
+        ):
+            if name in fp:
+                setattr(config, name, fp[name])
+        if "candidates" in fp:
+            config.candidates = [
+                ShapeCandidate(aspect_ratio=ar, utilization=u)
+                for ar, u in fp["candidates"]
+            ]
+        # vpr_seed feeds the *cache key* (config_fingerprint), so it must
+        # match the base run's VPRConfig.seed for unchanged clusters to
+        # hit; "seed" is the flow seed (placer warm-start below).
+        config.seed = int(fp.get("vpr_seed", 0))
+        return config
+
+    # ------------------------------------------------------------------
+    def apply(self, edits: Sequence[EcoEdit]) -> EcoResult:
+        """Apply one edit script and return updated QoR."""
+        start = time.perf_counter()
+        perf.count("eco.runs")
+        self.applied_scripts += 1
+        with telemetry.span("eco.apply", edits=len(edits)):
+            if not edits:
+                return self._noop_result(start)
+            runtimes: Dict[str, float] = {}
+
+            t0 = time.perf_counter()
+            with perf.stage("eco/apply_edits"), monitor.stage("eco.edits"):
+                monitor.start_task("eco.edits", len(edits), unit="edits")
+                impact = apply_edits(self.design, edits)
+                monitor.advance("eco.edits", len(edits))
+                monitor.complete("eco.edits")
+            runtimes["eco_apply"] = time.perf_counter() - t0
+
+            t0 = time.perf_counter()
+            with perf.stage("eco/recluster"):
+                dirty = self._remap_clusters(impact)
+            runtimes["eco_recluster"] = time.perf_counter() - t0
+            telemetry.event(
+                "eco.clusters",
+                dirty=len(dirty),
+                total=int(self.cluster_of.max()) + 1 if len(self.cluster_of) else 0,
+            )
+
+            t0 = time.perf_counter()
+            with perf.stage("eco/vpr"), telemetry.span(
+                "eco.vpr", dirty=len(dirty)
+            ), monitor.stage("eco.vpr"):
+                resweep, reused = self._refresh_shapes(dirty)
+            runtimes["eco_vpr"] = time.perf_counter() - t0
+
+            t0 = time.perf_counter()
+            with perf.stage("eco/place"), telemetry.span(
+                "eco.place"
+            ), monitor.stage("eco.place"):
+                free = self._replace(dirty, impact)
+            runtimes["eco_place"] = time.perf_counter() - t0
+
+            t0 = time.perf_counter()
+            with perf.stage("eco/metrics"), telemetry.span(
+                "eco.metrics"
+            ), monitor.stage("eco.metrics"):
+                metrics = self._evaluate(runtimes)
+            runtimes["eco_metrics"] = time.perf_counter() - t0
+            runtimes["eco_total"] = time.perf_counter() - start
+            metrics.runtimes.update(runtimes)
+
+        telemetry.event(
+            "eco.done",
+            edits=len(edits),
+            dirty_clusters=len(dirty),
+            free_instances=free,
+            hpwl=metrics.hpwl,
+        )
+        return EcoResult(
+            metrics=metrics,
+            dirty_clusters=sorted(dirty),
+            reused_clusters=len(reused),
+            resweep_clusters=resweep,
+            free_instances=free,
+            total_instances=self.design.num_instances,
+            runtimes=runtimes,
+            shapes=dict(self.shapes),
+        )
+
+    # ------------------------------------------------------------------
+    def _noop_result(self, start: float) -> EcoResult:
+        """Serve an empty script from the checkpointed metrics stage."""
+        if not self.store.has_stage("metrics"):
+            raise CheckpointError(
+                "checkpoint has no metrics stage (the base run did not "
+                "finish); run the base flow to completion before a no-op ECO"
+            )
+        metrics = self.store.load_stage("metrics")
+        perf.count("eco.noop")
+        telemetry.event("eco.noop")
+        return EcoResult(
+            metrics=metrics,
+            noop=True,
+            reused_clusters=len(self.shapes),
+            total_instances=self.design.num_instances,
+            runtimes={"eco_total": time.perf_counter() - start},
+            shapes=dict(self.shapes),
+        )
+
+    # ------------------------------------------------------------------
+    def _remap_clusters(self, impact: EcoImpact) -> Set[int]:
+        """Carry the checkpointed assignment across the edit.
+
+        Surviving instances keep their cluster; added instances join
+        the cluster most of their neighbours belong to (deterministic
+        tie-break: highest vote count, then lowest cluster id).
+        Returns the dirty-cluster set: every cluster containing a
+        touched instance or touching a changed net.
+        """
+        design = self.design
+        old = self.cluster_of
+        mapping = impact.instance_map
+        new = np.full(design.num_instances, -1, dtype=np.int64)
+        valid = mapping >= 0
+        new[mapping[valid]] = old[valid]
+        for idx in np.flatnonzero(new < 0):
+            inst = design.instances[int(idx)]
+            votes: Dict[int, int] = {}
+            for net in inst.pin_nets.values():
+                for other in net.instances():
+                    oi = other.index
+                    if oi != idx and new[oi] >= 0:
+                        cid = int(new[oi])
+                        votes[cid] = votes.get(cid, 0) + 1
+            if votes:
+                cid = max(votes.items(), key=lambda kv: (kv[1], -kv[0]))[0]
+            else:
+                # Unconnected cell: join the largest surviving cluster.
+                counts = np.bincount(new[new >= 0])
+                cid = int(counts.argmax()) if len(counts) else 0
+            new[idx] = cid
+            perf.count("eco.cluster.assigned")
+        self.cluster_of = new
+
+        dirty: Set[int] = set()
+        for idx in impact.touched_instances:
+            dirty.add(int(new[idx]))
+        for net_idx in impact.touched_nets:
+            for inst in design.nets[net_idx].instances():
+                dirty.add(int(new[inst.index]))
+        total = int(new.max()) + 1 if len(new) else 0
+        perf.count("eco.clusters.dirty", len(dirty))
+        perf.count("eco.clusters.reused", max(0, total - len(dirty)))
+        return dirty
+
+    # ------------------------------------------------------------------
+    def _members_of(self) -> List[List[int]]:
+        cluster_of = self.cluster_of
+        k = int(cluster_of.max()) + 1 if len(cluster_of) else 0
+        members: List[List[int]] = [[] for _ in range(k)]
+        for v, c in enumerate(cluster_of):
+            members[int(c)].append(v)
+        return members
+
+    def _refresh_shapes(
+        self, dirty: Set[int]
+    ) -> Tuple[List[int], List[int]]:
+        """Re-sweep dirty eligible clusters; keep and warm the rest.
+
+        Returns ``(resweep_ids, reused_ids)`` over the eligible capped
+        cluster list.  Re-sweeps go through the attached
+        :class:`EvaluationCache` (an unchanged-content cluster is a
+        pure cache hit); reused clusters' cache entries are
+        mtime-touched so GC evicts colder entries first.
+        """
+        framework = VPRFramework(self.vpr_config, checkpoint=None, cache=self.cache)
+        members = self._members_of()
+        eligible = framework.eligible_clusters(members)
+        cap = self.vpr_config.max_vpr_clusters
+        if cap is not None:
+            eligible = eligible[:cap]
+        resweep = [c for c in eligible if c in dirty or c not in self.shapes]
+        reused = [c for c in eligible if c not in resweep]
+
+        if resweep:
+            candidates = len(self.vpr_config.candidates)
+            monitor.start_task("vpr.items", len(resweep) * candidates)
+            for cid in resweep:
+                sweep = framework.sweep_cluster(
+                    self.design, members[cid], cluster_id=cid
+                )
+                self.shapes[cid] = sweep.best
+                # The sweep just induced/digested this cluster, so the
+                # refreshed digest is served from the framework memos.
+                self.cluster_digests[cid] = framework.cluster_digest(
+                    self.design, members[cid]
+                )
+                perf.count("eco.vpr.resweep")
+            monitor.complete("vpr.items")
+        if self.cache is not None:
+            for cid in reused:
+                entry = self.cluster_digests.get(cid)
+                if entry is None:
+                    # Pre-digest checkpoint: induce once and remember.
+                    entry = framework.cluster_digest(
+                        self.design, members[cid]
+                    )
+                    self.cluster_digests[cid] = entry
+                else:
+                    perf.count("eco.digest.reused")
+                digest, cell_area = entry
+                for candidate in self.vpr_config.candidates:
+                    key = cache_key(
+                        digest, candidate, self.vpr_config, cell_area=cell_area
+                    )
+                    if self.cache.touch(key):
+                        perf.count("eco.cache.touched")
+        perf.count(
+            "eco.vpr.reused", len(reused) * len(self.vpr_config.candidates)
+        )
+        # Clusters can vanish (all members removed): drop their shapes.
+        live = len(members)
+        self.shapes = {c: s for c, s in self.shapes.items() if c < live}
+        self.cluster_digests = {
+            c: d for c, d in self.cluster_digests.items() if c < live
+        }
+        return resweep, reused
+
+    # ------------------------------------------------------------------
+    def _replace(self, dirty: Set[int], impact: EcoImpact) -> int:
+        """Warm-start incremental placement with only dirty clusters free."""
+        design = self.design
+        cluster_of = self.cluster_of
+        total_clusters = int(cluster_of.max()) + 1 if len(cluster_of) else 0
+        dirty_mask = np.zeros(total_clusters, dtype=bool)
+        for cid in dirty:
+            if 0 <= cid < total_clusters:
+                dirty_mask[cid] = True
+
+        # Seed added cells without explicit coordinates at their
+        # cluster's centroid (over pre-existing members).
+        added_unpositioned = [
+            idx
+            for idx in impact.added_instances
+            if idx not in impact.positioned_instances
+        ]
+        if added_unpositioned:
+            added_set = set(impact.added_instances)
+            fp = design.floorplan
+            for idx in added_unpositioned:
+                cid = int(cluster_of[idx])
+                xs = [
+                    design.instances[i].x
+                    for i in np.flatnonzero(cluster_of == cid)
+                    if i not in added_set
+                ]
+                ys = [
+                    design.instances[i].y
+                    for i in np.flatnonzero(cluster_of == cid)
+                    if i not in added_set
+                ]
+                inst = design.instances[idx]
+                if xs:
+                    inst.x = float(np.mean(xs))
+                    inst.y = float(np.mean(ys))
+                else:
+                    inst.x = (fp.core_llx + fp.core_urx) / 2.0
+                    inst.y = (fp.core_lly + fp.core_ury) / 2.0
+
+        saved_fixed = [inst.fixed for inst in design.instances]
+        try:
+            for idx, inst in enumerate(design.instances):
+                if not dirty_mask[cluster_of[idx]]:
+                    inst.fixed = True
+            problem = PlacementProblem(design)
+            free = int(problem.movable[: design.num_instances].sum())
+            perf.count("eco.place.freed", free)
+            perf.count(
+                "eco.place.frozen", design.num_instances - free
+            )
+            placer_config = PlacerConfig(
+                incremental=True, seed=self.seed, telemetry="eco.gp"
+            )
+            GlobalPlacer(problem, placer_config).run()
+        finally:
+            for inst, was_fixed in zip(design.instances, saved_fixed):
+                inst.fixed = was_fixed
+        return free
+
+    # ------------------------------------------------------------------
+    def _evaluate(self, runtimes: Dict[str, float]) -> PPAMetrics:
+        """Updated QoR; incremental STA when the session persists.
+
+        In routing mode the session keeps one :class:`TimingAnalyzer`
+        alive across :meth:`apply` calls: the routed wire lengths are
+        diffed against the previous pass and only changed nets are
+        invalidated, so the propagation is a cone update
+        (``sta.incremental.*`` counters).  Topology edits recompile the
+        graph transparently (see ``TimingAnalyzer._refresh_graph``).
+        """
+        design = self.design
+        post_place_hpwl = hpwl(design)
+        if not self.run_routing:
+            return PPAMetrics(hpwl=post_place_hpwl, runtimes=dict(runtimes))
+
+        cts = synthesize_clock_tree(design)
+        routing = GlobalRouter(design).run()
+        analyzer = self._analyzer
+        if analyzer is None or self._wire_model is None:
+            graph = timing_graph_for(design)
+            self._wire_model = RoutedWireModel(design, dict(routing.net_lengths))
+            analyzer = TimingAnalyzer(
+                graph, self._wire_model, clock_uncertainty=cts.skew
+            )
+            self._analyzer = analyzer
+            report = analyzer.update()
+        else:
+            model = self._wire_model
+            old_lengths = model.routed_lengths
+            new_lengths = dict(routing.net_lengths)
+            changed = [
+                idx
+                for idx, length in new_lengths.items()
+                if old_lengths.get(idx) != length
+            ]
+            changed.extend(idx for idx in old_lengths if idx not in new_lengths)
+            old_lengths.clear()
+            old_lengths.update(new_lengths)
+            analyzer.clock_uncertainty = cts.skew
+            analyzer.invalidate_nets(changed)
+            perf.count("eco.sta.invalidated", len(changed))
+            report = analyzer.update()
+
+        hold = analyze_hold(analyzer)
+        net_activity = propagate_activity(analyzer.graph)
+        power = analyze_power(
+            design,
+            self._wire_model,
+            net_activity=net_activity,
+            clock_wirelength=cts.wirelength,
+            clock_buffers=cts.num_buffers,
+        )
+        return PPAMetrics(
+            hpwl=post_place_hpwl,
+            rwl=routing.routed_wirelength + cts.wirelength,
+            wns=report.wns,
+            tns=report.tns,
+            power=power.total,
+            hold_wns=hold.wns,
+            hold_tns=hold.tns,
+            runtimes=dict(runtimes),
+        )
+
+
+def run_eco(
+    checkpoint_dir: str,
+    edits: Sequence[EcoEdit],
+    cache_dir: Optional[str] = None,
+) -> EcoResult:
+    """One-shot ECO: open the checkpoint, apply, return updated QoR.
+
+    The CLI path (``repro eco RUNDIR --edits FILE``); for repeated
+    edits against one base, hold an :class:`EcoSession` instead.
+    """
+    session = EcoSession(checkpoint_dir, cache_dir=cache_dir)
+    return session.apply(list(edits))

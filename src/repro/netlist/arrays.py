@@ -438,6 +438,53 @@ class NetlistArrays:
         return self._ipin
 
     # ------------------------------------------------------------------
+    # Surgical patching (ECO)
+    # ------------------------------------------------------------------
+    def patch_instance_master(self, inst_index: int) -> bool:
+        """Retarget one instance's rows after a master swap, in place.
+
+        Called by :meth:`Design.replace_master` so a gate resize does
+        not force a full O(pins) rebuild.  The patch is only legal when
+        the new master is already in the flattened tables and declares
+        the same pin list (names, order, directions, clock flags) as
+        the old one — the common resize case of swapping within one
+        cell family.  Returns False otherwise; the caller falls back to
+        invalidating the cached form entirely.
+        """
+        design = self.design
+        if design is None:
+            return False
+        master = design.instances[inst_index].master
+        try:
+            new_mi = self.master_names.index(master.name)
+        except ValueError:
+            return False
+        old_mi = int(self.inst_master[inst_index])
+        if new_mi == old_mi:
+            return True
+        o0, o1 = int(self.mp_ptr[old_mi]), int(self.mp_ptr[old_mi + 1])
+        n0, n1 = int(self.mp_ptr[new_mi]), int(self.mp_ptr[new_mi + 1])
+        if (o1 - o0) != (n1 - n0):
+            return False
+        if not (
+            np.array_equal(self.mp_name_idx[o0:o1], self.mp_name_idx[n0:n1])
+            and np.array_equal(self.mp_dir[o0:o1], self.mp_dir[n0:n1])
+            and np.array_equal(self.mp_is_clock[o0:o1], self.mp_is_clock[n0:n1])
+        ):
+            return False
+        self.inst_master[inst_index] = new_mi
+        self.inst_area[inst_index] = self.m_area[new_mi]
+        # Retarget this instance's pin rows to the new master's slot
+        # range; the shift is monotonic, so the declaration-ordered
+        # instance_pin_csr memo stays valid.
+        indptr, rows = self.instance_pin_csr()
+        mine = rows[indptr[inst_index] : indptr[inst_index + 1]]
+        if len(mine):
+            self.pin_slot[mine] = self.pin_slot[mine] - o0 + n0
+            self.pin_cap[mine] = self.mp_cap[self.pin_slot[mine]]
+        return True
+
+    # ------------------------------------------------------------------
     # Live-attribute gathers (object view wins when present)
     # ------------------------------------------------------------------
     def current_net_weights(self) -> np.ndarray:

@@ -598,6 +598,153 @@ class Design:
         self.connect(net, PinRef(None, port_name))
 
     # ------------------------------------------------------------------
+    # Mutation API (ECO)
+    # ------------------------------------------------------------------
+    def disconnect_pin(self, instance: Instance, pin: str) -> Optional[Net]:
+        """Detach ``instance.pin`` from its net; returns the old net.
+
+        Removes the :class:`PinRef` from the net's driver/sink lists and
+        from ``instance.pin_nets``, and invalidates every
+        structure-derived cache (``signal_nets()`` / ``net_degrees()`` /
+        ``arrays()`` and anything keyed on :meth:`structure_key`, such
+        as the memoised ``Hypergraph.incidence`` held by
+        :class:`repro.db.database.DesignDatabase`).  Returns None when
+        the pin was unconnected.
+        """
+        net = instance.pin_nets.pop(pin, None)
+        if net is None:
+            return None
+        ref = PinRef(instance, pin)
+        if net.driver == ref:
+            net.driver = None
+        else:
+            try:
+                net.sinks.remove(ref)
+            except ValueError:  # pragma: no cover - defensive
+                pass
+        self.bump_structure_version()
+        return net
+
+    def reconnect_pin(self, instance: Instance, pin: str, net: Net) -> None:
+        """Move ``instance.pin`` onto ``net`` (ECO reconnect).
+
+        Disconnects any existing connection first, then attaches through
+        :meth:`connect` so driver/sink bookkeeping and cache
+        invalidation follow the construction-API rules.
+        """
+        if pin not in instance.master.pins:
+            raise KeyError(f"{instance.master.name} has no pin {pin!r}")
+        if instance.pin_nets.get(pin) is net:
+            return
+        self.disconnect_pin(instance, pin)
+        self.connect(net, PinRef(instance, pin))
+
+    def remove_net(self, net: Net) -> None:
+        """Delete a net, detaching every connected pin first.
+
+        Net indices above the removed one are renumbered to stay dense
+        (callers holding index-keyed arrays must remap — see
+        :class:`repro.eco.apply.EcoImpact`).
+        """
+        if net.index < 0 or net.index >= len(self.nets) or self.nets[net.index] is not net:
+            raise ValueError(f"net {net.name!r} is not owned by this design")
+        for ref in list(net.pins()):
+            inst = ref.instance
+            if inst is not None and inst.pin_nets.get(ref.pin_name) is net:
+                del inst.pin_nets[ref.pin_name]
+        net.driver = None
+        net.sinks = []
+        self.nets.pop(net.index)
+        del self._net_by_name[net.name]
+        for i in range(net.index, len(self.nets)):
+            self.nets[i].index = i
+        net.index = -1
+        self.bump_structure_version()
+
+    def remove_instance(self, instance: Instance) -> None:
+        """Delete an instance, detaching all its pins first.
+
+        Instance indices above the removed one are renumbered to stay
+        dense; nets the instance drove are left driverless (the ECO
+        apply layer reconnects or removes them).
+        """
+        if (
+            instance.index < 0
+            or instance.index >= len(self.instances)
+            or self.instances[instance.index] is not instance
+        ):
+            raise ValueError(f"instance {instance.name!r} is not owned by this design")
+        for pin in list(instance.pin_nets):
+            self.disconnect_pin(instance, pin)
+        self.instances.pop(instance.index)
+        del self._instance_by_name[instance.name]
+        for i in range(instance.index, len(self.instances)):
+            self.instances[i].index = i
+        instance.index = -1
+        self.bump_structure_version()
+
+    def replace_master(self, instance: Instance, master: MasterCell) -> None:
+        """Swap an instance's master in place (gate resize / cell swap).
+
+        Every *connected* pin must exist on the new master with the same
+        direction.  Connectivity is untouched, so the memoised
+        ``signal_nets()`` / ``net_degrees()`` views are surgically
+        re-keyed instead of rebuilt, and the cached
+        :class:`~repro.netlist.arrays.NetlistArrays` form is patched in
+        place when the pin declarations match (falling back to a full
+        rebuild otherwise).
+        """
+        old = instance.master
+        if master is old:
+            return
+        for pin_name in instance.pin_nets:
+            new_pin = master.pins.get(pin_name)
+            if new_pin is None:
+                raise ValueError(
+                    f"cannot swap {instance.name} to {master.name}: "
+                    f"connected pin {pin_name!r} missing on new master"
+                )
+            if new_pin.direction is not old.pins[pin_name].direction:
+                raise ValueError(
+                    f"cannot swap {instance.name} to {master.name}: "
+                    f"pin {pin_name!r} changes direction"
+                )
+        registered = self.masters.get(master.name)
+        if registered is None:
+            self.add_master(master)
+        elif registered is not master:
+            raise ValueError(
+                f"a different master named {master.name!r} is already registered"
+            )
+        instance.master = master
+        self._note_geometry_change(instance.index)
+
+    def _note_geometry_change(self, inst_index: int) -> None:
+        """Surgical invalidation after a connectivity-preserving edit.
+
+        Bumps the structure version (so external caches keyed on
+        :meth:`structure_key` — the database hypergraph, HPWL pin
+        arrays — rebuild), but re-keys the memoised ``signal_nets()`` /
+        ``net_degrees()`` views, which only depend on connectivity, and
+        patches the array form in place via
+        :meth:`repro.netlist.arrays.NetlistArrays.patch_instance_master`.
+        """
+        signal_cache = self._signal_nets_cache
+        degree_cache = self._degree_cache
+        arrays = self._netlist_arrays
+        old_key = self.structure_key()
+        self.bump_structure_version()
+        new_key = self.structure_key()
+        if signal_cache is not None and signal_cache[0] == old_key:
+            self._signal_nets_cache = (new_key, signal_cache[1])
+        if degree_cache is not None and degree_cache[0] == old_key:
+            self._degree_cache = (new_key,) + tuple(degree_cache[1:])
+        if arrays is not None and arrays.structure_key == old_key:
+            if arrays.patch_instance_master(inst_index):
+                arrays.structure_key = new_key
+                self._netlist_arrays = arrays
+
+    # ------------------------------------------------------------------
     # Lookup API
     # ------------------------------------------------------------------
     def instance(self, name: str) -> Instance:

@@ -63,7 +63,7 @@ __all__ = [
 SCHEMA = "repro.recovery/1"
 
 #: Flow stages a store can hold, in execution order.
-STAGES = ("clustering", "vpr", "seeded", "metrics")
+STAGES = ("clustering", "vpr", "vpr_digests", "seeded", "eco_base", "metrics")
 
 
 class CheckpointError(RuntimeError):
@@ -146,6 +146,45 @@ class CheckpointStore:
                 "with the original configuration or start a fresh checkpoint"
             )
         self._manifest = manifest
+
+    def open_existing(self) -> Dict[str, Any]:
+        """Attach to an existing checkpoint without a fingerprint check.
+
+        The ECO path opens a finished run's checkpoint to *read* its
+        stages (clustering, shapes, seeded positions, metrics, the
+        ``eco_base`` design snapshot) — the caller does not know the
+        original run configuration, so unlike :meth:`open_resume` the
+        recorded fingerprint is returned rather than compared.  Schema
+        and manifest integrity are still validated with the same
+        actionable errors.
+        """
+        manifest_path = self.directory / self.MANIFEST
+        if not manifest_path.is_file():
+            raise CheckpointError(
+                f"no checkpoint manifest at {manifest_path}; point the ECO "
+                "path at a run directory produced with --checkpoint"
+            )
+        try:
+            manifest = json.loads(manifest_path.read_text())
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            raise CheckpointError(
+                f"checkpoint manifest {manifest_path} is corrupt ({exc}); "
+                f"re-run the base flow with --checkpoint to regenerate it"
+            ) from exc
+        schema = manifest.get("schema")
+        if schema != SCHEMA:
+            raise CheckpointError(
+                f"checkpoint {manifest_path} has schema {schema!r} but this "
+                f"build expects {SCHEMA!r}; re-run the base flow with "
+                "--checkpoint to regenerate it"
+            )
+        self._manifest = manifest
+        return dict(manifest.get("fingerprint", {}))
+
+    @property
+    def fingerprint(self) -> Dict[str, Any]:
+        """The run-configuration fingerprint recorded in the manifest."""
+        return dict(self._manifest.get("fingerprint", {}))
 
     # -- stage records -------------------------------------------------
     def _stage_path(self, stage: str) -> Path:

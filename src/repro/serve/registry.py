@@ -53,6 +53,9 @@ class Job:
     finished_unix: Optional[float] = None
     error: Optional[str] = None
     counters: Dict[str, int] = field(default_factory=dict)
+    #: ECO jobs only: {"parent": job id, "checkpoint_dir": ...,
+    #: "edits": [...]} — the runner compiles this to `repro eco` argv.
+    eco: Optional[Dict[str, Any]] = None
 
     def to_dict(self) -> Dict[str, Any]:
         """The job record served by ``/jobs`` endpoints."""
@@ -67,6 +70,11 @@ class Job:
             "error": self.error,
             "spec": self.spec.to_dict(),
         }
+        if self.eco is not None:
+            out["eco"] = {
+                "parent": self.eco.get("parent"),
+                "edits": len(self.eco.get("edits", [])),
+            }
         if self.counters:
             out["counters"] = dict(self.counters)
         if self.started_unix and self.finished_unix:
@@ -88,32 +96,39 @@ class JobRegistry:
         self._totals: Dict[str, int] = {}
 
     # -- creation ------------------------------------------------------
-    def create(self, spec: JobSpec, cache_dir: Optional[str]) -> Job:
+    def create(
+        self,
+        spec: JobSpec,
+        cache_dir: Optional[str],
+        eco: Optional[Dict[str, Any]] = None,
+    ) -> Job:
         """Allocate an id + directory and persist ``job.json``.
 
         ``job.json`` carries everything the runner subprocess needs:
-        the validated spec and the shared cache directory.
+        the validated spec, the shared cache directory, and — for ECO
+        jobs — the parent checkpoint + inline edit script.
         """
         with self._lock:
             job_id = f"j{self._next_id:05d}"
             self._next_id += 1
-            job = Job(id=job_id, spec=spec, dir=self.jobs_root / job_id)
+            job = Job(
+                id=job_id, spec=spec, dir=self.jobs_root / job_id, eco=eco
+            )
             self._jobs[job_id] = job
             self._order.append(job_id)
         job.dir.mkdir(parents=True, exist_ok=True)
+        payload: Dict[str, Any] = {
+            "schema": SCHEMA,
+            "id": job.id,
+            "spec": spec.to_dict(),
+            "cache_dir": cache_dir,
+            "created_unix": job.created_unix,
+        }
+        if eco is not None:
+            payload["eco"] = eco
         atomic_write_bytes(
             job.dir / JOB_FILENAME,
-            json.dumps(
-                {
-                    "schema": SCHEMA,
-                    "id": job.id,
-                    "spec": spec.to_dict(),
-                    "cache_dir": cache_dir,
-                    "created_unix": job.created_unix,
-                },
-                sort_keys=True,
-                indent=2,
-            ).encode(),
+            json.dumps(payload, sort_keys=True, indent=2).encode(),
             durable=False,
         )
         return job

@@ -22,9 +22,11 @@ from pathlib import Path
 
 from repro.ioutil import atomic_write_bytes
 from repro.serve.schemas import (
+    ECO_EDITS_FILENAME,
     ERROR_FILENAME,
     JOB_FILENAME,
     SCHEMA,
+    eco_to_argv,
     parse_job_spec,
     spec_to_argv,
 )
@@ -52,9 +54,30 @@ def main(argv=None) -> int:
     try:
         payload = json.loads((job_dir / JOB_FILENAME).read_text())
         spec = parse_job_spec(payload["spec"])
-        flow_argv = spec_to_argv(
-            spec, str(job_dir), payload.get("cache_dir")
-        )
+        eco = payload.get("eco")
+        if eco is not None:
+            # ECO job: materialise the inline edit script, then run the
+            # exact `repro eco` code path against the parent checkpoint.
+            from repro.eco import SCHEMA as ECO_SCHEMA
+            from repro.eco import parse_edits
+
+            parse_edits(eco.get("edits", []))
+            atomic_write_bytes(
+                job_dir / ECO_EDITS_FILENAME,
+                json.dumps(
+                    {"schema": ECO_SCHEMA, "edits": eco.get("edits", [])},
+                    sort_keys=True,
+                    indent=2,
+                ).encode(),
+                durable=False,
+            )
+            flow_argv = eco_to_argv(
+                eco, str(job_dir), payload.get("cache_dir")
+            )
+        else:
+            flow_argv = spec_to_argv(
+                spec, str(job_dir), payload.get("cache_dir")
+            )
     except Exception as exc:
         _write_error(job_dir, f"bad job spec: {exc!r}")
         return 2

@@ -38,6 +38,10 @@ JOB_FILENAME = "job.json"
 RESULT_FILENAME = "result.json"
 ERROR_FILENAME = "job_error.json"
 RUNNER_LOG_FILENAME = "runner.log"
+ECO_EDITS_FILENAME = "edits.json"
+#: Subdirectory of a flow job holding its stage checkpoint — what an
+#: ECO job re-opens (see docs/performance.md, "Incremental ECO").
+CHECKPOINT_DIRNAME = "ckpt"
 
 #: Spec fields a client may override, with their defaults (mirroring
 #: the CLI ``flow`` defaults except ``routing``, which mirrors
@@ -206,6 +210,34 @@ def spec_to_argv(
     if not spec.routing:
         argv.append("--no-routing")
     if cache_dir and spec.flow == "ours":
+        argv += ["--cache", cache_dir]
+    if spec.flow == "ours":
+        # Every served "ours" job leaves a stage checkpoint behind, so
+        # POST /jobs/<id>/eco can re-open it for incremental edits.
+        argv += ["--checkpoint", f"{job_dir}/{CHECKPOINT_DIRNAME}"]
+    return argv
+
+
+def eco_to_argv(
+    eco: Dict[str, Any], job_dir: str, cache_dir: Optional[str]
+) -> List[str]:
+    """Compile a job's ``eco`` payload to the ``repro eco`` argv.
+
+    The edit script itself is written to ``job_dir/edits.json`` by the
+    runner (the payload carries the edits inline); the updated QoR +
+    reuse summary lands in ``job_dir/result.json`` like any flow job's
+    report, and telemetry/monitor land in ``job_dir`` so the live
+    ``status.json`` endpoints work unchanged.
+    """
+    argv = [
+        "eco",
+        str(eco["checkpoint_dir"]),
+        "--edits", f"{job_dir}/{ECO_EDITS_FILENAME}",
+        "--report", f"{job_dir}/{RESULT_FILENAME}",
+        "--telemetry", job_dir,
+        "--monitor",
+    ]
+    if cache_dir:
         argv += ["--cache", cache_dir]
     return argv
 

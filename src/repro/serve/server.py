@@ -127,6 +127,8 @@ class ServeApp:
                     return self._job_events(job, query)
                 if segments[2:] == ["result"] and method == "GET":
                     return self._job_result(job)
+                if segments[2:] == ["eco"] and method == "POST":
+                    return self._submit_eco(job, body)
         except SpecError as exc:
             return _response(400, {"error": str(exc)})
         return _response(
@@ -146,6 +148,7 @@ class ServeApp:
                     "GET /jobs/<id>",
                     "GET /jobs/<id>/events",
                     "GET /jobs/<id>/result",
+                    "POST /jobs/<id>/eco",
                     "GET /stats",
                     "POST /shutdown",
                 ],
@@ -164,6 +167,67 @@ class ServeApp:
                 "schema": SCHEMA,
                 "job_id": job.id,
                 "state": job.state,
+                "links": {
+                    "status": f"/jobs/{job.id}",
+                    "events": f"/jobs/{job.id}/events",
+                    "result": f"/jobs/{job.id}/result",
+                },
+            },
+        )
+
+    def _submit_eco(self, parent: Job, body: Any) -> Dict[str, Any]:
+        """Queue an incremental ECO against a finished flow job.
+
+        The child job re-opens the parent's stage checkpoint and
+        recomputes QoR for the edit delta only (docs/performance.md,
+        "Incremental ECO"); it is a first-class job — same lifecycle,
+        status/events/result endpoints, worker pool and shared cache.
+        """
+        from repro.eco import EcoError, parse_edits
+        from repro.serve.schemas import CHECKPOINT_DIRNAME
+
+        if self.shutdown_event.is_set():
+            return _response(503, {"error": "server is shutting down"})
+        if parent.spec.flow != "ours":
+            return _response(
+                400,
+                {
+                    "error": f"job {parent.id} ran flow "
+                    f"{parent.spec.flow!r}; only 'ours' jobs leave an "
+                    "ECO-able checkpoint"
+                },
+            )
+        if parent.state != "done":
+            return _response(
+                409,
+                {
+                    "error": f"job {parent.id} is {parent.state}; ECO "
+                    "needs a finished base run",
+                    "state": parent.state,
+                },
+            )
+        try:
+            edits = parse_edits(body)
+        except EcoError as exc:
+            return _response(400, {"error": str(exc)})
+        job = self.registry.create(
+            parent.spec,
+            self.cache_dir,
+            eco={
+                "parent": parent.id,
+                "checkpoint_dir": str(parent.dir / CHECKPOINT_DIRNAME),
+                "edits": [edit.to_payload() for edit in edits],
+            },
+        )
+        self.pool.submit(job)
+        return _response(
+            202,
+            {
+                "schema": SCHEMA,
+                "job_id": job.id,
+                "parent": parent.id,
+                "state": job.state,
+                "edits": len(edits),
                 "links": {
                     "status": f"/jobs/{job.id}",
                     "events": f"/jobs/{job.id}/events",

@@ -32,7 +32,7 @@ from repro import perf, telemetry
 from repro.netlist.design import Instance, Net, PinRef
 from repro.sta.delay import FanoutWireModel, WireDelayModel, effective_cell_delay
 from repro.sta.flat import FlatTiming, _gather_ranges, flat_for
-from repro.sta.graph import TimingGraph
+from repro.sta.graph import TimingGraph, timing_graph_for
 
 #: Clock period used when the design is unconstrained (effectively
 #: infinite, so all slacks come out large and positive).
@@ -116,6 +116,11 @@ class TimingAnalyzer:
         #: that plain update() calls keep their original semantics).
         self._dirty: Optional[set] = None
         self._state: Optional[_FlatState] = None
+        #: Structure fingerprint of the design the graph was compiled
+        #: from; when it drifts (an ECO added/removed nets or cells)
+        #: the next update recompiles the graph instead of propagating
+        #: over stale topology.
+        self._graph_key: tuple = self.design.structure_key()
 
     # ------------------------------------------------------------------
     def invalidate_nets(self, nets: Iterable[Union[int, Net]]) -> None:
@@ -193,7 +198,29 @@ class TimingAnalyzer:
         telemetry.observe("sta.failing_endpoints", report.num_failing)
         return report
 
+    def _refresh_graph(self) -> None:
+        """Rebind to a freshly compiled graph after a topology edit.
+
+        :meth:`invalidate_nets` covers geometry changes on a fixed
+        graph; edits that *change the graph itself* (added / removed
+        nets or instances) are detected here by comparing the design's
+        structure key against the one the graph was compiled from.  The
+        incremental state is dropped and the pending dirty set widened
+        to "everything", so the next propagation is a full update over
+        the new topology — equivalent to rebuilding the analyzer from
+        scratch (asserted by tests/sta/test_incremental_topology.py).
+        """
+        key = self.design.structure_key()
+        if key == self._graph_key:
+            return
+        self.graph = timing_graph_for(self.design)
+        self._graph_key = key
+        self._state = None
+        self._dirty = None
+        perf.count("sta.graph.recompiled")
+
     def _update(self) -> TimingReport:
+        self._refresh_graph()
         dirty = self._dirty
         self._dirty = None
         if not self.vectorize:

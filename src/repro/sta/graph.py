@@ -656,7 +656,7 @@ def _multi_arange(starts: np.ndarray, counts: np.ndarray) -> np.ndarray:
     return np.cumsum(out)
 
 
-_GRAPH_CACHE: "weakref.WeakKeyDictionary[Design, TimingGraph]" = (
+_GRAPH_CACHE: "weakref.WeakKeyDictionary[Design, Tuple[tuple, TimingGraph]]" = (
     weakref.WeakKeyDictionary()
 )
 
@@ -664,13 +664,17 @@ _GRAPH_CACHE: "weakref.WeakKeyDictionary[Design, TimingGraph]" = (
 def timing_graph_for(design: Design) -> TimingGraph:
     """Cached timing graph for a design.
 
-    The graph depends only on connectivity, which is immutable after
-    netlist construction in this package, so one graph per design is
-    safe to share between the clustering stage and the post-route
-    evaluation (placement moves only change the wire model's answers).
+    The graph depends only on connectivity, so one graph per design is
+    shared between the clustering stage and the post-route evaluation
+    (placement moves only change the wire model's answers).  The cache
+    is keyed on :meth:`Design.structure_key`, so ECO mutations
+    (reconnect / add / remove) transparently recompile the graph on
+    next access instead of serving pre-edit topology.
     """
-    graph = _GRAPH_CACHE.get(design)
-    if graph is None:
-        graph = TimingGraph(design)
-        _GRAPH_CACHE[design] = graph
+    key = design.structure_key()
+    entry = _GRAPH_CACHE.get(design)
+    if entry is not None and entry[0] == key:
+        return entry[1]
+    graph = TimingGraph(design)
+    _GRAPH_CACHE[design] = (key, graph)
     return graph

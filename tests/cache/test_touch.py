@@ -1,0 +1,87 @@
+"""`EvaluationCache.touch`: mtime refresh keeps hot ECO entries warm.
+
+The incremental ECO path touches the cache entries of every *reused*
+(cluster, shape) evaluation without reading them, so an LRU GC sweep
+evicts genuinely cold entries first — a no-edit cluster consulted by
+ECO traffic every few seconds must not age out just because nobody
+re-evaluated it.
+"""
+
+import os
+import time
+
+import pytest
+
+from repro import perf
+from repro.cache import EvaluationCache
+
+KEY_HOT = "aa" + "0" * 62
+KEY_COLD = "bb" + "0" * 62
+KEY_COLDER = "cc" + "0" * 62
+
+RECORD = {"ar": 1.0, "util": 0.9, "hpwl_cost": 2.5, "congestion_cost": 0.5,
+          "seconds": 1.25}
+
+
+@pytest.fixture()
+def cache(tmp_path):
+    return EvaluationCache(str(tmp_path / "cache"))
+
+
+def _age(cache, key, seconds):
+    """Backdate an entry's mtime (deterministic stand-in for real age)."""
+    path = cache.directory / "objects" / key[:2] / f"{key}.json"
+    stamp = time.time() - seconds
+    os.utime(path, (stamp, stamp))
+
+
+class TestTouch:
+    def test_touch_refreshes_mtime(self, cache):
+        cache.put(KEY_HOT, RECORD)
+        _age(cache, KEY_HOT, 3600)
+        path = cache.directory / "objects" / "aa" / f"{KEY_HOT}.json"
+        old = path.stat().st_mtime
+        assert cache.touch(KEY_HOT) is True
+        assert path.stat().st_mtime > old
+
+    def test_touch_missing_entry_is_false(self, cache):
+        assert cache.touch(KEY_HOT) is False
+
+    def test_touch_counts(self, cache):
+        cache.put(KEY_HOT, RECORD)
+        perf.enable()
+        perf.reset()
+        try:
+            cache.touch(KEY_HOT)
+            assert perf.counter_value("vpr.cache.touch") == 1
+        finally:
+            perf.disable()
+            perf.reset()
+
+    def test_touched_entry_survives_gc(self, cache):
+        """The satellite contract: a warm (touched) entry outlives
+        colder untouched ones under an entry-count bound."""
+        for key in (KEY_HOT, KEY_COLD, KEY_COLDER):
+            cache.put(key, RECORD)
+        # All three look old; the hot one then gets ECO traffic.
+        _age(cache, KEY_HOT, 3000)
+        _age(cache, KEY_COLD, 2000)
+        _age(cache, KEY_COLDER, 1000)
+        assert cache.touch(KEY_HOT)
+        evicted = cache.gc(max_entries=1)
+        assert evicted == 2
+        assert cache.get(KEY_HOT) is not None
+        assert cache.get(KEY_COLD) is None
+        assert cache.get(KEY_COLDER) is None
+
+    def test_untouched_lru_order_unchanged(self, cache):
+        """Without a touch, the same sweep would have kept the newest
+        entry instead — the refresh is what saves the hot one."""
+        for key in (KEY_HOT, KEY_COLD):
+            cache.put(key, RECORD)
+        _age(cache, KEY_HOT, 3000)
+        _age(cache, KEY_COLD, 1000)
+        evicted = cache.gc(max_entries=1)
+        assert evicted == 1
+        assert cache.get(KEY_HOT) is None
+        assert cache.get(KEY_COLD) is not None

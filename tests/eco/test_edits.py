@@ -1,0 +1,160 @@
+"""Edit-script schema validation: every malformed script is named."""
+
+import json
+
+import pytest
+
+from repro.eco import SCHEMA, EcoEdit, EcoError, load_edit_script, parse_edits
+
+
+class TestEnvelope:
+    def test_bare_list(self):
+        edits = parse_edits(
+            [{"kind": "resize", "instance": "u1", "master": "INV_X2"}]
+        )
+        assert len(edits) == 1
+        assert edits[0].kind == "resize"
+
+    def test_schema_envelope(self):
+        edits = parse_edits(
+            {"schema": SCHEMA, "edits": [{"kind": "remove", "instance": "u1"}]}
+        )
+        assert edits[0].kind == "remove"
+
+    def test_empty_script_is_noop(self):
+        assert parse_edits([]) == []
+        assert parse_edits({"schema": SCHEMA, "edits": []}) == []
+
+    def test_wrong_schema_rejected(self):
+        with pytest.raises(EcoError, match="schema"):
+            parse_edits({"schema": "repro.eco/99", "edits": []})
+
+    def test_unknown_top_level_field_rejected(self):
+        with pytest.raises(EcoError, match="unknown top-level"):
+            parse_edits({"edits": [], "dry_run": True})
+
+    def test_missing_edits_rejected(self):
+        with pytest.raises(EcoError, match="missing the 'edits'"):
+            parse_edits({"schema": SCHEMA})
+
+    def test_non_list_rejected(self):
+        with pytest.raises(EcoError, match="must be a list"):
+            parse_edits("resize u1")
+
+
+class TestPerKindRules:
+    def test_unknown_kind_named_by_position(self):
+        with pytest.raises(EcoError, match="edit #0.*kind"):
+            parse_edits([{"kind": "warp", "instance": "u1"}])
+
+    def test_resize_requires_master(self):
+        with pytest.raises(EcoError, match="missing required field 'master'"):
+            parse_edits([{"kind": "resize", "instance": "u1"}])
+
+    def test_reconnect_requires_pin_and_net(self):
+        with pytest.raises(EcoError, match="missing required field"):
+            parse_edits([{"kind": "reconnect", "instance": "u1", "pin": "A"}])
+
+    def test_remove_rejects_extras(self):
+        with pytest.raises(EcoError, match="not valid for kind 'remove'"):
+            parse_edits(
+                [{"kind": "remove", "instance": "u1", "master": "INV_X1"}]
+            )
+
+    def test_swap_rejects_coordinates(self):
+        with pytest.raises(EcoError, match="not valid for kind 'swap'"):
+            parse_edits(
+                [{"kind": "swap", "instance": "u1", "master": "X", "x": 1.0}]
+            )
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(EcoError, match="unknown field"):
+            parse_edits([{"kind": "remove", "instance": "u1", "why": "slow"}])
+
+    def test_instance_must_be_string(self):
+        with pytest.raises(EcoError, match="'instance'"):
+            parse_edits([{"kind": "remove", "instance": 7}])
+
+    def test_coordinates_must_be_numbers(self):
+        with pytest.raises(EcoError, match="'x' must be a number"):
+            parse_edits(
+                [
+                    {
+                        "kind": "add",
+                        "instance": "u9",
+                        "master": "BUF_X1",
+                        "x": "left",
+                    }
+                ]
+            )
+
+    def test_connections_must_map_strings(self):
+        with pytest.raises(EcoError, match="'connections'"):
+            parse_edits(
+                [
+                    {
+                        "kind": "add",
+                        "instance": "u9",
+                        "master": "BUF_X1",
+                        "connections": {"A": 3},
+                    }
+                ]
+            )
+
+    def test_add_parses_fully(self):
+        (edit,) = parse_edits(
+            [
+                {
+                    "kind": "add",
+                    "instance": "u9",
+                    "master": "BUF_X1",
+                    "connections": {"A": "n1", "Y": "n2"},
+                    "x": 3.5,
+                    "y": 4,
+                }
+            ]
+        )
+        assert edit.connections == (("A", "n1"), ("Y", "n2"))
+        assert edit.x == 3.5 and edit.y == 4.0
+
+    def test_to_payload_roundtrip(self):
+        payloads = [
+            {"kind": "resize", "instance": "a", "master": "INV_X2"},
+            {"kind": "remove", "instance": "b"},
+            {"kind": "reconnect", "instance": "c", "pin": "A", "net": "n"},
+            {
+                "kind": "add",
+                "instance": "d",
+                "master": "BUF_X1",
+                "connections": {"A": "n1"},
+                "x": 1.0,
+                "y": 2.0,
+            },
+        ]
+        edits = parse_edits(payloads)
+        assert parse_edits([e.to_payload() for e in edits]) == edits
+
+
+class TestLoadScript:
+    def test_loads_file(self, tmp_path):
+        path = tmp_path / "edits.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "schema": SCHEMA,
+                    "edits": [{"kind": "remove", "instance": "u1"}],
+                }
+            )
+        )
+        edits = load_edit_script(str(path))
+        assert edits == [EcoEdit(kind="remove", instance="u1")]
+
+    def test_missing_file_named(self, tmp_path):
+        with pytest.raises(EcoError, match="cannot read"):
+            load_edit_script(str(tmp_path / "nope.json"))
+
+    def test_invalid_json_named(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(EcoError, match="not valid JSON"):
+            load_edit_script(str(path))

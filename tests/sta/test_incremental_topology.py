@@ -1,0 +1,135 @@
+"""Incremental STA across *topology* edits == full rebuild.
+
+PR 10 satellite: the ECO path mutates the netlist (add / remove cell,
+reconnect pin) underneath a live :class:`TimingAnalyzer`.  The
+analyzer now watches ``design.structure_key()`` and transparently
+recompiles its graph on drift (``sta.graph.recompiled``), so
+``invalidate_nets`` + ``update`` after a topology edit must produce
+results identical to an analyzer built from scratch on the edited
+design.
+"""
+
+import pytest
+
+from repro import perf
+from repro.designs.nangate45 import make_library
+from repro.sta.analysis import TimingAnalyzer
+from repro.sta.delay import PlacementWireModel
+from repro.sta.graph import timing_graph_for
+
+
+@pytest.fixture(autouse=True)
+def _clean_perf():
+    perf.disable()
+    perf.reset()
+    yield
+    perf.disable()
+    perf.reset()
+
+
+def _fresh_report(design):
+    analyzer = TimingAnalyzer(
+        timing_graph_for(design), PlacementWireModel(design)
+    )
+    return analyzer, analyzer.update()
+
+
+def _assert_identical(incremental, full):
+    assert incremental.wns == full.wns
+    assert incremental.tns == full.tns
+    assert incremental.endpoint_slacks == full.endpoint_slacks
+
+
+class TestTopologyEdits:
+    def test_reconnect_matches_full_rebuild(self, toy_design):
+        analyzer = TimingAnalyzer(
+            timing_graph_for(toy_design), PlacementWireModel(toy_design)
+        )
+        analyzer.update()
+
+        u2 = toy_design.instance("u2")
+        old_net = u2.pin_nets["B"]
+        target = toy_design.net("n_in0")
+        toy_design.reconnect_pin(u2, "B", target)
+
+        analyzer.invalidate_nets([old_net.index, target.index])
+        incremental = analyzer.update()
+        _, full = _fresh_report(toy_design)
+        _assert_identical(incremental, full)
+
+    def test_added_cell_matches_full_rebuild(self, toy_design):
+        """Insert a buffer into the u1 -> u2 stage (net n1 split)."""
+        analyzer = TimingAnalyzer(
+            timing_graph_for(toy_design), PlacementWireModel(toy_design)
+        )
+        analyzer.update()
+
+        lib = make_library()
+        buf = toy_design.add_instance("u_buf", lib["BUF_X1"])
+        buf.x, buf.y = 6.0, 12.0
+        n1 = toy_design.net("n1")
+        u2 = toy_design.instance("u2")
+        n_split = toy_design.add_net("n1_split")
+        toy_design.reconnect_pin(u2, "A", n_split)
+        toy_design.connect_instance_pin(n1, buf, "A")
+        toy_design.connect_instance_pin(n_split, buf, "Y")
+
+        analyzer.invalidate_nets([n1.index, n_split.index])
+        incremental = analyzer.update()
+        _, full = _fresh_report(toy_design)
+        _assert_identical(incremental, full)
+        # The buffer stage lengthens the in0 -> FF1.D path.
+        assert incremental.wns <= full.wns + 1e-12
+
+    def test_removed_cell_matches_full_rebuild(self, toy_design):
+        """Drop the output inverter and drive out0 from FF1.Q."""
+        analyzer = TimingAnalyzer(
+            timing_graph_for(toy_design), PlacementWireModel(toy_design)
+        )
+        analyzer.update()
+
+        u3 = toy_design.instance("u3")
+        n3 = toy_design.net("n3")
+        n_out = toy_design.net("n_out")
+        toy_design.remove_instance(u3)
+        # n3 lost its sink, n_out its driver; rewire out0 onto n3 and
+        # drop the orphaned net, as the ECO apply layer would.
+        ref = next(iter(n_out.pins()))
+        toy_design.remove_net(n_out)
+        toy_design.connect(n3, ref)
+        toy_design.validate()
+
+        analyzer.invalidate_nets([n3.index])
+        incremental = analyzer.update()
+        _, full = _fresh_report(toy_design)
+        _assert_identical(incremental, full)
+
+    def test_recompile_counter_fires(self, toy_design):
+        perf.enable()
+        perf.reset()
+        analyzer = TimingAnalyzer(
+            timing_graph_for(toy_design), PlacementWireModel(toy_design)
+        )
+        analyzer.update()
+        assert perf.counter_value("sta.graph.recompiled") == 0
+
+        u2 = toy_design.instance("u2")
+        toy_design.reconnect_pin(u2, "B", toy_design.net("n_in0"))
+        analyzer.update()
+        assert perf.counter_value("sta.graph.recompiled") == 1
+
+        # Geometry-only churn must not recompile.
+        toy_design.instance("u1").x += 3.0
+        analyzer.invalidate_nets([toy_design.net("n1").index])
+        analyzer.update()
+        assert perf.counter_value("sta.graph.recompiled") == 1
+
+    def test_graph_cache_rekeys_per_design(self, toy_design):
+        g1 = timing_graph_for(toy_design)
+        assert timing_graph_for(toy_design) is g1
+        toy_design.reconnect_pin(
+            toy_design.instance("u2"), "B", toy_design.net("n_in0")
+        )
+        g2 = timing_graph_for(toy_design)
+        assert g2 is not g1
+        assert timing_graph_for(toy_design) is g2
